@@ -1,0 +1,47 @@
+//! IPv6 address primitives for the sixdust project.
+//!
+//! This crate provides the address-level building blocks that every other
+//! sixdust crate relies on:
+//!
+//! * [`Addr`] — a compact, ordered 128-bit IPv6 address newtype with nibble
+//!   accessors and conversions to/from [`std::net::Ipv6Addr`].
+//! * [`Prefix`] — a CIDR prefix (`2001:db8::/32`) with containment tests,
+//!   sub-prefix enumeration and pseudo-random address drawing, exactly the
+//!   operations the multi-level aliased prefix detection needs.
+//! * [`Eui64`] — embedding and extraction of EUI-64 interface identifiers
+//!   (MAC-derived `ff:fe` IIDs) plus a small OUI vendor registry; the paper
+//!   uses these to explain the input-list bias of the IPv6 Hitlist.
+//! * [`teredo`] — Teredo (RFC 4380) tunnel-address encoding/decoding; the
+//!   Great Firewall's 2021/2022 DNS injections carried Teredo AAAA records,
+//!   which is the detection signal the paper's cleaning filter keys on.
+//! * [`PrefixTrie`] / [`PrefixSet`] — binary radix tries for longest-prefix
+//!   match (BGP-style lookups) and prefix-set membership (blocklists,
+//!   aliased-prefix filters).
+//! * [`classify`] — interface-identifier taxonomy (low-byte, EUI-64,
+//!   embedded IPv4, port/word, random) used by the bias analyses and the
+//!   6GAN-style seed classes.
+//! * [`prf`] — a small deterministic pseudo-random function used everywhere
+//!   a reproducible per-address coin flip is required (host liveness, churn,
+//!   probe address generation).
+//!
+//! All types are `Copy` where possible, serializable, and allocate only when
+//! a collection genuinely must.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod classify;
+mod eui64;
+mod prefix;
+pub mod prf;
+mod set;
+pub mod teredo;
+mod trie;
+
+pub use addr::Addr;
+pub use classify::{classify_iid, IidBreakdown, IidClass};
+pub use eui64::{Eui64, OuiVendor, OUI_REGISTRY, ZTE_OUI};
+pub use prefix::{ParsePrefixError, Prefix, SubPrefixes};
+pub use set::PrefixSet;
+pub use trie::PrefixTrie;

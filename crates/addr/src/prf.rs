@@ -1,0 +1,149 @@
+//! A small deterministic pseudo-random function (PRF).
+//!
+//! The simulated Internet must answer "does address X respond to protocol P
+//! on day D?" identically every time it is asked, without storing a record
+//! per address (the paper's input list has hundreds of millions of entries).
+//! Every such decision is therefore a pure function of a seed and the
+//! question, computed with the SplitMix64 finalizer — a well-studied mixer
+//! with full avalanche behaviour that is more than random enough for
+//! statistical modelling and orders of magnitude faster than a
+//! cryptographic hash.
+
+/// SplitMix64 finalizer: a bijective mixer over `u64`.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combines two words into one mixed word (not commutative).
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b ^ 0x6a09_e667_f3bc_c909))
+}
+
+/// PRF over a 128-bit value (e.g. an address) plus a seed and a domain tag.
+///
+/// The `tag` separates independent decision streams (liveness vs. churn vs.
+/// fingerprint choice) so they are uncorrelated even for the same address.
+#[inline]
+pub fn prf_u128(seed: u64, value: u128, tag: u64) -> u64 {
+    let hi = (value >> 64) as u64;
+    let lo = value as u64;
+    mix64(mix2(mix2(seed, tag), hi) ^ mix64(lo))
+}
+
+/// Uniform coin flip with probability `p_num / p_den`.
+///
+/// # Panics
+///
+/// Panics if `p_den == 0`.
+#[inline]
+pub fn chance(seed: u64, value: u128, tag: u64, p_num: u64, p_den: u64) -> bool {
+    assert!(p_den > 0, "zero denominator");
+    if p_num >= p_den {
+        return true;
+    }
+    prf_u128(seed, value, tag) % p_den < p_num
+}
+
+/// Uniform draw in `0..bound` (`bound > 0`).
+#[inline]
+pub fn uniform(seed: u64, value: u128, tag: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "zero bound");
+    prf_u128(seed, value, tag) % bound
+}
+
+/// A tiny deterministic stream generator for when a sequence of values is
+/// needed (e.g. drawing several probe addresses). Equivalent to SplitMix64
+/// seeded from the PRF.
+#[derive(Debug, Clone)]
+pub struct PrfStream {
+    state: u64,
+}
+
+impl PrfStream {
+    /// Creates a stream keyed by `(seed, value, tag)`.
+    pub fn new(seed: u64, value: u128, tag: u64) -> PrfStream {
+        PrfStream {
+            state: prf_u128(seed, value, tag),
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Next value uniform in `0..bound`.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Next coin flip with probability `p` (clamped to `[0,1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn tags_separate_streams() {
+        let v = 0x2001_0db8_u128 << 96;
+        assert_ne!(prf_u128(1, v, 0), prf_u128(1, v, 1));
+        assert_ne!(prf_u128(1, v, 0), prf_u128(2, v, 0));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        assert!(chance(1, 42, 0, 1, 1));
+        assert!(chance(1, 42, 0, 5, 3), "num >= den is always true");
+        assert!(!chance(1, 42, 0, 0, 10));
+    }
+
+    #[test]
+    fn chance_is_roughly_uniform() {
+        let hits = (0..10_000u128).filter(|&i| chance(7, i, 3, 1, 4)).count();
+        // 1/4 of 10k = 2500; allow generous tolerance.
+        assert!((2100..2900).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        for i in 0..1000u128 {
+            assert!(uniform(9, i, 1, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn stream_reproducible() {
+        let mut a = PrfStream::new(3, 99, 5);
+        let mut b = PrfStream::new(3, 99, 5);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = PrfStream::new(3, 99, 6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn stream_bool_probability() {
+        let mut s = PrfStream::new(11, 0, 0);
+        let hits = (0..10_000).filter(|_| s.next_bool(0.9)).count();
+        assert!(hits > 8700 && hits < 9300, "hits = {hits}");
+    }
+}

@@ -1,0 +1,151 @@
+//! [`PrefixSet`]: a set of prefixes with coverage queries.
+//!
+//! Used for the blocklist filter, the aliased-prefix filter and the GFW
+//! impacted-address bookkeeping of the hitlist pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, Prefix, PrefixTrie};
+
+/// A set of IPv6 prefixes answering "is this address covered?" and
+/// "is this prefix (partially) covered?".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixSet {
+    trie: PrefixTrie<()>,
+}
+
+impl PrefixSet {
+    /// Creates an empty set.
+    pub fn new() -> PrefixSet {
+        PrefixSet::default()
+    }
+
+    /// Number of distinct prefixes stored.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Inserts a prefix. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, prefix: Prefix) -> bool {
+        self.trie.insert(prefix, ()).is_none()
+    }
+
+    /// Whether this exact prefix is in the set.
+    pub fn contains_exact(&self, prefix: Prefix) -> bool {
+        self.trie.get(prefix).is_some()
+    }
+
+    /// Whether any stored prefix covers the address.
+    pub fn covers_addr(&self, addr: Addr) -> bool {
+        self.trie.covers(addr)
+    }
+
+    /// Whether any stored prefix covers the *whole* given prefix
+    /// (i.e. a stored prefix at least as short contains it).
+    pub fn covers_prefix(&self, prefix: Prefix) -> bool {
+        // A stored prefix covers `prefix` iff it covers its network address
+        // with length <= prefix.len(). LPM on the network address finds the
+        // most specific covering prefix of the network address; any stored
+        // covering prefix of the full range must also cover the network
+        // address, so checking all covering lengths via repeated trims is
+        // equivalent to one LPM walk — but the LPM result may be *longer*
+        // than `prefix`. Walk up from the LPM match instead.
+        let mut cur = Some(prefix);
+        while let Some(p) = cur {
+            if self.contains_exact(p) {
+                return true;
+            }
+            cur = p.supernet();
+        }
+        false
+    }
+
+    /// Iterates the stored prefixes in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.trie.iter().map(|(p, _)| p)
+    }
+
+    /// Adds every prefix of `other` into `self`.
+    pub fn extend_from(&mut self, other: &PrefixSet) {
+        for p in other.iter() {
+            self.insert(p);
+        }
+    }
+}
+
+impl FromIterator<Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> PrefixSet {
+        let mut s = PrefixSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<Prefix> for PrefixSet {
+    fn extend<I: IntoIterator<Item = Prefix>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_membership() {
+        let mut s = PrefixSet::new();
+        assert!(s.insert(p("2001:db8::/32")));
+        assert!(!s.insert(p("2001:db8::/32")), "duplicate");
+        assert_eq!(s.len(), 1);
+        assert!(s.covers_addr(a("2001:db8::1")));
+        assert!(!s.covers_addr(a("2001:db9::1")));
+    }
+
+    #[test]
+    fn covers_prefix_semantics() {
+        let s: PrefixSet = [p("2001:db8::/32")].into_iter().collect();
+        assert!(s.covers_prefix(p("2001:db8:1::/48")), "more specific covered");
+        assert!(s.covers_prefix(p("2001:db8::/32")), "exact covered");
+        assert!(!s.covers_prefix(p("2001::/16")), "shorter not covered");
+        assert!(!s.covers_prefix(p("2001:db9::/48")));
+    }
+
+    #[test]
+    fn exact_membership_vs_coverage() {
+        let s: PrefixSet = [p("2001:db8::/32")].into_iter().collect();
+        assert!(!s.contains_exact(p("2001:db8:1::/48")));
+        assert!(s.contains_exact(p("2001:db8::/32")));
+    }
+
+    #[test]
+    fn extend_unions() {
+        let mut a_set: PrefixSet = [p("2001:db8::/32")].into_iter().collect();
+        let b_set: PrefixSet = [p("2400::/12"), p("2001:db8::/32")].into_iter().collect();
+        a_set.extend_from(&b_set);
+        assert_eq!(a_set.len(), 2);
+        assert!(a_set.covers_addr(a("2400::1")));
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let s: PrefixSet = [p("fd00::/8"), p("2001:db8::/32")].into_iter().collect();
+        let got: Vec<Prefix> = s.iter().collect();
+        assert_eq!(got, vec![p("2001:db8::/32"), p("fd00::/8")]);
+    }
+}

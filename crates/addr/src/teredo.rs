@@ -1,0 +1,121 @@
+//! Teredo (RFC 4380) address encoding and detection.
+//!
+//! Teredo tunnels IPv6 over UDP/IPv4 and embeds both the Teredo server's
+//! IPv4 address and the client's (obfuscated) IPv4 address and port in the
+//! IPv6 address. Teredo is deprecated, which is exactly why the paper uses
+//! it as a *tell*: the Great Firewall's 2021/2022 era DNS injections
+//! answered AAAA queries with Teredo addresses whose embedded IPv4 belonged
+//! to operators unrelated to the queried domain. The cleaning filter
+//! extracts the embedded IPv4 and checks plausibility.
+
+use crate::{Addr, Prefix};
+
+/// The Teredo service prefix `2001::/32`.
+pub fn teredo_prefix() -> Prefix {
+    Prefix::new(Addr(0x2001_0000_u128 << 96), 32)
+}
+
+/// Whether the address lies inside the Teredo prefix.
+pub fn is_teredo(addr: Addr) -> bool {
+    teredo_prefix().contains(addr)
+}
+
+/// The components encoded in a Teredo address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeredoParts {
+    /// IPv4 address of the Teredo server (plain).
+    pub server_v4: u32,
+    /// Flags field (bit 15 = cone NAT in the original spec).
+    pub flags: u16,
+    /// Client's external UDP port (deobfuscated).
+    pub client_port: u16,
+    /// Client's external IPv4 address (deobfuscated).
+    pub client_v4: u32,
+}
+
+/// Encodes Teredo components into an address under `2001::/32`.
+///
+/// Per RFC 4380 the client port and address are stored bit-inverted
+/// ("obfuscated") to survive naive NAT ALGs.
+pub fn encode(parts: TeredoParts) -> Addr {
+    let v: u128 = (0x2001_0000_u128 << 96)
+        | (u128::from(parts.server_v4) << 64)
+        | (u128::from(parts.flags) << 48)
+        | (u128::from(!parts.client_port) << 32)
+        | u128::from(!parts.client_v4);
+    Addr(v)
+}
+
+/// Decodes a Teredo address into its components, or `None` if the address
+/// is not inside `2001::/32`.
+pub fn decode(addr: Addr) -> Option<TeredoParts> {
+    if !is_teredo(addr) {
+        return None;
+    }
+    let v = addr.0;
+    Some(TeredoParts {
+        server_v4: (v >> 64) as u32,
+        flags: (v >> 48) as u16,
+        client_port: !((v >> 32) as u16),
+        client_v4: !(v as u32),
+    })
+}
+
+/// Formats an IPv4 address stored as `u32` in dotted quad form (helper for
+/// diagnostics about embedded addresses).
+pub fn fmt_v4(v4: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (v4 >> 24) & 0xff,
+        (v4 >> 16) & 0xff,
+        (v4 >> 8) & 0xff,
+        v4 & 0xff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let parts = TeredoParts {
+            server_v4: 0x4137_8906, // 65.55.137.6, a classic Teredo server
+            flags: 0x8000,
+            client_port: 40000,
+            client_v4: 0xc0a8_0101, // 192.168.1.1
+        };
+        let addr = encode(parts);
+        assert!(is_teredo(addr));
+        assert_eq!(decode(addr), Some(parts));
+    }
+
+    #[test]
+    fn rfc_obfuscation_applied() {
+        // Client 0.0.0.0 port 0 must encode as all-ones in the low bits.
+        let parts = TeredoParts {
+            server_v4: 1,
+            flags: 0,
+            client_port: 0,
+            client_v4: 0,
+        };
+        let addr = encode(parts);
+        assert_eq!(addr.0 as u32, u32::MAX);
+        assert_eq!(((addr.0 >> 32) as u16), u16::MAX);
+    }
+
+    #[test]
+    fn non_teredo_rejected() {
+        assert_eq!(decode("2001:db8::1".parse().unwrap()), None);
+        assert!(!is_teredo("2002::1".parse().unwrap()));
+        // 2001:db8 is NOT Teredo despite sharing the first 16 bits:
+        // the prefix is 2001:0000::/32.
+        assert!(is_teredo("2001:0:1234::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn v4_formatting() {
+        assert_eq!(fmt_v4(0x7f00_0001), "127.0.0.1");
+        assert_eq!(fmt_v4(0), "0.0.0.0");
+    }
+}

@@ -1,0 +1,309 @@
+//! A binary trie over IPv6 prefixes with longest-prefix-match lookup.
+//!
+//! This is the data structure behind every routing-flavoured question in
+//! sixdust: "which AS originates this address?" (BGP table), "is this
+//! address inside a known aliased prefix?", "is this address blocklisted?".
+//!
+//! The trie is a straightforward bit-per-level binary trie over an arena of
+//! nodes. Path compression is deliberately omitted (smoltcp's "simplicity
+//! over tricks" principle): IPv6 routing prefixes are ≤ /64 in practice and
+//! lookups are a handful of cache lines either way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, Prefix};
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node<V> {
+    children: [u32; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn empty() -> Node<V> {
+        Node {
+            children: [NO_NODE, NO_NODE],
+            value: None,
+        }
+    }
+}
+
+/// A map from [`Prefix`] to `V` supporting exact and longest-prefix-match
+/// lookups.
+///
+/// ```
+/// use sixdust_addr::{PrefixTrie, Prefix, Addr};
+/// let mut t = PrefixTrie::new();
+/// t.insert("2001:db8::/32".parse().unwrap(), "coarse");
+/// t.insert("2001:db8:1::/48".parse().unwrap(), "fine");
+/// let addr: Addr = "2001:db8:1::42".parse().unwrap();
+/// assert_eq!(t.lookup(addr), Some((&"fine", "2001:db8:1::/48".parse().unwrap())));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> PrefixTrie<V> {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a prefix, returning the previous value if it was present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = 0u32;
+        for bit_idx in 0..prefix.len() {
+            let bit = prefix.network().bit(bit_idx) as usize;
+            let child = self.nodes[node as usize].children[bit];
+            node = if child == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::empty());
+                self.nodes[node as usize].children[bit] = idx;
+                idx
+            } else {
+                child
+            };
+        }
+        let prev = self.nodes[node as usize].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Exact-match lookup for a prefix.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let mut node = 0u32;
+        for bit_idx in 0..prefix.len() {
+            let bit = prefix.network().bit(bit_idx) as usize;
+            node = self.nodes[node as usize].children[bit];
+            if node == NO_NODE {
+                return None;
+            }
+        }
+        self.nodes[node as usize].value.as_ref()
+    }
+
+    /// Mutable exact-match lookup.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
+        let mut node = 0u32;
+        for bit_idx in 0..prefix.len() {
+            let bit = prefix.network().bit(bit_idx) as usize;
+            node = self.nodes[node as usize].children[bit];
+            if node == NO_NODE {
+                return None;
+            }
+        }
+        self.nodes[node as usize].value.as_mut()
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix covering
+    /// `addr`, together with that prefix.
+    pub fn lookup(&self, addr: Addr) -> Option<(&V, Prefix)> {
+        let mut node = 0u32;
+        let mut best: Option<(u32, u8)> = None;
+        for depth in 0u8..=128 {
+            if self.nodes[node as usize].value.is_some() {
+                best = Some((node, depth));
+            }
+            if depth == 128 {
+                break;
+            }
+            let bit = addr.bit(depth) as usize;
+            let child = self.nodes[node as usize].children[bit];
+            if child == NO_NODE {
+                break;
+            }
+            node = child;
+        }
+        best.map(|(n, depth)| {
+            let value = self.nodes[n as usize].value.as_ref().expect("marked node");
+            (value, Prefix::new(addr, depth))
+        })
+    }
+
+    /// Shorthand: the value of the longest matching prefix, if any.
+    pub fn lookup_value(&self, addr: Addr) -> Option<&V> {
+        self.lookup(addr).map(|(v, _)| v)
+    }
+
+    /// Whether any stored prefix covers `addr`.
+    pub fn covers(&self, addr: Addr) -> bool {
+        self.lookup(addr).is_some()
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> + '_ {
+        // Depth-first traversal with an explicit stack carrying the bits
+        // accumulated so far.
+        let mut stack: Vec<(u32, u128, u8)> = vec![(0, 0, 0)];
+        std::iter::from_fn(move || {
+            while let Some((node, bits, depth)) = stack.pop() {
+                let n = &self.nodes[node as usize];
+                // Push right child first so left (0-bit) pops first: sorted order.
+                if depth < 128 {
+                    for bit in [1u8, 0u8] {
+                        let child = n.children[bit as usize];
+                        if child != NO_NODE {
+                            let shifted = bits | (u128::from(bit) << (127 - depth));
+                            stack.push((child, shifted, depth + 1));
+                        }
+                    }
+                }
+                if let Some(v) = &n.value {
+                    return Some((Prefix::new(Addr(bits), depth), v));
+                }
+            }
+            None
+        })
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> PrefixTrie<V> {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(a("::1")), None);
+    }
+
+    #[test]
+    fn exact_and_lpm() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), 1);
+        t.insert(p("2001:db8:1::/48"), 2);
+        t.insert(p("::/0"), 0);
+        assert_eq!(t.len(), 3);
+
+        assert_eq!(t.get(p("2001:db8::/32")), Some(&1));
+        assert_eq!(t.get(p("2001:db8::/33")), None);
+
+        assert_eq!(t.lookup_value(a("2001:db8:1::9")), Some(&2));
+        assert_eq!(t.lookup_value(a("2001:db8:2::9")), Some(&1));
+        assert_eq!(t.lookup_value(a("9999::1")), Some(&0));
+        let (_, matched) = t.lookup(a("2001:db8:1::9")).unwrap();
+        assert_eq!(matched, p("2001:db8:1::/48"));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(t.insert(p("2001:db8::/32"), 5), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("2001:db8::/32")), Some(&5));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::1/128"), 7);
+        assert_eq!(t.lookup_value(a("2001:db8::1")), Some(&7));
+        assert_eq!(t.lookup_value(a("2001:db8::2")), None);
+    }
+
+    #[test]
+    fn no_default_no_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("fd00::/8"), 1);
+        assert!(!t.covers(a("fe00::1")));
+        assert!(t.covers(a("fd12::1")));
+    }
+
+    #[test]
+    fn iter_sorted() {
+        let mut t = PrefixTrie::new();
+        for (i, s) in ["2001:db8:2::/48", "2001:db8::/32", "2001:db8:1::/48", "::/0"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(
+            got,
+            vec![
+                p("::/0"),
+                p("2001:db8::/32"),
+                p("2001:db8:1::/48"),
+                p("2001:db8:2::/48")
+            ]
+        );
+    }
+
+    #[test]
+    fn lpm_matches_naive_scan() {
+        // Differential test against a brute-force implementation.
+        let prefixes = [
+            ("2001::/16", 1),
+            ("2001:db8::/32", 2),
+            ("2001:db8:8000::/33", 3),
+            ("2001:db8:8000::/48", 4),
+            ("2400::/12", 5),
+        ];
+        let t: PrefixTrie<i32> = prefixes
+            .iter()
+            .map(|(s, v)| (p(s), *v))
+            .collect();
+        let probes = [
+            "2001:db8:8000::1",
+            "2001:db8:8001::1",
+            "2001:db8::1",
+            "2001:1::1",
+            "2400:cb00::1",
+            "3000::1",
+        ];
+        for s in probes {
+            let addr = a(s);
+            let naive = prefixes
+                .iter()
+                .filter(|(q, _)| p(q).contains(addr))
+                .max_by_key(|(q, _)| p(q).len())
+                .map(|(_, v)| *v);
+            assert_eq!(t.lookup_value(addr).copied(), naive, "probe {s}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the sixdust-addr primitives.
+
+use proptest::prelude::*;
+use sixdust_addr::{teredo, Addr, Eui64, Prefix, PrefixSet, PrefixTrie};
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u128>().prop_map(Addr)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(v, len)| Prefix::new(Addr(v), len))
+}
+
+proptest! {
+    #[test]
+    fn nibbles_roundtrip(addr in arb_addr()) {
+        prop_assert_eq!(Addr::from_nibbles(&addr.nibbles()), addr);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(addr in arb_addr()) {
+        let s = addr.to_string();
+        let back: Addr = s.parse().unwrap();
+        prop_assert_eq!(back, addr);
+    }
+
+    #[test]
+    fn with_nibble_then_read(addr in arb_addr(), i in 0usize..32, v in 0u8..=0xf) {
+        let b = addr.with_nibble(i, v);
+        prop_assert_eq!(b.nibble(i), v);
+        // All other nibbles untouched.
+        for j in 0..32 {
+            if j != i {
+                prop_assert_eq!(b.nibble(j), addr.nibble(j));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_network_and_last(prefix in arb_prefix()) {
+        prop_assert!(prefix.contains(prefix.network()));
+        prop_assert!(prefix.contains(prefix.last()));
+    }
+
+    #[test]
+    fn prefix_parse_roundtrip(prefix in arb_prefix()) {
+        let s = prefix.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(back, prefix);
+    }
+
+    #[test]
+    fn supernet_covers(prefix in arb_prefix()) {
+        if let Some(sup) = prefix.supernet() {
+            prop_assert!(sup.covers(prefix));
+        }
+    }
+
+    #[test]
+    fn random_addr_inside(prefix in arb_prefix(), seed in any::<u64>()) {
+        prop_assert!(prefix.contains(prefix.random_addr(seed)));
+    }
+
+    #[test]
+    fn nibble_subprefixes_partition(prefix_v in any::<u128>(), len in 0u8..=124, probe_low in any::<u128>()) {
+        let prefix = Prefix::new(Addr(prefix_v), len);
+        // A probe inside the parent must be in exactly one nibble child.
+        let host_mask = if len == 0 { u128::MAX } else { !(u128::MAX << (128 - len as u32)) };
+        let probe = Addr(prefix.network().0 | (probe_low & host_mask));
+        prop_assert!(prefix.contains(probe));
+        let n = prefix.nibble_subprefixes().filter(|s| s.contains(probe)).count();
+        prop_assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn eui64_roundtrip(mac in any::<[u8; 6]>()) {
+        let e = Eui64::from_mac(mac);
+        prop_assert_eq!(Eui64::from_iid(e.to_iid()), Some(e));
+    }
+
+    #[test]
+    fn teredo_roundtrip(server in any::<u32>(), flags in any::<u16>(), port in any::<u16>(), client in any::<u32>()) {
+        let parts = teredo::TeredoParts { server_v4: server, flags, client_port: port, client_v4: client };
+        prop_assert_eq!(teredo::decode(teredo::encode(parts)), Some(parts));
+    }
+
+    #[test]
+    fn trie_lpm_matches_naive(
+        entries in proptest::collection::vec((any::<u128>(), 0u8..=64), 1..40),
+        probes in proptest::collection::vec(any::<u128>(), 1..20),
+    ) {
+        let prefixes: Vec<(Prefix, usize)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (v, len))| (Prefix::new(Addr(*v), *len), i))
+            .collect();
+        let trie: PrefixTrie<usize> = prefixes.iter().cloned().collect();
+        for v in probes {
+            let addr = Addr(v);
+            // Naive: longest covering prefix; ties by length share the same
+            // canonical network, and later insert wins in both impls.
+            let naive = prefixes
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by(|(p1, i1), (p2, i2)| p1.len().cmp(&p2.len()).then(i1.cmp(i2)))
+                .map(|(_, i)| *i);
+            prop_assert_eq!(trie.lookup_value(addr).copied(), naive);
+        }
+    }
+
+    #[test]
+    fn prefix_set_covers_agrees_with_scan(
+        entries in proptest::collection::vec((any::<u128>(), 8u8..=64), 1..30),
+        probe in any::<u128>(),
+    ) {
+        let prefixes: Vec<Prefix> = entries.iter().map(|(v, l)| Prefix::new(Addr(*v), *l)).collect();
+        let set: PrefixSet = prefixes.iter().cloned().collect();
+        let addr = Addr(probe);
+        let naive = prefixes.iter().any(|p| p.contains(addr));
+        prop_assert_eq!(set.covers_addr(addr), naive);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sixdust-analysis — measurement analysis toolkit
+//!
+//! The numeric machinery behind the paper's figures and tables:
+//!
+//! * [`cdf`] — ranked cumulative distributions across ASes (Figs. 2, 8, 9)
+//!   with skew/coverage summaries ("top AS holds 7.9 %", "50 % in 14
+//!   ASes").
+//! * [`hist`] — prefix-length histograms (Fig. 5), row-normalized overlap
+//!   matrices (Figs. 7 and 10), and ASCII sparklines for the longitudinal
+//!   series (Figs. 3 and 4).
+//! * [`series`] — irregular time series: resampling, growth, spike/era
+//!   detection and CSV export for the longitudinal records.
+//! * [`table`] — paper-style text tables with `1.7 M`-style formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod hist;
+pub mod series;
+pub mod table;
+
+pub use cdf::RankCdf;
+pub use series::Series;
+pub use hist::{sparkline, OverlapMatrix, PlenHistogram};
+pub use table::{human, pct, TextTable};

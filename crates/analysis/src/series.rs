@@ -1,0 +1,196 @@
+//! Longitudinal series utilities: resampling, growth and spike detection
+//! over per-scan records (the numeric backbone of Figs. 3 and 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A `(day, value)` time series with irregular spacing (scan cadence grows
+/// from 1 to 5 days over the window).
+///
+/// ```
+/// use sixdust_analysis::Series;
+/// let mut pts: Vec<(u32, u64)> = (0..60).map(|d| (d, 100)).collect();
+/// for d in 30..35 { pts[d as usize] = (d, 9_000); } // an injection era
+/// let s = Series::new(pts);
+/// assert_eq!(s.spike_windows(10.0, 3), vec![(30, 34)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// `(day, value)` points in ascending day order.
+    pub points: Vec<(u32, u64)>,
+}
+
+impl Series {
+    /// Builds from points (sorts by day).
+    pub fn new(mut points: Vec<(u32, u64)>) -> Series {
+        points.sort_by_key(|(d, _)| *d);
+        Series { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Resamples into fixed-width buckets (mean per bucket) — what a
+    /// figure with hundreds of scan rounds needs before plotting.
+    pub fn resample(&self, bucket_days: u32) -> Series {
+        if self.points.is_empty() || bucket_days == 0 {
+            return self.clone();
+        }
+        let mut out = Vec::new();
+        let mut bucket_start = self.points[0].0 / bucket_days * bucket_days;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for (d, v) in &self.points {
+            let b = d / bucket_days * bucket_days;
+            if b != bucket_start && n > 0 {
+                out.push((bucket_start, sum / n));
+                bucket_start = b;
+                sum = 0;
+                n = 0;
+            }
+            sum += v;
+            n += 1;
+        }
+        if n > 0 {
+            out.push((bucket_start, sum / n));
+        }
+        Series { points: out }
+    }
+
+    /// End-over-start growth factor (`last / first`), ignoring zero starts.
+    pub fn growth(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some((_, a)), Some((_, b))) if *a > 0 => *b as f64 / *a as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Largest value and its day.
+    pub fn peak(&self) -> Option<(u32, u64)> {
+        self.points.iter().copied().max_by_key(|(_, v)| *v)
+    }
+
+    /// Detects spikes: points exceeding `factor` × the series median.
+    /// Returns the spike days — how Fig. 3's injection events stand out.
+    pub fn spikes(&self, factor: f64) -> Vec<u32> {
+        if self.points.len() < 3 {
+            return Vec::new();
+        }
+        let mut values: Vec<u64> = self.points.iter().map(|(_, v)| *v).collect();
+        values.sort_unstable();
+        let median = values[values.len() / 2] as f64;
+        self.points
+            .iter()
+            .filter(|(_, v)| *v as f64 > median * factor && *v > 0)
+            .map(|(d, _)| *d)
+            .collect()
+    }
+
+    /// Groups consecutive spike days (gap ≤ `max_gap`) into event windows
+    /// `(first_day, last_day)` — one window per GFW era, ideally.
+    pub fn spike_windows(&self, factor: f64, max_gap: u32) -> Vec<(u32, u32)> {
+        let days = self.spikes(factor);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for d in days {
+            match out.last_mut() {
+                Some((_, end)) if d.saturating_sub(*end) <= max_gap => *end = d,
+                _ => out.push((d, d)),
+            }
+        }
+        out
+    }
+
+    /// Mean of the values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| *v as f64).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Renders as CSV (`day,value` rows) for external plotting.
+    pub fn to_csv(&self, header: &str) -> String {
+        let mut out = format!("day,{header}\n");
+        for (d, v) in &self.points {
+            out.push_str(&format!("{d},{v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiky() -> Series {
+        let mut pts: Vec<(u32, u64)> = (0..100).map(|d| (d, 100)).collect();
+        for d in 40..44 {
+            pts[d as usize] = (d, 5000);
+        }
+        for d in 70..75 {
+            pts[d as usize] = (d, 8000);
+        }
+        Series::new(pts)
+    }
+
+    #[test]
+    fn construction_sorts() {
+        let s = Series::new(vec![(5, 1), (1, 2), (3, 3)]);
+        assert_eq!(s.points, vec![(1, 2), (3, 3), (5, 1)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn resample_means() {
+        let s = Series::new(vec![(0, 10), (1, 20), (2, 30), (10, 100)]);
+        let r = s.resample(7);
+        assert_eq!(r.points, vec![(0, 20), (7, 100)]);
+        // Degenerate bucket width leaves the series untouched.
+        assert_eq!(s.resample(0), s);
+    }
+
+    #[test]
+    fn growth_and_peak() {
+        let s = Series::new(vec![(0, 100), (50, 150), (100, 180)]);
+        assert!((s.growth() - 1.8).abs() < 1e-9);
+        assert_eq!(s.peak(), Some((100, 180)));
+        assert_eq!(Series::default().growth(), 0.0);
+    }
+
+    #[test]
+    fn spike_detection_finds_eras() {
+        let s = spiky();
+        let windows = s.spike_windows(5.0, 3);
+        assert_eq!(windows, vec![(40, 43), (70, 74)]);
+        // Baseline points are not spikes.
+        assert!(!s.spikes(5.0).contains(&10));
+    }
+
+    #[test]
+    fn spike_windows_merge_within_gap() {
+        let mut pts: Vec<(u32, u64)> = (0..50).map(|d| (d, 10)).collect();
+        pts[20] = (20, 1000);
+        pts[23] = (23, 1000); // gap of 3 merges at max_gap=3
+        let s = Series::new(pts);
+        assert_eq!(s.spike_windows(5.0, 3), vec![(20, 23)]);
+        assert_eq!(s.spike_windows(5.0, 1), vec![(20, 20), (23, 23)]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let s = Series::new(vec![(1, 5), (2, 6)]);
+        assert_eq!(s.to_csv("udp53"), "day,udp53\n1,5\n2,6\n");
+    }
+
+    #[test]
+    fn mean_value() {
+        let s = Series::new(vec![(0, 10), (1, 30)]);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+}

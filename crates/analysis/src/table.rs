@@ -1,0 +1,127 @@
+//! Paper-style text tables and human-readable number formatting.
+//!
+//! The experiment binaries print tables that visually mirror the paper's
+//! (same row/column structure), so side-by-side comparison is one glance.
+
+/// Formats a count the way the paper does: `1.7 M`, `550.6 k`, `832`.
+pub fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1} M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1} k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a share as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1} %", x * 100.0)
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numerics (heuristic: starts with a digit),
+                // left-align labels.
+                if cell.chars().next().is_some_and(|ch| ch.is_ascii_digit()) {
+                    line.push_str(&format!("{cell:>width$}", width = widths[c]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(1_700_000), "1.7 M");
+        assert_eq!(human(550_600), "550.6 k");
+        assert_eq!(human(832), "832");
+        assert_eq!(human(0), "0");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.953), "95.3 %");
+        assert_eq!(pct(0.0), "0.0 %");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Year", "ICMP", "Total"]);
+        t.row(vec!["2018-07-01".into(), "1.7 M".into(), "1.8 M".into()]);
+        t.row(vec!["2022-04-07".into(), "3.1 M".into(), "3.2 M".into()]);
+        let s = t.render();
+        assert!(s.contains("Year"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        // Columns aligned: both data lines have the same length.
+        let lines: Vec<&str> = s.lines().skip(2).collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        TextTable::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+}

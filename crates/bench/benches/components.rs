@@ -1,0 +1,142 @@
+//! Component micro-benchmarks: the data structures and codecs every
+//! experiment leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sixdust_addr::{prf, Addr, Prefix, PrefixTrie};
+use sixdust_net::pattern::Feistel64;
+use sixdust_net::{Day, FaultConfig, Internet, ProbeKind, Scale};
+use sixdust_scan::CyclicPermutation;
+use sixdust_wire::dns::DnsMessage;
+use sixdust_wire::icmpv6::Icmpv6;
+use sixdust_wire::tcp::{TcpOption, TcpSegment};
+use sixdust_wire::{Ipv6Header, Packet, Transport};
+
+fn bench_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    for i in 0..10_000u128 {
+        trie.insert(Prefix::new(Addr((0x2000 + i) << 100), 32), i as u32);
+    }
+    let probes: Vec<Addr> = (0..1000u128).map(|i| Addr((0x2000 + i * 7) << 100 | 0x42)).collect();
+    c.bench_function("trie_lpm_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for p in &probes {
+                if trie.lookup_value(black_box(*p)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_prf(c: &mut Criterion) {
+    c.bench_function("prf_u128", |b| {
+        let mut i = 0u128;
+        b.iter(|| {
+            i += 1;
+            prf::prf_u128(black_box(7), black_box(i), 0x42)
+        })
+    });
+    c.bench_function("feistel_permute_invert", |b| {
+        let f = Feistel64::new(9);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.invert(f.permute(black_box(i)))
+        })
+    });
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    c.bench_function("cyclic_permutation_100k", |b| {
+        b.iter(|| CyclicPermutation::new(black_box(100_000), 7).sum::<u64>())
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let src: Addr = "2001:db8::1".parse().unwrap();
+    let dst: Addr = "2a00:1450::5".parse().unwrap();
+    let syn = Packet {
+        ipv6: Ipv6Header::new(src, dst, 64),
+        transport: Transport::Tcp(
+            TcpSegment::syn(443, 40000, 7)
+                .with_option(TcpOption::Mss(1440))
+                .with_option(TcpOption::SackPermitted)
+                .with_option(TcpOption::Timestamps(1, 0))
+                .with_option(TcpOption::WindowScale(7)),
+        ),
+    };
+    let syn_bytes = syn.to_bytes();
+    c.bench_function("wire_tcp_syn_encode", |b| b.iter(|| black_box(&syn).to_bytes()));
+    c.bench_function("wire_tcp_syn_parse", |b| {
+        b.iter(|| Packet::parse(black_box(&syn_bytes)).expect("valid"))
+    });
+    let echo = Packet {
+        ipv6: Ipv6Header::new(src, dst, 64),
+        transport: Transport::Icmpv6(Icmpv6::EchoRequest { ident: 1, seq: 2, payload: vec![0; 8] }),
+    };
+    let echo_bytes = echo.to_bytes();
+    c.bench_function("wire_icmp_echo_roundtrip", |b| {
+        b.iter(|| Packet::parse(&black_box(&echo).to_bytes()).expect("valid"));
+        black_box(&echo_bytes);
+    });
+    let query = DnsMessage::aaaa_query(7, "www.google.com");
+    let qbytes = query.to_bytes();
+    c.bench_function("wire_dns_query_parse", |b| {
+        b.iter(|| DnsMessage::parse(black_box(&qbytes)).expect("valid"))
+    });
+}
+
+fn bench_internet(c: &mut Criterion) {
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let day = Day(100);
+    let targets: Vec<Addr> = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .take(1000)
+        .collect();
+    c.bench_function("internet_probe_semantic_1k", |b| {
+        let probe = ProbeKind::IcmpEcho { size: 8 };
+        b.iter(|| {
+            let mut hits = 0;
+            for t in &targets {
+                hits += net.probe(black_box(*t), &probe, day).len();
+            }
+            hits
+        })
+    });
+    c.bench_function("internet_probe_wire_100", |b| {
+        let src = net.registry().vantage_addr();
+        b.iter(|| {
+            let mut hits = 0;
+            for t in targets.iter().take(100) {
+                let bytes = sixdust_scan::engine::build_probe_bytes(
+                    sixdust_net::Protocol::Icmp,
+                    src,
+                    *t,
+                    "www.google.com",
+                    1,
+                );
+                hits += net.send_bytes(&bytes, day).len();
+            }
+            hits
+        })
+    });
+    c.bench_function("population_lookup_dark", |b| {
+        let dark = Addr(0x3fff_0000_0000_0000_0000_0000_0000_0001u128);
+        b.iter(|| net.population().lookup(black_box(dark), day))
+    });
+    c.bench_function("internet_build_tiny", |b| {
+        b.iter(|| Internet::build(black_box(Scale::tiny())))
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trie, bench_prf, bench_permutation, bench_wire, bench_internet
+);
+criterion_main!(components);

@@ -1,0 +1,177 @@
+//! One benchmark per paper table/figure: each measures the harness that
+//! regenerates that artifact, on a miniature (tiny-scale, shortened)
+//! configuration so an iteration stays in benchmark territory. The
+//! full-size regeneration lives in `sixdust-exp` (see EXPERIMENTS.md).
+
+use std::sync::OnceLock;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sixdust_addr::Addr;
+use sixdust_alias::{candidates, fingerprint_all, tbt_all, AliasDetector, DetectorConfig};
+use sixdust_analysis::{OverlapMatrix, PlenHistogram, RankCdf};
+use sixdust_hitlist::{newsources, HitlistService, ServiceConfig};
+use sixdust_net::{Day, FaultConfig, Internet, Protocol, Scale};
+use sixdust_scan::ScanConfig;
+use sixdust_tga::{DistanceClustering, SixGan, SixGraph, SixTree, SixVecLm, TargetGenerator};
+
+fn net() -> &'static Internet {
+    static NET: OnceLock<Internet> = OnceLock::new();
+    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 2 }))
+}
+
+/// A short pre-run service shared by the figure benches that only need
+/// its state (not its runtime).
+fn service() -> &'static HitlistService {
+    static SVC: OnceLock<HitlistService> = OnceLock::new();
+    SVC.get_or_init(|| {
+        let mut svc = HitlistService::new(ServiceConfig::default());
+        svc.run(net(), Day(0), Day(60));
+        svc
+    })
+}
+
+fn seeds() -> Vec<Addr> {
+    let day = Day(300);
+    let mut s: Vec<Addr> = net()
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .filter(|a| !net().population().is_dense_member(*a))
+        .collect();
+    s.extend(net().population().dense_visible(day));
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// Figs. 3 & 4 and Table 1 all come from the longitudinal service loop;
+/// the bench measures one month of it.
+fn bench_service_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+    g.bench_function("bench_fig3_fig4_table1_service_month", |b| {
+        b.iter(|| {
+            let mut svc = HitlistService::new(ServiceConfig::default());
+            svc.run(net(), Day(0), Day(30));
+            black_box(svc.rounds().len())
+        })
+    });
+    g.bench_function("bench_fig2_table5_as_cdfs", |b| {
+        let svc = service();
+        b.iter(|| {
+            let mut counts: std::collections::HashMap<u32, u64> = Default::default();
+            for a in svc.input() {
+                if let Some(id) = net().registry().origin(*a) {
+                    *counts.entry(id.0).or_insert(0) += 1;
+                }
+            }
+            let cdf = RankCdf::new(counts.into_values().collect());
+            black_box((cdf.top_share(), cdf.share_of_top(10)))
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 5, Fig. 6, Table 2 and the Sec. 5.1 measurements come from the
+/// alias toolkit.
+fn bench_alias_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alias");
+    g.sample_size(10);
+    let day = Day(400);
+    let svc = service();
+    let input: Vec<Addr> = svc.input().iter().copied().take(4000).collect();
+    g.bench_function("bench_fig5_detection_round", |b| {
+        b.iter(|| {
+            let cands = candidates(net(), &input, 100);
+            let mut det = AliasDetector::new(DetectorConfig::default());
+            let round = det.run_round(net(), &cands[..cands.len().min(800)], day);
+            black_box(round.detected.len())
+        })
+    });
+    let prefixes: Vec<_> = net().population().aliased_groups(day).map(|g| g.prefix).take(200).collect();
+    g.bench_function("bench_fig6_minimal_cover", |b| {
+        b.iter(|| sixdust_alias::minimal_cover(black_box(&prefixes)).len())
+    });
+    g.bench_function("bench_table2_alias_probe", |b| {
+        let probe = sixdust_scan::engine::probe_for(Protocol::Tcp443, "www.google.com");
+        b.iter(|| {
+            prefixes
+                .iter()
+                .filter(|p| !net().probe(p.random_addr(1), &probe, day).is_empty())
+                .count()
+        })
+    });
+    g.bench_function("bench_fingerprints_tcp", |b| {
+        b.iter(|| fingerprint_all(net(), &prefixes[..60], day, 3).1.fingerprintable)
+    });
+    g.bench_function("bench_fingerprints_tbt", |b| {
+        b.iter(|| {
+            net().reset_state();
+            tbt_all(net(), &prefixes[..60], day, 4).1.successful
+        })
+    });
+    g.bench_function("bench_fig5_histogram", |b| {
+        b.iter(|| PlenHistogram::from_lens(prefixes.iter().map(|p| p.len())).share(64))
+    });
+    g.finish();
+}
+
+/// Tables 3 & 4 and Figs. 7 & 8: generation plus evaluation scans.
+fn bench_newsource_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("newsources");
+    g.sample_size(10);
+    let seeds = seeds();
+    g.bench_function("bench_table3_6graph", |b| {
+        b.iter(|| SixGraph::default().generate(black_box(&seeds), 20_000).len())
+    });
+    g.bench_function("bench_table3_6tree", |b| {
+        b.iter(|| SixTree::default().generate(black_box(&seeds), 10_000).len())
+    });
+    g.bench_function("bench_table3_6gan", |b| {
+        b.iter(|| SixGan::default().generate(black_box(&seeds), 2_000).len())
+    });
+    g.bench_function("bench_table3_6veclm", |b| {
+        b.iter(|| SixVecLm::default().generate(black_box(&seeds), 2_000).len())
+    });
+    g.bench_function("bench_table3_dc", |b| {
+        b.iter(|| DistanceClustering::default().generate(black_box(&seeds), 5_000).len())
+    });
+    let candidates = SixGraph::default().generate(&seeds, 2_000);
+    g.bench_function("bench_table4_evaluation_scan", |b| {
+        b.iter(|| {
+            newsources::evaluate_source(
+                net(),
+                "bench",
+                black_box(&candidates),
+                &sixdust_addr::PrefixSet::new(),
+                &[Day(300)],
+                &ScanConfig::default(),
+            )
+            .responsive
+            .len()
+        })
+    });
+    let sets: Vec<(String, Vec<Addr>)> = vec![
+        ("a".into(), seeds.iter().step_by(2).copied().collect()),
+        ("b".into(), seeds.iter().step_by(3).copied().collect()),
+        ("c".into(), seeds.iter().step_by(5).copied().collect()),
+    ];
+    g.bench_function("bench_fig7_fig10_overlap_matrix", |b| {
+        b.iter(|| OverlapMatrix::new(black_box(&sets)).pct.len())
+    });
+    g.bench_function("bench_fig8_fig9_rank_cdfs", |b| {
+        b.iter(|| {
+            let rows = newsources::by_as(net(), &seeds);
+            RankCdf::new(rows.into_iter().map(|(_, _, n)| n as u64).collect()).skew()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default();
+    targets = bench_service_figures, bench_alias_figures, bench_newsource_figures
+);
+criterion_main!(experiments);

@@ -1,0 +1,14 @@
+//! # sixdust-bench
+//!
+//! Criterion benchmarks for the sixdust reproduction:
+//!
+//! * `benches/components.rs` — micro-benchmarks of the substrate (prefix
+//!   trie LPM, PRF/Feistel, cyclic permutation, wire codecs, the
+//!   simulator's probe paths).
+//! * `benches/experiments.rs` — one benchmark per paper table/figure,
+//!   each running a miniature version of the harness that regenerates it
+//!   (the full-size runs live in `sixdust-exp`; see EXPERIMENTS.md).
+//! * `benches/ablations.rs` — runtime ablations of the design choices in
+//!   DESIGN.md §7 (merge window, scan order, worker fan-out, DC knobs).
+//!
+//! Run with `cargo bench -p sixdust-bench`.

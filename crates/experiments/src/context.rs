@@ -1,0 +1,153 @@
+//! Shared experiment context: one simulated Internet, one four-year
+//! service run, one set of new-source evaluations — reused by every
+//! table/figure so `all` does the expensive work exactly once.
+
+use std::collections::HashSet;
+
+use sixdust_addr::Addr;
+use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfig};
+use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, SourceEval};
+use sixdust_net::{Day, FaultConfig, Internet, Scale};
+use sixdust_scan::ScanConfig;
+use sixdust_tga::paper_lineup;
+
+/// The day Table 3's TGA seeds are taken ("responsive addresses in
+/// December 2021"), 2021-12-01.
+pub const TGA_SEED_DAY: Day = Day(1249);
+
+/// The experiment context.
+pub struct Ctx {
+    /// The simulated Internet.
+    pub net: Internet,
+    /// The hitlist service, already run over the full window.
+    pub svc: HitlistService,
+    /// The scale everything was built at.
+    pub scale: Scale,
+    new_sources: Option<Vec<SourceEval>>,
+}
+
+impl Ctx {
+    /// Builds the Internet and runs the service from launch to the paper's
+    /// final day. This is the expensive step (~minutes at paper scale).
+    pub fn build(scale: Scale) -> Ctx {
+        let net = Internet::build(scale).with_faults(FaultConfig { drop_permille: 2 });
+        let mut config = ServiceConfig::default();
+        let mut days = Day::SNAPSHOTS.to_vec();
+        days.push(TGA_SEED_DAY);
+        days.sort_unstable();
+        config.snapshot_days = days;
+        let mut svc = HitlistService::new(config);
+        eprintln!(
+            "[ctx] running four-year service (addr 1/{}, entity 1/{}, seed {:#x})…",
+            scale.addr_div, scale.entity_div, scale.seed
+        );
+        let t0 = std::time::Instant::now();
+        svc.run(&net, Day(0), Day::PAPER_END);
+        eprintln!(
+            "[ctx] service done: {} rounds, input {}, responsive {} ({:.1}s)",
+            svc.rounds().len(),
+            svc.rounds().last().map(|r| r.input_total).unwrap_or(0),
+            svc.rounds().last().map(|r| r.total_cleaned).unwrap_or(0),
+            t0.elapsed().as_secs_f64()
+        );
+        Ctx { net, svc, scale, new_sources: None }
+    }
+
+    /// The snapshot at (or just after) a requested day.
+    pub fn snapshot_at(&self, day: Day) -> &sixdust_hitlist::Snapshot {
+        self.svc
+            .snapshots()
+            .iter()
+            .find(|s| s.day >= day)
+            .or_else(|| self.svc.snapshots().last())
+            .expect("service retained snapshots")
+    }
+
+    /// The TGA seed corpus: the cleaned responsive set of December 2021.
+    pub fn tga_seeds(&self) -> Vec<Addr> {
+        self.snapshot_at(TGA_SEED_DAY).cleaned_total()
+    }
+
+    /// The Sec. 6 new-source evaluations (computed once, cached).
+    pub fn new_sources(&mut self) -> &[SourceEval] {
+        if self.new_sources.is_none() {
+            self.new_sources = Some(self.eval_new_sources());
+        }
+        self.new_sources.as_deref().expect("just computed")
+    }
+
+    fn eval_new_sources(&self) -> Vec<SourceEval> {
+        let net = &self.net;
+        let day = Day::PAPER_END;
+        let scan_days = [day, day.plus(7), day.plus(14), day.plus(21)];
+        let cfg = ScanConfig::default();
+        let known: &HashSet<Addr> = self.svc.input();
+        let seeds = self.tga_seeds();
+        eprintln!("[ctx] evaluating new sources ({} TGA seeds)…", seeds.len());
+
+        // Collect every candidate list first so one fresh alias-detection
+        // pass can cover them all — the paper runs the hitlist's MAPD over
+        // the new candidates before scanning (this is what caught 6Tree's
+        // 8.3 M-address Akamai expansion).
+        let passive_all = newsources::passive_sources(net, day);
+        let passive_new: Vec<Addr> =
+            passive_all.iter().filter(|a| !known.contains(a)).copied().collect();
+        let pool: Vec<Addr> = self
+            .svc
+            .unresponsive_pool()
+            .iter()
+            .filter(|a| !self.svc.gfw_impacted().contains(*a))
+            .copied()
+            .collect();
+        let mut tga_lists: Vec<(&'static str, Vec<Addr>)> = Vec::new();
+        for (generator, budget) in paper_lineup(self.scale.addr_div) {
+            let t0 = std::time::Instant::now();
+            let candidates = generator.generate(&seeds, budget);
+            eprintln!(
+                "[ctx] {} generated {} candidates ({:.1}s)",
+                generator.name(),
+                candidates.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            tga_lists.push((generator.name(), candidates));
+        }
+
+        // Fresh multi-level alias detection over all candidates, merged
+        // with the service's accumulated labels.
+        let mut all_candidates: Vec<Addr> = passive_new.clone();
+        all_candidates.extend(pool.iter().copied());
+        for (_, list) in &tga_lists {
+            all_candidates.extend(list.iter().copied());
+        }
+        let mut detector = AliasDetector::new(DetectorConfig::default());
+        let cands = alias_candidates(net, &all_candidates, 100);
+        detector.run_round(net, &cands, day);
+        let mut aliased = self.svc.aliased().clone();
+        aliased.extend_from(&detector.aliased());
+        eprintln!(
+            "[ctx] pre-scan alias detection: {} candidate prefixes, {} labels total",
+            cands.len(),
+            aliased.len()
+        );
+
+        let mut evals = Vec::new();
+        evals.push(newsources::evaluate_source(
+            net, "passive", &passive_new, &aliased, &scan_days, &cfg,
+        ));
+        // The pool is only scanned once for ethical reasons (Sec. 6.2).
+        evals.push(newsources::evaluate_source(
+            net,
+            "unresponsive",
+            &pool,
+            &aliased,
+            &scan_days[..1],
+            &cfg,
+        ));
+        for (name, candidates) in &tga_lists {
+            evals.push(newsources::evaluate_source(
+                net, name, candidates, &aliased, &scan_days, &cfg,
+            ));
+        }
+        evals
+    }
+}

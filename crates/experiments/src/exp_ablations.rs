@@ -1,0 +1,183 @@
+//! Quality ablations of the design choices DESIGN.md §7 calls out.
+//!
+//! Each ablation removes or re-parameterizes one mechanism of the pipeline
+//! and reports the *measurement quality* consequence (runtime costs are
+//! covered by `sixdust-bench`'s `ablations` bench):
+//!
+//! 1. alias detection without the three-round merge under packet loss,
+//! 2. the GFW filter switched off (what the service would still publish),
+//! 3. the 30-day filter switched off (scan-load growth),
+//! 4. distance clustering parameter sweep.
+
+use serde_json::json;
+use sixdust_addr::{Addr, Prefix};
+use sixdust_alias::{AliasDetector, DetectorConfig};
+use sixdust_analysis::{human, pct, TextTable};
+use sixdust_hitlist::{HitlistService, ServiceConfig};
+use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
+use sixdust_tga::{DistanceClustering, TargetGenerator};
+
+use crate::context::Ctx;
+use crate::ExpOutput;
+
+/// A smaller, lossier world for the ablation service runs (they re-run the
+/// pipeline several times, so the full four-year context would be wasteful).
+fn ablation_net(drop_permille: u32) -> Internet {
+    Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille })
+}
+
+/// Ablation 1: the alias detector's merge window vs single-round labels
+/// under increasing loss.
+fn merge_window(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
+    out.push_str("\n-- ablation 1: alias-detection merge window under loss --\n");
+    out.push_str("(share of truly aliased prefixes labeled; single round vs 3-round merge)\n\n");
+    let mut t = TextTable::new(&["loss", "single round", "merged (paper)", "gain"]);
+    for drop_permille in [0u32, 30, 60, 120] {
+        let net = ablation_net(drop_permille);
+        let day = Day(400);
+        let truth: Vec<Prefix> = net
+            .population()
+            .aliased_groups(day)
+            .filter(|g| g.protos.contains(Protocol::Icmp))
+            .map(|g| g.prefix)
+            .take(250)
+            .collect();
+        let mut single = AliasDetector::new(DetectorConfig { merge_rounds: 0, ..Default::default() });
+        single.run_round(&net, &truth, day);
+        let single_hits =
+            truth.iter().filter(|p| single.aliased().contains_exact(**p)).count();
+        let mut merged = AliasDetector::new(DetectorConfig::default());
+        for gap in 0..4u32 {
+            merged.run_round(&net, &truth, day.plus(gap));
+        }
+        let merged_hits =
+            truth.iter().filter(|p| merged.aliased().contains_exact(**p)).count();
+        t.row(vec![
+            format!("{:.1} %", drop_permille as f64 / 10.0),
+            pct(single_hits as f64 / truth.len() as f64),
+            pct(merged_hits as f64 / truth.len() as f64),
+            format!("+{}", merged_hits.saturating_sub(single_hits)),
+        ]);
+        json_rows.push(json!({ "ablation": "merge_window", "loss_permille": drop_permille,
+            "single": single_hits, "merged": merged_hits, "truth": truth.len() }));
+    }
+    out.push_str(&t.render());
+}
+
+/// Ablation 2: GFW filter off — what the published UDP/53 series looks
+/// like with and without the paper's contribution.
+fn gfw_filter(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
+    out.push_str("\n-- ablation 2: the GFW cleaning filter --\n");
+    let net = ablation_net(2);
+    let start = Day(events::GFW_ERA1.0 .0 - 40);
+    let end = events::GFW_ERA1.0.plus(20);
+    let idx53 = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).expect("udp53");
+    let run = |gfw_filter_from: Option<Day>| {
+        let mut svc = HitlistService::new(ServiceConfig {
+            gfw_filter_from,
+            traceroute_cap: 800,
+            ..Default::default()
+        });
+        svc.run(&net, start, end);
+        svc.rounds().iter().map(|r| r.published[idx53]).max().unwrap_or(0)
+    };
+    let without = run(None);
+    let with = run(Some(Day(0)));
+    out.push_str(&format!(
+        "peak published UDP/53 during era 1:\n  filter off: {}\n  filter on:  {}\n  \
+         pollution removed: {} ({:.0}x)\n",
+        human(without),
+        human(with),
+        human(without.saturating_sub(with)),
+        without as f64 / with.max(1) as f64,
+    ));
+    json_rows.push(json!({ "ablation": "gfw_filter", "peak_without": without, "peak_with": with }));
+}
+
+/// Ablation 3: the 30-day filter off — scan-load growth.
+fn thirty_day_filter(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
+    out.push_str("\n-- ablation 3: the 30-day unresponsive filter --\n");
+    let net = ablation_net(2);
+    let run = |window: u32| {
+        let mut svc = HitlistService::new(ServiceConfig {
+            traceroute_cap: 800,
+            ..Default::default()
+        });
+        // A very large window disables the filter in practice.
+        svc.set_unresponsive_window(window);
+        svc.run(&net, Day(0), Day(90));
+        svc.rounds().last().map(|r| r.targets).unwrap_or(0)
+    };
+    let with = run(30);
+    let without = run(100_000);
+    out.push_str(&format!(
+        "scan targets after 90 days:\n  filter on (30 d): {}\n  filter off:       {}\n  \
+         load factor: {:.1}x (the paper: the filter 'reduces the required scan load drastically')\n",
+        human(with as u64),
+        human(without as u64),
+        without as f64 / with.max(1) as f64,
+    ));
+    json_rows.push(json!({ "ablation": "thirty_day", "targets_with": with, "targets_without": without }));
+}
+
+/// Ablation 4: distance clustering parameters.
+fn dc_params(ctx: &Ctx, out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
+    out.push_str("\n-- ablation 4: distance clustering parameters --\n");
+    let day = Day(1249);
+    let seeds: Vec<Addr> = {
+        let mut s: Vec<Addr> = ctx
+            .net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .map(|(a, ..)| a)
+            .filter(|a| !ctx.net.population().is_dense_member(*a))
+            .collect();
+        s.extend(ctx.net.population().dense_visible(day));
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let truth: std::collections::HashSet<Addr> = ctx
+        .net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .collect();
+    let mut t = TextTable::new(&["min cluster", "max gap", "generated", "hits", "hit rate"]);
+    for (min_cluster, max_gap) in
+        [(10usize, 64u128), (10, 16), (10, 256), (4, 64), (25, 64)]
+    {
+        let dc = DistanceClustering { min_cluster, max_gap };
+        let generated = dc.generate(&seeds, 30_000);
+        let hits = generated.iter().filter(|a| truth.contains(a)).count();
+        t.row(vec![
+            min_cluster.to_string(),
+            max_gap.to_string(),
+            generated.len().to_string(),
+            hits.to_string(),
+            pct(hits as f64 / generated.len().max(1) as f64),
+        ]);
+        json_rows.push(json!({ "ablation": "dc_params", "min_cluster": min_cluster,
+            "max_gap": max_gap, "generated": generated.len(), "hits": hits }));
+    }
+    t.render().lines().for_each(|l| {
+        out.push_str(l);
+        out.push('\n');
+    });
+    out.push_str("(the paper's 10/64 sits near the precision knee: wider gaps add volume, not hits)\n");
+}
+
+/// The combined ablation report.
+pub fn ablations(ctx: &Ctx) -> ExpOutput {
+    let mut text = String::from(
+        "Ablations — what each pipeline mechanism buys (DESIGN.md §7)\n",
+    );
+    let mut json_rows = Vec::new();
+    merge_window(&mut text, &mut json_rows);
+    gfw_filter(&mut text, &mut json_rows);
+    thirty_day_filter(&mut text, &mut json_rows);
+    dc_params(ctx, &mut text, &mut json_rows);
+    ExpOutput { id: "ablations", text, json: json!({ "rows": json_rows }) }
+}

@@ -1,0 +1,183 @@
+//! `sixdust-exp` — the experiment harness.
+//!
+//! One subcommand per table/figure of the paper (see `DESIGN.md` §4 for
+//! the index). Results are printed as paper-style text tables and written
+//! to `results/<id>.{txt,json}`.
+//!
+//! ```text
+//! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] <experiment>|all
+//! ```
+
+mod context;
+mod exp_ablations;
+mod exp_alias;
+mod exp_extensions;
+mod exp_newsources;
+mod exp_service;
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use context::Ctx;
+use sixdust_net::Scale;
+
+/// One experiment's rendered output.
+pub struct ExpOutput {
+    /// Experiment id (file stem).
+    pub id: &'static str,
+    /// Human-readable block.
+    pub text: String,
+    /// Machine-readable result.
+    pub json: serde_json::Value,
+}
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2",
+    "table3", "table4", "table5", "fingerprints", "domains", "dnsvalidate", "eui64", "stability",
+    "ablations", "seedless", "publish", "iidclasses", "pipeline",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] <experiment>|all\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn pipeline_text() -> String {
+    "Fig. 1 — the IPv6 Hitlist service pipeline as realized by sixdust\n\
+     \n\
+     sources ──────────────┐\n\
+       domain AAAA (zones) │\n\
+       CT logs             │         ┌────────────┐   ┌─────────────────┐\n\
+       RIPE-Atlas (CPE)    ├──► input│ blocklist  │──►│ aliased prefix  │\n\
+       rDNS (one-time)     │   accum.│ filter     │   │ filter (MAPD)   │\n\
+       traceroute feedback │         └────────────┘   └─────────────────┘\n\
+     ──────────────────────┘                                  │\n\
+                  ┌────────────────────┐   ┌──────────────┐   ▼\n\
+                  │ GFW filter (NEW,   │◄──│ ZMapv6 scans │◄── 30-day filter\n\
+                  │ cleans UDP/53)     │   │ 5 protocols  │\n\
+                  └────────────────────┘   └──────┬───────┘\n\
+                                                  │\n\
+                                        Yarrp traceroutes ──► new input\n\
+     \n\
+     modules: sixdust-hitlist::{sources,filters,service}, sixdust-scan, sixdust-alias\n"
+        .to_string()
+}
+
+fn main() {
+    let mut scale = Scale::paper();
+    let mut out_dir = PathBuf::from("results");
+    let mut cmds: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("tiny") => {
+                    let seed = scale.seed;
+                    scale = Scale::tiny().with_seed(seed);
+                }
+                Some("small") => {
+                    let seed = scale.seed;
+                    scale = Scale::small().with_seed(seed);
+                }
+                Some("paper") => {
+                    let seed = scale.seed;
+                    scale = Scale::paper().with_seed(seed);
+                }
+                other => {
+                    eprintln!("unknown scale {other:?}");
+                    usage()
+                }
+            },
+            "--seed" => {
+                let Some(s) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    usage();
+                };
+                scale = scale.with_seed(s);
+            }
+            "--out" => {
+                let Some(d) = args.next() else { usage() };
+                out_dir = PathBuf::from(d);
+            }
+            "--help" | "-h" => usage(),
+            other => cmds.push(other.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        usage();
+    }
+    if cmds.iter().any(|c| c == "all") {
+        cmds = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for c in &cmds {
+        if !EXPERIMENTS.contains(&c.as_str()) {
+            eprintln!("unknown experiment {c:?}");
+            usage();
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let mut ctx = Ctx::build(scale);
+    for cmd in &cmds {
+        let t0 = std::time::Instant::now();
+        let out = if cmd == "publish" {
+            exp_extensions::publish_artifacts(&ctx, &out_dir)
+        } else {
+            run_one(&mut ctx, cmd)
+        };
+        println!(
+            "\n================ {} ({:.1}s) ================",
+            out.id,
+            t0.elapsed().as_secs_f64()
+        );
+        println!("{}", out.text);
+        let txt_path = out_dir.join(format!("{}.txt", out.id));
+        std::fs::write(&txt_path, &out.text).expect("write txt");
+        let json_path = out_dir.join(format!("{}.json", out.id));
+        let mut f = std::fs::File::create(&json_path).expect("create json");
+        let enriched = serde_json::json!({
+            "experiment": out.id,
+            "scale": { "addr_div": scale.addr_div, "entity_div": scale.entity_div, "seed": scale.seed },
+            "result": out.json,
+        });
+        writeln!(f, "{}", serde_json::to_string_pretty(&enriched).expect("serialize"))
+            .expect("write json");
+    }
+}
+
+fn run_one(ctx: &mut Ctx, cmd: &str) -> ExpOutput {
+    match cmd {
+        "fig2" => exp_service::fig2(ctx),
+        "fig3" => exp_service::fig3(ctx),
+        "fig4" => exp_service::fig4(ctx),
+        "fig5" => exp_alias::fig5(ctx),
+        "fig6" => exp_alias::fig6(ctx),
+        "fig7" => exp_newsources::fig7(ctx),
+        "fig8" => exp_newsources::fig8(ctx),
+        "fig9" => exp_service::fig9(ctx),
+        "fig10" => exp_service::fig10(ctx),
+        "table1" => exp_service::table1(ctx),
+        "table2" => exp_alias::table2(ctx),
+        "table3" => exp_newsources::table3(ctx),
+        "table4" => exp_newsources::table4(ctx),
+        "table5" => exp_service::table5(ctx),
+        "fingerprints" => exp_alias::fingerprints(ctx),
+        "domains" => exp_alias::domains(ctx),
+        "dnsvalidate" => exp_alias::dnsvalidate(ctx),
+        "eui64" => exp_service::eui64(ctx),
+        "stability" => exp_service::stability(ctx),
+        "ablations" => exp_ablations::ablations(ctx),
+        "seedless" => exp_extensions::seedless(ctx),
+        "iidclasses" => exp_extensions::iidclasses(ctx),
+        "publish" => unreachable!("handled in main"),
+        "pipeline" => ExpOutput {
+            id: "pipeline",
+            text: pipeline_text(),
+            json: serde_json::json!({ "see": "DESIGN.md" }),
+        },
+        other => unreachable!("validated: {other}"),
+    }
+}

@@ -1,0 +1,247 @@
+//! The filter chain of the hitlist pipeline (Fig. 1, middle).
+//!
+//! In pipeline order: the request-based **blocklist**, the **aliased
+//! prefix filter** (fed by the detector), the **GFW filter** this paper
+//! added, and the **30-day unresponsive filter**. Each is a small, testable
+//! unit; the service composes them.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sixdust_addr::{Addr, Prefix, PrefixSet};
+use sixdust_net::Day;
+use sixdust_scan::{Detail, ScanResult};
+
+/// The request-based blocklist: operators who opted out of scanning.
+///
+/// ```
+/// use sixdust_hitlist::Blocklist;
+/// let mut b = Blocklist::new();
+/// b.add("2001:db8::/32".parse().unwrap());
+/// assert!(!b.allows("2001:db8::1".parse().unwrap()));
+/// assert!(b.allows("2001:db9::1".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Blocklist {
+    prefixes: PrefixSet,
+}
+
+impl Blocklist {
+    /// Creates an empty blocklist.
+    pub fn new() -> Blocklist {
+        Blocklist::default()
+    }
+
+    /// Seeds the blocklist (the paper seeds from the existing service's
+    /// list to honour prior opt-outs).
+    pub fn seed(prefixes: impl IntoIterator<Item = Prefix>) -> Blocklist {
+        Blocklist { prefixes: prefixes.into_iter().collect() }
+    }
+
+    /// Registers an opt-out request.
+    pub fn add(&mut self, prefix: Prefix) {
+        self.prefixes.insert(prefix);
+    }
+
+    /// Whether scanning this address is permitted.
+    pub fn allows(&self, addr: Addr) -> bool {
+        !self.prefixes.covers_addr(addr)
+    }
+
+    /// Number of blocked prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the blocklist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+/// The GFW cleaning filter (Sec. 4.2): removes UDP/53 successes whose
+/// responses carried injection markers (A records answering AAAA queries,
+/// or Teredo AAAA records), and remembers every address ever flagged.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GfwFilter {
+    impacted: std::collections::HashSet<Addr>,
+}
+
+impl GfwFilter {
+    /// Creates the filter.
+    pub fn new() -> GfwFilter {
+        GfwFilter::default()
+    }
+
+    /// Scans a UDP/53 result: records injected-flagged targets and returns
+    /// the cleaned hit list.
+    pub fn clean(&mut self, result: &ScanResult) -> Vec<Addr> {
+        let mut clean = Vec::new();
+        for o in &result.outcomes {
+            match &o.detail {
+                Detail::Dns { injected: true, .. } => {
+                    self.impacted.insert(o.target);
+                }
+                _ if o.success => clean.push(o.target),
+                _ => {}
+            }
+        }
+        clean
+    }
+
+    /// Every address ever seen with an injected response.
+    pub fn impacted(&self) -> &std::collections::HashSet<Addr> {
+        &self.impacted
+    }
+}
+
+/// The 30-day unresponsive filter: drops addresses unresponsive for 30+
+/// days from the scan target list — and, true to the original service,
+/// never re-tests them (Sec. 3.1; re-scanning that pool is Sec. 6's
+/// "unresponsive addresses" source).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnresponsiveFilter {
+    /// Day an address last answered any protocol (or entered the input).
+    last_seen: HashMap<Addr, Day>,
+    /// Addresses permanently dropped.
+    dropped: std::collections::HashSet<Addr>,
+    /// The cutoff in days.
+    pub window: u32,
+}
+
+impl Default for UnresponsiveFilter {
+    fn default() -> UnresponsiveFilter {
+        UnresponsiveFilter { last_seen: HashMap::new(), dropped: Default::default(), window: 30 }
+    }
+}
+
+impl UnresponsiveFilter {
+    /// Creates the filter with the paper's 30-day window.
+    pub fn new() -> UnresponsiveFilter {
+        UnresponsiveFilter::default()
+    }
+
+    /// Registers a new input address (its clock starts now).
+    pub fn register(&mut self, addr: Addr, day: Day) {
+        if !self.dropped.contains(&addr) {
+            self.last_seen.entry(addr).or_insert(day);
+        }
+    }
+
+    /// Marks an address responsive on `day`.
+    pub fn mark_responsive(&mut self, addr: Addr, day: Day) {
+        if !self.dropped.contains(&addr) {
+            self.last_seen.insert(addr, day);
+        }
+    }
+
+    /// Whether the address is still in the scan rotation.
+    pub fn active(&self, addr: Addr) -> bool {
+        self.last_seen.contains_key(&addr)
+    }
+
+    /// Ages the filter: addresses silent longer than the window are
+    /// permanently dropped. Returns how many were dropped this sweep.
+    pub fn sweep(&mut self, day: Day) -> usize {
+        let window = self.window;
+        let mut dropped_now = Vec::new();
+        self.last_seen.retain(|addr, last| {
+            if day.since(*last) >= window {
+                dropped_now.push(*addr);
+                false
+            } else {
+                true
+            }
+        });
+        let n = dropped_now.len();
+        self.dropped.extend(dropped_now);
+        n
+    }
+
+    /// Active scan targets.
+    pub fn active_targets(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.last_seen.keys().copied()
+    }
+
+    /// The permanently dropped pool (Sec. 6's re-scan source).
+    pub fn dropped_pool(&self) -> &std::collections::HashSet<Addr> {
+        &self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixdust_net::Protocol;
+    use sixdust_scan::{ScanOutcome, ScanStats};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn blocklist_covers() {
+        let mut b = Blocklist::new();
+        assert!(b.allows(a("2001:db8::1")));
+        b.add("2001:db8::/32".parse().unwrap());
+        assert!(!b.allows(a("2001:db8::1")));
+        assert!(b.allows(a("2001:db9::1")));
+        assert_eq!(b.len(), 1);
+    }
+
+    fn dns_result(outcomes: Vec<ScanOutcome>) -> ScanResult {
+        ScanResult {
+            protocol: Protocol::Udp53,
+            day: Day(1),
+            outcomes,
+            stats: ScanStats::default(),
+        }
+    }
+
+    #[test]
+    fn gfw_filter_splits_injected() {
+        let mut f = GfwFilter::new();
+        let clean = f.clean(&dns_result(vec![
+            ScanOutcome {
+                target: a("2400::1"),
+                success: true,
+                detail: Detail::Dns { responses: 3, injected: true },
+            },
+            ScanOutcome {
+                target: a("2001:db8::53"),
+                success: true,
+                detail: Detail::Dns { responses: 1, injected: false },
+            },
+            ScanOutcome { target: a("2001:db8::99"), success: false, detail: Detail::Silent },
+        ]));
+        assert_eq!(clean, vec![a("2001:db8::53")]);
+        assert!(f.impacted().contains(&a("2400::1")));
+        assert_eq!(f.impacted().len(), 1);
+    }
+
+    #[test]
+    fn unresponsive_filter_lifecycle() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        f.register(a("::2"), Day(0));
+        f.mark_responsive(a("::1"), Day(20));
+        assert_eq!(f.sweep(Day(29)), 0, "nothing out of window yet");
+        // ::2 has been silent since day 0.
+        assert_eq!(f.sweep(Day(30)), 1);
+        assert!(f.active(a("::1")));
+        assert!(!f.active(a("::2")));
+        assert!(f.dropped_pool().contains(&a("::2")));
+        // Dropped addresses never re-enter.
+        f.register(a("::2"), Day(31));
+        f.mark_responsive(a("::2"), Day(31));
+        assert!(!f.active(a("::2")), "never re-tested after exclusion");
+    }
+
+    #[test]
+    fn register_does_not_reset_clock() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        f.register(a("::1"), Day(25));
+        assert_eq!(f.sweep(Day(31)), 1, "re-registration must not refresh");
+    }
+}

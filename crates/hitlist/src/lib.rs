@@ -1,0 +1,218 @@
+//! # sixdust-hitlist — the IPv6 Hitlist service
+//!
+//! The paper's primary subject: the long-running hitlist pipeline of
+//! Fig. 1, reimplemented end-to-end over the simulated Internet.
+//!
+//! * [`sources`] — candidate ingestion (domain AAAA, CT logs, RIPE-Atlas
+//!   style probes, one-time rDNS, passive dense samples).
+//! * [`filters`] — blocklist, the paper's GFW cleaning filter, and the
+//!   30-day unresponsive filter.
+//! * [`service`] — the orchestrating service: scans, alias detection,
+//!   traceroute feedback, longitudinal records, snapshots. Produces both
+//!   the *published* and the *cleaned* views of responsiveness.
+//! * [`newsources`] — the Sec. 6 evaluation harness: NS/MX, Ark, DET,
+//!   the re-scanned unresponsive pool, and TGA candidates.
+//! * [`publish`] — the community-facing artifact set the service ships
+//!   (responsive addresses, aliased prefixes, GFW-filter output).
+//! * [`state`] — serializable checkpoints so a restarted service keeps its
+//!   four years of accumulated knowledge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filters;
+pub mod newsources;
+pub mod publish;
+pub mod service;
+pub mod state;
+pub mod sources;
+
+pub use filters::{Blocklist, GfwFilter, UnresponsiveFilter};
+pub use publish::{publish, Manifest, Publication};
+pub use state::ServiceState;
+pub use newsources::{evaluate_source, passive_sources, SourceEval};
+pub use service::{HitlistService, RoundRecord, ServiceConfig, Snapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
+
+    fn net() -> Internet {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 2 })
+    }
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            alias_every_days: 14,
+            traceroute_cap: 600,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn service_accumulates_and_scans() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(20));
+        assert!(!svc.rounds().is_empty());
+        let r = svc.rounds().last().unwrap();
+        assert!(r.input_total > 100, "input accumulated: {}", r.input_total);
+        assert!(r.total_cleaned > 20, "responsive found: {}", r.total_cleaned);
+        assert!(r.targets > 0);
+        // ICMP dominates (Table 1 shape). published/cleaned arrays follow
+        // Protocol::ALL order: [ICMP, TCP/443, TCP/80, UDP/443, UDP/53].
+        assert!(r.cleaned[0] >= r.cleaned[1]);
+        assert!(r.cleaned[0] >= r.cleaned[2]);
+    }
+
+    #[test]
+    fn input_grows_monotonically() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(30));
+        let inputs: Vec<usize> = svc.rounds().iter().map(|r| r.input_total).collect();
+        for w in inputs.windows(2) {
+            assert!(w[1] >= w[0], "input only accumulates: {inputs:?}");
+        }
+        assert!(inputs.last().unwrap() > inputs.first().unwrap());
+    }
+
+    #[test]
+    fn gfw_spike_in_published_not_cleaned() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        // Run across the start of era 1 so Chinese router addresses are in
+        // the input (via traceroute) before the injections begin.
+        let start = events::GFW_ERA1.0 .0 - 40;
+        svc.run(&net, Day(start), events::GFW_ERA1.0.plus(10));
+        let in_era: Vec<&RoundRecord> = svc
+            .rounds()
+            .iter()
+            .filter(|r| r.day >= events::GFW_ERA1.0)
+            .collect();
+        assert!(!in_era.is_empty());
+        let udp53_idx = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).unwrap();
+        let spike = in_era.iter().map(|r| r.published[udp53_idx]).max().unwrap();
+        let cleaned = in_era.iter().map(|r| r.cleaned[udp53_idx]).max().unwrap();
+        assert!(
+            spike > cleaned,
+            "published UDP/53 must exceed cleaned during an era: {spike} vs {cleaned}"
+        );
+        assert!(!svc.gfw_impacted().is_empty());
+    }
+
+    #[test]
+    fn thirty_day_filter_builds_pool() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(45));
+        assert!(
+            !svc.unresponsive_pool().is_empty(),
+            "rotated CPE and router addresses must age out"
+        );
+        // Dropped addresses are not scanned again: targets < input.
+        let r = svc.rounds().last().unwrap();
+        assert!(r.targets < r.input_total);
+    }
+
+    #[test]
+    fn alias_labels_accumulate() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(16));
+        assert!(
+            svc.aliased().len() > 10,
+            "aliased prefixes labeled: {}",
+            svc.aliased().len()
+        );
+        let r = svc.rounds().last().unwrap();
+        assert_eq!(r.aliased_prefixes, svc.aliased().len());
+    }
+
+    #[test]
+    fn churn_fields_consistent() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(12));
+        for w in svc.rounds().windows(2) {
+            let (prev, cur) = (&w[0], &w[1]);
+            let new_total = cur.churn_brand_new + cur.churn_recurring;
+            // total_cleaned = prev_total - gone + new
+            assert_eq!(
+                cur.total_cleaned,
+                prev.total_cleaned - cur.churn_gone + new_total,
+                "churn bookkeeping at day {:?}",
+                cur.day
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_recorded_on_schedule() {
+        let net = net();
+        let mut cfg = quick_config();
+        cfg.snapshot_days = vec![Day(0), Day(10)];
+        let mut svc = HitlistService::new(cfg);
+        svc.run(&net, Day(0), Day(15));
+        assert_eq!(svc.snapshots().len(), 2);
+        assert_eq!(svc.snapshots()[0].day, Day(0));
+        let snap = &svc.snapshots()[1];
+        assert!(snap.day >= Day(10));
+        assert_eq!(snap.cleaned.len(), 5);
+        assert!(!snap.cleaned_total().is_empty());
+    }
+
+    #[test]
+    fn blocklist_respected() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        // Block everything: no probes should find anything.
+        svc.blocklist_mut().add("::/0".parse().unwrap());
+        svc.run(&net, Day(0), Day(3));
+        let r = svc.rounds().last().unwrap();
+        assert_eq!(r.targets, 0);
+        assert_eq!(r.total_published, 0);
+    }
+
+    #[test]
+    fn cumulative_superset_of_current() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config());
+        svc.run(&net, Day(0), Day(20));
+        assert!(svc.cumulative().len() as u64 >= svc.rounds().last().unwrap().total_cleaned);
+        for a in svc.current_responsive().iter().take(20) {
+            assert!(svc.cumulative().contains_key(a));
+        }
+    }
+
+    #[test]
+    fn new_sources_pipeline() {
+        let net = net();
+        let day = Day(100);
+        let candidates = passive_sources(&net, day);
+        assert!(!candidates.is_empty());
+        let eval = evaluate_source(
+            &net,
+            "passive",
+            &candidates,
+            &sixdust_addr::PrefixSet::new(),
+            &[day, day.plus(7)],
+            &sixdust_scan::ScanConfig::default(),
+        );
+        assert_eq!(eval.scanned, candidates.len());
+        assert!(!eval.responsive.is_empty());
+        assert!(eval.hit_rate() > 0.0 && eval.hit_rate() <= 1.0);
+        assert_eq!(eval.per_proto.len(), 5);
+    }
+
+    #[test]
+    fn overlap_pct_math() {
+        use sixdust_addr::Addr;
+        let a = vec![Addr(1), Addr(2), Addr(3), Addr(4)];
+        let b = vec![Addr(3), Addr(4), Addr(5)];
+        assert_eq!(newsources::overlap_pct(&a, &b), 50.0);
+        assert_eq!(newsources::overlap_pct(&b, &a), 200.0 / 3.0);
+        assert_eq!(newsources::overlap_pct(&[], &a), 0.0);
+    }
+}

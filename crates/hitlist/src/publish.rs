@@ -1,0 +1,216 @@
+//! Publishing the service's artifacts.
+//!
+//! The real IPv6 Hitlist service publishes daily artifacts the community
+//! consumes (responsive addresses, aliased prefixes, the input candidates,
+//! and — since this paper — the GFW-filter output). This module renders
+//! the same artifact set from a [`HitlistService`], in the same simple
+//! one-entry-per-line text formats, plus a `registered.json` manifest.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use sixdust_addr::Addr;
+use sixdust_net::Protocol;
+
+use crate::service::HitlistService;
+
+/// The artifact set of one publication.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Publication {
+    /// ISO date of the underlying scan round.
+    pub date: String,
+    /// `responsive-addresses.txt` — one address per line, cleaned view.
+    pub responsive: String,
+    /// `aliased-prefixes.txt` — one labeled prefix per line.
+    pub aliased_prefixes: String,
+    /// `gfw-filtered.txt` — addresses removed by the paper's filter.
+    pub gfw_filtered: String,
+    /// `input-candidates.txt` — the accumulated input list.
+    pub input: String,
+    /// Per-protocol address files, keyed by the file stem
+    /// (e.g. `responsive-udp53.txt`).
+    pub per_protocol: Vec<(String, String)>,
+    /// `manifest.json`-style summary.
+    pub manifest: Manifest,
+}
+
+/// The machine-readable manifest of one publication.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// ISO date.
+    pub date: String,
+    /// Line counts per artifact.
+    pub counts: Vec<(String, usize)>,
+    /// Whether the GFW filter was active for this round.
+    pub gfw_filter_active: bool,
+}
+
+fn lines<I: IntoIterator<Item = Addr>>(addrs: I) -> String {
+    let mut v: Vec<Addr> = addrs.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    let mut out = String::with_capacity(v.len() * 24);
+    for a in v {
+        let _ = writeln!(out, "{a}");
+    }
+    out
+}
+
+/// Renders the current publication from a service.
+pub fn publish(svc: &HitlistService) -> Publication {
+    let last = svc.rounds().last();
+    let date = last.map(|r| r.day.to_date()).unwrap_or_else(|| "unpublished".into());
+    let gfw_active = last.map(|r| r.published == r.cleaned).unwrap_or(false);
+
+    let responsive = lines(svc.current_responsive().iter().copied());
+    let aliased_prefixes = {
+        let mut v: Vec<String> = svc.aliased().iter().map(|p| p.to_string()).collect();
+        v.sort();
+        let mut out = String::new();
+        for p in v {
+            let _ = writeln!(out, "{p}");
+        }
+        out
+    };
+    let gfw_filtered = lines(svc.gfw_impacted().iter().copied());
+    let input = lines(svc.input().iter().copied());
+
+    let per_protocol: Vec<(String, String)> = svc
+        .snapshots()
+        .last()
+        .map(|snap| {
+            Protocol::ALL
+                .iter()
+                .map(|p| {
+                    let stem = format!(
+                        "responsive-{}.txt",
+                        p.label().to_lowercase().replace('/', "")
+                    );
+                    (stem, lines(snap.cleaned_for(*p).iter().copied()))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut counts = vec![
+        ("responsive-addresses.txt".to_string(), responsive.lines().count()),
+        ("aliased-prefixes.txt".to_string(), aliased_prefixes.lines().count()),
+        ("gfw-filtered.txt".to_string(), gfw_filtered.lines().count()),
+        ("input-candidates.txt".to_string(), input.lines().count()),
+    ];
+    for (stem, body) in &per_protocol {
+        counts.push((stem.clone(), body.lines().count()));
+    }
+
+    Publication {
+        manifest: Manifest { date: date.clone(), counts, gfw_filter_active: gfw_active },
+        date,
+        responsive,
+        aliased_prefixes,
+        gfw_filtered,
+        input,
+        per_protocol,
+    }
+}
+
+impl Publication {
+    /// Writes every artifact into `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("responsive-addresses.txt"), &self.responsive)?;
+        std::fs::write(dir.join("aliased-prefixes.txt"), &self.aliased_prefixes)?;
+        std::fs::write(dir.join("gfw-filtered.txt"), &self.gfw_filtered)?;
+        std::fs::write(dir.join("input-candidates.txt"), &self.input)?;
+        for (stem, body) in &self.per_protocol {
+            std::fs::write(dir.join(stem), body)?;
+        }
+        let manifest =
+            serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
+        std::fs::write(dir.join("manifest.json"), manifest)?;
+        Ok(())
+    }
+
+    /// Parses a published address file back into addresses (the consumer
+    /// side: studies that build on the hitlist artifacts).
+    pub fn parse_addresses(body: &str) -> Result<Vec<Addr>, std::net::AddrParseError> {
+        body.lines().map(|l| l.trim().parse()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use sixdust_net::{Day, FaultConfig, Internet, Scale};
+
+    fn published() -> Publication {
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+        let mut svc = HitlistService::new(ServiceConfig {
+            snapshot_days: vec![Day(8)],
+            ..Default::default()
+        });
+        svc.run(&net, Day(0), Day(8));
+        publish(&svc)
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let p = published();
+        assert_eq!(p.date, Day(8).to_date());
+        let responsive = Publication::parse_addresses(&p.responsive).expect("valid addrs");
+        assert!(!responsive.is_empty());
+        // Sorted and deduplicated.
+        let mut sorted = responsive.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, responsive);
+    }
+
+    #[test]
+    fn manifest_counts_match_bodies() {
+        let p = published();
+        for (name, count) in &p.manifest.counts {
+            let body = match name.as_str() {
+                "responsive-addresses.txt" => &p.responsive,
+                "aliased-prefixes.txt" => &p.aliased_prefixes,
+                "gfw-filtered.txt" => &p.gfw_filtered,
+                "input-candidates.txt" => &p.input,
+                other => {
+                    &p.per_protocol
+                        .iter()
+                        .find(|(s, _)| s == other)
+                        .expect("manifest names a real artifact")
+                        .1
+                }
+            };
+            assert_eq!(body.lines().count(), *count, "{name}");
+        }
+    }
+
+    #[test]
+    fn per_protocol_files_present() {
+        let p = published();
+        assert_eq!(p.per_protocol.len(), 5);
+        assert!(p.per_protocol.iter().any(|(s, _)| s == "responsive-udp53.txt"));
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let p = published();
+        let dir = std::env::temp_dir().join(format!("sixdust-pub-{}", std::process::id()));
+        p.write_to(&dir).expect("write artifacts");
+        let body = std::fs::read_to_string(dir.join("responsive-addresses.txt")).unwrap();
+        assert_eq!(body, p.responsive);
+        assert!(dir.join("manifest.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aliased_file_holds_prefixes() {
+        let p = published();
+        for line in p.aliased_prefixes.lines().take(10) {
+            let _: sixdust_addr::Prefix = line.parse().expect("valid prefix line");
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The IPv6 Hitlist service loop (Fig. 1 of the paper).
+//!
+//! Each round: ingest sources → filter (blocklist, aliased prefixes,
+//! 30-day) → scan five protocols with ZMapv6 semantics → clean UDP/53 from
+//! GFW injections (once the paper's filter is deployed) → traceroute for
+//! new candidates → periodically re-run the multi-level aliased prefix
+//! detection. The service records both the **published** view (what the
+//! real service reported until February 2022, spikes included) and the
+//! **cleaned** view (the paper's retroactive correction) so Fig. 3 can be
+//! drawn from one run.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use sixdust_addr::{prf, Addr, PrefixSet};
+use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
+use sixdust_scan::{scan, ScanConfig, ScanResult};
+use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
+
+use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
+use crate::sources;
+
+/// Service configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Scanner settings shared by all protocol modules.
+    pub scan: ScanConfig,
+    /// Alias detector settings.
+    pub detector: DetectorConfig,
+    /// Day the GFW cleaning filter goes live (None = never; the paper's
+    /// deployment day by default).
+    pub gfw_filter_from: Option<Day>,
+    /// Days between alias detection runs.
+    pub alias_every_days: u32,
+    /// Maximum traceroute targets per round.
+    pub traceroute_cap: usize,
+    /// Days whose full responsive sets are kept as snapshots.
+    pub snapshot_days: Vec<Day>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            scan: ScanConfig::default(),
+            detector: DetectorConfig::default(),
+            gfw_filter_from: Some(events::GFW_FILTER_DEPLOYED),
+            alias_every_days: 28,
+            traceroute_cap: 4000,
+            snapshot_days: Day::SNAPSHOTS.to_vec(),
+        }
+    }
+}
+
+/// Per-round longitudinal record (the rows behind Figs. 3 and 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Scan day.
+    pub day: Day,
+    /// Accumulated input size after ingestion.
+    pub input_total: usize,
+    /// Addresses actually probed this round.
+    pub targets: usize,
+    /// Responsive count per protocol, published view (Protocol::ALL order).
+    pub published: [u64; 5],
+    /// Responsive count per protocol, GFW-cleaned view.
+    pub cleaned: [u64; 5],
+    /// Addresses responsive to ≥1 protocol, published view.
+    pub total_published: u64,
+    /// Addresses responsive to ≥1 protocol, cleaned view.
+    pub total_cleaned: u64,
+    /// Newly responsive addresses never seen responsive before (cleaned).
+    pub churn_brand_new: u64,
+    /// Newly responsive addresses that were responsive in some earlier
+    /// round but not the previous one (cleaned).
+    pub churn_recurring: u64,
+    /// Addresses responsive in the previous round but not this one.
+    pub churn_gone: u64,
+    /// Currently labeled aliased prefixes.
+    pub aliased_prefixes: usize,
+    /// Addresses dropped by the 30-day filter this round.
+    pub dropped: usize,
+}
+
+/// A retained full snapshot (Table 1 / Figs. 2, 9, 10 inputs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Snapshot day (the first scan round at or after the requested day).
+    pub day: Day,
+    /// Cleaned responsive addresses per protocol.
+    pub cleaned: Vec<(Protocol, Vec<Addr>)>,
+    /// Published responsive addresses per protocol.
+    pub published: Vec<(Protocol, Vec<Addr>)>,
+    /// Aliased prefix labels at snapshot time (Fig. 5's yearly series).
+    pub aliased: Vec<sixdust_addr::Prefix>,
+}
+
+impl Snapshot {
+    /// The cleaned set for one protocol.
+    pub fn cleaned_for(&self, proto: Protocol) -> &[Addr] {
+        self.cleaned
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All addresses responsive to at least one protocol (cleaned).
+    pub fn cleaned_total(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self.cleaned.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The running service.
+#[derive(Debug)]
+pub struct HitlistService {
+    config: ServiceConfig,
+    input: HashSet<Addr>,
+    blocklist: Blocklist,
+    unresp: UnresponsiveFilter,
+    gfw: GfwFilter,
+    detector: AliasDetector,
+    aliased: PrefixSet,
+    /// Cumulative per-address protocols (cleaned view).
+    cumulative: HashMap<Addr, ProtoSet>,
+    prev_responsive: HashSet<Addr>,
+    ever: HashSet<Addr>,
+    next_alias_day: Day,
+    pending_snapshots: Vec<Day>,
+    rounds: Vec<RoundRecord>,
+    snapshots: Vec<Snapshot>,
+    last_zone_week: Option<u32>,
+}
+
+impl HitlistService {
+    /// Creates a fresh service.
+    pub fn new(config: ServiceConfig) -> HitlistService {
+        let mut pending = config.snapshot_days.clone();
+        pending.sort_unstable();
+        HitlistService {
+            detector: AliasDetector::new(config.detector.clone()),
+            config,
+            input: HashSet::new(),
+            blocklist: Blocklist::new(),
+            unresp: UnresponsiveFilter::new(),
+            gfw: GfwFilter::new(),
+            aliased: PrefixSet::new(),
+            cumulative: HashMap::new(),
+            prev_responsive: HashSet::new(),
+            ever: HashSet::new(),
+            next_alias_day: Day(0),
+            pending_snapshots: pending,
+            rounds: Vec::new(),
+            snapshots: Vec::new(),
+            last_zone_week: None,
+        }
+    }
+
+    /// The service's blocklist (opt-out registration).
+    pub fn blocklist_mut(&mut self) -> &mut Blocklist {
+        &mut self.blocklist
+    }
+
+    /// Overrides the 30-day filter window (ablation support; a very large
+    /// window effectively disables the filter).
+    pub fn set_unresponsive_window(&mut self, days: u32) {
+        self.unresp.window = days;
+    }
+
+    /// Accumulated input addresses.
+    pub fn input(&self) -> &HashSet<Addr> {
+        &self.input
+    }
+
+    /// Current aliased prefix labels.
+    pub fn aliased(&self) -> &PrefixSet {
+        &self.aliased
+    }
+
+    /// The alias detector (fingerprints and details live here).
+    pub fn detector(&self) -> &AliasDetector {
+        &self.detector
+    }
+
+    /// GFW-impacted addresses recorded so far.
+    pub fn gfw_impacted(&self) -> &HashSet<Addr> {
+        self.gfw.impacted()
+    }
+
+    /// The 30-day-filtered pool (Sec. 6's re-scan source).
+    pub fn unresponsive_pool(&self) -> &HashSet<Addr> {
+        self.unresp.dropped_pool()
+    }
+
+    /// Addresses responsive at least once, with their cumulative protocol
+    /// sets (cleaned view).
+    pub fn cumulative(&self) -> &HashMap<Addr, ProtoSet> {
+        &self.cumulative
+    }
+
+    /// Longitudinal per-round records.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Retained snapshots.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent cleaned responsive set.
+    pub fn current_responsive(&self) -> &HashSet<Addr> {
+        &self.prev_responsive
+    }
+
+    fn ingest_sources(&mut self, net: &Internet, day: Day) {
+        let week = day.0 / 7;
+        let run_zone_sources = self.last_zone_week != Some(week);
+        if run_zone_sources {
+            self.last_zone_week = Some(week);
+        }
+        for (kind, addrs) in sources::recurring(net, day) {
+            // Zone-backed sources only change weekly; skip re-runs.
+            if !run_zone_sources
+                && matches!(kind, sources::SourceKind::DomainsAaaa | sources::SourceKind::CtLogs)
+            {
+                continue;
+            }
+            for a in addrs {
+                if self.input.insert(a) {
+                    self.unresp.register(a, day);
+                }
+            }
+        }
+    }
+
+    fn traceroute(&mut self, net: &Internet, day: Day) {
+        let cap = self.config.traceroute_cap;
+        // Rotating sample of the whole input (covers the Chinese router
+        // pools whose interfaces rotate weekly).
+        let stride = (self.input.len() / cap.max(1)).max(1) as u64;
+        let targets: Vec<Addr> = self
+            .input
+            .iter()
+            .filter(|a| prf::prf_u128(0x7ace, a.0, u64::from(day.0 / 7)) % stride == 0)
+            .take(cap)
+            .copied()
+            .collect();
+        let probe = ProbeKind::IcmpEcho { size: 16 };
+        let mut discovered = Vec::new();
+        for t in targets {
+            let plen = net.path_len(t);
+            for ttl in plen.saturating_sub(3)..plen {
+                if let Some(Response::TimeExceeded { hop }) = net.probe_ttl(t, ttl, &probe, day) {
+                    discovered.push(hop);
+                }
+            }
+        }
+        for hop in discovered {
+            if self.input.insert(hop) {
+                self.unresp.register(hop, day);
+            }
+        }
+    }
+
+    /// Runs one full service round on `day`.
+    pub fn run_round(&mut self, net: &Internet, day: Day) -> &RoundRecord {
+        // 1. Sources.
+        self.ingest_sources(net, day);
+
+        // 2. Alias detection (periodic) — runs before target selection so
+        // even the very first scan is alias-filtered, like the pipeline in
+        // Fig. 1.
+        if day >= self.next_alias_day {
+            let input_vec: Vec<Addr> = self.input.iter().copied().collect();
+            let cands = candidates(net, &input_vec, self.config.detector.min_addrs_long);
+            self.detector.run_round(net, &cands, day);
+            self.aliased = self.detector.aliased();
+            self.next_alias_day = day.plus(self.config.alias_every_days);
+        }
+
+        // 3. Target selection.
+        let aliased = &self.aliased;
+        let blocklist = &self.blocklist;
+        let targets: Vec<Addr> = self
+            .unresp
+            .active_targets()
+            .filter(|a| blocklist.allows(*a) && !aliased.covers_addr(*a))
+            .collect();
+
+        // 3. Scans.
+        let mut published = [0u64; 5];
+        let mut cleaned = [0u64; 5];
+        let mut responsive_published: HashSet<Addr> = HashSet::new();
+        let mut responsive_cleaned: HashSet<Addr> = HashSet::new();
+        let mut proto_cleaned_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
+        let mut proto_published_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
+        let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
+        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
+            let result: ScanResult = scan(net, proto, &targets, day, &self.config.scan);
+            let pub_hits: Vec<Addr> = result.hits().collect();
+            let clean_hits: Vec<Addr> = if proto == Protocol::Udp53 {
+                self.gfw.clean(&result)
+            } else {
+                pub_hits.clone()
+            };
+            published[i] = pub_hits.len() as u64;
+            cleaned[i] = clean_hits.len() as u64;
+            responsive_published.extend(pub_hits.iter().copied());
+            responsive_cleaned.extend(clean_hits.iter().copied());
+            for a in &clean_hits {
+                self.cumulative.entry(*a).or_insert(ProtoSet::EMPTY).insert(proto);
+            }
+            proto_published_sets.push((proto, pub_hits));
+            proto_cleaned_sets.push((proto, clean_hits));
+        }
+
+        // 4. Once the filter is deployed the service *publishes* cleaned
+        // results too (the February 2022 drop in Fig. 3 left).
+        if gfw_live {
+            published = cleaned;
+            responsive_published = responsive_cleaned.clone();
+        }
+
+        // 5. Responsiveness bookkeeping: before the filter deployment the
+        // service kept GFW-"responsive" addresses in rotation.
+        let effective: &HashSet<Addr> =
+            if gfw_live { &responsive_cleaned } else { &responsive_published };
+        for a in effective {
+            self.unresp.mark_responsive(*a, day);
+        }
+        let dropped = self.unresp.sweep(day);
+
+        // 6. Traceroutes discover new candidates for the next round.
+        self.traceroute(net, day);
+
+        // 7. Churn accounting (cleaned view, Fig. 4): an address newly
+        // responsive this round is "brand new" if no earlier round ever saw
+        // it responsive, "recurring" otherwise.
+        let mut churn_brand_new = 0u64;
+        let mut churn_recurring = 0u64;
+        for a in responsive_cleaned.difference(&self.prev_responsive) {
+            if self.ever.contains(a) {
+                churn_recurring += 1;
+            } else {
+                churn_brand_new += 1;
+            }
+        }
+        let churn_gone = self.prev_responsive.difference(&responsive_cleaned).count() as u64;
+        self.ever.extend(responsive_cleaned.iter().copied());
+
+        let record = RoundRecord {
+            day,
+            input_total: self.input.len(),
+            targets: targets.len(),
+            published,
+            cleaned,
+            total_published: responsive_published.len() as u64,
+            total_cleaned: responsive_cleaned.len() as u64,
+            churn_brand_new,
+            churn_recurring,
+            churn_gone,
+            aliased_prefixes: self.aliased.len(),
+            dropped,
+        };
+        self.prev_responsive = responsive_cleaned;
+
+        // 8. Snapshots.
+        if self.pending_snapshots.first().is_some_and(|d| day >= *d) {
+            self.pending_snapshots.remove(0);
+            self.snapshots.push(Snapshot {
+                day,
+                cleaned: proto_cleaned_sets,
+                published: proto_published_sets,
+                aliased: self.aliased.iter().collect(),
+            });
+        }
+
+        self.rounds.push(record);
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// Runs the service from `from` to `until` (inclusive) with the
+    /// historical scan cadence. The final round always lands exactly on
+    /// `until` so snapshots for that day exist.
+    pub fn run(&mut self, net: &Internet, from: Day, until: Day) {
+        let mut day = from;
+        while day < until {
+            self.run_round(net, day);
+            let next = day.plus(events::scan_gap(day));
+            day = if next > until { until } else { next };
+        }
+        self.run_round(net, until);
+    }
+}

@@ -1,0 +1,212 @@
+//! The IPv6 Hitlist's input sources (Fig. 1, left).
+//!
+//! The service accumulates candidates from domain resolutions (AAAA), CT
+//! logs, RIPE-Atlas-style probe data, a one-time rDNS import, and its own
+//! traceroutes. Each source is a pure function of the simulated Internet
+//! and the day, so the accumulation is replayable. The per-source flavours
+//! matter for the paper's bias findings:
+//!
+//! * `domains_aaaa` / `ct_logs` pull rotating CDN load-balancer addresses
+//!   → the Amazon-style aliased input mass (32 % of the raw input).
+//! * `ripe_atlas` observes the CPE fleets' *current* addresses → rotating
+//!   EUI-64 accumulation (ANTEL, DTAG).
+//! * `rdns_import` fires once (early 2019) and its addresses decay → the
+//!   2019→2020 dip of Table 1.
+//! * `passive_visible` is the small public sample of dense server
+//!   deployments (the seeds TGAs later extrapolate).
+
+use sixdust_addr::{prf, Addr};
+use sixdust_net::{events, Day, Internet};
+
+/// Identifies where a candidate came from (used for bias analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Forward DNS AAAA resolutions.
+    DomainsAaaa,
+    /// Certificate-transparency-derived domains.
+    CtLogs,
+    /// RIPE-Atlas-style traceroute/probe addresses (CPE-heavy).
+    RipeAtlas,
+    /// One-time reverse-DNS import.
+    Rdns,
+    /// The launch-time bulk corpus.
+    Initial,
+    /// Publicly visible sample of dense deployments.
+    PassiveVisible,
+    /// The service's own traceroutes (handled by the service loop).
+    Traceroute,
+    /// Slow aggregate discovery drip from minor feeds.
+    Drip,
+}
+
+/// AAAA resolutions of the full zone file (weekly granularity — addresses
+/// rotate per week, so finer sampling adds nothing).
+pub fn domains_aaaa(net: &Internet, day: Day) -> Vec<Addr> {
+    let zones = net.zones();
+    let pop = net.population();
+    (0..zones.total_domains())
+        .map(|d| zones.resolve(pop, d, day).0)
+        .collect()
+}
+
+/// CT-log-derived domains: a third of the namespace, same resolution path.
+pub fn ct_logs(net: &Internet, day: Day) -> Vec<Addr> {
+    let zones = net.zones();
+    let pop = net.population();
+    (0..zones.total_domains())
+        .filter(|d| d % 3 == 0)
+        .map(|d| zones.resolve(pop, d, day).0)
+        .collect()
+}
+
+/// RIPE-Atlas-style source: the current addresses of every CPE fleet plus
+/// a sample of stable router interfaces.
+pub fn ripe_atlas(net: &Internet, day: Day) -> Vec<Addr> {
+    let mut out = Vec::new();
+    for fleet in net.population().cpe_fleets() {
+        out.extend(fleet.current_addrs(day));
+    }
+    for pool in net.population().router_pools() {
+        if pool.rotation_days == 0 {
+            out.extend(pool.addrs_at(day).take(16));
+        }
+    }
+    out
+}
+
+/// One-time rDNS import (fires only on the configured day): a broad sample
+/// of the then-current server and flaky populations.
+pub fn rdns_import(net: &Internet, day: Day) -> Vec<Addr> {
+    if day != events::RDNS_IMPORT {
+        return Vec::new();
+    }
+    net.population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .filter(|(a, ..)| {
+            prf::chance(0xD45, a.0, 0x1, 3, 10) && !net.population().is_dense_member(*a)
+        })
+        .map(|(a, ..)| a)
+        .collect()
+}
+
+/// The slow discovery drip: the union of many minor feeds (peer lists,
+/// software telemetry, additional traceroute campaigns…) surfaces a small
+/// weekly sample of the live population, which is how newly activated
+/// deployments keep entering the hitlist between the big sources.
+pub fn discovery_drip(net: &Internet, day: Day) -> Vec<Addr> {
+    let week = u64::from(day.0 / 7);
+    net.population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .filter(|(a, ..)| {
+            prf::chance(0xD819, a.0, week, 3, 100) && !net.population().is_dense_member(*a)
+        })
+        .map(|(a, ..)| a)
+        .collect()
+}
+
+/// The service's launch import: the 2018 hitlist already started from a
+/// 90 M-address corpus, so day 0 sees a bulk sample of the then-live
+/// population (hidden dense clusters excluded — they were never public).
+pub fn initial_import(net: &Internet, day: Day) -> Vec<Addr> {
+    if day != Day(0) {
+        return Vec::new();
+    }
+    net.population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .filter(|(a, ..)| {
+            prf::chance(0xB007, a.0, 0, 11, 20) && !net.population().is_dense_member(*a)
+        })
+        .map(|(a, ..)| a)
+        .collect()
+}
+
+/// The public sample of dense deployments (per-AS visibility fractions).
+pub fn passive_visible(net: &Internet, day: Day) -> Vec<Addr> {
+    net.population().dense_visible(day)
+}
+
+/// All recurring sources for a service round.
+pub fn recurring(net: &Internet, day: Day) -> Vec<(SourceKind, Vec<Addr>)> {
+    vec![
+        (SourceKind::DomainsAaaa, domains_aaaa(net, day)),
+        (SourceKind::CtLogs, ct_logs(net, day)),
+        (SourceKind::RipeAtlas, ripe_atlas(net, day)),
+        (SourceKind::Rdns, rdns_import(net, day)),
+        (SourceKind::Initial, initial_import(net, day)),
+        (SourceKind::PassiveVisible, passive_visible(net, day)),
+        (SourceKind::Drip, discovery_drip(net, day)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixdust_net::{FaultConfig, Scale};
+
+    fn net() -> Internet {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+    }
+
+    #[test]
+    fn domains_resolve_and_rotate() {
+        let net = net();
+        let a = domains_aaaa(&net, Day(0));
+        let b = domains_aaaa(&net, Day(0));
+        assert_eq!(a, b, "deterministic");
+        assert!(!a.is_empty());
+        let later = domains_aaaa(&net, Day(21));
+        let fresh: usize = later.iter().filter(|x| !a.contains(x)).count();
+        assert!(fresh > 0, "rotating CDN answers accumulate new addresses");
+    }
+
+    #[test]
+    fn ripe_atlas_tracks_cpe_rotation() {
+        let net = net();
+        let a: std::collections::HashSet<Addr> = ripe_atlas(&net, Day(0)).into_iter().collect();
+        let b: std::collections::HashSet<Addr> = ripe_atlas(&net, Day(30)).into_iter().collect();
+        assert!(!a.is_empty());
+        let moved = a.difference(&b).count();
+        assert!(moved > 0, "prefix rotation mints new input addresses");
+    }
+
+    #[test]
+    fn rdns_fires_once() {
+        let net = net();
+        assert!(rdns_import(&net, Day(0)).is_empty());
+        assert!(!rdns_import(&net, events::RDNS_IMPORT).is_empty());
+        assert!(rdns_import(&net, events::RDNS_IMPORT.plus(1)).is_empty());
+    }
+
+    #[test]
+    fn passive_visible_is_a_strict_sample() {
+        let net = net();
+        let day = Day(600);
+        let visible = passive_visible(&net, day);
+        assert!(!visible.is_empty());
+        // Every visible address is genuinely responsive.
+        for a in visible.iter().take(50) {
+            assert!(net.population().lookup(*a, day).is_some(), "{a}");
+        }
+    }
+
+    #[test]
+    fn recurring_covers_all_kinds() {
+        let net = net();
+        let all = recurring(&net, Day(10));
+        assert_eq!(all.len(), 7);
+    }
+
+    #[test]
+    fn drip_rotates_weekly() {
+        let net = net();
+        let a: std::collections::HashSet<Addr> =
+            discovery_drip(&net, Day(700)).into_iter().collect();
+        let b: std::collections::HashSet<Addr> =
+            discovery_drip(&net, Day(707)).into_iter().collect();
+        assert!(!a.is_empty());
+        assert!(a != b, "different weekly samples");
+    }
+}

@@ -1,0 +1,164 @@
+//! Service-state checkpoints.
+//!
+//! A long-running measurement service must survive restarts without losing
+//! four years of accumulated state (the real hitlist's input list *is* its
+//! history). [`ServiceState`] is a serializable snapshot of everything a
+//! [`HitlistService`](crate::HitlistService) has learned; it round-trips
+//! through JSON so checkpoints are diffable and versionable.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use sixdust_addr::{Addr, Prefix};
+use sixdust_net::ProtoSet;
+
+use crate::service::{HitlistService, RoundRecord, Snapshot};
+
+/// A serializable checkpoint of the service's accumulated knowledge.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ServiceState {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Accumulated input addresses.
+    pub input: Vec<Addr>,
+    /// Current aliased prefix labels.
+    pub aliased: Vec<Prefix>,
+    /// GFW-impacted addresses recorded so far.
+    pub gfw_impacted: Vec<Addr>,
+    /// The 30-day-filtered pool.
+    pub unresponsive_pool: Vec<Addr>,
+    /// Cumulative responsive addresses with their protocol sets.
+    pub cumulative: Vec<(Addr, ProtoSet)>,
+    /// Longitudinal round records.
+    pub rounds: Vec<RoundRecord>,
+    /// Retained full snapshots.
+    pub snapshots: Vec<Snapshot>,
+}
+
+/// Current checkpoint format version.
+pub const STATE_VERSION: u32 = 1;
+
+impl ServiceState {
+    /// Captures a checkpoint from a running service.
+    pub fn capture(svc: &HitlistService) -> ServiceState {
+        let mut input: Vec<Addr> = svc.input().iter().copied().collect();
+        input.sort_unstable();
+        let mut gfw: Vec<Addr> = svc.gfw_impacted().iter().copied().collect();
+        gfw.sort_unstable();
+        let mut pool: Vec<Addr> = svc.unresponsive_pool().iter().copied().collect();
+        pool.sort_unstable();
+        let mut cumulative: Vec<(Addr, ProtoSet)> =
+            svc.cumulative().iter().map(|(a, p)| (*a, *p)).collect();
+        cumulative.sort_unstable_by_key(|(a, _)| *a);
+        ServiceState {
+            version: STATE_VERSION,
+            input,
+            aliased: svc.aliased().iter().collect(),
+            gfw_impacted: gfw,
+            unresponsive_pool: pool,
+            cumulative,
+            rounds: svc.rounds().to_vec(),
+            snapshots: svc.snapshots().to_vec(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("state serializes")
+    }
+
+    /// Parses a checkpoint, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<ServiceState, String> {
+        let state: ServiceState =
+            serde_json::from_str(json).map_err(|e| format!("checkpoint parse: {e}"))?;
+        if state.version != STATE_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {STATE_VERSION})",
+                state.version
+            ));
+        }
+        Ok(state)
+    }
+
+    /// Consistency checks a downstream consumer (or a restarted service)
+    /// should run before trusting a checkpoint.
+    pub fn validate(&self) -> Result<(), String> {
+        let input: HashSet<Addr> = self.input.iter().copied().collect();
+        if input.len() != self.input.len() {
+            return Err("duplicate input addresses".into());
+        }
+        for (a, p) in &self.cumulative {
+            if p.is_empty() {
+                return Err(format!("{a} in cumulative without protocols"));
+            }
+        }
+        for w in self.rounds.windows(2) {
+            if w[1].day <= w[0].day {
+                return Err("round records out of order".into());
+            }
+        }
+        for s in &self.snapshots {
+            if s.cleaned.len() != 5 {
+                return Err("snapshot missing protocols".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use sixdust_net::{Day, FaultConfig, Internet, Scale};
+
+    fn run_service(days: u32) -> HitlistService {
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+        let mut svc = HitlistService::new(ServiceConfig {
+            snapshot_days: vec![Day(5)],
+            ..Default::default()
+        });
+        svc.run(&net, Day(0), Day(days));
+        svc
+    }
+
+    #[test]
+    fn capture_roundtrips_through_json() {
+        let svc = run_service(8);
+        let state = ServiceState::capture(&svc);
+        state.validate().expect("fresh state is valid");
+        let json = state.to_json();
+        let back = ServiceState::from_json(&json).expect("parses");
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn capture_matches_service() {
+        let svc = run_service(8);
+        let state = ServiceState::capture(&svc);
+        assert_eq!(state.input.len(), svc.input().len());
+        assert_eq!(state.rounds.len(), svc.rounds().len());
+        assert_eq!(state.aliased.len(), svc.aliased().len());
+        assert_eq!(state.cumulative.len(), svc.cumulative().len());
+        assert_eq!(state.snapshots.len(), 1);
+    }
+
+    #[test]
+    fn version_gate() {
+        let svc = run_service(3);
+        let mut state = ServiceState::capture(&svc);
+        state.version = 99;
+        let err = ServiceState::from_json(&state.to_json()).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let svc = run_service(5);
+        let mut state = ServiceState::capture(&svc);
+        if state.rounds.len() >= 2 {
+            state.rounds.swap(0, 1);
+            assert!(state.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,888 @@
+//! The composed simulator: registry + population + zones + GFW + routing,
+//! with a probe/response interface at two fidelity levels.
+//!
+//! * [`Internet::probe`] — the semantic fast path the bulk scanner uses
+//!   (hundreds of millions of probes across a four-year service run).
+//! * [`Internet::send_bytes`] — the wire path: real packet bytes in, real
+//!   packet bytes out, built on the same semantics. Integration tests
+//!   assert the two paths agree, so the fast path inherits the wire
+//!   path's fidelity.
+//!
+//! Mutable state is limited to PMTU caches (what the Too Big Trick pokes)
+//! and the controlled-domain query log (what the validation experiment
+//! reads), both behind a `parking_lot::Mutex`.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sixdust_addr::{prf, Addr};
+use sixdust_wire::dns::{DnsMessage, Rcode, Rdata, Record};
+use sixdust_wire::icmpv6::Icmpv6;
+use sixdust_wire::quic::{QuicPacket, QUIC_V1};
+use sixdust_wire::tcp::{TcpOption, TcpSegment};
+use sixdust_wire::udp::UdpDatagram;
+use sixdust_wire::{Ipv6Header, Packet, Transport};
+
+use crate::fingerprint::{DnsBehavior, TcpFingerprint};
+use crate::gfw::Gfw;
+use crate::population::{HostView, Population};
+use crate::proto::Protocol;
+use crate::registry::AsRegistry;
+use crate::scale::Scale;
+use crate::time::Day;
+use crate::zones::{DnsZones, CONTROLLED_DOMAIN};
+
+/// Default path MTU when no Packet Too Big message has been absorbed.
+pub const DEFAULT_MTU: u32 = 1500;
+
+/// Fault injection knobs (smoltcp-style: every example and test can dial
+/// adverse conditions in).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probe/response drop probability in permille (applies per probe).
+    pub drop_permille: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig { drop_permille: 4 }
+    }
+}
+
+/// A semantic probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// ICMPv6 echo request with a given total payload size in bytes.
+    IcmpEcho {
+        /// Payload size (drives fragmentation against the PMTU cache).
+        size: u16,
+    },
+    /// TCP SYN to a port.
+    TcpSyn {
+        /// Destination port.
+        port: u16,
+    },
+    /// A UDP/53 AAAA query.
+    Dns {
+        /// Queried name.
+        qname: String,
+    },
+    /// A UDP/443 QUIC Initial with a version-negotiation-forcing version.
+    Quic,
+    /// An ICMPv6 Packet Too Big *sent by us* (the TBT's cache-seeding step).
+    TooBig {
+        /// Advertised MTU.
+        mtu: u32,
+    },
+}
+
+/// A semantic response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Echo reply; `fragmented` reflects the responder's PMTU cache.
+    EchoReply {
+        /// Whether the reply came back as fragments.
+        fragmented: bool,
+    },
+    /// SYN-ACK carrying the responder's TCP fingerprint.
+    SynAck {
+        /// Handshake fingerprint features.
+        fp: TcpFingerprint,
+    },
+    /// RST (port closed but host alive).
+    Rst,
+    /// A DNS message (real answer, error, or GFW injection).
+    Dns(DnsMessage),
+    /// QUIC Version Negotiation.
+    QuicVn,
+    /// Hop-limit expiry en route.
+    TimeExceeded {
+        /// The router interface that answered.
+        hop: Addr,
+    },
+}
+
+/// The simulated IPv6 Internet.
+///
+/// ```
+/// use sixdust_net::{Internet, ProbeKind, Scale, Day, FaultConfig};
+/// let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+/// // Ground truth can enumerate; a scanner can only probe.
+/// let (addr, ..) = net.population().enumerate_responsive(Day(100))[0];
+/// let replies = net.probe(addr, &ProbeKind::IcmpEcho { size: 8 }, Day(100));
+/// assert!(!replies.is_empty());
+/// ```
+pub struct Internet {
+    registry: AsRegistry,
+    population: Population,
+    zones: DnsZones,
+    gfw: Gfw,
+    faults: FaultConfig,
+    pmtu: Mutex<HashMap<u64, u32>>,
+    /// Queries that reached the controlled domain's authoritative server:
+    /// `(source address, queried name)`.
+    ns_log: Mutex<Vec<(Addr, String)>>,
+    seed: u64,
+}
+
+impl Internet {
+    /// Builds the whole simulated Internet at a given scale.
+    pub fn build(scale: Scale) -> Internet {
+        let mut registry = AsRegistry::build(scale);
+        let population = Population::build(&registry);
+        // Operators announce the aliased prefixes they use (plen <= 64):
+        // this is what makes them BGP candidates for the alias detection,
+        // mirroring how Cloudflare's /48s or EpicUp's /28s show up in
+        // routing tables.
+        for g in population.groups() {
+            if matches!(g.kind, crate::population::GroupKind::Aliased { .. })
+                && g.prefix.len() <= 64
+            {
+                registry.add_route(g.prefix, g.asid);
+            }
+        }
+        let zones = DnsZones::build(&registry, &population);
+        Internet {
+            gfw: Gfw::new(prf::mix2(scale.seed, 0x6F0)),
+            seed: scale.seed,
+            registry,
+            population,
+            zones,
+            faults: FaultConfig::default(),
+            pmtu: Mutex::new(HashMap::new()),
+            ns_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Internet {
+        self.faults = faults;
+        self
+    }
+
+    /// The AS registry.
+    pub fn registry(&self) -> &AsRegistry {
+        &self.registry
+    }
+
+    /// The host population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The DNS namespace.
+    pub fn zones(&self) -> &DnsZones {
+        &self.zones
+    }
+
+    /// Resets mutable state (PMTU caches, NS query log).
+    pub fn reset_state(&self) {
+        self.pmtu.lock().clear();
+        self.ns_log.lock().clear();
+    }
+
+    /// Drains the controlled-domain query log.
+    pub fn take_ns_log(&self) -> Vec<(Addr, String)> {
+        std::mem::take(&mut self.ns_log.lock())
+    }
+
+    fn dropped(&self, dst: Addr, day: Day, salt: u64) -> bool {
+        self.faults.drop_permille > 0
+            && prf::chance(
+                self.seed ^ salt,
+                dst.0,
+                0x10_55 ^ u64::from(day.0),
+                u64::from(self.faults.drop_permille),
+                1000,
+            )
+    }
+
+    // ---- routing -------------------------------------------------------
+
+    /// Number of hops from the vantage point to `dst` (the destination is
+    /// hop `path_len`).
+    pub fn path_len(&self, dst: Addr) -> u8 {
+        5 + (prf::prf_u128(self.seed, dst.0 >> 80, 0x9A7) % 4) as u8
+    }
+
+    /// The router interface answering at `hop` (1-based, `< path_len`) on
+    /// the way to `dst`.
+    pub fn hop_addr(&self, dst: Addr, hop: u8, day: Day) -> Addr {
+        let vantage_as = self.registry.vantage();
+        let dst_as = self.registry.origin(dst);
+        let transit = self
+            .registry
+            .by_asn(3356)
+            .and_then(|id| self.population.router_pool_of(id));
+        let own = dst_as.and_then(|id| self.population.router_pool_of(id));
+        let key = dst.0 >> 80; // route varies per /48-ish block
+        match hop {
+            1 => {
+                let pool = self
+                    .population
+                    .router_pool_of(vantage_as)
+                    .expect("vantage router pool");
+                pool.hop_addr(prf::prf_u128(self.seed, key, 1) % pool.slots.max(1), day)
+            }
+            2 | 3 => match transit {
+                Some(pool) => pool.hop_addr(
+                    prf::prf_u128(self.seed, key, u64::from(hop)) % pool.slots.max(1),
+                    day,
+                ),
+                None => Addr(0),
+            },
+            h => match own.or(transit) {
+                Some(pool) => pool.hop_addr(
+                    prf::prf_u128(self.seed, dst.0 >> 64, u64::from(h)) % pool.slots.max(1),
+                    day,
+                ),
+                None => Addr(0),
+            },
+        }
+    }
+
+    /// A probe carrying an explicit hop limit (traceroute). Returns the
+    /// single response, if any.
+    pub fn probe_ttl(
+        &self,
+        dst: Addr,
+        hop_limit: u8,
+        kind: &ProbeKind,
+        day: Day,
+    ) -> Option<Response> {
+        if self.dropped(dst, day, u64::from(hop_limit)) {
+            return None;
+        }
+        let plen = self.path_len(dst);
+        if hop_limit < plen {
+            let hop = self.hop_addr(dst, hop_limit.max(1), day);
+            if hop == Addr(0) {
+                return None;
+            }
+            return Some(Response::TimeExceeded { hop });
+        }
+        self.probe(dst, kind, day).into_iter().next()
+    }
+
+    // ---- end-to-end probes ----------------------------------------------
+
+    /// Sends a probe to `dst` and returns every response that comes back
+    /// (the GFW can answer in addition to — or instead of — the target).
+    pub fn probe(&self, dst: Addr, kind: &ProbeKind, day: Day) -> Vec<Response> {
+        if self.dropped(dst, day, 0) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+
+        // The firewall sits on-path and acts before delivery.
+        if let ProbeKind::Dns { qname } = kind {
+            if let Some(asid) = self.registry.origin(dst) {
+                if self.registry.get(asid).behind_gfw() {
+                    let query = DnsMessage::aaaa_query(0, qname);
+                    for resp in self.gfw.inject(dst, &query, day) {
+                        out.push(Response::Dns(resp));
+                    }
+                }
+            }
+        }
+
+        let host = self.population.lookup(dst, day);
+        if let Some(host) = host {
+            if let Some(resp) = self.host_response(dst, &host, kind, day) {
+                out.push(resp);
+            }
+        }
+        out
+    }
+
+    fn host_response(
+        &self,
+        dst: Addr,
+        host: &HostView,
+        kind: &ProbeKind,
+        day: Day,
+    ) -> Option<Response> {
+        match kind {
+            ProbeKind::IcmpEcho { size } => {
+                if !host.protos.contains(Protocol::Icmp) {
+                    return None;
+                }
+                let mtu = self
+                    .pmtu
+                    .lock()
+                    .get(&host.backend_uid)
+                    .copied()
+                    .unwrap_or(DEFAULT_MTU);
+                Some(Response::EchoReply { fragmented: u32::from(*size) + 48 > mtu })
+            }
+            ProbeKind::TooBig { mtu } => {
+                // Only hosts that answer pings process the error message.
+                if host.protos.contains(Protocol::Icmp) {
+                    self.pmtu
+                        .lock()
+                        .insert(host.backend_uid, (*mtu).max(sixdust_wire::IPV6_MIN_MTU));
+                }
+                None
+            }
+            ProbeKind::TcpSyn { port } => {
+                let proto = match port {
+                    80 => Protocol::Tcp80,
+                    443 => Protocol::Tcp443,
+                    _ => {
+                        return if host.protos.contains(Protocol::Tcp80)
+                            || host.protos.contains(Protocol::Tcp443)
+                        {
+                            Some(Response::Rst)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if host.protos.contains(proto) {
+                    Some(Response::SynAck { fp: host.fingerprint.clone() })
+                } else if host.protos.contains(Protocol::Tcp80)
+                    || host.protos.contains(Protocol::Tcp443)
+                {
+                    // TCP stack present, port closed.
+                    Some(Response::Rst)
+                } else {
+                    None
+                }
+            }
+            ProbeKind::Dns { qname } => {
+                if !host.protos.contains(Protocol::Udp53) {
+                    return None;
+                }
+                let behavior = host.dns.unwrap_or(DnsBehavior::AuthRefused);
+                let query = DnsMessage::aaaa_query(0, qname);
+                Some(Response::Dns(self.dns_answer(dst, behavior, &query, day)))
+            }
+            ProbeKind::Quic => {
+                if host.protos.contains(Protocol::Udp443) {
+                    Some(Response::QuicVn)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn dns_answer(
+        &self,
+        responder: Addr,
+        behavior: DnsBehavior,
+        query: &DnsMessage,
+        day: Day,
+    ) -> DnsMessage {
+        let qname = query.qname().unwrap_or("").to_string();
+        let is_controlled = qname.ends_with(CONTROLLED_DOMAIN);
+        match behavior {
+            DnsBehavior::AuthRefused => DnsMessage::response_to(query, Rcode::Refused),
+            DnsBehavior::OpenResolver | DnsBehavior::Proxy => {
+                let mut resp = DnsMessage::response_to(query, Rcode::NoError);
+                if is_controlled {
+                    // Recursion reaches our authoritative server; log the
+                    // querying source. Proxies resolve via another
+                    // interface, so the observed source differs from the
+                    // probed address.
+                    let observed_src = if behavior == DnsBehavior::Proxy {
+                        Addr(responder.0 ^ 0xffff)
+                    } else {
+                        responder
+                    };
+                    self.ns_log.lock().push((observed_src, qname.clone()));
+                    resp.answers.push(Record {
+                        name: qname,
+                        ttl: 300,
+                        rdata: Rdata::Aaaa(self.registry.vantage_addr()),
+                    });
+                } else if Gfw::is_blocked(&qname) {
+                    // A real resolver would answer; give a plausible AAAA.
+                    resp.answers.push(Record {
+                        name: qname,
+                        ttl: 300,
+                        rdata: Rdata::Aaaa(Addr(0x2a00_1450_4001_0800_u128 << 64 | 0x200e)),
+                    });
+                } else {
+                    // Resolve within the simulated namespace when possible;
+                    // otherwise NXDOMAIN.
+                    let d = prf::prf_u128(self.seed, qname_hash(&qname), 0xDD)
+                        % self.zones.total_domains();
+                    let (addr, _) = self.zones.resolve(&self.population, d, day);
+                    resp.answers.push(Record { name: qname, ttl: 300, rdata: Rdata::Aaaa(addr) });
+                }
+                resp
+            }
+            DnsBehavior::Referral => {
+                let mut resp = DnsMessage::response_to(query, Rcode::NoError);
+                resp.authority.push(Record {
+                    name: "test".into(),
+                    ttl: 86_400,
+                    rdata: Rdata::Ns("a.root-servers.net".into()),
+                });
+                resp
+            }
+            DnsBehavior::Broken => {
+                if prf::chance(self.seed, responder.0, 0xDE, 1, 2) {
+                    DnsMessage::response_to(query, Rcode::Other(11))
+                } else {
+                    let mut resp = DnsMessage::response_to(query, Rcode::NoError);
+                    resp.authority.push(Record {
+                        name: qname,
+                        ttl: 0,
+                        rdata: Rdata::Ns("localhost".into()),
+                    });
+                    resp
+                }
+            }
+        }
+    }
+
+    // ---- wire adapter ----------------------------------------------------
+
+    /// Full wire-level send: parses the probe bytes, applies the same
+    /// semantics as [`Internet::probe`], and serializes responses.
+    pub fn send_bytes(&self, bytes: &[u8], day: Day) -> Vec<Vec<u8>> {
+        let Ok(pkt) = Packet::parse(bytes) else {
+            return Vec::new();
+        };
+        let src = pkt.ipv6.src;
+        let dst = pkt.ipv6.dst;
+        let (kind, echo_meta, tcp_meta, udp_meta) = match &pkt.transport {
+            Transport::Icmpv6(Icmpv6::EchoRequest { ident, seq, payload }) => (
+                ProbeKind::IcmpEcho { size: payload.len() as u16 },
+                Some((*ident, *seq, payload.len())),
+                None,
+                None,
+            ),
+            Transport::Icmpv6(Icmpv6::PacketTooBig { mtu }) => {
+                (ProbeKind::TooBig { mtu: *mtu }, None, None, None)
+            }
+            Transport::Icmpv6(_) => return Vec::new(),
+            Transport::Tcp(seg) => {
+                if !seg.flags.syn || seg.flags.ack {
+                    return Vec::new();
+                }
+                (ProbeKind::TcpSyn { port: seg.dst_port }, None, Some(seg.clone()), None)
+            }
+            Transport::Udp(d) => match d.dst_port {
+                53 => {
+                    let Ok(q) = DnsMessage::parse(&d.payload) else {
+                        return Vec::new();
+                    };
+                    let qname = q.qname().unwrap_or("").to_string();
+                    (ProbeKind::Dns { qname }, None, None, Some((d.clone(), Some(q))))
+                }
+                443 => {
+                    if QuicPacket::parse(&d.payload).is_err() {
+                        return Vec::new();
+                    }
+                    (ProbeKind::Quic, None, None, Some((d.clone(), None)))
+                }
+                _ => return Vec::new(),
+            },
+        };
+
+        // Hop-limited probes expire on-path.
+        let plen = self.path_len(dst);
+        if pkt.ipv6.hop_limit < plen {
+            if self.dropped(dst, day, u64::from(pkt.ipv6.hop_limit)) {
+                return Vec::new();
+            }
+            let hop = self.hop_addr(dst, pkt.ipv6.hop_limit.max(1), day);
+            if hop == Addr(0) {
+                return Vec::new();
+            }
+            let reply = Packet {
+                ipv6: Ipv6Header::new(hop, src, 64),
+                transport: Transport::Icmpv6(Icmpv6::TimeExceeded { orig_dst: dst }),
+            };
+            return vec![reply.to_bytes()];
+        }
+
+        self.probe(dst, &kind, day)
+            .into_iter()
+            .flat_map(|resp| {
+                let transport = match resp {
+                    Response::EchoReply { fragmented } => {
+                        let Some((ident, seq, len)) = echo_meta else {
+                            return Vec::new();
+                        };
+                        let reply = Packet {
+                            ipv6: Ipv6Header::new(dst, src, 64),
+                            transport: Transport::Icmpv6(Icmpv6::EchoReply {
+                                ident,
+                                seq,
+                                payload: vec![0u8; len],
+                                fragmented,
+                            }),
+                        };
+                        if fragmented {
+                            // A host whose PMTU cache says 1280 sends real
+                            // fragments on the wire.
+                            let bytes = reply.to_bytes();
+                            let hdr = sixdust_wire::Ipv6Header::parse(&bytes)
+                                .expect("just built");
+                            return sixdust_wire::fragment::fragment(
+                                &hdr,
+                                sixdust_wire::NextHeader::Icmpv6,
+                                &bytes[sixdust_wire::IPV6_HEADER_LEN..],
+                                sixdust_wire::IPV6_MIN_MTU,
+                                prf::prf_u128(self.seed, dst.0, 0xF4A6) as u32,
+                            );
+                        }
+                        return vec![reply.to_bytes()];
+                    }
+                    Response::SynAck { fp } => {
+                        let Some(probe) = tcp_meta.as_ref() else {
+                            return Vec::new();
+                        };
+                        let mut sa = TcpSegment::syn_ack(
+                            probe,
+                            prf::prf_u128(self.seed, dst.0, 0x5EC) as u32,
+                            fp.window,
+                        );
+                        sa.options = fingerprint_options(&fp);
+                        Transport::Tcp(sa)
+                    }
+                    Response::Rst => {
+                        let Some(probe) = tcp_meta.as_ref() else {
+                            return Vec::new();
+                        };
+                        Transport::Tcp(TcpSegment::rst(probe))
+                    }
+                    Response::Dns(mut msg) => {
+                        let Some((probe_udp, query)) = udp_meta.as_ref() else {
+                            return Vec::new();
+                        };
+                        if let Some(q) = query {
+                            msg.id = q.id;
+                        }
+                        Transport::Udp(UdpDatagram {
+                            src_port: 53,
+                            dst_port: probe_udp.src_port,
+                            payload: msg.to_bytes(),
+                        })
+                    }
+                    Response::QuicVn => {
+                        let Some((probe_udp, _)) = udp_meta.as_ref() else {
+                            return Vec::new();
+                        };
+                        let Ok(QuicPacket::Initial { dcid, scid, .. }) =
+                            QuicPacket::parse(&probe_udp.payload)
+                        else {
+                            return Vec::new();
+                        };
+                        Transport::Udp(UdpDatagram {
+                            src_port: 443,
+                            dst_port: probe_udp.src_port,
+                            payload: QuicPacket::VersionNegotiation {
+                                dcid: scid,
+                                scid: dcid,
+                                supported: vec![QUIC_V1],
+                            }
+                            .to_bytes(),
+                        })
+                    }
+                    Response::TimeExceeded { .. } => return Vec::new(),
+                };
+                vec![Packet { ipv6: Ipv6Header::new(dst, src, 64), transport }.to_bytes()]
+            })
+            .collect()
+    }
+}
+
+/// Reconstructs a TCP option list realizing a fingerprint's Optionstext.
+pub fn fingerprint_options(fp: &TcpFingerprint) -> Vec<TcpOption> {
+    fp.optionstext
+        .chars()
+        .map(|c| match c {
+            'M' => TcpOption::Mss(fp.mss),
+            'S' => TcpOption::SackPermitted,
+            'T' => TcpOption::Timestamps(0xdead_0001, 0),
+            'N' => TcpOption::Nop,
+            'W' => TcpOption::WindowScale(fp.wscale),
+            'E' => TcpOption::EndOfList,
+            other => unreachable!("unknown option mnemonic {other}"),
+        })
+        .collect()
+}
+
+fn qname_hash(name: &str) -> u128 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    u128::from(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoSet;
+
+    fn net() -> Internet {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+    }
+
+    fn find_host(net: &Internet, day: Day, want: Protocol) -> Addr {
+        net.population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .find(|(_, protos, _)| protos.contains(want))
+            .map(|(a, ..)| a)
+            .expect("responsive host")
+    }
+
+    #[test]
+    fn icmp_echo_end_to_end() {
+        let net = net();
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        let rs = net.probe(dst, &ProbeKind::IcmpEcho { size: 64 }, day);
+        assert_eq!(rs, vec![Response::EchoReply { fragmented: false }]);
+    }
+
+    #[test]
+    fn tcp_syn_gets_synack_with_fingerprint() {
+        let net = net();
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Tcp80);
+        let rs = net.probe(dst, &ProbeKind::TcpSyn { port: 80 }, day);
+        assert!(matches!(rs.as_slice(), [Response::SynAck { .. }]));
+    }
+
+    #[test]
+    fn dark_space_is_silent() {
+        let net = net();
+        let rs = net.probe("3fff::1".parse().unwrap(), &ProbeKind::IcmpEcho { size: 64 }, Day(5));
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn gfw_injects_for_blocked_domain_on_dark_chinese_address() {
+        let net = net();
+        let day = crate::time::events::GFW_ERA3.0.plus(5);
+        let ct = net.registry().by_asn(4134).unwrap();
+        let info = net.registry().get(ct);
+        // A dark (non-host) address inside China Telecom's space.
+        let dst = Addr(info.prefixes[0].network().0 | 0xdead_beef);
+        assert!(net.population().lookup(dst, day).is_none(), "address must be dark");
+        let rs = net.probe(dst, &ProbeKind::Dns { qname: "www.google.com".into() }, day);
+        assert!(rs.len() >= 2, "GFW injected {} responses", rs.len());
+        for r in &rs {
+            match r {
+                Response::Dns(m) => assert!(crate::gfw::looks_injected(m)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Same address, unblocked domain: silence.
+        let rs2 = net.probe(dst, &ProbeKind::Dns { qname: "harmless.example".into() }, day);
+        assert!(rs2.is_empty());
+        // Same address, outside an era: silence.
+        let rs3 = net.probe(dst, &ProbeKind::Dns { qname: "www.google.com".into() }, Day(100));
+        assert!(rs3.is_empty());
+    }
+
+    #[test]
+    fn tbt_pmtu_cache_shared_per_backend() {
+        let net = net();
+        let day = Day(100);
+        let g = net
+            .population()
+            .aliased_groups(day)
+            .find(|g| {
+                matches!(
+                    g.kind,
+                    crate::population::GroupKind::Aliased {
+                        backends: crate::registry::BackendMode::Single,
+                        ..
+                    }
+                ) && g.protos.contains(Protocol::Icmp)
+            })
+            .expect("single-host alias");
+        let a = g.prefix.random_addr(1);
+        let b = g.prefix.random_addr(2);
+        // Baseline: no fragmentation.
+        assert_eq!(
+            net.probe(a, &ProbeKind::IcmpEcho { size: 1300 }, day),
+            vec![Response::EchoReply { fragmented: false }]
+        );
+        // Seed the cache via one address...
+        net.probe(a, &ProbeKind::TooBig { mtu: 1280 }, day);
+        // ...and the sibling address fragments too: one shared cache.
+        assert_eq!(
+            net.probe(b, &ProbeKind::IcmpEcho { size: 1300 }, day),
+            vec![Response::EchoReply { fragmented: true }]
+        );
+        net.reset_state();
+        assert_eq!(
+            net.probe(b, &ProbeKind::IcmpEcho { size: 1300 }, day),
+            vec![Response::EchoReply { fragmented: false }]
+        );
+    }
+
+    #[test]
+    fn traceroute_hops_expire() {
+        let net = net();
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        let plen = net.path_len(dst);
+        let r = net
+            .probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, day)
+            .expect("hop 2 answers");
+        assert!(matches!(r, Response::TimeExceeded { .. }));
+        let r2 = net.probe_ttl(dst, plen, &ProbeKind::IcmpEcho { size: 16 }, day);
+        assert_eq!(r2, Some(Response::EchoReply { fragmented: false }));
+    }
+
+    #[test]
+    fn wire_path_agrees_with_semantic_path() {
+        let net = net();
+        let day = Day(200);
+        let src = net.registry().vantage_addr();
+        // ICMP
+        let dst = find_host(&net, day, Protocol::Icmp);
+        let probe = Packet {
+            ipv6: Ipv6Header::new(src, dst, 64),
+            transport: Transport::Icmpv6(Icmpv6::EchoRequest { ident: 9, seq: 1, payload: vec![0; 32] }),
+        };
+        let replies = net.send_bytes(&probe.to_bytes(), day);
+        assert_eq!(replies.len(), net.probe(dst, &ProbeKind::IcmpEcho { size: 32 }, day).len());
+        let parsed = Packet::parse(&replies[0]).unwrap();
+        assert_eq!(parsed.ipv6.src, dst);
+        assert!(matches!(
+            parsed.transport,
+            Transport::Icmpv6(Icmpv6::EchoReply { ident: 9, seq: 1, .. })
+        ));
+        // TCP fingerprint options survive the wire.
+        let dst80 = find_host(&net, day, Protocol::Tcp80);
+        let syn = Packet {
+            ipv6: Ipv6Header::new(src, dst80, 64),
+            transport: Transport::Tcp(TcpSegment::syn(80, 44123, 7)),
+        };
+        let replies = net.send_bytes(&syn.to_bytes(), day);
+        assert_eq!(replies.len(), 1);
+        let parsed = Packet::parse(&replies[0]).unwrap();
+        let semantic = net.probe(dst80, &ProbeKind::TcpSyn { port: 80 }, day);
+        let Response::SynAck { fp } = &semantic[0] else { panic!() };
+        match parsed.transport {
+            Transport::Tcp(seg) => {
+                assert!(seg.flags.syn && seg.flags.ack);
+                assert_eq!(seg.optionstext(), fp.optionstext);
+                assert_eq!(seg.window, fp.window);
+                assert_eq!(seg.mss(), Some(fp.mss));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_dns_query_roundtrip() {
+        let net = net();
+        let day = Day(300);
+        let src = net.registry().vantage_addr();
+        let dst = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .find(|(_, p, _)| p.contains(Protocol::Udp53))
+            .map(|(a, ..)| a)
+            .expect("dns host");
+        let q = DnsMessage::aaaa_query(0x4242, "www.google.com");
+        let probe = Packet {
+            ipv6: Ipv6Header::new(src, dst, 64),
+            transport: Transport::Udp(UdpDatagram { src_port: 53535, dst_port: 53, payload: q.to_bytes() }),
+        };
+        let replies = net.send_bytes(&probe.to_bytes(), day);
+        assert_eq!(replies.len(), 1);
+        let parsed = Packet::parse(&replies[0]).unwrap();
+        match parsed.transport {
+            Transport::Udp(d) => {
+                assert_eq!(d.src_port, 53);
+                let msg = DnsMessage::parse(&d.payload).unwrap();
+                assert!(msg.is_response);
+                assert_eq!(msg.id, 0x4242, "transaction id echoed");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_domain_logs_resolver_sources() {
+        let net = net();
+        let day = Day(300);
+        // Find an open resolver.
+        let resolver = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Udp53))
+            .map(|(a, ..)| a)
+            .find(|a| {
+                net.population().lookup(*a, day).and_then(|v| v.dns)
+                    == Some(DnsBehavior::OpenResolver)
+            });
+        let Some(resolver) = resolver else {
+            // Tiny scale may have no resolver; acceptable.
+            return;
+        };
+        let q = format!("abc123.{CONTROLLED_DOMAIN}");
+        let rs = net.probe(resolver, &ProbeKind::Dns { qname: q.clone() }, day);
+        assert_eq!(rs.len(), 1);
+        let log = net.take_ns_log();
+        assert_eq!(log, vec![(resolver, q)]);
+    }
+
+    #[test]
+    fn fault_injection_drops_probes() {
+        let lossy = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 500 });
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(400)
+            .collect();
+        let answered = targets
+            .iter()
+            .filter(|a| !lossy.probe(**a, &ProbeKind::IcmpEcho { size: 16 }, day).is_empty())
+            .count();
+        let rate = answered as f64 / targets.len() as f64;
+        assert!((0.3..0.7).contains(&rate), "answer rate {rate} under 50% loss");
+    }
+
+    #[test]
+    fn quic_version_negotiation() {
+        let net = net();
+        let day = Day(600);
+        let dst = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .find(|(_, p, _)| p.contains(Protocol::Udp443))
+            .map(|(a, ..)| a)
+            .expect("quic host");
+        assert_eq!(net.probe(dst, &ProbeKind::Quic, day), vec![Response::QuicVn]);
+    }
+
+    #[test]
+    fn proto_set_gates_everything() {
+        let net = net();
+        let day = Day(100);
+        // An ICMP-only host must not answer TCP or QUIC.
+        let only_icmp = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .find(|(_, p, _)| *p == ProtoSet::of(&[Protocol::Icmp]))
+            .map(|(a, ..)| a)
+            .expect("icmp-only host");
+        assert!(net.probe(only_icmp, &ProbeKind::Quic, day).is_empty());
+        assert!(net.probe(only_icmp, &ProbeKind::TcpSyn { port: 80 }, day).is_empty());
+        assert!(!net.probe(only_icmp, &ProbeKind::IcmpEcho { size: 8 }, day).is_empty());
+    }
+}

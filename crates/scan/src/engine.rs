@@ -1,0 +1,416 @@
+//! The ZMapv6-style scan engine.
+//!
+//! One probe module per hitlist protocol, a cyclic-group permutation over
+//! the target list, a token-bucket rate limiter on virtual time, and —
+//! crucially — ZMap's actual classification semantics, including the flaw
+//! the paper's GFW analysis hinges on: **any parseable DNS response counts
+//! as success**, so injected answers for `www.google.com` make dark
+//! Chinese addresses look UDP/53-responsive. The engine records whether
+//! answers carried injection markers (A records / Teredo AAAA) so the
+//! hitlist's cleaning filter can act on them, exactly like the ZMap-output
+//! filter tool the authors published.
+
+use serde::{Deserialize, Serialize};
+use sixdust_addr::Addr;
+use sixdust_net::{Day, Internet, ProbeKind, Protocol, Response};
+use sixdust_wire::dns::DnsMessage;
+use sixdust_wire::icmpv6::Icmpv6;
+use sixdust_wire::quic::{QuicPacket, FORCE_VN_VERSION};
+use sixdust_wire::tcp::TcpSegment;
+use sixdust_wire::udp::UdpDatagram;
+use sixdust_wire::{Ipv6Header, Packet, Transport};
+
+use crate::permute::CyclicPermutation;
+use crate::rate::{Clock, TokenBucket, VirtualClock};
+
+/// The DNS name the hitlist's UDP/53 module queries. Blocked by the GFW —
+/// which is the root cause of the injected-response pollution.
+pub const DEFAULT_DNS_QNAME: &str = "www.google.com";
+
+/// Scan engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Probes sent per target (ZMap default 1; retries mask loss).
+    pub attempts: u8,
+    /// Probe rate in packets per second of virtual time.
+    pub rate_pps: u64,
+    /// Permutation seed.
+    pub seed: u64,
+    /// DNS query name for the UDP/53 module.
+    pub dns_qname: String,
+}
+
+impl Default for ScanConfig {
+    fn default() -> ScanConfig {
+        ScanConfig {
+            threads: 4,
+            attempts: 1,
+            rate_pps: 100_000,
+            seed: 0x5CA7,
+            dns_qname: DEFAULT_DNS_QNAME.to_string(),
+        }
+    }
+}
+
+/// Per-target scan outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanOutcome {
+    /// Probed address.
+    pub target: Addr,
+    /// Whether the module classified the target as responsive.
+    pub success: bool,
+    /// Response detail.
+    pub detail: Detail,
+}
+
+/// Classification detail per protocol module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detail {
+    /// No response.
+    Silent,
+    /// ICMP echo reply.
+    Echo,
+    /// TCP SYN-ACK with fingerprint features.
+    SynAck {
+        /// Order-preserving options string.
+        optionstext: String,
+        /// Window size.
+        window: u16,
+        /// Window scale.
+        wscale: u8,
+        /// MSS.
+        mss: u16,
+        /// Initial TTL estimate.
+        ittl: u8,
+    },
+    /// TCP RST (alive, port closed — not counted as success).
+    Rst,
+    /// DNS response(s).
+    Dns {
+        /// Number of responses received (GFW injects several).
+        responses: u8,
+        /// Whether any response carried injection markers.
+        injected: bool,
+    },
+    /// QUIC version negotiation.
+    QuicVn,
+}
+
+/// Aggregate statistics of one scan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Probes sent.
+    pub sent: u64,
+    /// Responses received.
+    pub received: u64,
+    /// Targets classified responsive.
+    pub hits: u64,
+    /// Virtual scan duration in seconds (targets / rate).
+    pub duration_secs: f64,
+}
+
+/// A completed scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanResult {
+    /// Scanned protocol.
+    pub protocol: Protocol,
+    /// Simulation day the scan ran.
+    pub day: Day,
+    /// Per-target outcomes, in probe order.
+    pub outcomes: Vec<ScanOutcome>,
+    /// Aggregate statistics.
+    pub stats: ScanStats,
+}
+
+impl ScanResult {
+    /// Iterates the responsive targets.
+    pub fn hits(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.outcomes.iter().filter(|o| o.success).map(|o| o.target)
+    }
+
+    /// Iterates responsive targets that did NOT look GFW-injected — the
+    /// cleaning filter this paper added to the service.
+    pub fn clean_hits(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                o.success && !matches!(o.detail, Detail::Dns { injected: true, .. })
+            })
+            .map(|o| o.target)
+    }
+}
+
+/// The probe a protocol module sends.
+pub fn probe_for(protocol: Protocol, dns_qname: &str) -> ProbeKind {
+    match protocol {
+        Protocol::Icmp => ProbeKind::IcmpEcho { size: 8 },
+        Protocol::Tcp80 => ProbeKind::TcpSyn { port: 80 },
+        Protocol::Tcp443 => ProbeKind::TcpSyn { port: 443 },
+        Protocol::Udp53 => ProbeKind::Dns { qname: dns_qname.to_string() },
+        Protocol::Udp443 => ProbeKind::Quic,
+    }
+}
+
+/// Classifies semantic responses per module.
+pub fn classify(protocol: Protocol, responses: &[Response]) -> (bool, Detail) {
+    if responses.is_empty() {
+        return (false, Detail::Silent);
+    }
+    match protocol {
+        Protocol::Icmp => {
+            if responses.iter().any(|r| matches!(r, Response::EchoReply { .. })) {
+                (true, Detail::Echo)
+            } else {
+                (false, Detail::Silent)
+            }
+        }
+        Protocol::Tcp80 | Protocol::Tcp443 => {
+            for r in responses {
+                if let Response::SynAck { fp } = r {
+                    return (
+                        true,
+                        Detail::SynAck {
+                            optionstext: fp.optionstext.clone(),
+                            window: fp.window,
+                            wscale: fp.wscale,
+                            mss: fp.mss,
+                            ittl: fp.ittl,
+                        },
+                    );
+                }
+            }
+            if responses.iter().any(|r| matches!(r, Response::Rst)) {
+                (false, Detail::Rst)
+            } else {
+                (false, Detail::Silent)
+            }
+        }
+        Protocol::Udp53 => {
+            let dns: Vec<&DnsMessage> = responses
+                .iter()
+                .filter_map(|r| match r {
+                    Response::Dns(m) => Some(m),
+                    _ => None,
+                })
+                .collect();
+            if dns.is_empty() {
+                (false, Detail::Silent)
+            } else {
+                // ZMap semantics: any response is success. The injection
+                // marker is recorded for the post-scan cleaning filter.
+                let injected = dns.iter().any(|m| sixdust_net::gfw::looks_injected(m));
+                (true, Detail::Dns { responses: dns.len().min(255) as u8, injected })
+            }
+        }
+        Protocol::Udp443 => {
+            if responses.iter().any(|r| matches!(r, Response::QuicVn)) {
+                (true, Detail::QuicVn)
+            } else {
+                (false, Detail::Silent)
+            }
+        }
+    }
+}
+
+/// Runs one protocol scan over the target list (semantic fast path).
+pub fn scan(
+    net: &Internet,
+    protocol: Protocol,
+    targets: &[Addr],
+    day: Day,
+    config: &ScanConfig,
+) -> ScanResult {
+    let probe = probe_for(protocol, &config.dns_qname);
+    let n = targets.len() as u64;
+    let order: Vec<u64> = CyclicPermutation::new(n, config.seed ^ u64::from(day.0)).collect();
+    let threads = config.threads.clamp(1, 32);
+    let chunk = order.len().div_ceil(threads.max(1)).max(1);
+
+    let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
+    let chunks: Vec<&[u64]> = order.chunks(chunk).collect();
+    let results: Vec<Vec<ScanOutcome>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|idxs| {
+                let probe = probe.clone();
+                s.spawn(move |_| {
+                    let mut out = Vec::with_capacity(idxs.len());
+                    for &i in idxs.iter() {
+                        let target = targets[i as usize];
+                        let mut responses = Vec::new();
+                        for _attempt in 0..config.attempts.max(1) {
+                            responses = net.probe(target, &probe, day);
+                            if !responses.is_empty() {
+                                break;
+                            }
+                        }
+                        let (success, detail) = classify(protocol, &responses);
+                        out.push(ScanOutcome { target, success, detail });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+    })
+    .expect("scan scope");
+    for r in results {
+        outcomes.extend(r);
+    }
+
+    let sent = n * u64::from(config.attempts.max(1));
+    let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
+    let hits = outcomes.iter().filter(|o| o.success).count() as u64;
+    ScanResult {
+        protocol,
+        day,
+        outcomes,
+        stats: ScanStats {
+            sent,
+            received,
+            hits,
+            duration_secs: sent as f64 / config.rate_pps.max(1) as f64,
+        },
+    }
+}
+
+/// Runs the same scan through the byte-level wire path. Slower; used by
+/// tests and benches to validate that the fast path is faithful.
+pub fn scan_wire(
+    net: &Internet,
+    protocol: Protocol,
+    targets: &[Addr],
+    day: Day,
+    config: &ScanConfig,
+) -> ScanResult {
+    let src = net.registry().vantage_addr();
+    let bucket = TokenBucket::new(config.rate_pps, 128);
+    let clock = VirtualClock::new();
+    let mut outcomes = Vec::with_capacity(targets.len());
+    for i in CyclicPermutation::new(targets.len() as u64, config.seed ^ u64::from(day.0)) {
+        let target = targets[i as usize];
+        while !bucket.try_take(&clock) {
+            clock.advance(bucket.wait_hint_micros().max(1));
+        }
+        let probe_bytes = build_probe_bytes(protocol, src, target, &config.dns_qname, i as u32);
+        let reply_bytes = reassemble_replies(net.send_bytes(&probe_bytes, day));
+        let responses: Vec<Response> = reply_bytes
+            .iter()
+            .filter_map(|b| parse_response(protocol, b))
+            .collect();
+        let (success, detail) = classify(protocol, &responses);
+        outcomes.push(ScanOutcome { target, success, detail });
+    }
+    let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
+    let hits = outcomes.iter().filter(|o| o.success).count() as u64;
+    let sent = targets.len() as u64;
+    ScanResult {
+        protocol,
+        day,
+        outcomes,
+        stats: ScanStats {
+            sent,
+            received,
+            hits,
+            duration_secs: clock.now_micros() as f64 / 1e6,
+        },
+    }
+}
+
+/// Reassembles fragment packets in a reply batch: fragments are grouped
+/// by (source, identification), reassembled, and replaced by the whole
+/// packet; non-fragments pass through. Undecodable fragment groups are
+/// dropped, like a real receive path would time them out.
+pub fn reassemble_replies(replies: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    use sixdust_wire::fragment;
+    let mut out = Vec::with_capacity(replies.len());
+    let mut groups: std::collections::HashMap<(Addr, u32), Vec<Vec<u8>>> = Default::default();
+    for r in replies {
+        if fragment::is_fragment(&r) {
+            if let (Some(src), Some(ident)) = (fragment::src_of(&r), fragment::fragment_ident(&r)) {
+                groups.entry((src, ident)).or_default().push(r);
+            }
+        } else {
+            out.push(r);
+        }
+    }
+    for (_, frags) in groups {
+        if let Ok(whole) = fragment::reassemble(&frags) {
+            out.push(whole);
+        }
+    }
+    out
+}
+
+/// Builds the module's probe packet bytes.
+pub fn build_probe_bytes(
+    protocol: Protocol,
+    src: Addr,
+    dst: Addr,
+    dns_qname: &str,
+    nonce: u32,
+) -> Vec<u8> {
+    let transport = match protocol {
+        Protocol::Icmp => Transport::Icmpv6(Icmpv6::EchoRequest {
+            ident: (nonce >> 16) as u16,
+            seq: nonce as u16,
+            payload: vec![0u8; 8],
+        }),
+        Protocol::Tcp80 => Transport::Tcp(TcpSegment::syn(80, 40_000 + (nonce % 20_000) as u16, nonce)),
+        Protocol::Tcp443 => {
+            Transport::Tcp(TcpSegment::syn(443, 40_000 + (nonce % 20_000) as u16, nonce))
+        }
+        Protocol::Udp53 => Transport::Udp(UdpDatagram {
+            src_port: 40_000 + (nonce % 20_000) as u16,
+            dst_port: 53,
+            payload: DnsMessage::aaaa_query(nonce as u16, dns_qname).to_bytes(),
+        }),
+        Protocol::Udp443 => Transport::Udp(UdpDatagram {
+            src_port: 40_000 + (nonce % 20_000) as u16,
+            dst_port: 443,
+            payload: QuicPacket::Initial {
+                version: FORCE_VN_VERSION,
+                dcid: nonce.to_be_bytes().to_vec(),
+                scid: vec![0x51],
+            }
+            .to_bytes(),
+        }),
+    };
+    Packet { ipv6: Ipv6Header::new(src, dst, 64), transport }.to_bytes()
+}
+
+fn parse_response(protocol: Protocol, bytes: &[u8]) -> Option<Response> {
+    let pkt = Packet::parse(bytes).ok()?;
+    match (protocol, pkt.transport) {
+        (Protocol::Icmp, Transport::Icmpv6(Icmpv6::EchoReply { fragmented, .. })) => {
+            Some(Response::EchoReply { fragmented })
+        }
+        (Protocol::Tcp80 | Protocol::Tcp443, Transport::Tcp(seg)) => {
+            if seg.flags.syn && seg.flags.ack {
+                Some(Response::SynAck {
+                    fp: sixdust_net::fingerprint::TcpFingerprint {
+                        optionstext: seg.optionstext(),
+                        window: seg.window,
+                        wscale: seg.window_scale().unwrap_or(0),
+                        mss: seg.mss().unwrap_or(0),
+                        ittl: pkt.ipv6.hop_limit.next_power_of_two(),
+                    },
+                })
+            } else if seg.flags.rst {
+                Some(Response::Rst)
+            } else {
+                None
+            }
+        }
+        (Protocol::Udp53, Transport::Udp(d)) => {
+            DnsMessage::parse(&d.payload).ok().map(Response::Dns)
+        }
+        (Protocol::Udp443, Transport::Udp(d)) => match QuicPacket::parse(&d.payload) {
+            Ok(QuicPacket::VersionNegotiation { .. }) => Some(Response::QuicVn),
+            _ => None,
+        },
+        _ => None,
+    }
+}

@@ -1,0 +1,263 @@
+//! # sixdust-scan — ZMapv6-style scanning and Yarrp traceroute
+//!
+//! Reimplements the measurement tools the IPv6 Hitlist service runs
+//! (Fig. 1 of the paper), against the `sixdust-net` simulator instead of a
+//! raw socket:
+//!
+//! * [`engine`] — the scanner: probe modules for ICMP, TCP/80, TCP/443,
+//!   UDP/53 (DNS) and UDP/443 (QUIC), ZMap's cyclic-group target
+//!   permutation, token-bucket rate limiting, and faithful classification
+//!   semantics (a DNS *response* is a success, which is how GFW injections
+//!   polluted the hitlist).
+//! * [`yarrp`] — stateless randomized traceroute over the `(target, TTL)`
+//!   space, the service's router-harvesting input source.
+//! * [`permute`] / [`rate`] — the reusable mechanics.
+//! * [`pcap`] — libpcap traces of wire-mode runs (Wireshark-inspectable).
+//!
+//! Two fidelity levels: [`engine::scan`] drives the simulator's semantic
+//! fast path; [`engine::scan_wire`] serializes real packets both ways.
+//! The test suite pins them to identical classifications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pcap;
+pub mod permute;
+pub mod rate;
+pub mod yarrp;
+
+pub use engine::{reassemble_replies, scan, scan_wire, Detail, ScanConfig, ScanOutcome, ScanResult, ScanStats};
+pub use pcap::{PcapReader, PcapWriter};
+pub use permute::CyclicPermutation;
+pub use rate::{Clock, MonotonicClock, TokenBucket, VirtualClock};
+pub use yarrp::{yarrp, Trace, YarrpConfig, YarrpResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixdust_addr::Addr;
+    use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
+
+    fn net() -> Internet {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+    }
+
+    fn responsive_targets(net: &Internet, day: Day, proto: Protocol, extra_dark: usize) -> Vec<Addr> {
+        let mut t: Vec<Addr> = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(proto))
+            .map(|(a, ..)| a)
+            .take(100)
+            .collect();
+        for i in 0..extra_dark {
+            t.push(Addr(0x3fff_0000_0000_0000_0000_0000_0000_0000u128 + i as u128));
+        }
+        t
+    }
+
+    #[test]
+    fn icmp_scan_finds_responsive_hosts() {
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 50);
+        let result = scan(&net, Protocol::Icmp, &targets, day, &ScanConfig::default());
+        let hits: Vec<Addr> = result.hits().collect();
+        assert_eq!(hits.len(), targets.len() - 50, "every live target hit, no dark hit");
+        assert_eq!(result.stats.hits, hits.len() as u64);
+        assert!(result.stats.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn scan_outcome_order_covers_all_targets() {
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 10);
+        let result = scan(&net, Protocol::Icmp, &targets, day, &ScanConfig::default());
+        assert_eq!(result.outcomes.len(), targets.len());
+        let mut probed: Vec<Addr> = result.outcomes.iter().map(|o| o.target).collect();
+        let mut expected = targets.clone();
+        probed.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(probed, expected);
+    }
+
+    #[test]
+    fn dns_scan_counts_gfw_injections_as_success() {
+        let net = net();
+        let day = events::GFW_ERA3.0.plus(5);
+        let ct = net.registry().by_asn(4134).unwrap();
+        let block = net.registry().get(ct).prefixes[0].network();
+        // Dark Chinese addresses.
+        let targets: Vec<Addr> = (0..40u128).map(|i| Addr(block.0 | (0xdead_0000 + i))).collect();
+        let result = scan(&net, Protocol::Udp53, &targets, day, &ScanConfig::default());
+        assert_eq!(result.stats.hits, 40, "ZMap counts injected answers as success");
+        for o in &result.outcomes {
+            match &o.detail {
+                Detail::Dns { responses, injected } => {
+                    assert!(*injected, "injection marker set");
+                    assert!(*responses >= 2, "multiple injectors");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The cleaning filter removes all of them.
+        assert_eq!(result.clean_hits().count(), 0);
+        // Outside the era the same scan is silent.
+        let quiet = scan(&net, Protocol::Udp53, &targets, Day(100), &ScanConfig::default());
+        assert_eq!(quiet.stats.hits, 0);
+    }
+
+    #[test]
+    fn tcp_scan_captures_fingerprints() {
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Tcp80, 0);
+        let result = scan(&net, Protocol::Tcp80, &targets, day, &ScanConfig::default());
+        assert_eq!(result.stats.hits as usize, targets.len());
+        for o in &result.outcomes {
+            match &o.detail {
+                Detail::SynAck { optionstext, mss, .. } => {
+                    assert!(!optionstext.is_empty());
+                    assert!(*mss >= 1280);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quic_scan() {
+        let net = net();
+        let day = Day(600);
+        let targets = responsive_targets(&net, day, Protocol::Udp443, 20);
+        let result = scan(&net, Protocol::Udp443, &targets, day, &ScanConfig::default());
+        assert_eq!(result.stats.hits as usize, targets.len() - 20);
+    }
+
+    #[test]
+    fn wire_and_semantic_paths_agree() {
+        let net = net();
+        let day = Day(200);
+        for proto in [Protocol::Icmp, Protocol::Tcp80, Protocol::Udp53, Protocol::Udp443] {
+            let mut targets = responsive_targets(&net, day, proto, 5);
+            targets.truncate(30);
+            let fast = scan(&net, proto, &targets, day, &ScanConfig::default());
+            let wire = scan_wire(&net, proto, &targets, day, &ScanConfig::default());
+            let mut fast_hits: Vec<Addr> = fast.hits().collect();
+            let mut wire_hits: Vec<Addr> = wire.hits().collect();
+            fast_hits.sort_unstable();
+            wire_hits.sort_unstable();
+            assert_eq!(fast_hits, wire_hits, "{proto}");
+            // Fingerprint details must agree too.
+            for (f, w) in fast
+                .outcomes
+                .iter()
+                .filter(|o| o.success)
+                .flat_map(|f| {
+                    wire.outcomes
+                        .iter()
+                        .find(|w| w.target == f.target)
+                        .map(|w| (f, w))
+                })
+                .take(10)
+            {
+                match (&f.detail, &w.detail) {
+                    (
+                        Detail::SynAck { optionstext: a, window: wa, mss: ma, .. },
+                        Detail::SynAck { optionstext: b, window: wb, mss: mb, .. },
+                    ) => {
+                        assert_eq!(a, b);
+                        assert_eq!(wa, wb);
+                        assert_eq!(ma, mb);
+                    }
+                    (Detail::Dns { injected: a, .. }, Detail::Dns { injected: b, .. }) => {
+                        assert_eq!(a, b)
+                    }
+                    (x, y) => assert_eq!(std::mem::discriminant(x), std::mem::discriminant(y)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_day_merge_masks_loss() {
+        let lossy = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 300 });
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(200)
+            .collect();
+        let one = scan(
+            &lossy,
+            Protocol::Icmp,
+            &targets,
+            day,
+            &ScanConfig { attempts: 1, ..ScanConfig::default() },
+        );
+        // Deterministic drops can't be masked by same-day retries of the
+        // same probe; the hitlist masks them by merging *multiple days*.
+        let next_day = scan(&lossy, Protocol::Icmp, &targets, day.plus(1), &ScanConfig::default());
+        let merged: std::collections::HashSet<Addr> = one.hits().chain(next_day.hits()).collect();
+        assert!(merged.len() >= one.stats.hits as usize);
+        assert!(
+            merged.len() as f64 >= targets.len() as f64 * 0.80,
+            "two-day merge recovers most targets: {} of {}",
+            merged.len(),
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn yarrp_discovers_routers_and_reaches_targets() {
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 0);
+        let result = yarrp(&net, &targets[..20], day, &YarrpConfig::default());
+        assert_eq!(result.traces.len(), 20);
+        let routers = result.discovered_routers();
+        assert!(!routers.is_empty(), "routers discovered");
+        for t in &result.traces {
+            assert!(t.reached, "live target reached");
+            assert!(!t.hops.is_empty());
+            // Hops are sorted by TTL.
+            let ttls: Vec<u8> = t.hops.iter().map(|(ttl, _)| *ttl).collect();
+            let mut sorted = ttls.clone();
+            sorted.sort_unstable();
+            assert_eq!(ttls, sorted);
+        }
+    }
+
+    #[test]
+    fn yarrp_unresponsive_target_leaves_last_hop() {
+        let net = net();
+        let day = Day(100);
+        let dark: Vec<Addr> = vec![Addr(0x3fff_dead_0000_0000_0000_0000_0000_0001u128)];
+        let result = yarrp(&net, &dark, day, &YarrpConfig::default());
+        let t = &result.traces[0];
+        assert!(!t.reached);
+        let last = t.last_responsive_hop();
+        // Transit routers answer even toward dark space.
+        assert!(last.is_some());
+        assert_ne!(last, Some(dark[0]));
+    }
+
+    #[test]
+    fn chinese_last_hops_rotate_over_time() {
+        let net = net();
+        let ct = net.registry().by_asn(4134).unwrap();
+        let block = net.registry().get(ct).prefixes[0].network();
+        let dark = vec![Addr(block.0 | 0xabcd)];
+        let cfg = YarrpConfig::default();
+        let h1 = yarrp(&net, &dark, Day(100), &cfg).traces[0].last_responsive_hop().unwrap();
+        let h2 = yarrp(&net, &dark, Day(130), &cfg).traces[0].last_responsive_hop().unwrap();
+        assert_ne!(h1, h2, "rotating Chinese router interfaces accumulate");
+        assert_eq!(net.registry().origin(h1), Some(ct));
+    }
+}

@@ -1,0 +1,178 @@
+//! A token-bucket rate limiter with a pluggable clock.
+//!
+//! The hitlist service scans "with a limited rate" (ethics, Sec. 3.3).
+//! Inside the simulation no wall-clock time passes, so the limiter is
+//! written against a [`Clock`] trait: production code can use
+//! [`MonotonicClock`], the scan engine uses a [`VirtualClock`] it advances
+//! as probes are accounted — the same arithmetic either way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A time source measured in microseconds.
+pub trait Clock {
+    /// Microseconds since an arbitrary epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock time.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock anchored at construction time.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { start: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually advanced clock for simulation and tests.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advances by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+/// A token bucket: `rate_pps` probes per second sustained, `burst` tokens
+/// of headroom.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_pps: u64,
+    burst: u64,
+    tokens_femto: AtomicU64, // tokens * 1e6 to keep integer math exact
+    last_micros: AtomicU64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate_pps: u64, burst: u64) -> TokenBucket {
+        assert!(rate_pps > 0, "rate must be positive");
+        TokenBucket {
+            rate_pps,
+            burst: burst.max(1),
+            tokens_femto: AtomicU64::new(burst.max(1) * 1_000_000),
+            last_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to take one token at the clock's current time.
+    pub fn try_take(&self, clock: &dyn Clock) -> bool {
+        let now = clock.now_micros();
+        let last = self.last_micros.swap(now, Ordering::Relaxed);
+        let elapsed = now.saturating_sub(last);
+        // Refill: elapsed_micros * rate tokens-per-second = tokens*1e6.
+        let refill = elapsed.saturating_mul(self.rate_pps);
+        let cap = self.burst * 1_000_000;
+        let mut cur = self.tokens_femto.load(Ordering::Relaxed);
+        cur = (cur + refill).min(cap);
+        if cur >= 1_000_000 {
+            self.tokens_femto.store(cur - 1_000_000, Ordering::Relaxed);
+            true
+        } else {
+            self.tokens_femto.store(cur, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Microseconds until a token would be available (0 when one is ready).
+    pub fn wait_hint_micros(&self) -> u64 {
+        let cur = self.tokens_femto.load(Ordering::Relaxed);
+        if cur >= 1_000_000 {
+            0
+        } else {
+            (1_000_000 - cur) / self.rate_pps.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_starve() {
+        let clock = VirtualClock::new();
+        let bucket = TokenBucket::new(1000, 5);
+        // Burst allows 5 immediate probes...
+        let got = (0..10).filter(|_| bucket.try_take(&clock)).count();
+        assert_eq!(got, 5);
+        // ...then the bucket is empty until time passes.
+        assert!(!bucket.try_take(&clock));
+        clock.advance(1_000); // 1 ms at 1000 pps = 1 token
+        assert!(bucket.try_take(&clock));
+        assert!(!bucket.try_take(&clock));
+    }
+
+    #[test]
+    fn sustained_rate_enforced() {
+        let clock = VirtualClock::new();
+        let bucket = TokenBucket::new(100, 1);
+        let mut sent = 0;
+        // Simulate one second in 1 ms steps.
+        for _ in 0..1000 {
+            clock.advance(1_000);
+            if bucket.try_take(&clock) {
+                sent += 1;
+            }
+        }
+        assert!((95..=105).contains(&sent), "sent {sent} at 100 pps");
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let clock = VirtualClock::new();
+        let bucket = TokenBucket::new(1000, 3);
+        clock.advance(10_000_000); // ten seconds idle
+        let got = (0..10).filter(|_| bucket.try_take(&clock)).count();
+        assert_eq!(got, 3, "burst cap respected after idle");
+    }
+
+    #[test]
+    fn wait_hint() {
+        let clock = VirtualClock::new();
+        let bucket = TokenBucket::new(1000, 1);
+        assert!(bucket.try_take(&clock));
+        assert!(bucket.wait_hint_micros() > 0);
+        clock.advance(bucket.wait_hint_micros().max(1));
+        assert!(bucket.try_take(&clock));
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_micros();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_micros() > a);
+    }
+}

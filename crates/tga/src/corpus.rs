@@ -1,0 +1,98 @@
+//! Seed-corpus utilities shared by the target generation algorithms.
+
+use std::collections::{BTreeMap, HashSet};
+
+use sixdust_addr::Addr;
+
+/// Groups seed addresses by their /64 network.
+pub fn by_network(seeds: &[Addr]) -> BTreeMap<u64, Vec<Addr>> {
+    let mut map: BTreeMap<u64, Vec<Addr>> = BTreeMap::new();
+    for a in seeds {
+        map.entry(a.network_u64()).or_default().push(*a);
+    }
+    for v in map.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    map
+}
+
+/// Per-nibble-position Shannon entropy (bits, 0..=4) over a seed set.
+pub fn nibble_entropy(seeds: &[Addr]) -> [f64; 32] {
+    let mut counts = [[0u32; 16]; 32];
+    for a in seeds {
+        for (i, n) in a.nibbles().iter().enumerate() {
+            counts[i][*n as usize] += 1;
+        }
+    }
+    let total = seeds.len() as f64;
+    let mut out = [0f64; 32];
+    if seeds.is_empty() {
+        return out;
+    }
+    for (i, c) in counts.iter().enumerate() {
+        let mut h = 0f64;
+        for &n in c {
+            if n > 0 {
+                let p = f64::from(n) / total;
+                h -= p * p.log2();
+            }
+        }
+        out[i] = h;
+    }
+    out
+}
+
+/// Removes duplicates and any address already in the seed set — every
+/// generator reports *new* candidates only, like the paper's pipeline
+/// (Sec. 6.1 filters 90 % of passive candidates as already known).
+pub fn dedup_excluding(candidates: Vec<Addr>, seeds: &[Addr]) -> Vec<Addr> {
+    let seed_set: HashSet<Addr> = seeds.iter().copied().collect();
+    let mut out: Vec<Addr> = candidates
+        .into_iter()
+        .filter(|a| !seed_set.contains(a))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn network_grouping() {
+        let seeds = vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db9::1")];
+        let groups = by_network(&seeds);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&a("2001:db8::").network_u64()].len(), 2);
+    }
+
+    #[test]
+    fn entropy_flat_vs_varying() {
+        let seeds: Vec<Addr> = (1..=16u128).map(|i| Addr(0x2001_0db8u128 << 96 | i)).collect();
+        let h = nibble_entropy(&seeds);
+        assert!(h[0] < 0.01, "fixed position has no entropy");
+        assert!(h[31] > 3.9, "last nibble cycles through all values");
+    }
+
+    #[test]
+    fn entropy_empty() {
+        assert_eq!(nibble_entropy(&[]), [0f64; 32]);
+    }
+
+    #[test]
+    fn dedup_removes_seeds_and_dups() {
+        let seeds = vec![a("2001:db8::1")];
+        let out = dedup_excluding(
+            vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::2")],
+            &seeds,
+        );
+        assert_eq!(out, vec![a("2001:db8::2")]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The Internet checksum (RFC 1071) with the IPv6 pseudo-header (RFC 8200 §8.1).
+
+use sixdust_addr::Addr;
+
+/// Ones-complement sum accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Fresh accumulator.
+    pub fn new() -> Checksum {
+        Checksum::default()
+    }
+
+    /// Feeds a 16-bit word.
+    #[inline]
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+        // Fold eagerly so the u32 never overflows.
+        if self.sum > 0xffff_0000 {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+    }
+
+    /// Feeds a byte slice, padding an odd tail byte with zero per RFC 1071.
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.add_u16(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [tail] = chunks.remainder() {
+            self.add_u16(u16::from_be_bytes([*tail, 0]));
+        }
+    }
+
+    /// Feeds the IPv6 pseudo-header for the given upper-layer packet.
+    pub fn add_pseudo_header(&mut self, src: Addr, dst: Addr, next_header: u8, len: u32) {
+        self.add_bytes(&src.0.to_be_bytes());
+        self.add_bytes(&dst.0.to_be_bytes());
+        self.add_u16((len >> 16) as u16);
+        self.add_u16(len as u16);
+        self.add_u16(0);
+        self.add_u16(u16::from(next_header));
+    }
+
+    /// Finalizes to the ones-complement of the folded sum.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// Computes the transport checksum for `body` (with its checksum field
+/// zeroed) under the IPv6 pseudo-header.
+pub fn transport_checksum(src: Addr, dst: Addr, next_header: u8, body: &[u8]) -> u16 {
+    let mut ck = Checksum::new();
+    ck.add_pseudo_header(src, dst, next_header, body.len() as u32);
+    ck.add_bytes(body);
+    ck.finish()
+}
+
+/// Verifies a transport checksum: summing a correct packet *including* its
+/// checksum field yields `0xffff`, so `finish()` yields zero.
+pub fn verify_transport_checksum(src: Addr, dst: Addr, next_header: u8, body: &[u8]) -> bool {
+    let mut ck = Checksum::new();
+    ck.add_pseudo_header(src, dst, next_header, body.len() as u32);
+    ck.add_bytes(body);
+    ck.finish() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 worked example: 0001 f203 f4f5 f6f7 -> sum ddf2, cksum ~ddf2
+        let mut ck = Checksum::new();
+        ck.add_bytes(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+        assert_eq!(ck.finish(), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        let mut ck1 = Checksum::new();
+        ck1.add_bytes(&[0x12, 0x34, 0x56]);
+        let mut ck2 = Checksum::new();
+        ck2.add_bytes(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(ck1.finish(), ck2.finish());
+    }
+
+    #[test]
+    fn compute_then_verify() {
+        let src = a("2001:db8::1");
+        let dst = a("2001:db8::2");
+        let mut body = vec![0x80, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x01, 0xde, 0xad];
+        let ck = transport_checksum(src, dst, 58, &body);
+        body[2] = (ck >> 8) as u8;
+        body[3] = ck as u8;
+        assert!(verify_transport_checksum(src, dst, 58, &body));
+        body[9] ^= 1;
+        assert!(!verify_transport_checksum(src, dst, 58, &body));
+    }
+
+    #[test]
+    fn checksum_depends_on_addresses() {
+        let body = [0u8; 8];
+        let c1 = transport_checksum(a("::1"), a("::2"), 17, &body);
+        let c2 = transport_checksum(a("::1"), a("::3"), 17, &body);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn folding_never_overflows() {
+        let mut ck = Checksum::new();
+        for _ in 0..100_000 {
+            ck.add_u16(0xffff);
+        }
+        // Sum of n 0xffff words folds back to 0xffff; complement is 0.
+        assert_eq!(ck.finish(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! The wire-format error type.
+
+use std::fmt;
+
+/// Errors produced while parsing packet bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the format requires.
+    Truncated,
+    /// A version or magic field did not match.
+    BadVersion(u8),
+    /// Checksum verification failed.
+    BadChecksum,
+    /// The IPv6 next-header value is not one we decode.
+    UnsupportedNextHeader(u8),
+    /// A field held a value the format forbids.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadVersion(v) => write!(f, "unexpected version {v}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::UnsupportedNextHeader(v) => write!(f, "unsupported next header {v}"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,288 @@
+//! The IPv6 Fragment extension header (RFC 8200 §4.5) and datagram
+//! fragmentation/reassembly.
+//!
+//! IPv6 routers never fragment — only the *source* does, after learning a
+//! path MTU from a Packet Too Big message. That property is the entire
+//! foundation of the Too Big Trick (Sec. 5.1): seeding one address's PMTU
+//! cache makes its sibling addresses answer in fragments exactly when they
+//! share a host. The semantic simulator keeps a `fragmented` flag; this
+//! module provides the real wire form so the byte-level path can carry
+//! actual fragments, with reassembly on the scanner side.
+
+use sixdust_addr::Addr;
+
+use crate::{Ipv6Header, NextHeader, WireError, IPV6_HEADER_LEN};
+
+/// Length of the fragment extension header.
+pub const FRAGMENT_HEADER_LEN: usize = 8;
+/// Next-header value for the fragment header.
+pub const FRAGMENT_NEXT_HEADER: u8 = 44;
+
+/// A parsed fragment extension header.
+///
+/// ```
+/// use sixdust_wire::fragment::{fragment, reassemble};
+/// use sixdust_wire::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+/// let hdr = Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 64);
+/// let payload = vec![0xab; 2000];
+/// let frags = fragment(&hdr, NextHeader::Udp, &payload, 1280, 7);
+/// assert!(frags.len() >= 2);
+/// let whole = reassemble(&frags).unwrap();
+/// assert_eq!(&whole[IPV6_HEADER_LEN..], &payload[..]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// The transport protocol of the reassembled packet.
+    pub next_header: NextHeader,
+    /// Offset of this fragment's payload in 8-octet units.
+    pub offset_units: u16,
+    /// Whether more fragments follow.
+    pub more: bool,
+    /// Identification value shared by all fragments of one datagram.
+    pub ident: u32,
+}
+
+impl FragmentHeader {
+    /// Serializes the 8-byte header.
+    pub fn to_bytes(&self) -> [u8; FRAGMENT_HEADER_LEN] {
+        let mut b = [0u8; FRAGMENT_HEADER_LEN];
+        b[0] = self.next_header.value();
+        // b[1] reserved
+        let off_flags = (self.offset_units << 3) | u16::from(self.more);
+        b[2..4].copy_from_slice(&off_flags.to_be_bytes());
+        b[4..8].copy_from_slice(&self.ident.to_be_bytes());
+        b
+    }
+
+    /// Parses from the start of `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<FragmentHeader, WireError> {
+        if bytes.len() < FRAGMENT_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let off_flags = u16::from_be_bytes([bytes[2], bytes[3]]);
+        Ok(FragmentHeader {
+            next_header: NextHeader::from(bytes[0]),
+            offset_units: off_flags >> 3,
+            more: off_flags & 1 == 1,
+            ident: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        })
+    }
+}
+
+/// Splits an upper-layer payload into fragment *packets* honouring `mtu`
+/// (the whole-packet limit). Every fragment carries the IPv6 header plus a
+/// fragment header; all but the last set the M flag.
+///
+/// # Panics
+///
+/// Panics if `mtu` is too small to carry any payload
+/// (`mtu <= IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN`).
+pub fn fragment(
+    ipv6: &Ipv6Header,
+    next_header: NextHeader,
+    payload: &[u8],
+    mtu: u32,
+    ident: u32,
+) -> Vec<Vec<u8>> {
+    let headroom = IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN;
+    let capacity = (mtu as usize).saturating_sub(headroom);
+    assert!(capacity > 0, "mtu {mtu} cannot carry fragments");
+    // Non-final fragment payloads must be multiples of 8 octets.
+    let chunk = capacity & !7;
+    assert!(chunk > 0, "mtu {mtu} leaves no 8-octet chunk");
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < payload.len() || (payload.is_empty() && out.is_empty()) {
+        let end = (offset + chunk).min(payload.len());
+        let more = end < payload.len();
+        let fh = FragmentHeader {
+            next_header,
+            offset_units: (offset / 8) as u16,
+            more,
+            ident,
+        };
+        let mut hdr = *ipv6;
+        hdr.next_header = NextHeader::Other(FRAGMENT_NEXT_HEADER);
+        hdr.payload_len = (FRAGMENT_HEADER_LEN + end - offset) as u16;
+        let mut pkt = hdr.to_bytes().to_vec();
+        pkt.extend_from_slice(&fh.to_bytes());
+        pkt.extend_from_slice(&payload[offset..end]);
+        out.push(pkt);
+        if end == payload.len() {
+            break;
+        }
+        offset = end;
+    }
+    out
+}
+
+/// Reassembles fragment packets (all of one datagram, any order) back into
+/// a whole packet's bytes: the original IPv6 header (with the upper-layer
+/// next header) followed by the reassembled payload.
+pub fn reassemble(fragments: &[Vec<u8>]) -> Result<Vec<u8>, WireError> {
+    if fragments.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    let mut parts: Vec<(u16, bool, Vec<u8>, Ipv6Header, NextHeader, u32)> = Vec::new();
+    for f in fragments {
+        let ipv6 = Ipv6Header::parse(f)?;
+        if ipv6.next_header.value() != FRAGMENT_NEXT_HEADER {
+            return Err(WireError::Malformed("not a fragment"));
+        }
+        let body = f
+            .get(IPV6_HEADER_LEN..IPV6_HEADER_LEN + ipv6.payload_len as usize)
+            .ok_or(WireError::Truncated)?;
+        let fh = FragmentHeader::parse(body)?;
+        parts.push((
+            fh.offset_units,
+            fh.more,
+            body[FRAGMENT_HEADER_LEN..].to_vec(),
+            ipv6,
+            fh.next_header,
+            fh.ident,
+        ));
+    }
+    let ident = parts[0].5;
+    if parts.iter().any(|p| p.5 != ident) {
+        return Err(WireError::Malformed("mixed fragment idents"));
+    }
+    parts.sort_by_key(|p| p.0);
+    // Validate contiguity and that only the last lacks the M flag.
+    let mut expected_units = 0u16;
+    for (i, (off, more, data, ..)) in parts.iter().enumerate() {
+        if *off != expected_units {
+            return Err(WireError::Malformed("fragment gap"));
+        }
+        let is_last = i == parts.len() - 1;
+        if is_last == *more {
+            return Err(WireError::Malformed("fragment M flag"));
+        }
+        if !is_last && data.len() % 8 != 0 {
+            return Err(WireError::Malformed("fragment alignment"));
+        }
+        expected_units += (data.len() / 8) as u16;
+    }
+    let (_, _, _, ipv6, upper, _) = parts[0].clone();
+    let payload: Vec<u8> = parts.iter().flat_map(|(_, _, d, ..)| d.iter().copied()).collect();
+    let mut hdr = ipv6;
+    hdr.next_header = upper;
+    hdr.payload_len = payload.len() as u16;
+    let mut out = hdr.to_bytes().to_vec();
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Whether a raw packet is a fragment (cheap check for receive paths).
+pub fn is_fragment(bytes: &[u8]) -> bool {
+    bytes.len() >= IPV6_HEADER_LEN && bytes[6] == FRAGMENT_NEXT_HEADER
+}
+
+/// Extracts the fragment identification of a fragment packet.
+pub fn fragment_ident(bytes: &[u8]) -> Option<u32> {
+    if !is_fragment(bytes) {
+        return None;
+    }
+    let body = bytes.get(IPV6_HEADER_LEN..IPV6_HEADER_LEN + FRAGMENT_HEADER_LEN)?;
+    FragmentHeader::parse(body).ok().map(|fh| fh.ident)
+}
+
+/// Convenience for source addresses of raw packets (grouping fragments).
+pub fn src_of(bytes: &[u8]) -> Option<Addr> {
+    Ipv6Header::parse(bytes).ok().map(|h| h.src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    fn hdr() -> Ipv6Header {
+        Ipv6Header::new("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap(), 64)
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let fh = FragmentHeader {
+            next_header: NextHeader::Icmpv6,
+            offset_units: 0x123,
+            more: true,
+            ident: 0xdead_beef,
+        };
+        assert_eq!(FragmentHeader::parse(&fh.to_bytes()).unwrap(), fh);
+        let last = FragmentHeader { more: false, ..fh };
+        assert_eq!(FragmentHeader::parse(&last.to_bytes()).unwrap(), last);
+    }
+
+    #[test]
+    fn fragment_then_reassemble() {
+        let payload: Vec<u8> = (0..1300u16).map(|i| i as u8).collect();
+        let frags = fragment(&hdr(), NextHeader::Icmpv6, &payload, 1280, 42);
+        assert!(frags.len() >= 2, "1300 B over 1280 MTU needs 2 fragments");
+        for f in &frags[..frags.len() - 1] {
+            assert!(f.len() <= 1280, "fragment size {}", f.len());
+        }
+        assert!(frags.iter().all(|f| is_fragment(f)));
+        assert!(frags.iter().all(|f| fragment_ident(f) == Some(42)));
+        let whole = reassemble(&frags).unwrap();
+        let parsed = Ipv6Header::parse(&whole).unwrap();
+        assert_eq!(parsed.next_header, NextHeader::Icmpv6);
+        assert_eq!(&whole[IPV6_HEADER_LEN..], &payload[..]);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let payload: Vec<u8> = (0..4000u16).map(|i| (i * 7) as u8).collect();
+        let mut frags = fragment(&hdr(), NextHeader::Udp, &payload, 1280, 7);
+        assert!(frags.len() >= 3);
+        frags.reverse();
+        let whole = reassemble(&frags).unwrap();
+        assert_eq!(&whole[IPV6_HEADER_LEN..], &payload[..]);
+    }
+
+    #[test]
+    fn gaps_rejected() {
+        let payload = vec![0u8; 3000];
+        let mut frags = fragment(&hdr(), NextHeader::Udp, &payload, 1280, 7);
+        frags.remove(1);
+        assert!(matches!(reassemble(&frags), Err(WireError::Malformed("fragment gap"))));
+    }
+
+    #[test]
+    fn mixed_idents_rejected() {
+        let payload = vec![0u8; 2000];
+        let mut a = fragment(&hdr(), NextHeader::Udp, &payload, 1280, 1);
+        let b = fragment(&hdr(), NextHeader::Udp, &payload, 1280, 2);
+        a[1] = b[1].clone();
+        assert!(reassemble(&a).is_err());
+    }
+
+    #[test]
+    fn small_payload_single_fragment() {
+        let frags = fragment(&hdr(), NextHeader::Icmpv6, &[1, 2, 3], 1280, 9);
+        assert_eq!(frags.len(), 1);
+        let fh = FragmentHeader::parse(&frags[0][IPV6_HEADER_LEN..]).unwrap();
+        assert!(!fh.more);
+        assert_eq!(fh.offset_units, 0);
+    }
+
+    #[test]
+    fn reassembled_checksummed_packet_parses() {
+        // A real ICMP echo reply, fragmented and reassembled, must parse
+        // cleanly through the normal packet path.
+        let reply = Packet {
+            ipv6: hdr(),
+            transport: crate::Transport::Icmpv6(crate::icmpv6::Icmpv6::EchoReply {
+                ident: 1,
+                seq: 2,
+                payload: vec![0xab; 1300],
+                fragmented: true,
+            }),
+        };
+        let bytes = reply.to_bytes();
+        let ipv6 = Ipv6Header::parse(&bytes).unwrap();
+        let frags = fragment(&ipv6, NextHeader::Icmpv6, &bytes[IPV6_HEADER_LEN..], 1280, 3);
+        let whole = reassemble(&frags).unwrap();
+        let parsed = Packet::parse(&whole).unwrap();
+        assert_eq!(parsed, reply.canonical());
+    }
+}

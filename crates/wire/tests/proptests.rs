@@ -1,0 +1,148 @@
+//! Roundtrip property tests for every wire codec.
+
+use proptest::prelude::*;
+use sixdust_addr::Addr;
+use sixdust_wire::{dns, icmpv6, quic, tcp, udp, Ipv6Header, NextHeader, Packet, Transport};
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u128>().prop_map(Addr)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9-]{1,20}").expect("regex")
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_label(), 1..5).prop_map(|ls| ls.join("."))
+}
+
+fn arb_tcp_option() -> impl Strategy<Value = tcp::TcpOption> {
+    prop_oneof![
+        Just(tcp::TcpOption::Nop),
+        any::<u16>().prop_map(tcp::TcpOption::Mss),
+        (0u8..15).prop_map(tcp::TcpOption::WindowScale),
+        Just(tcp::TcpOption::SackPermitted),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| tcp::TcpOption::Timestamps(a, b)),
+    ]
+}
+
+fn arb_rdata() -> impl Strategy<Value = dns::Rdata> {
+    prop_oneof![
+        any::<u32>().prop_map(dns::Rdata::A),
+        any::<u128>().prop_map(|v| dns::Rdata::Aaaa(Addr(v))),
+        arb_name().prop_map(dns::Rdata::Ns),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| dns::Rdata::Mx(p, n)),
+        arb_name().prop_map(dns::Rdata::Cname),
+        arb_label().prop_map(dns::Rdata::Txt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ipv6_header_roundtrip(
+        src in arb_addr(), dst in arb_addr(),
+        tc in any::<u8>(), flow in 0u32..=0xf_ffff,
+        plen in any::<u16>(), nh in any::<u8>(), hop in any::<u8>(),
+    ) {
+        let h = Ipv6Header {
+            traffic_class: tc, flow_label: flow, payload_len: plen,
+            next_header: NextHeader::from(nh), hop_limit: hop, src, dst,
+        };
+        prop_assert_eq!(Ipv6Header::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(
+        src in arb_addr(), dst in arb_addr(),
+        ident in any::<u16>(), seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        fragmented in any::<bool>(),
+    ) {
+        let req = icmpv6::Icmpv6::EchoRequest { ident, seq, payload: payload.clone() };
+        prop_assert_eq!(icmpv6::Icmpv6::parse(&req.to_bytes(src, dst), src, dst).unwrap(), req);
+        let rep = icmpv6::Icmpv6::EchoReply { ident, seq, payload, fragmented };
+        prop_assert_eq!(icmpv6::Icmpv6::parse(&rep.to_bytes(src, dst), src, dst).unwrap(), rep);
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        src in arb_addr(), dst in arb_addr(),
+        sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+        window in any::<u16>(),
+        syn in any::<bool>(), ackf in any::<bool>(), rst in any::<bool>(), fin in any::<bool>(),
+        options in proptest::collection::vec(arb_tcp_option(), 0..4), // 40-byte option-space cap
+    ) {
+        let seg = tcp::TcpSegment {
+            src_port: sp, dst_port: dp, seq, ack_no: ack,
+            flags: tcp::TcpFlags { syn, ack: ackf, rst, fin },
+            window, options,
+        };
+        prop_assert_eq!(tcp::TcpSegment::parse(&seg.to_bytes(src, dst), src, dst).unwrap(), seg);
+    }
+
+    #[test]
+    fn udp_roundtrip(
+        src in arb_addr(), dst in arb_addr(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let d = udp::UdpDatagram { src_port: sp, dst_port: dp, payload };
+        prop_assert_eq!(udp::UdpDatagram::parse(&d.to_bytes(src, dst), src, dst).unwrap(), d);
+    }
+
+    #[test]
+    fn dns_roundtrip(
+        id in any::<u16>(),
+        qname in arb_name(),
+        answers in proptest::collection::vec((arb_name(), any::<u32>(), arb_rdata()), 0..5),
+        authority in proptest::collection::vec((arb_name(), any::<u32>(), arb_rdata()), 0..3),
+        rcode in 0u8..16,
+    ) {
+        let q = dns::DnsMessage::aaaa_query(id, &qname);
+        let mut r = dns::DnsMessage::response_to(&q, dns::Rcode::NoError);
+        r.rcode = match rcode {
+            0 => dns::Rcode::NoError, 1 => dns::Rcode::FormErr, 2 => dns::Rcode::ServFail,
+            3 => dns::Rcode::NxDomain, 4 => dns::Rcode::NotImp, 5 => dns::Rcode::Refused,
+            other => dns::Rcode::Other(other),
+        };
+        r.answers = answers.into_iter().map(|(name, ttl, rdata)| dns::Record { name, ttl, rdata }).collect();
+        r.authority = authority.into_iter().map(|(name, ttl, rdata)| dns::Record { name, ttl, rdata }).collect();
+        prop_assert_eq!(dns::DnsMessage::parse(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn quic_roundtrip(
+        version in 1u32..,
+        dcid in proptest::collection::vec(any::<u8>(), 0..20),
+        scid in proptest::collection::vec(any::<u8>(), 0..20),
+        supported in proptest::collection::vec(1u32.., 1..8),
+    ) {
+        let init = quic::QuicPacket::Initial { version, dcid: dcid.clone(), scid: scid.clone() };
+        prop_assert_eq!(quic::QuicPacket::parse(&init.to_bytes()).unwrap(), init);
+        let vn = quic::QuicPacket::VersionNegotiation { dcid, scid, supported };
+        prop_assert_eq!(quic::QuicPacket::parse(&vn.to_bytes()).unwrap(), vn);
+    }
+
+    #[test]
+    fn full_packet_roundtrip(
+        src in arb_addr(), dst in arb_addr(), hop in 1u8..,
+        which in 0u8..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let transport = match which {
+            0 => Transport::Icmpv6(icmpv6::Icmpv6::EchoRequest { ident: 1, seq: 2, payload }),
+            1 => Transport::Tcp(tcp::TcpSegment::syn(80, 4000, 77)),
+            _ => Transport::Udp(udp::UdpDatagram { src_port: 5, dst_port: 53, payload }),
+        };
+        let pkt = Packet { ipv6: Ipv6Header::new(src, dst, hop), transport };
+        prop_assert_eq!(Packet::parse(&pkt.to_bytes()).unwrap(), pkt.canonical());
+    }
+
+    #[test]
+    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Fuzz-shaped robustness: arbitrary bytes must not panic.
+        let _ = Packet::parse(&bytes);
+        let _ = dns::DnsMessage::parse(&bytes);
+        let _ = quic::QuicPacket::parse(&bytes);
+    }
+}

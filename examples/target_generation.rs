@@ -1,0 +1,60 @@
+//! Target generation (Sec. 6): run every TGA on the visible seed corpus
+//! and measure real hit rates against the simulated ground truth.
+//!
+//! ```sh
+//! cargo run --release --example target_generation
+//! ```
+
+use std::collections::HashSet;
+
+use sixdust::addr::Addr;
+use sixdust::net::{Day, FaultConfig, Internet, Scale};
+use sixdust::tga::paper_lineup;
+
+fn main() {
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let day = Day(1200);
+
+    // Seeds: what a hitlist would plausibly know — every responsive
+    // address except the hidden dense clusters, plus their small visible
+    // sample.
+    let mut seeds: Vec<Addr> = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .filter(|a| !net.population().is_dense_member(*a))
+        .collect();
+    seeds.extend(net.population().dense_visible(day));
+    seeds.sort_unstable();
+    seeds.dedup();
+
+    // Ground truth for scoring.
+    let truth: HashSet<Addr> =
+        net.population().enumerate_responsive(day).into_iter().map(|(a, ..)| a).collect();
+    let hidden = truth.iter().filter(|a| !seeds.contains(a)).count();
+    println!(
+        "seeds: {}   ground truth: {}   hidden from the seeds: {}",
+        seeds.len(),
+        truth.len(),
+        hidden
+    );
+    println!("\n{:<22} {:>10} {:>10} {:>9}", "generator", "generated", "hits", "hit rate");
+
+    for (generator, budget) in paper_lineup(Scale::tiny().addr_div) {
+        let candidates = generator.generate(&seeds, budget.max(2000));
+        let hits = candidates.iter().filter(|a| truth.contains(a)).count();
+        println!(
+            "{:<22} {:>10} {:>10} {:>8.1}%",
+            generator.name(),
+            candidates.len(),
+            hits,
+            hits as f64 * 100.0 / candidates.len().max(1) as f64
+        );
+    }
+
+    println!(
+        "\npaper shape: distance clustering wins on rate (~12 %), the pattern miners on volume,\n\
+         the learned models trail far behind (Sec. 6.2, Table 4)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Capture a wire-mode scan into a pcap file you can open in Wireshark:
+//! real IPv6/ICMPv6/TCP/UDP bytes, including a GFW-injected DNS answer
+//! and the Too Big Trick's fragments.
+//!
+//! ```sh
+//! cargo run --release --example wire_capture
+//! # then: wireshark /tmp/sixdust.pcap
+//! ```
+
+use sixdust::addr::Addr;
+use sixdust::net::{events, FaultConfig, Internet, Protocol, Scale};
+use sixdust::scan::engine::build_probe_bytes;
+use sixdust::scan::PcapWriter;
+use sixdust::wire::icmpv6::Icmpv6;
+use sixdust::wire::{Ipv6Header, Packet, Transport};
+
+fn main() -> std::io::Result<()> {
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let src = net.registry().vantage_addr();
+    let day = events::GFW_ERA3.0.plus(30);
+    let path = std::env::temp_dir().join("sixdust.pcap");
+    let mut pcap = PcapWriter::new(std::fs::File::create(&path)?)?;
+
+    let mut exchange = |probe: Vec<u8>, label: &str| -> std::io::Result<usize> {
+        pcap.write_packet(&probe)?;
+        let replies = net.send_bytes(&probe, day);
+        for r in &replies {
+            pcap.advance_micros(180);
+            pcap.write_packet(r)?;
+        }
+        pcap.advance_micros(1000);
+        println!("{label:<28} {} reply packet(s)", replies.len());
+        Ok(replies.len())
+    };
+
+    // 1. A normal ICMP exchange with a live host.
+    let live = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .find(|(_, p, _)| p.contains(Protocol::Icmp))
+        .map(|(a, ..)| a)
+        .expect("live host");
+    exchange(build_probe_bytes(Protocol::Icmp, src, live, "www.google.com", 1), "icmp echo")?;
+
+    // 2. A TCP SYN with full fingerprintable options.
+    let web = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .find(|(_, p, _)| p.contains(Protocol::Tcp80))
+        .map(|(a, ..)| a)
+        .expect("web host");
+    exchange(build_probe_bytes(Protocol::Tcp80, src, web, "www.google.com", 2), "tcp syn")?;
+
+    // 3. A GFW injection: a dark Chinese address answering a blocked name.
+    let ct = net.registry().by_asn(4134).expect("AS4134");
+    let dark = Addr(net.registry().get(ct).prefixes[0].network().0 | 0xd00d);
+    let n = exchange(
+        build_probe_bytes(Protocol::Udp53, src, dark, "www.google.com", 3),
+        "dns query (GFW injected)",
+    )?;
+    assert!(n >= 2, "multiple injectors answer");
+
+    // 4. TBT fragments: seed a PMTU cache, then a 1300-byte echo.
+    let alias = net
+        .population()
+        .aliased_groups(day)
+        .find(|g| g.protos.contains(Protocol::Icmp))
+        .expect("aliased prefix");
+    let target = alias.prefix.random_addr(7);
+    let ptb = Packet {
+        ipv6: Ipv6Header::new(src, target, 64),
+        transport: Transport::Icmpv6(Icmpv6::PacketTooBig { mtu: 1280 }),
+    };
+    exchange(ptb.to_bytes(), "packet too big (seed)")?;
+    let big = Packet {
+        ipv6: Ipv6Header::new(src, target, 64),
+        transport: Transport::Icmpv6(Icmpv6::EchoRequest { ident: 9, seq: 1, payload: vec![0; 1300] }),
+    };
+    let frags = exchange(big.to_bytes(), "1300B echo (fragments)")?;
+    assert!(frags >= 2, "reply arrives as real fragments");
+
+    let total = pcap.packets();
+    pcap.finish()?;
+    println!("\nwrote {total} packets to {}", path.display());
+    Ok(())
+}
