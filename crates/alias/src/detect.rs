@@ -20,9 +20,13 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 use sixdust_addr::{prf, Addr, Prefix, PrefixSet};
 use sixdust_net::{Day, Internet, ProbeKind, Response};
+use sixdust_telemetry::{Registry, SpanTimer};
 
 /// Detector configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Construct via [`DetectorConfig::builder`] or the chainable `with_*`
+/// methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetectorConfig {
     /// Minimum input addresses for longer-than-/64 candidates.
     pub min_addrs_long: usize,
@@ -35,6 +39,62 @@ pub struct DetectorConfig {
 impl Default for DetectorConfig {
     fn default() -> DetectorConfig {
         DetectorConfig { min_addrs_long: 100, merge_rounds: 3, seed: 0xA11A5 }
+    }
+}
+
+impl DetectorConfig {
+    /// Starts a builder seeded with the default configuration.
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder::default()
+    }
+
+    /// Returns the config with the long-prefix address floor replaced.
+    pub fn with_min_addrs_long(mut self, min_addrs_long: usize) -> DetectorConfig {
+        self.min_addrs_long = min_addrs_long;
+        self
+    }
+
+    /// Returns the config with the merge-window size replaced.
+    pub fn with_merge_rounds(mut self, merge_rounds: usize) -> DetectorConfig {
+        self.merge_rounds = merge_rounds;
+        self
+    }
+
+    /// Returns the config with the probe seed basis replaced.
+    pub fn with_seed(mut self, seed: u64) -> DetectorConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Builder for [`DetectorConfig`]; starts from [`DetectorConfig::default`].
+#[derive(Debug, Clone, Default)]
+pub struct DetectorConfigBuilder {
+    config: DetectorConfig,
+}
+
+impl DetectorConfigBuilder {
+    /// Sets the minimum input addresses for longer-than-/64 candidates.
+    pub fn min_addrs_long(mut self, min_addrs_long: usize) -> DetectorConfigBuilder {
+        self.config.min_addrs_long = min_addrs_long;
+        self
+    }
+
+    /// Sets how many past rounds merge into the current label.
+    pub fn merge_rounds(mut self, merge_rounds: usize) -> DetectorConfigBuilder {
+        self.config.merge_rounds = merge_rounds;
+        self
+    }
+
+    /// Sets the per-round probe seed basis.
+    pub fn seed(mut self, seed: u64) -> DetectorConfigBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> DetectorConfig {
+        self.config
     }
 }
 
@@ -68,6 +128,9 @@ pub struct AliasDetector {
     history: Vec<HashSet<Prefix>>,
     last_round_info: HashMap<Prefix, DetectedPrefix>,
     config: DetectorConfig,
+    /// Optional metrics sink; not part of checkpointed state.
+    #[serde(skip)]
+    telemetry: Option<Registry>,
 }
 
 /// Builds the candidate prefix list from the BGP table and the service
@@ -113,15 +176,40 @@ pub fn candidates(net: &Internet, input: &[Addr], min_addrs_long: usize) -> Vec<
     v
 }
 
+/// Renders a worker-panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 impl AliasDetector {
     /// Creates a detector.
     pub fn new(config: DetectorConfig) -> AliasDetector {
-        AliasDetector { history: Vec::new(), last_round_info: HashMap::new(), config }
+        AliasDetector {
+            history: Vec::new(),
+            last_round_info: HashMap::new(),
+            config,
+            telemetry: None,
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// Attaches a metrics registry: every subsequent [`run_round`]
+    /// records `alias.rounds` / `alias.candidates` / `alias.probes` /
+    /// `alias.detected` counters and the `alias.round_ms` histogram.
+    ///
+    /// [`run_round`]: AliasDetector::run_round
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = Some(registry);
     }
 
     /// Probes one candidate: 16 pseudo-random addresses, one per nibble
@@ -159,15 +247,20 @@ impl AliasDetector {
     /// Runs a detection round over the given candidates and merges it into
     /// the label window.
     pub fn run_round(&mut self, net: &Internet, cands: &[Prefix], day: Day) -> DetectionRound {
+        let _round_span = self
+            .telemetry
+            .as_ref()
+            .map(|t| SpanTimer::start(&t.histogram("alias.round_ms")));
         let seed = prf::mix2(self.config.seed, u64::from(day.0));
         let mut detected = Vec::new();
         let mut probes = 0u64;
+        let chunk = cands.len().div_ceil(8).max(1);
         let results: Vec<(Prefix, bool, bool, u64)> = crossbeam::thread::scope(|s| {
-            let chunk = cands.len().div_ceil(8).max(1);
             let handles: Vec<_> = cands
                 .chunks(chunk)
-                .map(|chunk_cands| {
-                    s.spawn(move |_| {
+                .enumerate()
+                .map(|(worker, chunk_cands)| {
+                    let handle = s.spawn(move |_| {
                         chunk_cands
                             .iter()
                             .map(|p| {
@@ -176,12 +269,34 @@ impl AliasDetector {
                                 (*p, icmp, tcp, n)
                             })
                             .collect::<Vec<_>>()
-                    })
+                    });
+                    (worker, chunk_cands.len(), handle)
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("detector worker")).collect()
+            handles
+                .into_iter()
+                .flat_map(|(worker, len, handle)| {
+                    handle.join().unwrap_or_else(|payload| {
+                        let start = worker * chunk;
+                        panic!(
+                            "alias detector worker {worker} (day {}, candidates \
+                             {start}..{}, {len} prefixes) panicked: {}",
+                            day.0,
+                            start + len,
+                            panic_message(&*payload)
+                        )
+                    })
+                })
+                .collect()
         })
-        .expect("detector scope");
+        .unwrap_or_else(|payload| {
+            panic!(
+                "alias detector scope (day {}, {} candidates) panicked: {}",
+                day.0,
+                cands.len(),
+                panic_message(&*payload)
+            )
+        });
         for (p, icmp, tcp80, n) in results {
             probes += n;
             if icmp || tcp80 {
@@ -194,6 +309,12 @@ impl AliasDetector {
         self.history.push(this_round);
         if self.history.len() > self.config.merge_rounds + 1 {
             self.history.remove(0);
+        }
+        if let Some(reg) = &self.telemetry {
+            reg.counter("alias.rounds").incr();
+            reg.counter("alias.candidates").add(cands.len() as u64);
+            reg.counter("alias.probes").add(probes);
+            reg.counter("alias.detected").add(detected.len() as u64);
         }
         DetectionRound { day, detected, candidates: cands.len(), probes }
     }
@@ -370,6 +491,33 @@ mod tests {
         assert_eq!(after.detected.len(), tf_prefixes.len());
         // ICMP-only: TCP/80 must NOT have detected them.
         assert!(after.detected.iter().all(|d| d.icmp && !d.tcp80));
+    }
+
+    #[test]
+    fn builder_reproduces_default_and_round_metrics_reconcile() {
+        assert_eq!(DetectorConfig::builder().build(), DetectorConfig::default());
+        assert_eq!(
+            DetectorConfig::default().with_merge_rounds(0).with_seed(9),
+            DetectorConfig::builder().merge_rounds(0).seed(9).build()
+        );
+        let net = net();
+        let day = Day(100);
+        let cands: Vec<Prefix> = net
+            .population()
+            .aliased_groups(day)
+            .map(|g| g.prefix)
+            .take(10)
+            .collect();
+        let mut det = AliasDetector::new(DetectorConfig::default());
+        let reg = sixdust_telemetry::Registry::new();
+        det.set_telemetry(reg.clone());
+        let round = det.run_round(&net, &cands, day);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("alias.rounds"), Some(1));
+        assert_eq!(snap.counter("alias.candidates"), Some(cands.len() as u64));
+        assert_eq!(snap.counter("alias.probes"), Some(round.probes));
+        assert_eq!(snap.counter("alias.detected"), Some(round.detected.len() as u64));
+        assert_eq!(snap.histogram("alias.round_ms").unwrap().count, 1);
     }
 
     #[test]

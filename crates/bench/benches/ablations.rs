@@ -50,10 +50,8 @@ fn ablation_merge_window(c: &mut Criterion) {
     for merge_rounds in [0usize, 3] {
         g.bench_function(format!("merge_{merge_rounds}_rounds"), |b| {
             b.iter(|| {
-                let mut det = AliasDetector::new(DetectorConfig {
-                    merge_rounds,
-                    ..DetectorConfig::default()
-                });
+                let mut det =
+                    AliasDetector::new(DetectorConfig::builder().merge_rounds(merge_rounds).build());
                 for gap in 0..=merge_rounds as u32 {
                     det.run_round(net(), &prefixes, day.plus(gap));
                 }
@@ -70,7 +68,7 @@ fn ablation_threads(c: &mut Criterion) {
     let t = targets();
     for threads in [1usize, 4, 8] {
         g.bench_function(format!("threads_{threads}"), |b| {
-            let cfg = ScanConfig { threads, ..ScanConfig::default() };
+            let cfg = ScanConfig::builder().threads(threads).build();
             b.iter(|| scan(net(), Protocol::Icmp, &t, Day(300), &cfg).stats.hits)
         });
     }

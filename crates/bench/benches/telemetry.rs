@@ -1,0 +1,82 @@
+//! Telemetry overhead benchmarks.
+//!
+//! The instrumented scan path (`scan_with`) is shipped as the *only* scan
+//! path — `scan()` just passes `telemetry: None` — so the sink-less case
+//! must cost essentially nothing. These benches pin that down:
+//!
+//! * `scan_icmp_1k_bare` vs `scan_icmp_1k_telemetry_off` — the same scan
+//!   through `scan()` and through `scan_with(.., None)`; the two are the
+//!   same code and should be within noise (< ~2%).
+//! * `scan_icmp_1k_telemetry_on` — what an attached registry actually
+//!   costs (counter adds + one histogram sample per worker).
+//! * Micro-benches for the primitives themselves, to keep their cost in
+//!   perspective against a single simulated probe.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sixdust_addr::Addr;
+use sixdust_net::{Day, FaultConfig, Internet, Protocol, Scale};
+use sixdust_scan::{scan, scan_with, ScanConfig};
+use sixdust_telemetry::{Histogram, Registry};
+
+fn scan_setup() -> (Internet, Vec<Addr>, ScanConfig) {
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let day = Day(100);
+    let targets: Vec<Addr> = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .take(1000)
+        .collect();
+    (net, targets, ScanConfig::default())
+}
+
+fn bench_scan_overhead(c: &mut Criterion) {
+    let (net, targets, cfg) = scan_setup();
+    let day = Day(100);
+    c.bench_function("scan_icmp_1k_bare", |b| {
+        b.iter(|| scan(&net, Protocol::Icmp, black_box(&targets), day, &cfg))
+    });
+    c.bench_function("scan_icmp_1k_telemetry_off", |b| {
+        b.iter(|| scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, None))
+    });
+    let registry = Registry::new();
+    c.bench_function("scan_icmp_1k_telemetry_on", |b| {
+        b.iter(|| {
+            scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&registry))
+        })
+    });
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    c.bench_function("telemetry_counter_add", |b| {
+        b.iter(|| counter.add(black_box(3)))
+    });
+    let hist = Histogram::new();
+    c.bench_function("telemetry_histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(977);
+            hist.record(black_box(v))
+        })
+    });
+    c.bench_function("telemetry_registry_lookup", |b| {
+        b.iter(|| registry.counter(black_box("bench.counter")))
+    });
+    c.bench_function("telemetry_snapshot", |b| {
+        for i in 0..64u64 {
+            registry.counter(&format!("bench.fill.{i}")).add(i);
+            registry.histogram(&format!("bench.hist.{i}")).record(i);
+        }
+        b.iter(|| registry.snapshot())
+    });
+}
+
+criterion_group!(
+    name = telemetry;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scan_overhead, bench_primitives
+);
+criterion_main!(telemetry);

@@ -9,7 +9,8 @@ use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfi
 use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, SourceEval};
 use sixdust_net::{Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
-use sixdust_tga::paper_lineup;
+use sixdust_telemetry::Registry;
+use sixdust_tga::instrumented_lineup;
 
 /// The day Table 3's TGA seeds are taken ("responsive addresses in
 /// December 2021"), 2021-12-01.
@@ -23,6 +24,9 @@ pub struct Ctx {
     pub svc: HitlistService,
     /// The scale everything was built at.
     pub scale: Scale,
+    /// Metrics registry every pipeline stage reports into; dumped by
+    /// `--telemetry <path>`.
+    pub telemetry: Registry,
     new_sources: Option<Vec<SourceEval>>,
 }
 
@@ -30,13 +34,15 @@ impl Ctx {
     /// Builds the Internet and runs the service from launch to the paper's
     /// final day. This is the expensive step (~minutes at paper scale).
     pub fn build(scale: Scale) -> Ctx {
-        let net = Internet::build(scale).with_faults(FaultConfig { drop_permille: 2 });
-        let mut config = ServiceConfig::default();
+        let telemetry = Registry::new();
+        let net = Internet::build(scale)
+            .with_faults(FaultConfig { drop_permille: 2 })
+            .with_telemetry(&telemetry);
         let mut days = Day::SNAPSHOTS.to_vec();
         days.push(TGA_SEED_DAY);
         days.sort_unstable();
-        config.snapshot_days = days;
-        let mut svc = HitlistService::new(config);
+        let config = ServiceConfig::builder().snapshot_days(days).build();
+        let mut svc = HitlistService::new(config).with_telemetry(telemetry.clone());
         eprintln!(
             "[ctx] running four-year service (addr 1/{}, entity 1/{}, seed {:#x})…",
             scale.addr_div, scale.entity_div, scale.seed
@@ -50,7 +56,7 @@ impl Ctx {
             svc.rounds().last().map(|r| r.total_cleaned).unwrap_or(0),
             t0.elapsed().as_secs_f64()
         );
-        Ctx { net, svc, scale, new_sources: None }
+        Ctx { net, svc, scale, telemetry, new_sources: None }
     }
 
     /// The snapshot at (or just after) a requested day.
@@ -100,7 +106,7 @@ impl Ctx {
             .copied()
             .collect();
         let mut tga_lists: Vec<(&'static str, Vec<Addr>)> = Vec::new();
-        for (generator, budget) in paper_lineup(self.scale.addr_div) {
+        for (generator, budget) in instrumented_lineup(self.scale.addr_div, &self.telemetry) {
             let t0 = std::time::Instant::now();
             let candidates = generator.generate(&seeds, budget);
             eprintln!(
@@ -120,6 +126,7 @@ impl Ctx {
             all_candidates.extend(list.iter().copied());
         }
         let mut detector = AliasDetector::new(DetectorConfig::default());
+        detector.set_telemetry(self.telemetry.clone());
         let cands = alias_candidates(net, &all_candidates, 100);
         detector.run_round(net, &cands, day);
         let mut aliased = self.svc.aliased().clone();

@@ -42,7 +42,7 @@ fn merge_window(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
             .map(|g| g.prefix)
             .take(250)
             .collect();
-        let mut single = AliasDetector::new(DetectorConfig { merge_rounds: 0, ..Default::default() });
+        let mut single = AliasDetector::new(DetectorConfig::builder().merge_rounds(0).build());
         single.run_round(&net, &truth, day);
         let single_hits =
             truth.iter().filter(|p| single.aliased().contains_exact(**p)).count();
@@ -73,11 +73,9 @@ fn gfw_filter(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
     let end = events::GFW_ERA1.0.plus(20);
     let idx53 = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).expect("udp53");
     let run = |gfw_filter_from: Option<Day>| {
-        let mut svc = HitlistService::new(ServiceConfig {
-            gfw_filter_from,
-            traceroute_cap: 800,
-            ..Default::default()
-        });
+        let mut svc = HitlistService::new(
+            ServiceConfig::builder().gfw_filter_from(gfw_filter_from).traceroute_cap(800).build(),
+        );
         svc.run(&net, start, end);
         svc.rounds().iter().map(|r| r.published[idx53]).max().unwrap_or(0)
     };
@@ -99,10 +97,7 @@ fn thirty_day_filter(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
     out.push_str("\n-- ablation 3: the 30-day unresponsive filter --\n");
     let net = ablation_net(2);
     let run = |window: u32| {
-        let mut svc = HitlistService::new(ServiceConfig {
-            traceroute_cap: 800,
-            ..Default::default()
-        });
+        let mut svc = HitlistService::new(ServiceConfig::builder().traceroute_cap(800).build());
         // A very large window disables the filter in practice.
         svc.set_unresponsive_window(window);
         svc.run(&net, Day(0), Day(90));

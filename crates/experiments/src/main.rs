@@ -5,8 +5,13 @@
 //! to `results/<id>.{txt,json}`.
 //!
 //! ```text
-//! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] <experiment>|all
+//! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
+//!             [--telemetry PATH] <experiment>|all
 //! ```
+//!
+//! `--telemetry PATH` dumps the shared metrics registry (scan, alias,
+//! service and TGA series — see README "Observability") as JSON after
+//! every experiment, so the file is complete even on partial runs.
 
 mod context;
 mod exp_ablations;
@@ -39,7 +44,8 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] <experiment>|all\n\
+        "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
+         [--telemetry PATH] <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -70,6 +76,7 @@ fn pipeline_text() -> String {
 fn main() {
     let mut scale = Scale::paper();
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry_path: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +108,10 @@ fn main() {
             "--out" => {
                 let Some(d) = args.next() else { usage() };
                 out_dir = PathBuf::from(d);
+            }
+            "--telemetry" => {
+                let Some(p) = args.next() else { usage() };
+                telemetry_path = Some(PathBuf::from(p));
             }
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
@@ -145,6 +156,14 @@ fn main() {
         });
         writeln!(f, "{}", serde_json::to_string_pretty(&enriched).expect("serialize"))
             .expect("write json");
+        // Dump after every experiment so the telemetry file is complete
+        // even if a later experiment aborts the run.
+        if let Some(path) = &telemetry_path {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create telemetry dir");
+            }
+            std::fs::write(path, ctx.telemetry.snapshot().to_json()).expect("write telemetry");
+        }
     }
 }
 

@@ -31,7 +31,9 @@ pub use filters::{Blocklist, GfwFilter, UnresponsiveFilter};
 pub use publish::{publish, Manifest, Publication};
 pub use state::ServiceState;
 pub use newsources::{evaluate_source, passive_sources, SourceEval};
-pub use service::{HitlistService, RoundRecord, ServiceConfig, Snapshot};
+pub use service::{
+    HitlistService, RoundRecord, ServiceConfig, ServiceConfigBuilder, Snapshot,
+};
 
 #[cfg(test)]
 mod tests {
@@ -43,11 +45,7 @@ mod tests {
     }
 
     fn quick_config() -> ServiceConfig {
-        ServiceConfig {
-            alias_every_days: 14,
-            traceroute_cap: 600,
-            ..ServiceConfig::default()
-        }
+        ServiceConfig::builder().alias_every_days(14).traceroute_cap(600).build()
     }
 
     #[test]
@@ -151,8 +149,7 @@ mod tests {
     #[test]
     fn snapshots_recorded_on_schedule() {
         let net = net();
-        let mut cfg = quick_config();
-        cfg.snapshot_days = vec![Day(0), Day(10)];
+        let cfg = quick_config().with_snapshot_days(vec![Day(0), Day(10)]);
         let mut svc = HitlistService::new(cfg);
         svc.run(&net, Day(0), Day(15));
         assert_eq!(svc.snapshots().len(), 2);
@@ -204,6 +201,80 @@ mod tests {
         assert!(!eval.responsive.is_empty());
         assert!(eval.hit_rate() > 0.0 && eval.hit_rate() <= 1.0);
         assert_eq!(eval.per_proto.len(), 5);
+    }
+
+    #[test]
+    fn builder_reproduces_default() {
+        assert_eq!(ServiceConfig::builder().build(), ServiceConfig::default());
+        let built = ServiceConfig::builder()
+            .scan(sixdust_scan::ScanConfig::builder().attempts(2).build())
+            .detector(sixdust_alias::DetectorConfig::default())
+            .gfw_filter_from(None)
+            .alias_every_days(7)
+            .traceroute_cap(123)
+            .snapshot_days(vec![Day(3)])
+            .build();
+        let chained = ServiceConfig::default()
+            .with_scan(sixdust_scan::ScanConfig::default().with_attempts(2))
+            .with_detector(sixdust_alias::DetectorConfig::default())
+            .with_gfw_filter_from(None)
+            .with_alias_every_days(7)
+            .with_traceroute_cap(123)
+            .with_snapshot_days(vec![Day(3)]);
+        assert_eq!(built, chained);
+        assert_eq!(built.alias_every_days, 7);
+        assert_eq!(built.scan.attempts, 2);
+        assert_eq!(built.gfw_filter_from, None);
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_round_records() {
+        let net = net();
+        let registry = sixdust_telemetry::Registry::new();
+        let mut svc = HitlistService::new(quick_config()).with_telemetry(registry.clone());
+        svc.run(&net, Day(0), Day(12));
+        let snap = registry.snapshot();
+        let rounds = svc.rounds();
+        assert!(!rounds.is_empty());
+
+        // Per-round counters reconcile exactly with summed RoundRecords.
+        assert_eq!(snap.counter("service.rounds"), Some(rounds.len() as u64));
+        let sum = |f: &dyn Fn(&RoundRecord) -> u64| rounds.iter().map(f).sum::<u64>();
+        assert_eq!(snap.counter("service.targets"), Some(sum(&|r| r.targets as u64)));
+        assert_eq!(snap.counter("service.dropped"), Some(sum(&|r| r.dropped as u64)));
+        assert_eq!(snap.counter("service.churn.brand_new"), Some(sum(&|r| r.churn_brand_new)));
+        assert_eq!(snap.counter("service.churn.recurring"), Some(sum(&|r| r.churn_recurring)));
+        assert_eq!(snap.counter("service.churn.gone"), Some(sum(&|r| r.churn_gone)));
+        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
+            let key = sixdust_scan::proto_metric_key(proto);
+            assert_eq!(
+                snap.counter(&format!("service.hits.published.{key}")),
+                Some(sum(&|r| r.published[i])),
+                "published counter for {key}"
+            );
+            assert_eq!(
+                snap.counter(&format!("service.hits.cleaned.{key}")),
+                Some(sum(&|r| r.cleaned[i])),
+                "cleaned counter for {key}"
+            );
+        }
+
+        // Every phase histogram gets exactly one sample per round, even
+        // when the phase was skipped (recorded as 0).
+        for phase in ["ingest", "alias", "select", "scan", "gfw", "traceroute", "churn"] {
+            let name = format!("service.round.phase.{phase}_ms");
+            let h = snap.histogram(&name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(h.count, rounds.len() as u64, "{name} samples");
+        }
+
+        // The scanner and alias detector share the registry.
+        assert!(snap.counter("scan.icmp.probes_sent").unwrap_or(0) > 0);
+        assert_eq!(
+            snap.counter("scan.icmp.hits"),
+            Some(sum(&|r| r.cleaned[0])),
+            "scanner hit counter matches ICMP round records"
+        );
+        assert!(snap.counter("alias.rounds").unwrap_or(0) >= 1);
     }
 
     #[test]

@@ -146,10 +146,8 @@ mod tests {
 
     fn published() -> Publication {
         let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
-        let mut svc = HitlistService::new(ServiceConfig {
-            snapshot_days: vec![Day(8)],
-            ..Default::default()
-        });
+        let mut svc =
+            HitlistService::new(ServiceConfig::builder().snapshot_days(vec![Day(8)]).build());
         svc.run(&net, Day(0), Day(8));
         publish(&svc)
     }

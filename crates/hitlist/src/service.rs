@@ -10,18 +10,20 @@
 //! drawn from one run.
 
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sixdust_addr::{prf, Addr, PrefixSet};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
-use sixdust_scan::{scan, ScanConfig, ScanResult};
+use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
 use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
+use sixdust_telemetry::Registry;
 
 use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
 use crate::sources;
 
 /// Service configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
     /// Scanner settings shared by all protocol modules.
     pub scan: ScanConfig,
@@ -48,6 +50,98 @@ impl Default for ServiceConfig {
             traceroute_cap: 4000,
             snapshot_days: Day::SNAPSHOTS.to_vec(),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a builder seeded with [`ServiceConfig::default`].
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder { config: ServiceConfig::default() }
+    }
+
+    /// Returns the config with a different scanner configuration.
+    pub fn with_scan(mut self, scan: ScanConfig) -> ServiceConfig {
+        self.scan = scan;
+        self
+    }
+
+    /// Returns the config with a different alias detector configuration.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> ServiceConfig {
+        self.detector = detector;
+        self
+    }
+
+    /// Returns the config with a different GFW filter deployment day.
+    pub fn with_gfw_filter_from(mut self, day: Option<Day>) -> ServiceConfig {
+        self.gfw_filter_from = day;
+        self
+    }
+
+    /// Returns the config with a different alias detection cadence.
+    pub fn with_alias_every_days(mut self, days: u32) -> ServiceConfig {
+        self.alias_every_days = days;
+        self
+    }
+
+    /// Returns the config with a different traceroute cap.
+    pub fn with_traceroute_cap(mut self, cap: usize) -> ServiceConfig {
+        self.traceroute_cap = cap;
+        self
+    }
+
+    /// Returns the config with different snapshot days.
+    pub fn with_snapshot_days(mut self, days: Vec<Day>) -> ServiceConfig {
+        self.snapshot_days = days;
+        self
+    }
+}
+
+/// Chainable builder for [`ServiceConfig`]; see [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the scanner configuration shared by all protocol modules.
+    pub fn scan(mut self, scan: ScanConfig) -> ServiceConfigBuilder {
+        self.config.scan = scan;
+        self
+    }
+
+    /// Sets the alias detector configuration.
+    pub fn detector(mut self, detector: DetectorConfig) -> ServiceConfigBuilder {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Sets the day the GFW cleaning filter goes live (None = never).
+    pub fn gfw_filter_from(mut self, day: Option<Day>) -> ServiceConfigBuilder {
+        self.config.gfw_filter_from = day;
+        self
+    }
+
+    /// Sets the days between alias detection runs.
+    pub fn alias_every_days(mut self, days: u32) -> ServiceConfigBuilder {
+        self.config.alias_every_days = days;
+        self
+    }
+
+    /// Sets the maximum traceroute targets per round.
+    pub fn traceroute_cap(mut self, cap: usize) -> ServiceConfigBuilder {
+        self.config.traceroute_cap = cap;
+        self
+    }
+
+    /// Sets the days whose full responsive sets are kept as snapshots.
+    pub fn snapshot_days(mut self, days: Vec<Day>) -> ServiceConfigBuilder {
+        self.config.snapshot_days = days;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ServiceConfig {
+        self.config
     }
 }
 
@@ -117,6 +211,7 @@ impl Snapshot {
 #[derive(Debug)]
 pub struct HitlistService {
     config: ServiceConfig,
+    telemetry: Option<Registry>,
     input: HashSet<Addr>,
     blocklist: Blocklist,
     unresp: UnresponsiveFilter,
@@ -142,6 +237,7 @@ impl HitlistService {
         HitlistService {
             detector: AliasDetector::new(config.detector.clone()),
             config,
+            telemetry: None,
             input: HashSet::new(),
             blocklist: Blocklist::new(),
             unresp: UnresponsiveFilter::new(),
@@ -156,6 +252,15 @@ impl HitlistService {
             snapshots: Vec::new(),
             last_zone_week: None,
         }
+    }
+
+    /// Attaches a metrics registry: per-round counters and phase duration
+    /// histograms land there (`service.*`), and the embedded alias detector
+    /// reports its own `alias.*` series to the same registry.
+    pub fn with_telemetry(mut self, registry: Registry) -> HitlistService {
+        self.detector.set_telemetry(registry.clone());
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The service's blocklist (opt-out registration).
@@ -241,13 +346,17 @@ impl HitlistService {
         // Rotating sample of the whole input (covers the Chinese router
         // pools whose interfaces rotate weekly).
         let stride = (self.input.len() / cap.max(1)).max(1) as u64;
-        let targets: Vec<Addr> = self
+        // Sort before applying the cap: HashSet iteration order varies per
+        // process, and a `.take(cap)` straight off it would make the
+        // traceroute sample — and every round after it — nondeterministic.
+        let mut targets: Vec<Addr> = self
             .input
             .iter()
             .filter(|a| prf::prf_u128(0x7ace, a.0, u64::from(day.0 / 7)) % stride == 0)
-            .take(cap)
             .copied()
             .collect();
+        targets.sort_unstable();
+        targets.truncate(cap);
         let probe = ProbeKind::IcmpEcho { size: 16 };
         let mut discovered = Vec::new();
         for t in targets {
@@ -265,14 +374,28 @@ impl HitlistService {
         }
     }
 
+    /// Records one phase duration, in milliseconds, when telemetry is
+    /// attached. Every phase is recorded every round (0 when skipped) so
+    /// each `service.round.phase.*` histogram has exactly one sample per
+    /// round.
+    fn record_phase(&self, phase: &str, elapsed: Duration) {
+        if let Some(t) = &self.telemetry {
+            t.histogram(&format!("service.round.phase.{phase}_ms"))
+                .record(elapsed.as_millis() as u64);
+        }
+    }
+
     /// Runs one full service round on `day`.
     pub fn run_round(&mut self, net: &Internet, day: Day) -> &RoundRecord {
         // 1. Sources.
+        let phase_started = Instant::now();
         self.ingest_sources(net, day);
+        self.record_phase("ingest", phase_started.elapsed());
 
         // 2. Alias detection (periodic) — runs before target selection so
         // even the very first scan is alias-filtered, like the pipeline in
         // Fig. 1.
+        let phase_started = Instant::now();
         if day >= self.next_alias_day {
             let input_vec: Vec<Addr> = self.input.iter().copied().collect();
             let cands = candidates(net, &input_vec, self.config.detector.min_addrs_long);
@@ -280,8 +403,10 @@ impl HitlistService {
             self.aliased = self.detector.aliased();
             self.next_alias_day = day.plus(self.config.alias_every_days);
         }
+        self.record_phase("alias", phase_started.elapsed());
 
         // 3. Target selection.
+        let phase_started = Instant::now();
         let aliased = &self.aliased;
         let blocklist = &self.blocklist;
         let targets: Vec<Addr> = self
@@ -289,6 +414,7 @@ impl HitlistService {
             .active_targets()
             .filter(|a| blocklist.allows(*a) && !aliased.covers_addr(*a))
             .collect();
+        self.record_phase("select", phase_started.elapsed());
 
         // 3. Scans.
         let mut published = [0u64; 5];
@@ -297,15 +423,22 @@ impl HitlistService {
         let mut responsive_cleaned: HashSet<Addr> = HashSet::new();
         let mut proto_cleaned_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
         let mut proto_published_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
+        let mut scan_elapsed = Duration::ZERO;
+        let mut gfw_elapsed = Duration::ZERO;
         let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
         for (i, proto) in Protocol::ALL.into_iter().enumerate() {
-            let result: ScanResult = scan(net, proto, &targets, day, &self.config.scan);
+            let scan_started = Instant::now();
+            let result: ScanResult =
+                scan_with(net, proto, &targets, day, &self.config.scan, self.telemetry.as_ref());
+            scan_elapsed += scan_started.elapsed();
             let pub_hits: Vec<Addr> = result.hits().collect();
+            let gfw_started = Instant::now();
             let clean_hits: Vec<Addr> = if proto == Protocol::Udp53 {
                 self.gfw.clean(&result)
             } else {
                 pub_hits.clone()
             };
+            gfw_elapsed += gfw_started.elapsed();
             published[i] = pub_hits.len() as u64;
             cleaned[i] = clean_hits.len() as u64;
             responsive_published.extend(pub_hits.iter().copied());
@@ -316,6 +449,8 @@ impl HitlistService {
             proto_published_sets.push((proto, pub_hits));
             proto_cleaned_sets.push((proto, clean_hits));
         }
+        self.record_phase("scan", scan_elapsed);
+        self.record_phase("gfw", gfw_elapsed);
 
         // 4. Once the filter is deployed the service *publishes* cleaned
         // results too (the February 2022 drop in Fig. 3 left).
@@ -334,11 +469,14 @@ impl HitlistService {
         let dropped = self.unresp.sweep(day);
 
         // 6. Traceroutes discover new candidates for the next round.
+        let phase_started = Instant::now();
         self.traceroute(net, day);
+        self.record_phase("traceroute", phase_started.elapsed());
 
         // 7. Churn accounting (cleaned view, Fig. 4): an address newly
         // responsive this round is "brand new" if no earlier round ever saw
         // it responsive, "recurring" otherwise.
+        let phase_started = Instant::now();
         let mut churn_brand_new = 0u64;
         let mut churn_recurring = 0u64;
         for a in responsive_cleaned.difference(&self.prev_responsive) {
@@ -350,6 +488,7 @@ impl HitlistService {
         }
         let churn_gone = self.prev_responsive.difference(&responsive_cleaned).count() as u64;
         self.ever.extend(responsive_cleaned.iter().copied());
+        self.record_phase("churn", phase_started.elapsed());
 
         let record = RoundRecord {
             day,
@@ -366,6 +505,22 @@ impl HitlistService {
             dropped,
         };
         self.prev_responsive = responsive_cleaned;
+
+        // Counters are fed from the very values the record carries, so a
+        // registry snapshot reconciles exactly with summed RoundRecords.
+        if let Some(t) = &self.telemetry {
+            t.counter("service.rounds").incr();
+            t.counter("service.targets").add(record.targets as u64);
+            t.counter("service.dropped").add(record.dropped as u64);
+            t.counter("service.churn.brand_new").add(record.churn_brand_new);
+            t.counter("service.churn.recurring").add(record.churn_recurring);
+            t.counter("service.churn.gone").add(record.churn_gone);
+            for (i, proto) in Protocol::ALL.into_iter().enumerate() {
+                let key = proto_metric_key(proto);
+                t.counter(&format!("service.hits.published.{key}")).add(record.published[i]);
+                t.counter(&format!("service.hits.cleaned.{key}")).add(record.cleaned[i]);
+            }
+        }
 
         // 8. Snapshots.
         if self.pending_snapshots.first().is_some_and(|d| day >= *d) {

@@ -114,10 +114,8 @@ mod tests {
 
     fn run_service(days: u32) -> HitlistService {
         let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
-        let mut svc = HitlistService::new(ServiceConfig {
-            snapshot_days: vec![Day(5)],
-            ..Default::default()
-        });
+        let mut svc =
+            HitlistService::new(ServiceConfig::builder().snapshot_days(vec![Day(5)]).build());
         svc.run(&net, Day(0), Day(days));
         svc
     }

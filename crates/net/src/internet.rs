@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 use sixdust_addr::{prf, Addr};
+use sixdust_telemetry::{Counter, Registry};
 use sixdust_wire::dns::{DnsMessage, Rcode, Rdata, Record};
 use sixdust_wire::icmpv6::Icmpv6;
 use sixdust_wire::quic::{QuicPacket, QUIC_V1};
@@ -123,6 +124,29 @@ pub struct Internet {
     /// `(source address, queried name)`.
     ns_log: Mutex<Vec<(Addr, String)>>,
     seed: u64,
+    counters: NetCounters,
+}
+
+/// Always-on traffic counters of one [`Internet`]. They count from the
+/// moment the simulator is built; attaching a registry (see
+/// [`Internet::with_telemetry`]) merely makes them visible in snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Semantic end-to-end probes ([`Internet::probe`]).
+    pub probes: Counter,
+    /// TTL-limited traceroute probes ([`Internet::probe_ttl`]).
+    pub ttl_probes: Counter,
+    /// Wire-level packets handled ([`Internet::send_bytes`]).
+    pub wire_packets: Counter,
+}
+
+impl NetCounters {
+    /// Registers the counter handles under their `net.*` names.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("net.probes", &self.probes);
+        registry.register_counter("net.ttl_probes", &self.ttl_probes);
+        registry.register_counter("net.wire_packets", &self.wire_packets);
+    }
 }
 
 impl Internet {
@@ -151,6 +175,7 @@ impl Internet {
             faults: FaultConfig::default(),
             pmtu: Mutex::new(HashMap::new()),
             ns_log: Mutex::new(Vec::new()),
+            counters: NetCounters::default(),
         }
     }
 
@@ -158,6 +183,18 @@ impl Internet {
     pub fn with_faults(mut self, faults: FaultConfig) -> Internet {
         self.faults = faults;
         self
+    }
+
+    /// Exposes the simulator's always-on traffic counters in `registry`
+    /// (as `net.probes`, `net.ttl_probes`, `net.wire_packets`).
+    pub fn with_telemetry(self, registry: &Registry) -> Internet {
+        self.counters.register(registry);
+        self
+    }
+
+    /// The always-on traffic counters.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
     }
 
     /// The AS registry.
@@ -250,6 +287,7 @@ impl Internet {
         kind: &ProbeKind,
         day: Day,
     ) -> Option<Response> {
+        self.counters.ttl_probes.incr();
         if self.dropped(dst, day, u64::from(hop_limit)) {
             return None;
         }
@@ -269,6 +307,7 @@ impl Internet {
     /// Sends a probe to `dst` and returns every response that comes back
     /// (the GFW can answer in addition to — or instead of — the target).
     pub fn probe(&self, dst: Addr, kind: &ProbeKind, day: Day) -> Vec<Response> {
+        self.counters.probes.incr();
         if self.dropped(dst, day, 0) {
             return Vec::new();
         }
@@ -443,6 +482,7 @@ impl Internet {
     /// Full wire-level send: parses the probe bytes, applies the same
     /// semantics as [`Internet::probe`], and serializes responses.
     pub fn send_bytes(&self, bytes: &[u8], day: Day) -> Vec<Vec<u8>> {
+        self.counters.wire_packets.incr();
         let Ok(pkt) = Packet::parse(bytes) else {
             return Vec::new();
         };

@@ -39,7 +39,7 @@ pub mod scale;
 pub mod time;
 pub mod zones;
 
-pub use internet::{FaultConfig, Internet, ProbeKind, Response};
+pub use internet::{FaultConfig, Internet, NetCounters, ProbeKind, Response};
 pub use population::{GroupId, GroupKind, HostView, Population, SubnetGroup};
 pub use proto::{ProtoSet, Protocol};
 pub use registry::{AsCategory, AsId, AsInfo, AsRegistry, BackendMode};

@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 use sixdust_addr::Addr;
 use sixdust_net::{Day, Internet, ProbeKind, Protocol, Response};
+use sixdust_telemetry::{Registry, SpanTimer};
 use sixdust_wire::dns::DnsMessage;
 use sixdust_wire::icmpv6::Icmpv6;
 use sixdust_wire::quic::{QuicPacket, FORCE_VN_VERSION};
@@ -27,8 +28,24 @@ use crate::rate::{Clock, TokenBucket, VirtualClock};
 /// which is the root cause of the injected-response pollution.
 pub const DEFAULT_DNS_QNAME: &str = "www.google.com";
 
+/// Stable metric-key segment for a protocol, used in names like
+/// `scan.icmp.hits` and `service.hits.cleaned.udp53`.
+pub fn proto_metric_key(protocol: Protocol) -> &'static str {
+    match protocol {
+        Protocol::Icmp => "icmp",
+        Protocol::Tcp443 => "tcp443",
+        Protocol::Tcp80 => "tcp80",
+        Protocol::Udp443 => "udp443",
+        Protocol::Udp53 => "udp53",
+    }
+}
+
 /// Scan engine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Construct via [`ScanConfig::builder`] (or the chainable `with_*`
+/// methods); direct field access remains available for serialization
+/// compatibility but new code should prefer the builder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScanConfig {
     /// Worker threads.
     pub threads: usize,
@@ -51,6 +68,92 @@ impl Default for ScanConfig {
             seed: 0x5CA7,
             dns_qname: DEFAULT_DNS_QNAME.to_string(),
         }
+    }
+}
+
+impl ScanConfig {
+    /// Starts a builder seeded with the default configuration.
+    ///
+    /// ```
+    /// use sixdust_scan::ScanConfig;
+    /// let cfg = ScanConfig::builder().threads(8).rate_pps(1_000_000).build();
+    /// assert_eq!(cfg.threads, 8);
+    /// ```
+    pub fn builder() -> ScanConfigBuilder {
+        ScanConfigBuilder::default()
+    }
+
+    /// Returns the config with the worker-thread count replaced.
+    pub fn with_threads(mut self, threads: usize) -> ScanConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the config with the per-target attempt count replaced.
+    pub fn with_attempts(mut self, attempts: u8) -> ScanConfig {
+        self.attempts = attempts;
+        self
+    }
+
+    /// Returns the config with the probe rate replaced.
+    pub fn with_rate_pps(mut self, rate_pps: u64) -> ScanConfig {
+        self.rate_pps = rate_pps;
+        self
+    }
+
+    /// Returns the config with the permutation seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> ScanConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the UDP/53 query name replaced.
+    pub fn with_dns_qname(mut self, dns_qname: impl Into<String>) -> ScanConfig {
+        self.dns_qname = dns_qname.into();
+        self
+    }
+}
+
+/// Builder for [`ScanConfig`]; starts from [`ScanConfig::default`].
+#[derive(Debug, Clone, Default)]
+pub struct ScanConfigBuilder {
+    config: ScanConfig,
+}
+
+impl ScanConfigBuilder {
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> ScanConfigBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the per-target attempt count.
+    pub fn attempts(mut self, attempts: u8) -> ScanConfigBuilder {
+        self.config.attempts = attempts;
+        self
+    }
+
+    /// Sets the probe rate in packets per second of virtual time.
+    pub fn rate_pps(mut self, rate_pps: u64) -> ScanConfigBuilder {
+        self.config.rate_pps = rate_pps;
+        self
+    }
+
+    /// Sets the permutation seed.
+    pub fn seed(mut self, seed: u64) -> ScanConfigBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the DNS query name for the UDP/53 module.
+    pub fn dns_qname(mut self, dns_qname: impl Into<String>) -> ScanConfigBuilder {
+        self.config.dns_qname = dns_qname.into();
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ScanConfig {
+        self.config
     }
 }
 
@@ -214,6 +317,17 @@ pub fn classify(protocol: Protocol, responses: &[Response]) -> (bool, Detail) {
     }
 }
 
+/// Renders a worker-panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// Runs one protocol scan over the target list (semantic fast path).
 pub fn scan(
     net: &Internet,
@@ -222,25 +336,52 @@ pub fn scan(
     day: Day,
     config: &ScanConfig,
 ) -> ScanResult {
+    scan_with(net, protocol, targets, day, config, None)
+}
+
+/// [`scan`] with an optional telemetry registry attached.
+///
+/// With a registry, the scan records per-protocol counters
+/// (`scan.<proto>.probes_sent` / `.responses` / `.hits`) and per-worker
+/// chunk timings (`scan.worker.chunk_ms`). With `None` the only cost over
+/// the uninstrumented path is a handful of branches.
+pub fn scan_with(
+    net: &Internet,
+    protocol: Protocol,
+    targets: &[Addr],
+    day: Day,
+    config: &ScanConfig,
+    telemetry: Option<&Registry>,
+) -> ScanResult {
     let probe = probe_for(protocol, &config.dns_qname);
     let n = targets.len() as u64;
     let order: Vec<u64> = CyclicPermutation::new(n, config.seed ^ u64::from(day.0)).collect();
     let threads = config.threads.clamp(1, 32);
     let chunk = order.len().div_ceil(threads.max(1)).max(1);
+    let chunk_hist = telemetry.map(|t| t.histogram("scan.worker.chunk_ms"));
 
     let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
+    let mut sent = 0u64;
     let chunks: Vec<&[u64]> = order.chunks(chunk).collect();
-    let results: Vec<Vec<ScanOutcome>> = crossbeam::thread::scope(|s| {
+    let results: Vec<(Vec<ScanOutcome>, u64)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|idxs| {
+            .enumerate()
+            .map(|(worker, idxs)| {
                 let probe = probe.clone();
-                s.spawn(move |_| {
+                let chunk_hist = chunk_hist.clone();
+                let handle = s.spawn(move |_| {
+                    let _span = chunk_hist.as_ref().map(SpanTimer::start);
                     let mut out = Vec::with_capacity(idxs.len());
+                    let mut sent = 0u64;
                     for &i in idxs.iter() {
                         let target = targets[i as usize];
                         let mut responses = Vec::new();
+                        // The retry loop stops on the first response, so
+                        // count the probes actually emitted instead of
+                        // assuming `attempts` per target.
                         for _attempt in 0..config.attempts.max(1) {
+                            sent += 1;
                             responses = net.probe(target, &probe, day);
                             if !responses.is_empty() {
                                 break;
@@ -249,20 +390,47 @@ pub fn scan(
                         let (success, detail) = classify(protocol, &responses);
                         out.push(ScanOutcome { target, success, detail });
                     }
-                    out
-                })
+                    (out, sent)
+                });
+                (worker, idxs.len(), handle)
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+        handles
+            .into_iter()
+            .map(|(worker, len, handle)| {
+                handle.join().unwrap_or_else(|payload| {
+                    let start = worker * chunk;
+                    panic!(
+                        "scan worker {worker} ({protocol} day {}, permuted chunk \
+                         {start}..{}, {len} targets) panicked: {}",
+                        day.0,
+                        start + len,
+                        panic_message(&*payload)
+                    )
+                })
+            })
+            .collect()
     })
-    .expect("scan scope");
-    for r in results {
+    .unwrap_or_else(|payload| {
+        panic!(
+            "scan scope ({protocol} day {}, {n} targets) panicked: {}",
+            day.0,
+            panic_message(&*payload)
+        )
+    });
+    for (r, worker_sent) in results {
         outcomes.extend(r);
+        sent += worker_sent;
     }
 
-    let sent = n * u64::from(config.attempts.max(1));
     let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
     let hits = outcomes.iter().filter(|o| o.success).count() as u64;
+    if let Some(reg) = telemetry {
+        let key = proto_metric_key(protocol);
+        reg.counter(&format!("scan.{key}.probes_sent")).add(sent);
+        reg.counter(&format!("scan.{key}.responses")).add(received);
+        reg.counter(&format!("scan.{key}.hits")).add(hits);
+    }
     ScanResult {
         protocol,
         day,
@@ -285,14 +453,35 @@ pub fn scan_wire(
     day: Day,
     config: &ScanConfig,
 ) -> ScanResult {
+    scan_wire_with(net, protocol, targets, day, config, None)
+}
+
+/// [`scan_wire`] with an optional telemetry registry attached. Adds the
+/// per-probe rate-limiter stall (`scan.rate.wait_us`, virtual
+/// microseconds) on top of the per-protocol counters of [`scan_with`].
+pub fn scan_wire_with(
+    net: &Internet,
+    protocol: Protocol,
+    targets: &[Addr],
+    day: Day,
+    config: &ScanConfig,
+    telemetry: Option<&Registry>,
+) -> ScanResult {
     let src = net.registry().vantage_addr();
     let bucket = TokenBucket::new(config.rate_pps, 128);
     let clock = VirtualClock::new();
+    let wait_hist = telemetry.map(|t| t.histogram("scan.rate.wait_us"));
     let mut outcomes = Vec::with_capacity(targets.len());
     for i in CyclicPermutation::new(targets.len() as u64, config.seed ^ u64::from(day.0)) {
         let target = targets[i as usize];
+        let mut waited_us = 0u64;
         while !bucket.try_take(&clock) {
-            clock.advance(bucket.wait_hint_micros().max(1));
+            let step = bucket.wait_hint_micros().max(1);
+            waited_us += step;
+            clock.advance(step);
+        }
+        if let Some(h) = &wait_hist {
+            h.record(waited_us);
         }
         let probe_bytes = build_probe_bytes(protocol, src, target, &config.dns_qname, i as u32);
         let reply_bytes = reassemble_replies(net.send_bytes(&probe_bytes, day));
@@ -306,6 +495,12 @@ pub fn scan_wire(
     let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
     let hits = outcomes.iter().filter(|o| o.success).count() as u64;
     let sent = targets.len() as u64;
+    if let Some(reg) = telemetry {
+        let key = proto_metric_key(protocol);
+        reg.counter(&format!("scan.{key}.probes_sent")).add(sent);
+        reg.counter(&format!("scan.{key}.responses")).add(received);
+        reg.counter(&format!("scan.{key}.hits")).add(hits);
+    }
     ScanResult {
         protocol,
         day,

@@ -27,11 +27,14 @@ pub mod permute;
 pub mod rate;
 pub mod yarrp;
 
-pub use engine::{reassemble_replies, scan, scan_wire, Detail, ScanConfig, ScanOutcome, ScanResult, ScanStats};
+pub use engine::{
+    proto_metric_key, reassemble_replies, scan, scan_wire, scan_wire_with, scan_with, Detail,
+    ScanConfig, ScanConfigBuilder, ScanOutcome, ScanResult, ScanStats,
+};
 pub use pcap::{PcapReader, PcapWriter};
 pub use permute::CyclicPermutation;
 pub use rate::{Clock, MonotonicClock, TokenBucket, VirtualClock};
-pub use yarrp::{yarrp, Trace, YarrpConfig, YarrpResult};
+pub use yarrp::{yarrp, Trace, YarrpConfig, YarrpConfigBuilder, YarrpResult};
 
 #[cfg(test)]
 mod tests {
@@ -199,7 +202,7 @@ mod tests {
             Protocol::Icmp,
             &targets,
             day,
-            &ScanConfig { attempts: 1, ..ScanConfig::default() },
+            &ScanConfig::builder().attempts(1).build(),
         );
         // Deterministic drops can't be masked by same-day retries of the
         // same probe; the hitlist masks them by merging *multiple days*.
@@ -246,6 +249,73 @@ mod tests {
         // Transit routers answer even toward dark space.
         assert!(last.is_some());
         assert_ne!(last, Some(dark[0]));
+    }
+
+    #[test]
+    fn builders_reproduce_defaults() {
+        assert_eq!(ScanConfig::builder().build(), ScanConfig::default());
+        assert_eq!(YarrpConfig::builder().build(), YarrpConfig::default());
+        let cfg = ScanConfig::builder()
+            .threads(8)
+            .attempts(2)
+            .rate_pps(1_000_000)
+            .seed(42)
+            .dns_qname("example.org")
+            .build();
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.attempts, 2);
+        assert_eq!(cfg.rate_pps, 1_000_000);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.dns_qname, "example.org");
+        // Chainable with_* methods are equivalent.
+        assert_eq!(
+            ScanConfig::default().with_threads(8).with_rate_pps(1_000_000),
+            ScanConfig::builder().threads(8).rate_pps(1_000_000).build()
+        );
+        assert_eq!(
+            YarrpConfig::default().with_max_ttl(20).with_seed(3),
+            YarrpConfig::builder().max_ttl(20).seed(3).build()
+        );
+    }
+
+    #[test]
+    fn sent_counts_actual_probes_not_attempts_times_targets() {
+        let net = net();
+        let day = Day(100);
+        let live = responsive_targets(&net, day, Protocol::Icmp, 0);
+        let dark = 25usize;
+        let targets = responsive_targets(&net, day, Protocol::Icmp, dark);
+        let cfg = ScanConfig::builder().attempts(3).build();
+        let result = scan(&net, Protocol::Icmp, &targets, day, &cfg);
+        // Live targets answer the first probe (no faults); only dark
+        // targets burn all three attempts.
+        assert_eq!(result.stats.sent, live.len() as u64 + 3 * dark as u64);
+        assert!(result.stats.sent < targets.len() as u64 * 3, "no blanket n*attempts");
+    }
+
+    #[test]
+    fn scan_with_registry_reconciles_counters_with_stats() {
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 30);
+        let reg = sixdust_telemetry::Registry::new();
+        let result = scan_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("scan.icmp.probes_sent"), Some(result.stats.sent));
+        assert_eq!(snap.counter("scan.icmp.responses"), Some(result.stats.received));
+        assert_eq!(snap.counter("scan.icmp.hits"), Some(result.stats.hits));
+        // Worker chunk timings recorded once per worker.
+        let chunks = snap.histogram("scan.worker.chunk_ms").unwrap();
+        assert_eq!(chunks.count, ScanConfig::default().threads as u64);
+        // The wire path also records rate-limiter stalls.
+        let wire = scan_wire_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
+        let snap = reg.snapshot();
+        let wait = snap.histogram("scan.rate.wait_us").unwrap();
+        assert_eq!(wait.count, wire.stats.sent);
+        assert_eq!(
+            snap.counter("scan.icmp.probes_sent"),
+            Some(result.stats.sent + wire.stats.sent)
+        );
     }
 
     #[test]

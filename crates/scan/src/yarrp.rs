@@ -16,7 +16,10 @@ use sixdust_net::{Day, Internet, ProbeKind, Response};
 use crate::permute::CyclicPermutation;
 
 /// Traceroute engine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Construct via [`YarrpConfig::builder`] or the chainable `with_*`
+/// methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct YarrpConfig {
     /// Highest TTL probed.
     pub max_ttl: u8,
@@ -27,6 +30,50 @@ pub struct YarrpConfig {
 impl Default for YarrpConfig {
     fn default() -> YarrpConfig {
         YarrpConfig { max_ttl: 12, seed: 0x7A99 }
+    }
+}
+
+impl YarrpConfig {
+    /// Starts a builder seeded with the default configuration.
+    pub fn builder() -> YarrpConfigBuilder {
+        YarrpConfigBuilder::default()
+    }
+
+    /// Returns the config with the highest probed TTL replaced.
+    pub fn with_max_ttl(mut self, max_ttl: u8) -> YarrpConfig {
+        self.max_ttl = max_ttl;
+        self
+    }
+
+    /// Returns the config with the permutation seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> YarrpConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Builder for [`YarrpConfig`]; starts from [`YarrpConfig::default`].
+#[derive(Debug, Clone, Default)]
+pub struct YarrpConfigBuilder {
+    config: YarrpConfig,
+}
+
+impl YarrpConfigBuilder {
+    /// Sets the highest TTL probed.
+    pub fn max_ttl(mut self, max_ttl: u8) -> YarrpConfigBuilder {
+        self.config.max_ttl = max_ttl;
+        self
+    }
+
+    /// Sets the permutation seed.
+    pub fn seed(mut self, seed: u64) -> YarrpConfigBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> YarrpConfig {
+        self.config
     }
 }
 

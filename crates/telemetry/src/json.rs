@@ -1,0 +1,351 @@
+//! Hand-rolled JSON export/import for [`Snapshot`]s.
+//!
+//! The telemetry crate deliberately avoids a serde dependency so it can
+//! sit below every other crate in the workspace. The emitted document is
+//! deterministic (metric names are sorted) and uses a fixed shape:
+//!
+//! ```json
+//! {
+//!   "counters": { "scan.icmp.hits": 12 },
+//!   "gauges": { "pool.size": -3 },
+//!   "histograms": {
+//!     "scan.worker.chunk_ms": {
+//!       "count": 4, "sum": 10, "min": 1, "max": 5,
+//!       "buckets": [[1, 2], [4, 2]]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! The parser accepts exactly this shape (plus arbitrary whitespace); it
+//! is not a general JSON parser.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+
+/// Escapes a metric name for use as a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn snapshot_to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        escape(name, &mut out);
+        out.push_str(&format!(": {value}"));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        escape(name, &mut out);
+        out.push_str(&format!(": {value}"));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        escape(name, &mut out);
+        out.push_str(&format!(
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            h.count, h.sum, h.min, h.max
+        ));
+        for (j, (floor, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{floor}, {count}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of telemetry JSON",
+                c as char, self.pos
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string in telemetry JSON".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape in telemetry JSON".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or("invalid \\u codepoint".to_string())?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid UTF-8 in telemetry JSON")?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<i128, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<i128>()
+            .map_err(|_| format!("expected integer at byte {start} of telemetry JSON"))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let v = self.integer()?;
+        u64::try_from(v).map_err(|_| format!("value {v} out of range for u64"))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        let v = self.integer()?;
+        i64::try_from(v).map_err(|_| format!("value {v} out of range for i64"))
+    }
+
+    /// Parses `{ "name": <V>, ... }` with `parse_value` handling each value.
+    fn object<V>(
+        &mut self,
+        mut parse_value: impl FnMut(&mut Self) -> Result<V, String>,
+    ) -> Result<Vec<(String, V)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, parse_value(self)?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn histogram(&mut self) -> Result<HistogramSnapshot, String> {
+        let mut snap = HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] };
+        let fields = self.object(|p| {
+            if p.peek() == Some(b'[') {
+                // buckets: [[floor, count], ...]
+                p.expect(b'[')?;
+                let mut buckets = Vec::new();
+                if p.peek() == Some(b']') {
+                    p.pos += 1;
+                } else {
+                    loop {
+                        p.expect(b'[')?;
+                        let floor = p.u64()?;
+                        p.expect(b',')?;
+                        let count = p.u64()?;
+                        p.expect(b']')?;
+                        buckets.push((floor, count));
+                        match p.peek() {
+                            Some(b',') => p.pos += 1,
+                            Some(b']') => {
+                                p.pos += 1;
+                                break;
+                            }
+                            _ => return Err("malformed bucket list".to_string()),
+                        }
+                    }
+                }
+                Ok(Field::Buckets(buckets))
+            } else {
+                Ok(Field::Number(p.u64()?))
+            }
+        })?;
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("count", Field::Number(v)) => snap.count = v,
+                ("sum", Field::Number(v)) => snap.sum = v,
+                ("min", Field::Number(v)) => snap.min = v,
+                ("max", Field::Number(v)) => snap.max = v,
+                ("buckets", Field::Buckets(b)) => snap.buckets = b,
+                (other, _) => return Err(format!("unknown histogram field '{other}'")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+enum Field {
+    Number(u64),
+    Buckets(Vec<(u64, u64)>),
+}
+
+pub(crate) fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
+    let mut snap = Snapshot::default();
+    let mut p = Parser::new(text);
+    p.expect(b'{')?;
+    if p.peek() == Some(b'}') {
+        return Ok(snap);
+    }
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "counters" => snap.counters = p.object(|p| p.u64())?,
+            "gauges" => snap.gauges = p.object(|p| p.i64())?,
+            "histograms" => snap.histograms = p.object(|p| p.histogram())?,
+            other => return Err(format!("unknown section '{other}' in telemetry JSON")),
+        }
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => break,
+            _ => return Err(format!("expected ',' or '}}' at byte {}", p.pos)),
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        let json = snap.to_json();
+        assert_eq!(Snapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn populated_snapshot_round_trips() {
+        let reg = Registry::new();
+        reg.counter("scan.icmp.hits").add(12);
+        reg.counter("scan.tcp80.probes_sent").add(9_000_000_000);
+        reg.gauge("pool.size").set(-3);
+        let h = reg.histogram("scan.worker.chunk_ms");
+        for v in [0, 1, 1, 5, 5, 700] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("scan.icmp.hits"), Some(12));
+        assert_eq!(back.histogram("scan.worker.chunk_ms").unwrap().count, 6);
+    }
+
+    #[test]
+    fn names_with_escapes_round_trip() {
+        let reg = Registry::new();
+        reg.counter("weird \"name\"\\with\nescapes\tand µnicode").add(1);
+        let snap = reg.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Snapshot::from_json("").is_err());
+        assert!(Snapshot::from_json("{\"counters\": {").is_err());
+        assert!(Snapshot::from_json("{\"bogus\": {}}").is_err());
+        assert!(Snapshot::from_json("{\"gauges\": {\"g\": 99999999999999999999}}").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Lightweight always-on metrics for the sixdust pipeline.
+//!
+//! This crate sits below every other crate in the workspace and provides
+//! the four primitives the pipeline instruments itself with:
+//!
+//! - [`Counter`] — monotone event counts (probes sent, hits, rounds);
+//! - [`Gauge`] — signed levels (queue depths, pool sizes);
+//! - [`Histogram`] — log-bucketed `u64` samples (phase latencies in
+//!   milliseconds, chunk sizes);
+//! - [`SpanTimer`] — RAII wall-clock spans recording into a histogram.
+//!
+//! Handles are `Arc`-backed and record with relaxed atomics, so cloning
+//! them into worker threads is free and recording never locks or
+//! allocates. A [`Registry`] names the metrics and produces deterministic
+//! [`Snapshot`]s exportable to JSON (see [`Snapshot::to_json`]); the
+//! format is hand-rolled so this crate needs no serde dependency.
+//!
+//! # Naming scheme
+//!
+//! Metric names are dot-separated, lower-case paths:
+//! `<subsystem>.<object>.<measure>[_<unit>]`, e.g. `scan.icmp.hits`,
+//! `scan.worker.chunk_ms`, `service.round.phase.alias_ms`, `net.probes`.
+//! Durations are histograms in milliseconds with an `_ms` suffix;
+//! microsecond metrics use `_us`.
+//!
+//! # Example
+//!
+//! ```
+//! use sixdust_telemetry::{Registry, SpanTimer};
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("scan.icmp.hits");
+//! let chunk_ms = reg.histogram("scan.worker.chunk_ms");
+//! {
+//!     let _span = SpanTimer::start(&chunk_ms);
+//!     hits.add(3);
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("scan.icmp.hits"), Some(3));
+//! assert_eq!(snap.histogram("scan.worker.chunk_ms").unwrap().count, 1);
+//! let json = snap.to_json();
+//! assert_eq!(sixdust_telemetry::Snapshot::from_json(&json).unwrap(), snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod registry;
+
+pub use metrics::{
+    bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKETS,
+};
+pub use registry::{Registry, Snapshot};
+
+/// Records the elapsed milliseconds since `started` into the histogram
+/// named `name`, if a registry is attached. The no-registry path is a
+/// single branch, keeping uninstrumented runs free of overhead.
+pub fn record_phase(
+    registry: Option<&Registry>,
+    name: &str,
+    started: std::time::Instant,
+) {
+    if let Some(reg) = registry {
+        reg.histogram(name).record_duration(started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_phase_is_a_noop_without_a_registry() {
+        record_phase(None, "service.round.phase.scan_ms", std::time::Instant::now());
+    }
+
+    #[test]
+    fn record_phase_records_into_named_histogram() {
+        let reg = Registry::new();
+        record_phase(Some(&reg), "service.round.phase.scan_ms", std::time::Instant::now());
+        assert_eq!(reg.histogram("service.round.phase.scan_ms").count(), 1);
+    }
+}

@@ -1,0 +1,365 @@
+//! The metric primitives: counters, gauges, log-bucketed histograms and
+//! RAII span timers.
+//!
+//! Every handle is a cheap [`Arc`] clone around lock-free atomics, so hot
+//! paths can hold pre-resolved handles and record with a single relaxed
+//! atomic operation — no registry lookup, no lock, no allocation. Handles
+//! created with `new()` start *detached*: they count, but nothing reads
+//! them until they are registered in a
+//! [`Registry`](crate::registry::Registry).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: one per power of two of `u64`, plus a
+/// dedicated bucket for zero.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a detached counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge for level-style metrics (queue depths, pool sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `d` to the gauge.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.inner.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (latencies in milliseconds,
+/// sizes in bytes, …).
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. Recording is five relaxed atomic operations and never
+/// allocates.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+/// The bucket a value falls into: `0` for zero, otherwise
+/// `floor(log2(value)) + 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The smallest value belonging to bucket `index` (inverse of
+/// [`bucket_index`]).
+pub fn bucket_floor(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates a detached, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let core = &*self.inner;
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole milliseconds (the unit every `*_ms`
+    /// metric uses; sub-millisecond spans record `0` but still count).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_millis().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.inner.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.inner.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.inner;
+        let count = core.count.load(Ordering::Relaxed);
+        let buckets: Vec<(u64, u64)> = (0..BUCKETS)
+            .filter_map(|i| {
+                let c = core.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_floor(i), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { core.min.load(Ordering::Relaxed) },
+            max: core.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of one histogram: totals plus the non-empty
+/// buckets as `(bucket lower bound, sample count)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (`0` when empty).
+    pub min: u64,
+    /// Largest sample (`0` when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by lower bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// An RAII span timer: starts on construction, records the elapsed wall
+/// time into its histogram (in milliseconds) when dropped.
+///
+/// ```
+/// use sixdust_telemetry::{Histogram, SpanTimer};
+/// let h = Histogram::new();
+/// {
+///     let _span = SpanTimer::start(&h);
+///     // … timed work …
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing against `histogram`.
+    pub fn start(histogram: &Histogram) -> SpanTimer {
+        SpanTimer { histogram: histogram.clone(), started: Instant::now() }
+    }
+
+    /// Stops the span early and returns the elapsed time (also recorded).
+    pub fn stop(self) -> Duration {
+        let elapsed = self.started.elapsed();
+        drop(self);
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Clones share the underlying cell.
+        let c2 = c.clone();
+        c2.incr();
+        assert_eq!(c.get(), 43);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        // Zero gets its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Powers of two open a new bucket; their predecessors close one.
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        // bucket_floor inverts bucket_index on bucket lower bounds.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        // 0 → bucket 0; 1 → [1,2); 2 and 3 → [2,4); 1000 → [512,1024).
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+        assert!((snap.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_and_stop() {
+        let h = Histogram::new();
+        {
+            let _span = SpanTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+        let span = SpanTimer::start(&h);
+        let _elapsed = span.stop();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_is_shared_across_clones_and_threads() {
+        let h = Histogram::new();
+        let h2 = h.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for v in 0..100u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h2.count(), 400);
+    }
+}

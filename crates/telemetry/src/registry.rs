@@ -1,0 +1,230 @@
+//! The named-metric registry: a thread-safe map from metric names to
+//! metric handles, cheap to clone and share across the whole pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::json;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// Cloning a `Registry` clones an [`Arc`]; all clones see the same
+/// metrics. Lookups take a read lock only; the write lock is taken once
+/// per metric name, on first creation. Hot paths should resolve their
+/// handles once up front and record through the handles.
+///
+/// ```
+/// use sixdust_telemetry::Registry;
+/// let reg = Registry::new();
+/// let hits = reg.counter("scan.icmp.hits");
+/// hits.add(3);
+/// assert_eq!(reg.snapshot().counter("scan.icmp.hits"), Some(3));
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner.counters.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner.gauges.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner.histograms.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Attaches an existing counter handle under `name`, so always-on
+    /// counters created before the registry existed become visible in
+    /// snapshots. Replaces any counter previously registered under the
+    /// same name.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        self.inner.counters.write().insert(name.to_string(), counter.clone());
+    }
+
+    /// Attaches an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.inner.gauges.write().insert(name.to_string(), gauge.clone());
+    }
+
+    /// Attaches an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: &Histogram) {
+        self.inner.histograms.write().insert(name.to_string(), histogram.clone());
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.inner.counters.read().len())
+            .field("gauges", &self.inner.gauges.read().len())
+            .field("histograms", &self.inner.histograms.read().len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents.
+///
+/// All entries are sorted by metric name (the registry stores them in
+/// `BTreeMap`s), so snapshots of identical state compare equal and the
+/// JSON export is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// State of the histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Serializes the snapshot to a deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        json::snapshot_to_json(self)
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        json::snapshot_from_json(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter("x").get(), 5);
+
+        let h1 = reg.histogram("h");
+        let h2 = reg.histogram("h");
+        h1.record(1);
+        h2.record(2);
+        assert_eq!(reg.histogram("h").count(), 2);
+    }
+
+    #[test]
+    fn register_attaches_preexisting_handles() {
+        let detached = Counter::new();
+        detached.add(7);
+        let reg = Registry::new();
+        reg.register_counter("net.probes", &detached);
+        // Later increments through the original handle are visible.
+        detached.incr();
+        assert_eq!(reg.snapshot().counter("net.probes"), Some(8));
+    }
+
+    #[test]
+    fn clones_share_state_and_snapshots_are_sorted() {
+        let reg = Registry::new();
+        let reg2 = reg.clone();
+        reg.counter("b").add(1);
+        reg2.counter("a").add(2);
+        reg2.gauge("g").set(-4);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        assert_eq!(snap.gauge("g"), Some(-4));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_get_or_create_is_consistent() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        reg.counter(&format!("c{}", i % 5)).incr();
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let total: u64 = snap.counters.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 400);
+        assert_eq!(snap.counters.len(), 5);
+    }
+}

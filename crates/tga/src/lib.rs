@@ -36,6 +36,7 @@ pub mod sixtree;
 pub mod sixveclm;
 
 use sixdust_addr::Addr;
+use sixdust_telemetry::Registry;
 
 pub use dc::DistanceClustering;
 pub use entropyip::EntropyIp;
@@ -68,6 +69,56 @@ pub fn paper_lineup(addr_div: u64) -> Vec<(Box<dyn TargetGenerator>, usize)> {
         (Box::new(SixVecLm::default()), scale(70_300)),
         (Box::new(DistanceClustering::default()), scale(5_300_000)),
     ]
+}
+
+/// Wraps a generator so every [`TargetGenerator::generate`] call records
+/// `tga.<name>.candidates` (a counter of emitted candidates) and
+/// `tga.<name>.gen_ms` (a histogram of generation wall time) in `registry`.
+pub struct InstrumentedGenerator {
+    inner: Box<dyn TargetGenerator>,
+    registry: Registry,
+}
+
+impl InstrumentedGenerator {
+    /// Instruments `inner` against `registry`. Metric keys derive from
+    /// [`TargetGenerator::name`], lower-cased: `tga.6graph.candidates`.
+    pub fn new(inner: Box<dyn TargetGenerator>, registry: Registry) -> InstrumentedGenerator {
+        InstrumentedGenerator { inner, registry }
+    }
+
+    fn key(&self, suffix: &str) -> String {
+        format!("tga.{}.{suffix}", self.inner.name().to_ascii_lowercase())
+    }
+}
+
+impl TargetGenerator for InstrumentedGenerator {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn generate(&self, seeds: &[Addr], budget: usize) -> Vec<Addr> {
+        let started = std::time::Instant::now();
+        let out = self.inner.generate(seeds, budget);
+        self.registry.histogram(&self.key("gen_ms")).record(started.elapsed().as_millis() as u64);
+        self.registry.counter(&self.key("candidates")).add(out.len() as u64);
+        out
+    }
+}
+
+/// [`paper_lineup`] with every generator wrapped in an
+/// [`InstrumentedGenerator`] reporting to `registry`.
+pub fn instrumented_lineup(
+    addr_div: u64,
+    registry: &Registry,
+) -> Vec<(Box<dyn TargetGenerator>, usize)> {
+    paper_lineup(addr_div)
+        .into_iter()
+        .map(|(g, budget)| {
+            let wrapped: Box<dyn TargetGenerator> =
+                Box::new(InstrumentedGenerator::new(g, registry.clone()));
+            (wrapped, budget)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -144,5 +195,22 @@ mod tests {
         assert_eq!(l.len(), 5);
         assert_eq!(l[0].1, 125_800, "6graph budget");
         assert_eq!(l[3].1, 70, "6veclm budget");
+    }
+
+    #[test]
+    fn instrumented_lineup_reports_per_generator_metrics() {
+        let (_, seeds) = scenario();
+        let registry = Registry::new();
+        for (g, _) in instrumented_lineup(1000, &registry) {
+            let out = g.generate(&seeds, 200);
+            // Wrapping must not change the output.
+            let key = format!("tga.{}.candidates", g.name().to_ascii_lowercase());
+            assert_eq!(registry.snapshot().counter(&key), Some(out.len() as u64), "{key}");
+        }
+        let snap = registry.snapshot();
+        for (g, _) in paper_lineup(1000) {
+            let gen_ms = format!("tga.{}.gen_ms", g.name().to_ascii_lowercase());
+            assert_eq!(snap.histogram(&gen_ms).map(|h| h.count), Some(1), "{gen_ms}");
+        }
     }
 }

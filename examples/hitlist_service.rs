@@ -1,6 +1,7 @@
 //! Run the full IPv6 Hitlist service pipeline for the first simulated
 //! year and watch it work: input accumulation, alias filtering, scans,
-//! the 30-day filter, and churn.
+//! the 30-day filter, and churn — plus the telemetry the pipeline
+//! reports along the way.
 //!
 //! ```sh
 //! cargo run --release --example hitlist_service
@@ -8,10 +9,15 @@
 
 use sixdust::hitlist::{HitlistService, ServiceConfig};
 use sixdust::net::{Day, FaultConfig, Internet, Scale};
+use sixdust::telemetry::Registry;
 
 fn main() {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 2 });
-    let mut svc = HitlistService::new(ServiceConfig::default());
+    let registry = Registry::new();
+    let net = Internet::build(Scale::tiny())
+        .with_faults(FaultConfig { drop_permille: 2 })
+        .with_telemetry(&registry);
+    let config = ServiceConfig::builder().alias_every_days(28).build();
+    let mut svc = HitlistService::new(config).with_telemetry(registry.clone());
 
     println!("== one simulated year of the IPv6 Hitlist service ==\n");
     println!(
@@ -45,4 +51,13 @@ fn main() {
     println!("  aliased prefixes labeled: {}", svc.aliased().len());
     println!("  30-day filtered pool:     {}", svc.unresponsive_pool().len());
     println!("  GFW-impacted addresses:   {}", svc.gfw_impacted().len());
+
+    let snap = registry.snapshot();
+    println!("\ntelemetry (shared registry, see README \"Observability\"):");
+    for name in ["service.rounds", "service.targets", "scan.icmp.probes_sent", "net.probes"] {
+        println!("  {:<24} {}", name, snap.counter(name).unwrap_or(0));
+    }
+    if let Some(h) = snap.histogram("service.round.phase.scan_ms") {
+        println!("  scan phase ms             mean {:.1}, max {}", h.mean(), h.max);
+    }
 }

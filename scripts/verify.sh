@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI runs, runnable locally in one shot.
+#
+#   scripts/verify.sh            # build + tests + clippy
+#   scripts/verify.sh --quick    # skip clippy (fast pre-push check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "== cargo test --workspace"
+cargo test --workspace --release -q
+
+if [ "${1:-}" != "--quick" ]; then
+  echo "== cargo clippy --workspace -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "verify: OK"
