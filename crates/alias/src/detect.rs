@@ -251,6 +251,15 @@ impl AliasDetector {
             .telemetry
             .as_ref()
             .map(|t| SpanTimer::start(&t.histogram("alias.round_ms")));
+        let _trace_span = self.telemetry.as_ref().and_then(|t| t.tracer()).map(|j| {
+            j.span_with(
+                "alias.round",
+                &[
+                    ("day", day.0.to_string().as_str()),
+                    ("candidates", cands.len().to_string().as_str()),
+                ],
+            )
+        });
         let seed = prf::mix2(self.config.seed, u64::from(day.0));
         let mut detected = Vec::new();
         let mut probes = 0u64;

@@ -122,6 +122,32 @@ impl Series {
         }
         out
     }
+
+    /// Lifts one metric out of a live telemetry recorder into a `Series`,
+    /// so recorded per-round deltas flow straight into the spike/era and
+    /// resampling machinery without an export/import round trip.
+    ///
+    /// Rounds where the metric was absent (created later, or evicted from
+    /// the ring) are simply missing points — the series stays irregular,
+    /// which every method here already tolerates.
+    ///
+    /// ```
+    /// use sixdust_analysis::Series;
+    /// use sixdust_telemetry::{Registry, SeriesRecorder};
+    ///
+    /// let reg = Registry::new();
+    /// let mut rec = SeriesRecorder::new(reg.clone(), 512);
+    /// for day in 0..5u32 {
+    ///     reg.counter("scan.udp53.hits").add(100 + u64::from(day));
+    ///     rec.record(day);
+    /// }
+    /// let s = Series::from_telemetry(&rec, "scan.udp53.hits");
+    /// assert_eq!(s.len(), 5);
+    /// assert_eq!(s.points[0], (0, 100));
+    /// ```
+    pub fn from_telemetry(recorder: &sixdust_telemetry::SeriesRecorder, metric: &str) -> Series {
+        Series::new(recorder.points(metric))
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +218,87 @@ mod tests {
     fn mean_value() {
         let s = Series::new(vec![(0, 10), (1, 30)]);
         assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_telemetry_lifts_recorded_deltas() {
+        let reg = sixdust_telemetry::Registry::new();
+        let mut rec = sixdust_telemetry::SeriesRecorder::new(reg.clone(), 512);
+        let hits = reg.counter("scan.udp53.hits");
+        // Deliberately record out of natural spike shape: baseline, spike,
+        // baseline — and confirm the lifted series feeds spike detection.
+        for day in 0..30u32 {
+            hits.add(if (10..13).contains(&day) { 9_000 } else { 100 });
+            rec.record(day);
+        }
+        let s = Series::from_telemetry(&rec, "scan.udp53.hits");
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.spike_windows(10.0, 2), vec![(10, 12)]);
+        // Metrics the recorder never saw lift to an empty series.
+        assert!(Series::from_telemetry(&rec, "scan.icmp.hits").is_empty());
+    }
+
+    /// Paper-shaped responsive-count series: a UDP/53 baseline around
+    /// 4 500 with GFW-injection eras two orders of magnitude above it
+    /// (Fig. 3). Offline spike detection and the online MAD monitor must
+    /// agree on where the eras are.
+    fn gfw_shaped() -> (Series, Vec<(u32, u32)>) {
+        let eras = vec![(330, 430), (650, 800), (940, 1040)];
+        let mut pts = Vec::new();
+        for day in (0..1100u32).step_by(5) {
+            // Mild deterministic jitter so the baseline is not constant.
+            let base = 4_500 + u64::from(day % 7) * 40;
+            let in_era = eras.iter().any(|&(a, b)| (a..=b).contains(&day));
+            pts.push((day, if in_era { 100_000 + u64::from(day % 11) * 500 } else { base }));
+        }
+        (Series::new(pts), eras)
+    }
+
+    #[test]
+    fn offline_spikes_and_online_mad_agree_on_gfw_eras() {
+        let (series, eras) = gfw_shaped();
+        let windows = series.spike_windows(10.0, 5);
+        assert_eq!(windows.len(), eras.len(), "offline finds each era once: {windows:?}");
+        for (&(start, end), &(wa, wb)) in eras.iter().zip(&windows) {
+            assert!(wa >= start && wb <= end, "window ({wa},{wb}) inside era ({start},{end})");
+        }
+
+        let flagged = sixdust_telemetry::flag_series(
+            &series.points,
+            &sixdust_telemetry::MadConfig::default(),
+        );
+        assert!(!flagged.is_empty());
+        // Every day the online monitor flags lies inside an offline era,
+        // and every era is caught online from its first scan day on.
+        for day in &flagged {
+            assert!(
+                eras.iter().any(|&(a, b)| (a..=b).contains(day)),
+                "online flag at day {day} outside all eras"
+            );
+        }
+        for &(start, end) in &eras {
+            let in_era: Vec<u32> =
+                flagged.iter().copied().filter(|d| (start..=end).contains(d)).collect();
+            assert_eq!(
+                in_era.first(),
+                Some(&start),
+                "era ({start},{end}) flagged from its first scan day"
+            );
+            assert!(in_era.len() >= ((end - start) / 5) as usize, "era stays flagged throughout");
+        }
+    }
+
+    #[test]
+    fn steady_series_is_clean_for_both_detectors() {
+        let pts: Vec<(u32, u64)> =
+            (0..400u32).step_by(5).map(|d| (d, 4_500 + u64::from(d % 7) * 40)).collect();
+        let series = Series::new(pts);
+        assert!(series.spikes(10.0).is_empty());
+        assert!(series.spike_windows(10.0, 5).is_empty());
+        let flagged = sixdust_telemetry::flag_series(
+            &series.points,
+            &sixdust_telemetry::MadConfig::default(),
+        );
+        assert!(flagged.is_empty(), "steady baseline must not alarm: {flagged:?}");
     }
 }

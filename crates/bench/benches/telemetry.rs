@@ -9,6 +9,11 @@
 //!   same code and should be within noise (< ~2%).
 //! * `scan_icmp_1k_telemetry_on` — what an attached registry actually
 //!   costs (counter adds + one histogram sample per worker).
+//! * `scan_icmp_1k_telemetry_traced` — registry *plus* an installed trace
+//!   journal (one scan span + one span per worker on top).
+//! * `series_record_round` / `trace_span` / `trace_instant` — the
+//!   longitudinal layer's per-round and per-event costs, pinning the
+//!   recorder + journal overhead a service round pays.
 //! * Micro-benches for the primitives themselves, to keep their cost in
 //!   perspective against a single simulated probe.
 
@@ -16,7 +21,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sixdust_addr::Addr;
 use sixdust_net::{Day, FaultConfig, Internet, Protocol, Scale};
 use sixdust_scan::{scan, scan_with, ScanConfig};
-use sixdust_telemetry::{Histogram, Registry};
+use sixdust_telemetry::{Histogram, Registry, SeriesRecorder, TraceJournal};
 
 fn scan_setup() -> (Internet, Vec<Addr>, ScanConfig) {
     let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
@@ -45,6 +50,47 @@ fn bench_scan_overhead(c: &mut Criterion) {
         b.iter(|| {
             scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&registry))
         })
+    });
+    let traced = Registry::new();
+    traced.install_tracer(&TraceJournal::new());
+    c.bench_function("scan_icmp_1k_telemetry_traced", |b| {
+        b.iter(|| {
+            scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&traced))
+        })
+    });
+}
+
+fn bench_longitudinal(c: &mut Criterion) {
+    // A registry shaped like a real service round: the service counters,
+    // five protocols' scan counters and the phase histograms.
+    let registry = Registry::new();
+    for proto in ["icmp", "tcp443", "tcp80", "udp443", "udp53"] {
+        registry.counter(&format!("scan.{proto}.probes_sent")).add(1);
+        registry.counter(&format!("scan.{proto}.hits")).add(1);
+        registry.counter(&format!("service.hits.published.{proto}")).add(1);
+        registry.counter(&format!("service.hits.cleaned.{proto}")).add(1);
+    }
+    for phase in ["ingest", "alias", "select", "scan", "gfw", "traceroute", "churn"] {
+        registry.histogram(&format!("service.round.phase.{phase}_ms")).record(3);
+    }
+    let mut recorder = SeriesRecorder::new(registry.clone(), 4096);
+    c.bench_function("series_record_round", |b| {
+        let mut key = 0u32;
+        b.iter(|| {
+            registry.counter("scan.icmp.hits").add(7);
+            key = key.wrapping_add(1);
+            recorder.record(black_box(key));
+        })
+    });
+
+    let journal = TraceJournal::new();
+    c.bench_function("trace_span", |b| {
+        b.iter(|| {
+            let _span = journal.span(black_box("service.round"));
+        })
+    });
+    c.bench_function("trace_instant", |b| {
+        b.iter(|| journal.instant(black_box("service.anomaly.udp53"), &[("day", "330")]))
     });
 }
 
@@ -77,6 +123,6 @@ fn bench_primitives(c: &mut Criterion) {
 criterion_group!(
     name = telemetry;
     config = Criterion::default().sample_size(20);
-    targets = bench_scan_overhead, bench_primitives
+    targets = bench_scan_overhead, bench_longitudinal, bench_primitives
 );
 criterion_main!(telemetry);

@@ -9,7 +9,7 @@ use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfi
 use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, SourceEval};
 use sixdust_net::{Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
-use sixdust_telemetry::Registry;
+use sixdust_telemetry::{Registry, TraceJournal, DEFAULT_SERIES_CAPACITY};
 use sixdust_tga::instrumented_lineup;
 
 /// The day Table 3's TGA seeds are taken ("responsive addresses in
@@ -27,14 +27,39 @@ pub struct Ctx {
     /// Metrics registry every pipeline stage reports into; dumped by
     /// `--telemetry <path>`.
     pub telemetry: Registry,
+    /// Trace journal installed into the registry when `--trace <path>` is
+    /// given; dumped as Chrome trace-event JSON.
+    pub trace: Option<TraceJournal>,
     new_sources: Option<Vec<SourceEval>>,
+}
+
+/// Observability options for [`Ctx::build_with`], derived from the
+/// `--series` / `--trace` command-line flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsOptions {
+    /// Attach a per-round [`sixdust_telemetry::SeriesRecorder`] to the
+    /// service before the four-year run.
+    pub series: bool,
+    /// Install a [`TraceJournal`] into the registry so the service, scan
+    /// engine and alias detector emit spans.
+    pub trace: bool,
 }
 
 impl Ctx {
     /// Builds the Internet and runs the service from launch to the paper's
     /// final day. This is the expensive step (~minutes at paper scale).
     pub fn build(scale: Scale) -> Ctx {
+        Ctx::build_with(scale, ObsOptions::default())
+    }
+
+    /// [`Ctx::build`] with observability options: a per-round series
+    /// recorder on the service and/or a trace journal in the registry.
+    pub fn build_with(scale: Scale, opts: ObsOptions) -> Ctx {
         let telemetry = Registry::new();
+        let trace = opts.trace.then(TraceJournal::new);
+        if let Some(journal) = &trace {
+            telemetry.install_tracer(journal);
+        }
         let net = Internet::build(scale)
             .with_faults(FaultConfig { drop_permille: 2 })
             .with_telemetry(&telemetry);
@@ -43,6 +68,9 @@ impl Ctx {
         days.sort_unstable();
         let config = ServiceConfig::builder().snapshot_days(days).build();
         let mut svc = HitlistService::new(config).with_telemetry(telemetry.clone());
+        if opts.series {
+            svc = svc.with_series(DEFAULT_SERIES_CAPACITY);
+        }
         eprintln!(
             "[ctx] running four-year service (addr 1/{}, entity 1/{}, seed {:#x})…",
             scale.addr_div, scale.entity_div, scale.seed
@@ -56,7 +84,7 @@ impl Ctx {
             svc.rounds().last().map(|r| r.total_cleaned).unwrap_or(0),
             t0.elapsed().as_secs_f64()
         );
-        Ctx { net, svc, scale, telemetry, new_sources: None }
+        Ctx { net, svc, scale, telemetry, trace, new_sources: None }
     }
 
     /// The snapshot at (or just after) a requested day.

@@ -6,12 +6,18 @@
 //!
 //! ```text
 //! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
-//!             [--telemetry PATH] <experiment>|all
+//!             [--telemetry PATH] [--series PATH] [--trace PATH] \
+//!             <experiment>|all
 //! ```
 //!
 //! `--telemetry PATH` dumps the shared metrics registry (scan, alias,
 //! service and TGA series — see README "Observability") as JSON after
 //! every experiment, so the file is complete even on partial runs.
+//! `--series PATH` records per-round metric deltas during the service run
+//! and writes them as JSONL (one object per round). `--trace PATH`
+//! installs a trace journal and writes Chrome trace-event JSON loadable
+//! in `chrome://tracing` / Perfetto. See EXPERIMENTS.md for worked
+//! examples.
 
 mod context;
 mod exp_ablations;
@@ -45,7 +51,7 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
-         [--telemetry PATH] <experiment>|all\n\
+         [--telemetry PATH] [--series PATH] [--trace PATH] <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -77,6 +83,8 @@ fn main() {
     let mut scale = Scale::paper();
     let mut out_dir = PathBuf::from("results");
     let mut telemetry_path: Option<PathBuf> = None;
+    let mut series_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -113,6 +121,14 @@ fn main() {
                 let Some(p) = args.next() else { usage() };
                 telemetry_path = Some(PathBuf::from(p));
             }
+            "--series" => {
+                let Some(p) = args.next() else { usage() };
+                series_path = Some(PathBuf::from(p));
+            }
+            "--trace" => {
+                let Some(p) = args.next() else { usage() };
+                trace_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
@@ -131,7 +147,22 @@ fn main() {
     }
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
-    let mut ctx = Ctx::build(scale);
+    let mut ctx = if series_path.is_some() || trace_path.is_some() {
+        Ctx::build_with(
+            scale,
+            context::ObsOptions { series: series_path.is_some(), trace: trace_path.is_some() },
+        )
+    } else {
+        Ctx::build(scale)
+    };
+
+    // The service run is over, so the per-round series is complete now;
+    // write it once up front rather than after each experiment.
+    if let Some(path) = &series_path {
+        let recorder = ctx.svc.series().expect("series recorder attached");
+        write_observability(path, &recorder.to_jsonl());
+        eprintln!("[obs] wrote {} rounds of series data to {}", recorder.len(), path.display());
+    }
     for cmd in &cmds {
         let t0 = std::time::Instant::now();
         let out = if cmd == "publish" {
@@ -156,15 +187,33 @@ fn main() {
         });
         writeln!(f, "{}", serde_json::to_string_pretty(&enriched).expect("serialize"))
             .expect("write json");
-        // Dump after every experiment so the telemetry file is complete
-        // even if a later experiment aborts the run.
+        // Dump after every experiment so the telemetry and trace files are
+        // complete even if a later experiment aborts the run (experiments
+        // keep emitting spans, e.g. the new-source alias pass).
         if let Some(path) = &telemetry_path {
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                std::fs::create_dir_all(dir).expect("create telemetry dir");
-            }
-            std::fs::write(path, ctx.telemetry.snapshot().to_json()).expect("write telemetry");
+            write_observability(path, &ctx.telemetry.snapshot().to_json());
+        }
+        if let Some(path) = &trace_path {
+            let journal = ctx.trace.as_ref().expect("trace journal installed");
+            write_observability(path, &journal.to_chrome_json());
         }
     }
+    if let Some(path) = &trace_path {
+        let journal = ctx.trace.as_ref().expect("trace journal installed");
+        eprintln!(
+            "[obs] wrote {} trace events to {} (open in chrome://tracing)",
+            journal.len(),
+            path.display()
+        );
+    }
+}
+
+/// Writes one observability artifact, creating parent directories.
+fn write_observability(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(path, contents).expect("write observability output");
 }
 
 fn run_one(ctx: &mut Ctx, cmd: &str) -> ExpOutput {

@@ -259,8 +259,8 @@ mod tests {
             );
         }
 
-        // Every phase histogram gets exactly one sample per round, even
-        // when the phase was skipped (recorded as 0).
+        // Every phase histogram gets exactly one sample per round; fast
+        // phases round up to 1 ms instead of truncating to 0.
         for phase in ["ingest", "alias", "select", "scan", "gfw", "traceroute", "churn"] {
             let name = format!("service.round.phase.{phase}_ms");
             let h = snap.histogram(&name).unwrap_or_else(|| panic!("{name} missing"));
@@ -275,6 +275,110 @@ mod tests {
             "scanner hit counter matches ICMP round records"
         );
         assert!(snap.counter("alias.rounds").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn gfw_era_trips_udp53_anomaly_flags() {
+        let net = net();
+        let registry = sixdust_telemetry::Registry::new();
+        let mut svc = HitlistService::new(quick_config()).with_telemetry(registry.clone());
+        // Same window as gfw_spike_in_published_not_cleaned: enough pre-era
+        // rounds to build a baseline, then into the injections.
+        let start = events::GFW_ERA1.0 .0 - 40;
+        svc.run(&net, Day(start), events::GFW_ERA1.0.plus(10));
+        let udp53_idx = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).unwrap();
+
+        let pre_era: Vec<&RoundRecord> =
+            svc.rounds().iter().filter(|r| r.day < events::GFW_ERA1.0).collect();
+        let in_era: Vec<&RoundRecord> =
+            svc.rounds().iter().filter(|r| r.day >= events::GFW_ERA1.0).collect();
+        assert!(pre_era.len() >= 6, "baseline rounds before the era: {}", pre_era.len());
+        assert!(!in_era.is_empty());
+
+        // The injections dwarf the organic baseline, so every in-era round
+        // must trip the UDP/53 monitor — live detection of Fig. 3's spike.
+        for r in &in_era {
+            assert!(
+                r.anomalous[udp53_idx],
+                "round on day {:?} (udp53={}) must be flagged",
+                r.day, r.published[udp53_idx]
+            );
+        }
+        // The baseline before the era stays quiet on UDP/53.
+        for r in &pre_era {
+            assert!(!r.anomalous[udp53_idx], "false alarm on day {:?}", r.day);
+        }
+        // ICMP sees no injections; its monitor must not alarm in the era.
+        for r in &in_era {
+            assert!(!r.anomalous[0], "ICMP false alarm on day {:?}", r.day);
+        }
+
+        // The 0/1-per-round anomaly counters reconcile with the records.
+        let snap = registry.snapshot();
+        let flagged =
+            svc.rounds().iter().filter(|r| r.anomalous[udp53_idx]).count() as u64;
+        assert_eq!(snap.counter("service.anomaly.udp53"), Some(flagged));
+    }
+
+    #[test]
+    fn series_recorder_reconciles_with_round_records() {
+        let net = net();
+        let mut svc = HitlistService::new(quick_config()).with_series(1024);
+        svc.run(&net, Day(0), Day(12));
+        let rec = svc.series().expect("recorder attached");
+        assert_eq!(rec.len(), svc.rounds().len());
+
+        let udp53_idx = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).unwrap();
+        for (round, record) in rec.rounds().zip(svc.rounds()) {
+            assert_eq!(Day(round.key), record.day);
+            // The recorder's counter deltas are exactly the per-round values.
+            assert_eq!(
+                round.value("service.hits.published.udp53"),
+                Some(record.published[udp53_idx]),
+                "day {:?}",
+                record.day
+            );
+            assert_eq!(
+                round.value("service.anomaly.udp53"),
+                Some(u64::from(record.anomalous[udp53_idx])),
+            );
+            assert_eq!(round.value("service.rounds"), Some(1));
+        }
+
+        // The recorded series feeds the analysis machinery directly.
+        let pts = rec.points("service.hits.published.icmp");
+        assert_eq!(pts.len(), svc.rounds().len());
+        assert!(pts.iter().map(|(_, v)| v).sum::<u64>() > 0);
+
+        // Exports carry every round.
+        assert_eq!(rec.to_jsonl().lines().count(), svc.rounds().len());
+        assert_eq!(rec.to_csv().lines().count(), svc.rounds().len() + 1);
+    }
+
+    #[test]
+    fn service_emits_round_spans_when_tracer_installed() {
+        let net = net();
+        let registry = sixdust_telemetry::Registry::new();
+        let journal = sixdust_telemetry::TraceJournal::new();
+        registry.install_tracer(&journal);
+        let mut svc = HitlistService::new(quick_config()).with_telemetry(registry);
+        svc.run(&net, Day(0), Day(8));
+
+        let events = journal.events();
+        let round_spans =
+            events.iter().filter(|e| e.name == "service.round").count();
+        assert_eq!(round_spans, svc.rounds().len(), "one span per round");
+        assert!(
+            events.iter().any(|e| e.name.starts_with("scan.")),
+            "scan engine spans ride the installed tracer"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "alias.round"),
+            "alias detector spans ride the installed tracer"
+        );
+        // Spans nest: the round span starts before its scan spans.
+        let chrome = journal.to_chrome_json();
+        assert!(chrome.contains("\"traceEvents\""));
     }
 
     #[test]

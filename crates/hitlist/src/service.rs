@@ -17,7 +17,7 @@ use sixdust_addr::{prf, Addr, PrefixSet};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
 use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
-use sixdust_telemetry::Registry;
+use sixdust_telemetry::{MadConfig, MadDetector, Registry, SeriesRecorder};
 
 use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
 use crate::sources;
@@ -173,6 +173,13 @@ pub struct RoundRecord {
     pub aliased_prefixes: usize,
     /// Addresses dropped by the 30-day filter this round.
     pub dropped: usize,
+    /// Per-protocol anomaly verdicts on the published counts
+    /// (Protocol::ALL order): `true` where the online MAD monitor judged
+    /// this round's count far outside its rolling baseline — the live
+    /// version of Fig. 3's GFW spike eras. Absent in records checkpointed
+    /// before the monitor existed, hence the serde default.
+    #[serde(default)]
+    pub anomalous: [bool; 5],
 }
 
 /// A retained full snapshot (Table 1 / Figs. 2, 9, 10 inputs).
@@ -227,6 +234,11 @@ pub struct HitlistService {
     rounds: Vec<RoundRecord>,
     snapshots: Vec<Snapshot>,
     last_zone_week: Option<u32>,
+    /// One online MAD monitor per protocol, fed the published responsive
+    /// counts (Protocol::ALL order). Always on: the detectors are a few
+    /// floats of state and make every round self-describing.
+    anomaly: [MadDetector; 5],
+    series: Option<SeriesRecorder>,
 }
 
 impl HitlistService {
@@ -251,6 +263,8 @@ impl HitlistService {
             rounds: Vec::new(),
             snapshots: Vec::new(),
             last_zone_week: None,
+            anomaly: std::array::from_fn(|_| MadDetector::new(MadConfig::default())),
+            series: None,
         }
     }
 
@@ -261,6 +275,30 @@ impl HitlistService {
         self.detector.set_telemetry(registry.clone());
         self.telemetry = Some(registry);
         self
+    }
+
+    /// Attaches a longitudinal series recorder keeping the last `capacity`
+    /// rounds of per-round metric deltas (see
+    /// [`sixdust_telemetry::SeriesRecorder`]). Creates and attaches a
+    /// fresh telemetry registry first if none was installed with
+    /// [`HitlistService::with_telemetry`]; the recorder is fed at the end
+    /// of every [`HitlistService::run_round`], after the round's counters.
+    pub fn with_series(self, capacity: usize) -> HitlistService {
+        let mut svc = if self.telemetry.is_some() {
+            self
+        } else {
+            let registry = Registry::new();
+            self.with_telemetry(registry)
+        };
+        let registry = svc.telemetry.clone().expect("telemetry attached above");
+        svc.series = Some(SeriesRecorder::new(registry, capacity));
+        svc
+    }
+
+    /// The per-round series recorder, if one was attached with
+    /// [`HitlistService::with_series`].
+    pub fn series(&self) -> Option<&SeriesRecorder> {
+        self.series.as_ref()
     }
 
     /// The service's blocklist (opt-out registration).
@@ -375,18 +413,25 @@ impl HitlistService {
     }
 
     /// Records one phase duration, in milliseconds, when telemetry is
-    /// attached. Every phase is recorded every round (0 when skipped) so
-    /// each `service.round.phase.*` histogram has exactly one sample per
-    /// round.
+    /// attached. Every phase is recorded every round so each
+    /// `service.round.phase.*` histogram has exactly one sample per round;
+    /// sub-millisecond phases round up to `1` rather than truncating to a
+    /// never-ran-looking `0` (see [`sixdust_telemetry::Histogram::record_duration`]).
     fn record_phase(&self, phase: &str, elapsed: Duration) {
         if let Some(t) = &self.telemetry {
-            t.histogram(&format!("service.round.phase.{phase}_ms"))
-                .record(elapsed.as_millis() as u64);
+            t.histogram(&format!("service.round.phase.{phase}_ms")).record_duration(elapsed);
         }
     }
 
     /// Runs one full service round on `day`.
     pub fn run_round(&mut self, net: &Internet, day: Day) -> &RoundRecord {
+        // Resolve the trace journal once per round (like metric handles);
+        // the span closes when it drops at the end of this function.
+        let tracer = self.telemetry.as_ref().and_then(|t| t.tracer());
+        let day_str = day.0.to_string();
+        let mut round_span =
+            tracer.as_ref().map(|j| j.span_with("service.round", &[("day", day_str.as_str())]));
+
         // 1. Sources.
         let phase_started = Instant::now();
         self.ingest_sources(net, day);
@@ -490,6 +535,29 @@ impl HitlistService {
         self.ever.extend(responsive_cleaned.iter().copied());
         self.record_phase("churn", phase_started.elapsed());
 
+        // 7b. Online anomaly monitoring over the published counts — the
+        // view the real service fed its users, where the GFW injections
+        // actually showed up (Fig. 3 left). Anomalous rounds are not
+        // absorbed into the baseline, so multi-round eras stay flagged
+        // from first spike to last.
+        let mut anomalous = [false; 5];
+        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
+            let verdict = self.anomaly[i].observe(published[i] as f64);
+            anomalous[i] = verdict.anomalous;
+            if verdict.anomalous {
+                if let Some(j) = &tracer {
+                    j.instant(
+                        &format!("service.anomaly.{}", proto_metric_key(proto)),
+                        &[
+                            ("day", day_str.as_str()),
+                            ("value", &published[i].to_string()),
+                            ("z", &format!("{:.1}", verdict.z)),
+                        ],
+                    );
+                }
+            }
+        }
+
         let record = RoundRecord {
             day,
             input_total: self.input.len(),
@@ -503,6 +571,7 @@ impl HitlistService {
             churn_gone,
             aliased_prefixes: self.aliased.len(),
             dropped,
+            anomalous,
         };
         self.prev_responsive = responsive_cleaned;
 
@@ -519,6 +588,9 @@ impl HitlistService {
                 let key = proto_metric_key(proto);
                 t.counter(&format!("service.hits.published.{key}")).add(record.published[i]);
                 t.counter(&format!("service.hits.cleaned.{key}")).add(record.cleaned[i]);
+                // 0/1 per round, so the series recorder's deltas expose a
+                // ready-made per-round anomaly flag series.
+                t.counter(&format!("service.anomaly.{key}")).add(u64::from(record.anomalous[i]));
             }
         }
 
@@ -534,6 +606,16 @@ impl HitlistService {
         }
 
         self.rounds.push(record);
+
+        // 9. Longitudinal series: record after every counter for the round
+        // has been fed, so each SeriesRound is exactly this round's deltas.
+        if let Some(rec) = &mut self.series {
+            rec.record(day.0);
+        }
+        if let Some(span) = &mut round_span {
+            span.arg("targets", &targets.len().to_string());
+        }
+
         self.rounds.last().expect("just pushed")
     }
 

@@ -343,7 +343,10 @@ pub fn scan(
 ///
 /// With a registry, the scan records per-protocol counters
 /// (`scan.<proto>.probes_sent` / `.responses` / `.hits`) and per-worker
-/// chunk timings (`scan.worker.chunk_ms`). With `None` the only cost over
+/// chunk timings (`scan.worker.chunk_ms`). If the registry has a trace
+/// journal installed (see [`Registry::install_tracer`]), the scan also
+/// emits one `scan.<proto>` span covering the whole scan plus one
+/// `scan.worker` span per worker chunk. With `None` the only cost over
 /// the uninstrumented path is a handful of branches.
 pub fn scan_with(
     net: &Internet,
@@ -359,6 +362,15 @@ pub fn scan_with(
     let threads = config.threads.clamp(1, 32);
     let chunk = order.len().div_ceil(threads.max(1)).max(1);
     let chunk_hist = telemetry.map(|t| t.histogram("scan.worker.chunk_ms"));
+    // Resolved once per scan; workers clone the journal handle, not the
+    // registry lookup.
+    let tracer = telemetry.and_then(|t| t.tracer());
+    let _scan_span = tracer.as_ref().map(|j| {
+        j.span_with(
+            &format!("scan.{}", proto_metric_key(protocol)),
+            &[("day", day.0.to_string().as_str()), ("targets", n.to_string().as_str())],
+        )
+    });
 
     let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
     let mut sent = 0u64;
@@ -370,8 +382,18 @@ pub fn scan_with(
             .map(|(worker, idxs)| {
                 let probe = probe.clone();
                 let chunk_hist = chunk_hist.clone();
+                let worker_tracer = tracer.clone();
                 let handle = s.spawn(move |_| {
                     let _span = chunk_hist.as_ref().map(SpanTimer::start);
+                    let _trace_span = worker_tracer.as_ref().map(|j| {
+                        j.span_with(
+                            "scan.worker",
+                            &[
+                                ("worker", worker.to_string().as_str()),
+                                ("chunk", idxs.len().to_string().as_str()),
+                            ],
+                        )
+                    });
                     let mut out = Vec::with_capacity(idxs.len());
                     let mut sent = 0u64;
                     for &i in idxs.iter() {

@@ -1,0 +1,310 @@
+//! Online anomaly detection over metric series: rolling median + MAD
+//! z-scores.
+//!
+//! The paper's headline cleaning result (Sec. 4.2) is a cautionary tale
+//! about *not* having this: 134 M GFW-injected UDP/53 "responders" sat in
+//! the published time series for years because nobody watched the
+//! trajectory, only per-round totals. [`MadDetector`] is the live version
+//! of that post-hoc analysis — feed it one value per scan round and it
+//! flags the round the moment the series departs from its recent robust
+//! baseline.
+//!
+//! The statistic is the classic robust z-score: with `m` the median and
+//! `MAD` the median absolute deviation of the recent window,
+//!
+//! ```text
+//! z = 0.6745 · (x − m) / MAD
+//! ```
+//!
+//! (0.6745 rescales MAD to the standard deviation of a normal
+//! distribution). Values with `|z|` above the threshold are anomalous.
+//! Anomalous values are **not** absorbed into the window, so a
+//! multi-round injection era stays flagged from its first round to its
+//! last instead of becoming the new normal — exactly the failure mode
+//! that hid the GFW eras in the real service. The one escape hatch is
+//! [`MadConfig::max_streak`]: after that many *consecutive* anomalies the
+//! detector concedes a regime change and adopts the new level, so a
+//! legitimate step change (a big new source, a config change) cannot
+//! freeze the baseline and alarm forever.
+
+use std::collections::VecDeque;
+
+/// Configuration for a [`MadDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MadConfig {
+    /// Rolling window length (number of accepted samples kept).
+    pub window: usize,
+    /// Robust z-score magnitude above which a value is anomalous.
+    pub threshold: f64,
+    /// Minimum accepted samples before any value can be flagged; the
+    /// warm-up values are absorbed unconditionally.
+    pub min_history: usize,
+    /// After this many *consecutive* anomalous values the detector
+    /// concedes a regime change: the recent anomalous values replace the
+    /// baseline window and subsequent values at the new level are normal.
+    /// Without this bound a step change (organic growth, a config change)
+    /// would freeze the baseline and flag every round forever. `0`
+    /// disables the concession. The default (40) outlasts the paper's
+    /// eras at its scan cadence, so those stay flagged end to end; an
+    /// era longer than the streak is conceded mid-way and its *end* then
+    /// flags as a drop, delimiting the era at both edges either way.
+    pub max_streak: usize,
+}
+
+impl Default for MadConfig {
+    fn default() -> MadConfig {
+        MadConfig { window: 25, threshold: 5.0, min_history: 5, max_streak: 40 }
+    }
+}
+
+/// The verdict for one observed value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Whether the value is anomalous against the current window.
+    pub anomalous: bool,
+    /// The robust z-score (`0.0` during warm-up).
+    pub z: f64,
+    /// Median of the window the value was judged against.
+    pub median: f64,
+    /// Median absolute deviation of that window.
+    pub mad: f64,
+}
+
+impl Verdict {
+    fn normal(z: f64, median: f64, mad: f64) -> Verdict {
+        Verdict { anomalous: false, z, median, mad }
+    }
+}
+
+/// An online rolling median + MAD anomaly detector for one series.
+///
+/// ```
+/// use sixdust_telemetry::{MadConfig, MadDetector};
+/// let mut det = MadDetector::new(MadConfig::default());
+/// for _ in 0..10 {
+///     assert!(!det.observe(100.0).anomalous); // steady baseline
+/// }
+/// assert!(det.observe(9_000.0).anomalous); // a GFW-era spike
+/// assert!(!det.observe(101.0).anomalous); // back to baseline
+/// ```
+#[derive(Debug, Clone)]
+pub struct MadDetector {
+    config: MadConfig,
+    history: VecDeque<f64>,
+    /// The most recent consecutive anomalous values (capped at `window`),
+    /// promoted to the new baseline when the streak reaches `max_streak`.
+    streak_values: VecDeque<f64>,
+    streak: usize,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl MadDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: MadConfig) -> MadDetector {
+        MadDetector { config, history: VecDeque::new(), streak_values: VecDeque::new(), streak: 0 }
+    }
+
+    /// Number of accepted (non-anomalous) samples currently in the window.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Length of the current run of consecutive anomalous values.
+    pub fn streak_len(&self) -> usize {
+        self.streak
+    }
+
+    /// Judges `value` against the current window, then absorbs it if (and
+    /// only if) it is not anomalous. A run of `max_streak` consecutive
+    /// anomalies is conceded as a regime change (see [`MadConfig`]).
+    pub fn observe(&mut self, value: f64) -> Verdict {
+        let verdict = self.judge(value);
+        if verdict.anomalous {
+            self.streak += 1;
+            self.streak_values.push_back(value);
+            while self.streak_values.len() > self.config.window.max(1) {
+                self.streak_values.pop_front();
+            }
+            if self.config.max_streak > 0 && self.streak >= self.config.max_streak {
+                // The "anomaly" has been the operating reality for a full
+                // streak: adopt it as the baseline instead of flagging
+                // every round until the end of time.
+                self.history = std::mem::take(&mut self.streak_values);
+                self.streak = 0;
+            }
+        } else {
+            self.streak = 0;
+            self.streak_values.clear();
+            self.history.push_back(value);
+            while self.history.len() > self.config.window.max(1) {
+                self.history.pop_front();
+            }
+        }
+        verdict
+    }
+
+    /// Judges `value` against the current window without absorbing it.
+    pub fn judge(&self, value: f64) -> Verdict {
+        if self.history.len() < self.config.min_history {
+            return Verdict::normal(0.0, value, 0.0);
+        }
+        let mut sorted: Vec<f64> = self.history.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = median_of(&sorted);
+        let mut devs: Vec<f64> = sorted.iter().map(|v| (v - median).abs()).collect();
+        devs.sort_by(f64::total_cmp);
+        let mad = median_of(&devs);
+        let z = if mad > 0.0 {
+            0.6745 * (value - median) / mad
+        } else {
+            // Degenerate window (more than half the values identical): fall
+            // back to fractional deviation from the median, scaled so the
+            // same threshold applies. The tolerance is floored at
+            // `max(√median, 1)` because the series are Poisson-ish counts:
+            // a ±1 tick off a perfectly constant small-count window is
+            // ordinary shot noise, not an event.
+            let tolerance = (0.1 * median.abs()).max(median.abs().sqrt()).max(1.0);
+            self.config.threshold * (value - median) / tolerance
+        };
+        Verdict { anomalous: z.abs() > self.config.threshold, z, median, mad }
+    }
+}
+
+/// Runs a [`MadDetector`] over a whole `(day, value)` series and returns
+/// the flagged days — the batch form of the online monitor, used to
+/// cross-check against `sixdust-analysis`' median-factor spike detector.
+pub fn flag_series(points: &[(u32, u64)], config: &MadConfig) -> Vec<u32> {
+    let mut det = MadDetector::new(config.clone());
+    points
+        .iter()
+        .filter(|(_, v)| det.observe(*v as f64).anomalous)
+        .map(|(d, _)| *d)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_baseline(i: u32) -> u64 {
+        100 + u64::from(i % 7)
+    }
+
+    #[test]
+    fn steady_series_never_flags() {
+        let mut det = MadDetector::new(MadConfig::default());
+        for _ in 0..100 {
+            assert!(!det.observe(42.0).anomalous);
+        }
+    }
+
+    #[test]
+    fn noisy_baseline_never_flags() {
+        let pts: Vec<(u32, u64)> = (0..100).map(|d| (d, noisy_baseline(d))).collect();
+        assert_eq!(flag_series(&pts, &MadConfig::default()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn spike_era_stays_flagged_throughout() {
+        let mut pts: Vec<(u32, u64)> = (0..100).map(|d| (d, noisy_baseline(d))).collect();
+        for d in 40..60 {
+            pts[d as usize] = (d, 20_000 + u64::from(d));
+        }
+        let flagged = flag_series(&pts, &MadConfig::default());
+        assert_eq!(flagged, (40..60).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn recovers_after_era_ends() {
+        let mut det = MadDetector::new(MadConfig::default());
+        for i in 0..30u32 {
+            det.observe(f64::from(noisy_baseline(i) as u32));
+        }
+        for _ in 0..10 {
+            assert!(det.observe(50_000.0).anomalous);
+        }
+        // Post-era values are judged against the uncontaminated window.
+        assert!(!det.observe(103.0).anomalous);
+    }
+
+    #[test]
+    fn warm_up_absorbs_unconditionally() {
+        let mut det = MadDetector::new(MadConfig { min_history: 5, ..MadConfig::default() });
+        for v in [1.0, 1e9, 3.0, -7.0] {
+            assert!(!det.observe(v).anomalous, "warm-up must not flag");
+        }
+        assert_eq!(det.history_len(), 4);
+    }
+
+    #[test]
+    fn degenerate_window_uses_fractional_fallback() {
+        let mut det = MadDetector::new(MadConfig::default());
+        for _ in 0..20 {
+            det.observe(1000.0);
+        }
+        let v = det.judge(1040.0); // 4% off a constant series: fine
+        assert!(!v.anomalous, "z={}", v.z);
+        let v = det.judge(3000.0); // 3x a constant series: anomalous
+        assert!(v.anomalous);
+        assert_eq!(v.mad, 0.0);
+    }
+
+    #[test]
+    fn small_count_shot_noise_never_flags() {
+        // A UDP/53 baseline of 3 responsive addresses, constant for weeks,
+        // then an ordinary ±1 tick: shot noise, not a GFW era.
+        let mut det = MadDetector::new(MadConfig::default());
+        for _ in 0..40 {
+            det.observe(3.0);
+        }
+        assert!(!det.judge(4.0).anomalous);
+        assert!(!det.judge(2.0).anomalous);
+        // A real injection era is still two orders of magnitude out.
+        assert!(det.judge(375.0).anomalous);
+    }
+
+    #[test]
+    fn long_regime_change_becomes_the_new_normal() {
+        let config = MadConfig { max_streak: 10, ..MadConfig::default() };
+        let mut det = MadDetector::new(config);
+        for i in 0..30u32 {
+            det.observe(f64::from(noisy_baseline(i) as u32));
+        }
+        // A permanent step to ~50x: flagged for max_streak rounds, then
+        // conceded as the new operating level.
+        for i in 0..10 {
+            assert!(det.observe(5_000.0 + f64::from(i)).anomalous, "round {i} still anomalous");
+        }
+        assert!(!det.observe(5_010.0).anomalous, "regime conceded after the streak");
+        assert_eq!(det.streak_len(), 0);
+        // And departures from the NEW baseline flag again.
+        assert!(det.observe(100.0).anomalous);
+    }
+
+    #[test]
+    fn judge_does_not_absorb() {
+        let det = MadDetector::new(MadConfig::default());
+        let before = det.history_len();
+        det.judge(5.0);
+        assert_eq!(det.history_len(), before);
+    }
+
+    #[test]
+    fn downward_spikes_flag_too() {
+        let mut pts: Vec<(u32, u64)> = (0..60).map(|d| (d, 10_000 + u64::from(d % 5))).collect();
+        pts[30] = (30, 0);
+        let flagged = flag_series(&pts, &MadConfig::default());
+        assert_eq!(flagged, vec![30]);
+    }
+}

@@ -11,11 +11,15 @@
 //!   "histograms": {
 //!     "scan.worker.chunk_ms": {
 //!       "count": 4, "sum": 10, "min": 1, "max": 5,
+//!       "p50": 2, "p90": 5, "p99": 5,
 //!       "buckets": [[1, 2], [4, 2]]
 //!     }
 //!   }
 //! }
 //! ```
+//!
+//! `p50`/`p90`/`p99` are derived from the buckets on export and ignored
+//! on import (the buckets are authoritative), so documents round-trip.
 //!
 //! The parser accepts exactly this shape (plus arbitrary whitespace); it
 //! is not a general JSON parser.
@@ -23,8 +27,9 @@
 use crate::metrics::HistogramSnapshot;
 use crate::registry::Snapshot;
 
-/// Escapes a metric name for use as a JSON string literal.
-fn escape(s: &str, out: &mut String) {
+/// Escapes a metric name for use as a JSON string literal. Shared with
+/// the series and trace exporters.
+pub(crate) fn escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -61,8 +66,15 @@ pub(crate) fn snapshot_to_json(snap: &Snapshot) -> String {
         out.push_str(if i == 0 { "\n    " } else { ",\n    " });
         escape(name, &mut out);
         out.push_str(&format!(
-            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
-            h.count, h.sum, h.min, h.max
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
         ));
         for (j, (floor, count)) in h.buckets.iter().enumerate() {
             if j > 0 {
@@ -185,8 +197,12 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<i128>()
+        // The scanned range is '-' and ASCII digits only, but never trust
+        // an unwrap on parser state: truncated or exotic input must come
+        // back as Err, not a panic.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid bytes at {start} of telemetry JSON"))?
+            .parse::<i128>()
             .map_err(|_| format!("expected integer at byte {start} of telemetry JSON"))
     }
 
@@ -264,6 +280,9 @@ impl<'a> Parser<'a> {
                 ("sum", Field::Number(v)) => snap.sum = v,
                 ("min", Field::Number(v)) => snap.min = v,
                 ("max", Field::Number(v)) => snap.max = v,
+                // Percentiles are derived from the buckets; accepted and
+                // ignored so exports round-trip.
+                ("p50" | "p90" | "p99", Field::Number(_)) => {}
                 ("buckets", Field::Buckets(b)) => snap.buckets = b,
                 (other, _) => return Err(format!("unknown histogram field '{other}'")),
             }
@@ -347,5 +366,88 @@ mod tests {
         assert!(Snapshot::from_json("{\"counters\": {").is_err());
         assert!(Snapshot::from_json("{\"bogus\": {}}").is_err());
         assert!(Snapshot::from_json("{\"gauges\": {\"g\": 99999999999999999999}}").is_err());
+    }
+
+    #[test]
+    fn percentiles_exported_and_ignored_on_import() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+        assert_eq!(Snapshot::from_json(&json).unwrap(), snap);
+    }
+
+    /// A tiny deterministic LCG so the structured "fuzz" tests below are
+    /// reproducible without a proptest dependency (the full proptest
+    /// suite lives in `tests/proptests.rs`).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    fn random_snapshot(seed: u64) -> Snapshot {
+        let mut rng = Lcg(seed);
+        let reg = Registry::new();
+        for i in 0..rng.next() % 8 {
+            reg.counter(&format!("c.{i}")).add(rng.next());
+        }
+        for i in 0..rng.next() % 8 {
+            reg.gauge(&format!("g.{i}")).set(rng.next() as i64);
+        }
+        for i in 0..rng.next() % 4 {
+            let h = reg.histogram(&format!("h.{i}"));
+            for _ in 0..rng.next() % 64 {
+                h.record(rng.next() % (1 << (rng.next() % 40)).max(1));
+            }
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn random_snapshots_round_trip() {
+        for seed in 0..64 {
+            let snap = random_snapshot(seed);
+            let back = Snapshot::from_json(&snap.to_json())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(back, snap, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_errs_instead_of_panicking() {
+        let snap = random_snapshot(7);
+        let json = snap.to_json();
+        for len in 0..json.len() - 1 {
+            if !json.is_char_boundary(len) {
+                continue;
+            }
+            let result = Snapshot::from_json(&json[..len]);
+            // No truncated prefix of a valid document is itself valid —
+            // and none may panic.
+            assert!(result.is_err(), "prefix of {len} bytes parsed: {:?}", result);
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_err_instead_of_panicking() {
+        let mut rng = Lcg(99);
+        for _ in 0..256 {
+            let len = (rng.next() % 64) as usize;
+            let garbage: String = (0..len)
+                .map(|_| char::from_u32((rng.next() % 0x80) as u32).unwrap_or('?'))
+                .collect();
+            let _ = Snapshot::from_json(&garbage); // must not panic
+        }
+        assert!(Snapshot::from_json("{\"counters\": {\"\\u00").is_err());
+        assert!(Snapshot::from_json("{\"counters\": {\"a\": -1}}").is_err());
     }
 }

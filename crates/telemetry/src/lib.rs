@@ -15,13 +15,29 @@
 //! [`Snapshot`]s exportable to JSON (see [`Snapshot::to_json`]); the
 //! format is hand-rolled so this crate needs no serde dependency.
 //!
+//! On top of the point-in-time primitives sit three longitudinal layers
+//! (added after the GFW post-mortem showed snapshots alone hide exactly
+//! the events that matter):
+//!
+//! - [`SeriesRecorder`] — diffs successive registry snapshots into
+//!   bounded per-round delta series, exported as JSONL/CSV and
+//!   convertible to `sixdust_analysis::Series`;
+//! - [`TraceJournal`] — a structured span/instant event journal exported
+//!   as Chrome trace-event JSON (`chrome://tracing`-loadable), installed
+//!   into a [`Registry`] so instrumented code finds it for free;
+//! - [`MadDetector`] — an online rolling median + MAD anomaly monitor
+//!   that flags a metric's round the moment it departs its baseline.
+//!
 //! # Naming scheme
 //!
 //! Metric names are dot-separated, lower-case paths:
 //! `<subsystem>.<object>.<measure>[_<unit>]`, e.g. `scan.icmp.hits`,
 //! `scan.worker.chunk_ms`, `service.round.phase.alias_ms`, `net.probes`.
 //! Durations are histograms in milliseconds with an `_ms` suffix;
-//! microsecond metrics use `_us`.
+//! microsecond metrics use `_us`. Millisecond durations round **up** to
+//! at least `1`, so a fast-but-real phase is distinguishable from one
+//! that never ran (`0`); phases needing finer resolution should use a
+//! `_us` metric instead.
 //!
 //! # Example
 //!
@@ -45,14 +61,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anomaly;
 mod json;
 mod metrics;
 mod registry;
+mod series;
+mod trace;
 
+pub use anomaly::{flag_series, MadConfig, MadDetector, Verdict};
 pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKETS,
 };
 pub use registry::{Registry, Snapshot};
+pub use series::{SeriesRecorder, SeriesRound, DEFAULT_SERIES_CAPACITY};
+pub use trace::{TraceEvent, TraceJournal, TracePhase, TraceSpan, DEFAULT_TRACE_CAPACITY};
 
 /// Records the elapsed milliseconds since `started` into the histogram
 /// named `name`, if a registry is attached. The no-registry path is a

@@ -146,10 +146,14 @@ impl Histogram {
     }
 
     /// Records a duration in whole milliseconds (the unit every `*_ms`
-    /// metric uses; sub-millisecond spans record `0` but still count).
+    /// metric uses). Sub-millisecond but non-zero durations saturate **up**
+    /// to `1` so fast phases land in the `[1, 2)` bucket instead of
+    /// collapsing indistinguishably into the zero bucket; a literally
+    /// zero duration still records `0`.
     #[inline]
     pub fn record_duration(&self, d: Duration) {
-        self.record(d.as_millis().min(u128::from(u64::MAX)) as u64);
+        let ms = d.as_millis().min(u128::from(u64::MAX)) as u64;
+        self.record(if ms == 0 && d.as_nanos() > 0 { 1 } else { ms });
     }
 
     /// Number of recorded samples.
@@ -233,6 +237,49 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by locating the
+    /// bucket holding the ranked sample and interpolating linearly within
+    /// the bucket's `[2^(i-1), 2^i)` range. The estimate is clamped to
+    /// the recorded `min`/`max`, so degenerate one-sample histograms
+    /// return the exact value. Returns `0` when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(floor, bucket_count) in &self.buckets {
+            if cumulative + bucket_count >= rank {
+                if floor == 0 {
+                    return 0;
+                }
+                // The bucket spans [floor, 2*floor); spread its samples
+                // evenly and pick the ranked one's position.
+                let into = (rank - cumulative) as f64 / bucket_count as f64;
+                let est = floor as f64 + into * (floor as f64 - 1.0);
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cumulative += bucket_count;
+        }
+        self.max
+    }
+
+    /// Median estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate; see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -332,6 +379,53 @@ mod tests {
         // 0 → bucket 0; 1 → [1,2); 2 and 3 → [2,4); 1000 → [512,1024).
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
         assert!((snap.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_millisecond_durations_round_up_to_one() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(250));
+        h.record_duration(Duration::from_nanos(1));
+        h.record_duration(Duration::from_millis(5));
+        h.record_duration(Duration::ZERO);
+        assert_eq!(h.count(), 4);
+        let snap = h.snapshot();
+        // 250µs and 1ns → bucket [1,2); 5ms → [4,8); 0 → zero bucket.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 2), (4, 1)]);
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50();
+        assert!((32..=64).contains(&p50), "p50={p50}");
+        let p90 = snap.p90();
+        assert!((64..=100).contains(&p90), "p90={p90}");
+        let p99 = snap.p99();
+        assert!((90..=100).contains(&p99), "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99, "monotone: {p50} {p90} {p99}");
+        assert_eq!(snap.percentile(0.0), snap.percentile(0.001));
+        assert_eq!(snap.percentile(1.0), 100, "p100 clamps to max");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(Histogram::new().snapshot().p50(), 0, "empty histogram");
+        let h = Histogram::new();
+        h.record(777);
+        let snap = h.snapshot();
+        // One sample: every percentile is that sample (min/max clamp).
+        assert_eq!(snap.p50(), 777);
+        assert_eq!(snap.p99(), 777);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().p90(), 0, "zero bucket");
     }
 
     #[test]

@@ -8,12 +8,14 @@ use parking_lot::RwLock;
 
 use crate::json;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::TraceJournal;
 
 #[derive(Default)]
 struct Inner {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
+    tracer: RwLock<Option<TraceJournal>>,
 }
 
 /// A thread-safe collection of named metrics.
@@ -81,6 +83,20 @@ impl Registry {
     /// Attaches an existing histogram handle under `name`.
     pub fn register_histogram(&self, name: &str, histogram: &Histogram) {
         self.inner.histograms.write().insert(name.to_string(), histogram.clone());
+    }
+
+    /// Installs a trace journal: code paths that already hold this
+    /// registry can then emit spans and instant events without any new
+    /// plumbing (see [`Registry::tracer`]). Replaces a previously
+    /// installed journal.
+    pub fn install_tracer(&self, journal: &TraceJournal) {
+        *self.inner.tracer.write() = Some(journal.clone());
+    }
+
+    /// The installed trace journal, if any. Callers should resolve this
+    /// once per scan/round (like metric handles), not per event.
+    pub fn tracer(&self) -> Option<TraceJournal> {
+        self.inner.tracer.read().clone()
     }
 
     /// A point-in-time copy of every registered metric, sorted by name.
@@ -207,6 +223,17 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(-4));
         assert_eq!(snap.histogram("h").unwrap().count, 1);
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn tracer_installs_and_shares_across_clones() {
+        let reg = Registry::new();
+        assert!(reg.tracer().is_none());
+        let journal = crate::trace::TraceJournal::new();
+        reg.install_tracer(&journal);
+        let via_clone = reg.clone().tracer().expect("installed");
+        via_clone.instant("x", &[]);
+        assert_eq!(journal.len(), 1, "clones resolve the same journal");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property tests for the hand-rolled telemetry JSON codec: arbitrary
+//! registries must round-trip exactly, and no malformed input may panic
+//! the parser.
+
+use proptest::prelude::*;
+use sixdust_telemetry::{Registry, Snapshot};
+
+/// Strategy for metric names: plausible dot-paths plus hostile strings
+/// exercising every escape path.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_.]{0,24}",
+        // Quotes, backslashes, control characters, non-ASCII.
+        "[ -~]{0,12}",
+        proptest::string::string_regex("[\\x00-\\x1f\"\\\\µ→]{1,8}").unwrap(),
+    ]
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    let counters = proptest::collection::vec((name_strategy(), any::<u64>()), 0..6);
+    let gauges = proptest::collection::vec((name_strategy(), any::<i64>()), 0..6);
+    let histograms = proptest::collection::vec(
+        (name_strategy(), proptest::collection::vec(any::<u64>(), 0..32)),
+        0..4,
+    );
+    (counters, gauges, histograms).prop_map(|(counters, gauges, histograms)| {
+        let reg = Registry::new();
+        for (name, v) in counters {
+            reg.counter(&name).add(v);
+        }
+        for (name, v) in gauges {
+            reg.gauge(&name).set(v);
+        }
+        for (name, samples) in histograms {
+            let h = reg.histogram(&name);
+            for s in samples {
+                h.record(s);
+            }
+        }
+        reg.snapshot()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_registries_round_trip(snap in snapshot_strategy()) {
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json);
+        prop_assert_eq!(back.as_ref().ok(), Some(&snap), "json: {}", json);
+    }
+
+    #[test]
+    fn truncated_documents_err_without_panicking(
+        snap in snapshot_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let json = snap.to_json();
+        let mut cut = (json.len() as f64 * cut_frac) as usize;
+        while cut > 0 && !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        // `cut + 1 < len` excludes the full document and the full
+        // document minus its trailing newline (both parse fine); every
+        // shorter prefix must fail cleanly, never panic.
+        if cut + 1 < json.len() {
+            prop_assert!(Snapshot::from_json(&json[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(input in "\\PC{0,64}") {
+        let _ = Snapshot::from_json(&input);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = Snapshot::from_json(text);
+        }
+    }
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything CI runs, runnable locally in one shot.
 #
-#   scripts/verify.sh            # build + tests + clippy
-#   scripts/verify.sh --quick    # skip clippy (fast pre-push check)
+#   scripts/verify.sh            # build + tests + clippy + bench compile + docs
+#   scripts/verify.sh --quick    # build + tests only (fast pre-push check)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +15,12 @@ cargo test --workspace --release -q
 if [ "${1:-}" != "--quick" ]; then
   echo "== cargo clippy --workspace -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
+
+  echo "== cargo bench --workspace --no-run"
+  cargo bench --workspace --no-run
+
+  echo "== cargo doc --workspace --no-deps (warnings denied)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi
 
 echo "verify: OK"

@@ -17,7 +17,9 @@
 //!   publish, churn);
 //! * [`analysis`] — tables, CDFs and histograms for the experiments;
 //! * [`telemetry`] — always-on counters, histograms and span timers for
-//!   every stage above.
+//!   every stage above, plus the longitudinal layer: per-round series
+//!   recording, a Chrome-trace journal and online MAD anomaly
+//!   detection.
 //!
 //! # Quick start
 //!
