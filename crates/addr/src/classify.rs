@@ -47,7 +47,6 @@ const WORDS: [u16; 8] = [0xcafe, 0xbeef, 0xdead, 0xbabe, 0xface, 0xf00d, 0xc0de,
 /// Common service ports used as vanity IIDs.
 const PORTS: [u64; 6] = [25, 53, 80, 110, 143, 443];
 
-
 /// Classifies an address's interface identifier.
 ///
 /// ```
@@ -60,16 +59,10 @@ pub fn classify_iid(addr: Addr) -> IidClass {
     if Eui64::addr_is_eui64(addr) {
         return IidClass::Eui64;
     }
-    let groups = [
-        (iid >> 48) as u16,
-        (iid >> 32) as u16,
-        (iid >> 16) as u16,
-        iid as u16,
-    ];
+    let groups = [(iid >> 48) as u16, (iid >> 32) as u16, (iid >> 16) as u16, iid as u16];
     // The group's hex digits read as a decimal number <= 255.
-    let hexdec = |g: u16| -> Option<u64> {
-        format!("{g:x}").parse::<u64>().ok().filter(|v| *v <= 255)
-    };
+    let hexdec =
+        |g: u16| -> Option<u64> { format!("{g:x}").parse::<u64>().ok().filter(|v| *v <= 255) };
     // Hex-embedded IPv4: all four groups hold octet values written in
     // decimal digits and the leading group is set (::192:0:2:1).
     if groups[0] != 0 && groups.iter().all(|g| hexdec(*g).is_some()) {
@@ -200,10 +193,7 @@ mod tests {
 
     #[test]
     fn random_fallback() {
-        assert_eq!(
-            classify_iid(a("2001:db8::89ab:cdef:1234:5678")),
-            IidClass::Random
-        );
+        assert_eq!(classify_iid(a("2001:db8::89ab:cdef:1234:5678")), IidClass::Random);
     }
 
     #[test]

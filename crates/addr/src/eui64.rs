@@ -49,7 +49,9 @@ impl Eui64 {
     pub fn oui(self) -> u32 {
         // Mask the U/L and group bits: OUI registries list the universal
         // form of the first octet.
-        (u32::from(self.mac[0] & 0xfc) << 16) | (u32::from(self.mac[1]) << 8) | u32::from(self.mac[2])
+        (u32::from(self.mac[0] & 0xfc) << 16)
+            | (u32::from(self.mac[1]) << 8)
+            | u32::from(self.mac[2])
     }
 
     /// Encodes as a modified EUI-64 IID: flip the U/L bit, insert `ff:fe`.
@@ -107,11 +109,7 @@ impl Eui64 {
 impl fmt::Display for Eui64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let m = self.mac;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            m[0], m[1], m[2], m[3], m[4], m[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", m[0], m[1], m[2], m[3], m[4], m[5])
     }
 }
 

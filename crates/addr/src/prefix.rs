@@ -44,10 +44,7 @@ impl std::error::Error for ParsePrefixError {}
 
 impl Prefix {
     /// The whole IPv6 address space, `::/0`.
-    pub const ALL: Prefix = Prefix {
-        network: Addr(0),
-        len: 0,
-    };
+    pub const ALL: Prefix = Prefix { network: Addr(0), len: 0 };
 
     /// Creates a prefix, masking the address to its canonical network form.
     ///
@@ -56,10 +53,7 @@ impl Prefix {
     /// Panics if `len > 128`.
     pub fn new(addr: Addr, len: u8) -> Prefix {
         assert!(len <= 128, "prefix length {len} out of range");
-        Prefix {
-            network: Addr(addr.0 & mask(len)),
-            len,
-        }
+        Prefix { network: Addr(addr.0 & mask(len)), len }
     }
 
     /// The canonical (masked) network address.
@@ -137,10 +131,7 @@ impl Prefix {
     /// Panics if the prefix is longer than /124.
     pub fn nibble_subprefixes(self) -> SubPrefixes {
         assert!(self.len <= 124, "/{} has no nibble sub-prefixes", self.len);
-        SubPrefixes {
-            base: self,
-            next: 0,
-        }
+        SubPrefixes { base: self, next: 0 }
     }
 
     /// The `i`-th (0..16) nibble sub-prefix.
@@ -169,11 +160,7 @@ impl Prefix {
     /// Enumerates the first `count` addresses of the prefix in order.
     pub fn first_addrs(self, count: usize) -> impl Iterator<Item = Addr> {
         let base = self.network.0;
-        let cap = if self.size_log2() >= 64 {
-            u64::MAX
-        } else {
-            1u64 << self.size_log2()
-        };
+        let cap = if self.size_log2() >= 64 { u64::MAX } else { 1u64 << self.size_log2() };
         (0..count as u64).take_while(move |i| *i < cap).map(move |i| Addr(base + i as u128))
     }
 }

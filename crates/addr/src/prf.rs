@@ -67,9 +67,7 @@ pub struct PrfStream {
 impl PrfStream {
     /// Creates a stream keyed by `(seed, value, tag)`.
     pub fn new(seed: u64, value: u128, tag: u64) -> PrfStream {
-        PrfStream {
-            state: prf_u128(seed, value, tag),
-        }
+        PrfStream { state: prf_u128(seed, value, tag) }
     }
 
     /// Next 64-bit value.

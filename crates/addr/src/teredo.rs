@@ -64,13 +64,7 @@ pub fn decode(addr: Addr) -> Option<TeredoParts> {
 /// Formats an IPv4 address stored as `u32` in dotted quad form (helper for
 /// diagnostics about embedded addresses).
 pub fn fmt_v4(v4: u32) -> String {
-    format!(
-        "{}.{}.{}.{}",
-        (v4 >> 24) & 0xff,
-        (v4 >> 16) & 0xff,
-        (v4 >> 8) & 0xff,
-        v4 & 0xff
-    )
+    format!("{}.{}.{}.{}", (v4 >> 24) & 0xff, (v4 >> 16) & 0xff, (v4 >> 8) & 0xff, v4 & 0xff)
 }
 
 #[cfg(test)]
@@ -93,12 +87,7 @@ mod tests {
     #[test]
     fn rfc_obfuscation_applied() {
         // Client 0.0.0.0 port 0 must encode as all-ones in the low bits.
-        let parts = TeredoParts {
-            server_v4: 1,
-            flags: 0,
-            client_port: 0,
-            client_v4: 0,
-        };
+        let parts = TeredoParts { server_v4: 1, flags: 0, client_port: 0, client_v4: 0 };
         let addr = encode(parts);
         assert_eq!(addr.0 as u32, u32::MAX);
         assert_eq!(((addr.0 >> 32) as u16), u16::MAX);

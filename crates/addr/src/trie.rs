@@ -23,10 +23,7 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn empty() -> Node<V> {
-        Node {
-            children: [NO_NODE, NO_NODE],
-            value: None,
-        }
+        Node { children: [NO_NODE, NO_NODE], value: None }
     }
 }
 
@@ -56,10 +53,7 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> PrefixTrie<V> {
-        PrefixTrie {
-            nodes: vec![Node::empty()],
-            len: 0,
-        }
+        PrefixTrie { nodes: vec![Node::empty()], len: 0 }
     }
 
     /// Number of prefixes stored.
@@ -256,21 +250,15 @@ mod tests {
     #[test]
     fn iter_sorted() {
         let mut t = PrefixTrie::new();
-        for (i, s) in ["2001:db8:2::/48", "2001:db8::/32", "2001:db8:1::/48", "::/0"]
-            .iter()
-            .enumerate()
+        for (i, s) in
+            ["2001:db8:2::/48", "2001:db8::/32", "2001:db8:1::/48", "::/0"].iter().enumerate()
         {
             t.insert(p(s), i);
         }
         let got: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
         assert_eq!(
             got,
-            vec![
-                p("::/0"),
-                p("2001:db8::/32"),
-                p("2001:db8:1::/48"),
-                p("2001:db8:2::/48")
-            ]
+            vec![p("::/0"), p("2001:db8::/32"), p("2001:db8:1::/48"), p("2001:db8:2::/48")]
         );
     }
 
@@ -284,10 +272,7 @@ mod tests {
             ("2001:db8:8000::/48", 4),
             ("2400::/12", 5),
         ];
-        let t: PrefixTrie<i32> = prefixes
-            .iter()
-            .map(|(s, v)| (p(s), *v))
-            .collect();
+        let t: PrefixTrie<i32> = prefixes.iter().map(|(s, v)| (p(s), *v)).collect();
         let probes = [
             "2001:db8:8000::1",
             "2001:db8:8001::1",

@@ -247,10 +247,8 @@ impl AliasDetector {
     /// Runs a detection round over the given candidates and merges it into
     /// the label window.
     pub fn run_round(&mut self, net: &Internet, cands: &[Prefix], day: Day) -> DetectionRound {
-        let _round_span = self
-            .telemetry
-            .as_ref()
-            .map(|t| SpanTimer::start(&t.histogram("alias.round_ms")));
+        let _round_span =
+            self.telemetry.as_ref().map(|t| SpanTimer::start(&t.histogram("alias.round_ms")));
         let _trace_span = self.telemetry.as_ref().and_then(|t| t.tracer()).map(|j| {
             j.span_with(
                 "alias.round",
@@ -342,10 +340,8 @@ impl AliasDetector {
     /// All labeled prefixes with their per-protocol detection detail.
     pub fn detected_details(&self) -> Vec<DetectedPrefix> {
         let labels = self.aliased();
-        let mut v: Vec<DetectedPrefix> = labels
-            .iter()
-            .filter_map(|p| self.last_round_info.get(&p).copied())
-            .collect();
+        let mut v: Vec<DetectedPrefix> =
+            labels.iter().filter_map(|p| self.last_round_info.get(&p).copied()).collect();
         v.sort_unstable_by_key(|d| d.prefix);
         v
     }
@@ -380,15 +376,14 @@ mod tests {
     use sixdust_net::{FaultConfig, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
     #[test]
     fn candidate_classes() {
         let net = net();
-        let input: Vec<Addr> = (0..150u128)
-            .map(|i| Addr(0x2001_0db8_0000_0000_0000_0000_0000_0000u128 + i))
-            .collect();
+        let input: Vec<Addr> =
+            (0..150u128).map(|i| Addr(0x2001_0db8_0000_0000_0000_0000_0000_0000u128 + i)).collect();
         let cands = candidates(&net, &input, 100);
         // The /64 of the input cluster is a candidate.
         assert!(cands.contains(&"2001:db8::/64".parse().unwrap()));
@@ -440,8 +435,8 @@ mod tests {
 
     #[test]
     fn merge_window_masks_single_round_loss() {
-        let lossy =
-            Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 60 });
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(60));
         let day = Day(100);
         let truth: Vec<Prefix> = lossy
             .population()
@@ -473,11 +468,7 @@ mod tests {
             "merge recovers most: {merged_hits}/{}",
             truth.len()
         );
-        assert!(
-            merged_hits > truth.len() / 2,
-            "sanity: {merged_hits}/{}",
-            truth.len()
-        );
+        assert!(merged_hits > truth.len() / 2, "sanity: {merged_hits}/{}", truth.len());
     }
 
     #[test]
@@ -511,12 +502,8 @@ mod tests {
         );
         let net = net();
         let day = Day(100);
-        let cands: Vec<Prefix> = net
-            .population()
-            .aliased_groups(day)
-            .map(|g| g.prefix)
-            .take(10)
-            .collect();
+        let cands: Vec<Prefix> =
+            net.population().aliased_groups(day).map(|g| g.prefix).take(10).collect();
         let mut det = AliasDetector::new(DetectorConfig::default());
         let reg = sixdust_telemetry::Registry::new();
         det.set_telemetry(reg.clone());
@@ -531,19 +518,12 @@ mod tests {
 
     #[test]
     fn minimal_cover_dedups() {
-        let ps: Vec<Prefix> = [
-            "2001:db8::/48",
-            "2001:db8::/64",
-            "2001:db8:0:1::/64",
-            "2001:db9::/64",
-        ]
-        .iter()
-        .map(|s| s.parse().unwrap())
-        .collect();
+        let ps: Vec<Prefix> =
+            ["2001:db8::/48", "2001:db8::/64", "2001:db8:0:1::/64", "2001:db9::/64"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
         let cover = minimal_cover(&ps);
-        assert_eq!(
-            cover,
-            vec!["2001:db8::/48".parse().unwrap(), "2001:db9::/64".parse().unwrap()]
-        );
+        assert_eq!(cover, vec!["2001:db8::/48".parse().unwrap(), "2001:db9::/64".parse().unwrap()]);
     }
 }

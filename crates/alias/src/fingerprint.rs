@@ -136,7 +136,7 @@ mod tests {
     use sixdust_net::{BackendMode, FaultConfig, GroupKind, Internet, Protocol, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
     #[test]
@@ -150,7 +150,11 @@ mod tests {
                 g.protos.contains(Protocol::Tcp80)
                     && matches!(
                         g.kind,
-                        GroupKind::Aliased { backends: BackendMode::Single, hetero_window: false, .. }
+                        GroupKind::Aliased {
+                            backends: BackendMode::Single,
+                            hetero_window: false,
+                            ..
+                        }
                     )
             })
             .expect("single-host TCP alias");
@@ -163,13 +167,10 @@ mod tests {
     fn hetero_window_prefix_differs_only_in_window() {
         let net = net();
         let day = Day(100);
-        let g = net
-            .population()
-            .aliased_groups(day)
-            .find(|g| {
-                g.protos.contains(Protocol::Tcp80)
-                    && matches!(g.kind, GroupKind::Aliased { hetero_window: true, .. })
-            });
+        let g = net.population().aliased_groups(day).find(|g| {
+            g.protos.contains(Protocol::Tcp80)
+                && matches!(g.kind, GroupKind::Aliased { hetero_window: true, .. })
+        });
         let Some(g) = g else {
             return; // tiny scale may have no heterogeneous group
         };

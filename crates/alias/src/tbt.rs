@@ -54,9 +54,7 @@ pub fn too_big_trick(net: &Internet, prefix: Prefix, day: Day, seed: u64) -> Tbt
     let addrs: Vec<Addr> = (0..TBT_ADDRS)
         .map(|i| {
             // Spread across nibble subs like the detection probes.
-            prefix
-                .nibble_subprefix((i * 2) as u8)
-                .random_addr(prf::mix2(seed, 0x7B7 + i as u64))
+            prefix.nibble_subprefix((i * 2) as u8).random_addr(prf::mix2(seed, 0x7B7 + i as u64))
         })
         .collect();
 
@@ -120,7 +118,12 @@ pub struct TbtSummary {
 }
 
 /// Runs the TBT over a prefix list.
-pub fn tbt_all(net: &Internet, prefixes: &[Prefix], day: Day, seed: u64) -> (Vec<TbtResult>, TbtSummary) {
+pub fn tbt_all(
+    net: &Internet,
+    prefixes: &[Prefix],
+    day: Day,
+    seed: u64,
+) -> (Vec<TbtResult>, TbtSummary) {
     let mut results = Vec::with_capacity(prefixes.len());
     let mut summary = TbtSummary::default();
     for p in prefixes {
@@ -151,7 +154,7 @@ mod tests {
     use sixdust_net::{BackendMode, FaultConfig, GroupKind, Protocol, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
     fn find_prefix(net: &Internet, day: Day, want: BackendMode) -> Option<Prefix> {
@@ -257,12 +260,8 @@ mod tests {
     fn aggregate_summary_counts_consistent() {
         let net = net();
         let day = Day(100);
-        let prefixes: Vec<Prefix> = net
-            .population()
-            .aliased_groups(day)
-            .map(|g| g.prefix)
-            .take(60)
-            .collect();
+        let prefixes: Vec<Prefix> =
+            net.population().aliased_groups(day).map(|g| g.prefix).take(60).collect();
         net.reset_state();
         let (results, summary) = tbt_all(&net, &prefixes, day, 4);
         assert_eq!(results.len(), prefixes.len());

@@ -4,12 +4,14 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use sixdust_addr::{Addr, Prefix};
-use sixdust_alias::{candidates, minimal_cover, too_big_trick, AliasDetector, DetectorConfig, TbtOutcome};
+use sixdust_alias::{
+    candidates, minimal_cover, too_big_trick, AliasDetector, DetectorConfig, TbtOutcome,
+};
 use sixdust_net::{Day, FaultConfig, Internet, Scale};
 
 fn net() -> &'static Internet {
     static NET: OnceLock<Internet> = OnceLock::new();
-    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 }))
+    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless()))
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {

@@ -117,10 +117,7 @@ impl OverlapMatrix {
 pub fn sparkline(values: &[u64]) -> String {
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().copied().max().unwrap_or(0).max(1);
-    values
-        .iter()
-        .map(|v| GLYPHS[((*v as f64 / max as f64) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| GLYPHS[((*v as f64 / max as f64) * 7.0).round() as usize]).collect()
 }
 
 #[cfg(test)]

@@ -21,6 +21,6 @@ pub mod series;
 pub mod table;
 
 pub use cdf::RankCdf;
-pub use series::Series;
 pub use hist::{sparkline, OverlapMatrix, PlenHistogram};
+pub use series::Series;
 pub use table::{human, pct, TextTable};

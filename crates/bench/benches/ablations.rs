@@ -14,7 +14,7 @@ use sixdust_tga::{DistanceClustering, TargetGenerator};
 
 fn net() -> &'static Internet {
     static NET: OnceLock<Internet> = OnceLock::new();
-    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 }))
+    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless()))
 }
 
 fn targets() -> Vec<Addr> {
@@ -50,8 +50,9 @@ fn ablation_merge_window(c: &mut Criterion) {
     for merge_rounds in [0usize, 3] {
         g.bench_function(format!("merge_{merge_rounds}_rounds"), |b| {
             b.iter(|| {
-                let mut det =
-                    AliasDetector::new(DetectorConfig::builder().merge_rounds(merge_rounds).build());
+                let mut det = AliasDetector::new(
+                    DetectorConfig::builder().merge_rounds(merge_rounds).build(),
+                );
                 for gap in 0..=merge_rounds as u32 {
                     det.run_round(net(), &prefixes, day.plus(gap));
                 }
@@ -79,11 +80,7 @@ fn ablation_threads(c: &mut Criterion) {
 fn ablation_dc_params(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_dc_params");
     let day = Day(1200);
-    let mut seeds: Vec<Addr> = net()
-        .population()
-        .dense_visible(day)
-        .into_iter()
-        .collect();
+    let mut seeds: Vec<Addr> = net().population().dense_visible(day).into_iter().collect();
     seeds.sort_unstable();
     for (min_cluster, max_gap) in [(10usize, 64u128), (4, 64), (10, 256)] {
         g.bench_function(format!("min{min_cluster}_gap{max_gap}"), |b| {
@@ -98,12 +95,8 @@ fn ablation_dc_params(c: &mut Criterion) {
 fn ablation_candidates(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_candidates");
     g.sample_size(10);
-    let input: Vec<Addr> = net()
-        .population()
-        .enumerate_responsive(Day(300))
-        .into_iter()
-        .map(|(a, ..)| a)
-        .collect();
+    let input: Vec<Addr> =
+        net().population().enumerate_responsive(Day(300)).into_iter().map(|(a, ..)| a).collect();
     for threshold in [100usize, 10] {
         g.bench_function(format!("long_prefix_threshold_{threshold}"), |b| {
             b.iter(|| sixdust_alias::candidates(net(), black_box(&input), threshold).len())

@@ -89,7 +89,7 @@ fn bench_wire(c: &mut Criterion) {
 }
 
 fn bench_internet(c: &mut Criterion) {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(100);
     let targets: Vec<Addr> = net
         .population()
@@ -134,9 +134,45 @@ fn bench_internet(c: &mut Criterion) {
     });
 }
 
+/// Overhead of the full fault-injection stack on the semantic probe path:
+/// the lossless baseline above vs a net with bursty loss, duplication and
+/// rate limiting armed. The fault coins are PRF draws, so this should stay
+/// within a few percent of `internet_probe_semantic_1k`.
+fn bench_faults(c: &mut Criterion) {
+    let net = Internet::build(Scale::tiny()).with_faults(
+        FaultConfig::lossless()
+            .with_burst(sixdust_net::GilbertElliott {
+                mean_good_days: 8,
+                mean_bad_days: 4,
+                good_drop_permille: 20,
+                bad_drop_permille: 600,
+            })
+            .with_duplicate_permille(30)
+            .with_icmp_rate_limit(sixdust_net::IcmpRateLimit { per_day: 100 }),
+    );
+    let day = Day(100);
+    let targets: Vec<Addr> = net
+        .population()
+        .enumerate_responsive(day)
+        .into_iter()
+        .map(|(a, ..)| a)
+        .take(1000)
+        .collect();
+    c.bench_function("internet_probe_semantic_1k_faulty", |b| {
+        let probe = ProbeKind::IcmpEcho { size: 8 };
+        b.iter(|| {
+            let mut hits = 0;
+            for t in &targets {
+                hits += net.probe(black_box(*t), &probe, day).len();
+            }
+            hits
+        })
+    });
+}
+
 criterion_group!(
     name = components;
     config = Criterion::default().sample_size(20);
-    targets = bench_trie, bench_prf, bench_permutation, bench_wire, bench_internet
+    targets = bench_trie, bench_prf, bench_permutation, bench_wire, bench_internet, bench_faults
 );
 criterion_main!(components);

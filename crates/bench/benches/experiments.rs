@@ -16,7 +16,9 @@ use sixdust_tga::{DistanceClustering, SixGan, SixGraph, SixTree, SixVecLm, Targe
 
 fn net() -> &'static Internet {
     static NET: OnceLock<Internet> = OnceLock::new();
-    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 2 }))
+    NET.get_or_init(|| {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless().with_drop_permille(2))
+    })
 }
 
 /// A short pre-run service shared by the figure benches that only need
@@ -89,7 +91,8 @@ fn bench_alias_figures(c: &mut Criterion) {
             black_box(round.detected.len())
         })
     });
-    let prefixes: Vec<_> = net().population().aliased_groups(day).map(|g| g.prefix).take(200).collect();
+    let prefixes: Vec<_> =
+        net().population().aliased_groups(day).map(|g| g.prefix).take(200).collect();
     g.bench_function("bench_fig6_minimal_cover", |b| {
         b.iter(|| sixdust_alias::minimal_cover(black_box(&prefixes)).len())
     });

@@ -24,7 +24,7 @@ use sixdust_scan::{scan, scan_with, ScanConfig};
 use sixdust_telemetry::{Histogram, Registry, SeriesRecorder, TraceJournal};
 
 fn scan_setup() -> (Internet, Vec<Addr>, ScanConfig) {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(100);
     let targets: Vec<Addr> = net
         .population()
@@ -47,16 +47,12 @@ fn bench_scan_overhead(c: &mut Criterion) {
     });
     let registry = Registry::new();
     c.bench_function("scan_icmp_1k_telemetry_on", |b| {
-        b.iter(|| {
-            scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&registry))
-        })
+        b.iter(|| scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&registry)))
     });
     let traced = Registry::new();
     traced.install_tracer(&TraceJournal::new());
     c.bench_function("scan_icmp_1k_telemetry_traced", |b| {
-        b.iter(|| {
-            scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&traced))
-        })
+        b.iter(|| scan_with(&net, Protocol::Icmp, black_box(&targets), day, &cfg, Some(&traced)))
     });
 }
 
@@ -97,9 +93,7 @@ fn bench_longitudinal(c: &mut Criterion) {
 fn bench_primitives(c: &mut Criterion) {
     let registry = Registry::new();
     let counter = registry.counter("bench.counter");
-    c.bench_function("telemetry_counter_add", |b| {
-        b.iter(|| counter.add(black_box(3)))
-    });
+    c.bench_function("telemetry_counter_add", |b| b.iter(|| counter.add(black_box(3))));
     let hist = Histogram::new();
     c.bench_function("telemetry_histogram_record", |b| {
         let mut v = 0u64;

@@ -3,11 +3,12 @@
 //! table/figure so `all` does the expensive work exactly once.
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use sixdust_addr::Addr;
 use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfig};
-use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, SourceEval};
-use sixdust_net::{Day, FaultConfig, Internet, Scale};
+use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, ServiceState, SourceEval};
+use sixdust_net::{events, Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
 use sixdust_telemetry::{Registry, TraceJournal, DEFAULT_SERIES_CAPACITY};
 use sixdust_tga::instrumented_lineup;
@@ -33,7 +34,7 @@ pub struct Ctx {
     new_sources: Option<Vec<SourceEval>>,
 }
 
-/// Observability options for [`Ctx::build_with`], derived from the
+/// Observability options for [`Ctx::build_resumable`], derived from the
 /// `--series` / `--trace` command-line flags.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ObsOptions {
@@ -45,29 +46,101 @@ pub struct ObsOptions {
     pub trace: bool,
 }
 
+/// Rounds between crash-safe checkpoint saves during the service run.
+pub const CHECKPOINT_EVERY_ROUNDS: usize = 64;
+
+/// Runs the service with the historical cadence from the round after
+/// `resume_from` (or day 0) to `until`, checkpointing atomically every
+/// [`CHECKPOINT_EVERY_ROUNDS`] rounds and at the end when `checkpoint` is
+/// given. Mirrors [`HitlistService::run`]'s cadence exactly so a resumed
+/// run lands on the same round days an uninterrupted one would.
+fn run_checkpointed(
+    svc: &mut HitlistService,
+    net: &Internet,
+    resume_from: Option<Day>,
+    until: Day,
+    checkpoint: Option<&Path>,
+) {
+    let mut day = match resume_from {
+        Some(last) if last >= until => return,
+        Some(last) => {
+            let next = last.plus(events::scan_gap(last));
+            if next > until {
+                until
+            } else {
+                next
+            }
+        }
+        None => Day(0),
+    };
+    let mut rounds_since_save = 0usize;
+    loop {
+        svc.run_round(net, day);
+        rounds_since_save += 1;
+        if let Some(path) = checkpoint {
+            if rounds_since_save >= CHECKPOINT_EVERY_ROUNDS || day >= until {
+                if let Err(e) = ServiceState::capture(svc).save_atomic(path) {
+                    eprintln!("[ctx] checkpoint save failed: {e}");
+                } else {
+                    rounds_since_save = 0;
+                }
+            }
+        }
+        if day >= until {
+            break;
+        }
+        let next = day.plus(events::scan_gap(day));
+        day = if next > until { until } else { next };
+    }
+}
+
 impl Ctx {
     /// Builds the Internet and runs the service from launch to the paper's
-    /// final day. This is the expensive step (~minutes at paper scale).
-    pub fn build(scale: Scale) -> Ctx {
-        Ctx::build_with(scale, ObsOptions::default())
-    }
-
-    /// [`Ctx::build`] with observability options: a per-round series
-    /// recorder on the service and/or a trace journal in the registry.
-    pub fn build_with(scale: Scale, opts: ObsOptions) -> Ctx {
+    /// final day — the expensive step (~minutes at paper scale) — with
+    /// observability options plus an optional crash-safe checkpoint file.
+    ///
+    /// With a checkpoint path the four-year run saves its state atomically
+    /// every [`CHECKPOINT_EVERY_ROUNDS`] rounds and at completion; if a
+    /// valid checkpoint already exists, the service resumes from the day
+    /// after its last recorded round instead of replaying from day 0. A
+    /// corrupt or version-incompatible checkpoint is reported and ignored
+    /// (fresh start) — never trusted, never fatal.
+    pub fn build_resumable(scale: Scale, opts: ObsOptions, checkpoint: Option<&Path>) -> Ctx {
         let telemetry = Registry::new();
         let trace = opts.trace.then(TraceJournal::new);
         if let Some(journal) = &trace {
             telemetry.install_tracer(journal);
         }
         let net = Internet::build(scale)
-            .with_faults(FaultConfig { drop_permille: 2 })
+            .with_faults(FaultConfig::lossless().with_drop_permille(2))
             .with_telemetry(&telemetry);
         let mut days = Day::SNAPSHOTS.to_vec();
         days.push(TGA_SEED_DAY);
         days.sort_unstable();
         let config = ServiceConfig::builder().snapshot_days(days).build();
-        let mut svc = HitlistService::new(config).with_telemetry(telemetry.clone());
+
+        let mut resume_from: Option<Day> = None;
+        let mut svc = match checkpoint.filter(|p| p.exists()) {
+            Some(path) => match ServiceState::load(path) {
+                Ok(state) => {
+                    let last = state.rounds.last().map(|r| r.day);
+                    eprintln!(
+                        "[ctx] resuming from checkpoint {} ({} rounds, day {:?})",
+                        path.display(),
+                        state.rounds.len(),
+                        last
+                    );
+                    resume_from = last;
+                    state.restore(config.clone())
+                }
+                Err(e) => {
+                    eprintln!("[ctx] ignoring unusable checkpoint {}: {e}", path.display());
+                    HitlistService::new(config.clone())
+                }
+            },
+            None => HitlistService::new(config.clone()),
+        };
+        svc = svc.with_telemetry(telemetry.clone());
         if opts.series {
             svc = svc.with_series(DEFAULT_SERIES_CAPACITY);
         }
@@ -76,7 +149,7 @@ impl Ctx {
             scale.addr_div, scale.entity_div, scale.seed
         );
         let t0 = std::time::Instant::now();
-        svc.run(&net, Day(0), Day::PAPER_END);
+        run_checkpointed(&mut svc, &net, resume_from, Day::PAPER_END, checkpoint);
         eprintln!(
             "[ctx] service done: {} rounds, input {}, responsive {} ({:.1}s)",
             svc.rounds().len(),
@@ -167,7 +240,12 @@ impl Ctx {
 
         let mut evals = Vec::new();
         evals.push(newsources::evaluate_source(
-            net, "passive", &passive_new, &aliased, &scan_days, &cfg,
+            net,
+            "passive",
+            &passive_new,
+            &aliased,
+            &scan_days,
+            &cfg,
         ));
         // The pool is only scanned once for ethical reasons (Sec. 6.2).
         evals.push(newsources::evaluate_source(

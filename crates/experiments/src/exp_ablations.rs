@@ -7,14 +7,16 @@
 //! 1. alias detection without the three-round merge under packet loss,
 //! 2. the GFW filter switched off (what the service would still publish),
 //! 3. the 30-day filter switched off (scan-load growth),
-//! 4. distance clustering parameter sweep.
+//! 4. distance clustering parameter sweep,
+//! 5. the three-round merge again, but under *bursty* Gilbert–Elliott
+//!    loss (chaos profile) instead of steady thinning.
 
 use serde_json::json;
 use sixdust_addr::{Addr, Prefix};
 use sixdust_alias::{AliasDetector, DetectorConfig};
 use sixdust_analysis::{human, pct, TextTable};
 use sixdust_hitlist::{HitlistService, ServiceConfig};
-use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
+use sixdust_net::{events, Day, FaultConfig, GilbertElliott, Internet, Protocol, Scale};
 use sixdust_tga::{DistanceClustering, TargetGenerator};
 
 use crate::context::Ctx;
@@ -23,7 +25,8 @@ use crate::ExpOutput;
 /// A smaller, lossier world for the ablation service runs (they re-run the
 /// pipeline several times, so the full four-year context would be wasteful).
 fn ablation_net(drop_permille: u32) -> Internet {
-    Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille })
+    Internet::build(Scale::tiny())
+        .with_faults(FaultConfig::lossless().with_drop_permille(drop_permille))
 }
 
 /// Ablation 1: the alias detector's merge window vs single-round labels
@@ -44,14 +47,12 @@ fn merge_window(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
             .collect();
         let mut single = AliasDetector::new(DetectorConfig::builder().merge_rounds(0).build());
         single.run_round(&net, &truth, day);
-        let single_hits =
-            truth.iter().filter(|p| single.aliased().contains_exact(**p)).count();
+        let single_hits = truth.iter().filter(|p| single.aliased().contains_exact(**p)).count();
         let mut merged = AliasDetector::new(DetectorConfig::default());
         for gap in 0..4u32 {
             merged.run_round(&net, &truth, day.plus(gap));
         }
-        let merged_hits =
-            truth.iter().filter(|p| merged.aliased().contains_exact(**p)).count();
+        let merged_hits = truth.iter().filter(|p| merged.aliased().contains_exact(**p)).count();
         t.row(vec![
             format!("{:.1} %", drop_permille as f64 / 10.0),
             pct(single_hits as f64 / truth.len() as f64),
@@ -112,7 +113,9 @@ fn thirty_day_filter(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
         human(without as u64),
         without as f64 / with.max(1) as f64,
     ));
-    json_rows.push(json!({ "ablation": "thirty_day", "targets_with": with, "targets_without": without }));
+    json_rows.push(
+        json!({ "ablation": "thirty_day", "targets_with": with, "targets_without": without }),
+    );
 }
 
 /// Ablation 4: distance clustering parameters.
@@ -133,17 +136,10 @@ fn dc_params(ctx: &Ctx, out: &mut String, json_rows: &mut Vec<serde_json::Value>
         s.dedup();
         s
     };
-    let truth: std::collections::HashSet<Addr> = ctx
-        .net
-        .population()
-        .enumerate_responsive(day)
-        .into_iter()
-        .map(|(a, ..)| a)
-        .collect();
+    let truth: std::collections::HashSet<Addr> =
+        ctx.net.population().enumerate_responsive(day).into_iter().map(|(a, ..)| a).collect();
     let mut t = TextTable::new(&["min cluster", "max gap", "generated", "hits", "hit rate"]);
-    for (min_cluster, max_gap) in
-        [(10usize, 64u128), (10, 16), (10, 256), (4, 64), (25, 64)]
-    {
+    for (min_cluster, max_gap) in [(10usize, 64u128), (10, 16), (10, 256), (4, 64), (25, 64)] {
         let dc = DistanceClustering { min_cluster, max_gap };
         let generated = dc.generate(&seeds, 30_000);
         let hits = generated.iter().filter(|a| truth.contains(a)).count();
@@ -161,18 +157,96 @@ fn dc_params(ctx: &Ctx, out: &mut String, json_rows: &mut Vec<serde_json::Value>
         out.push_str(l);
         out.push('\n');
     });
-    out.push_str("(the paper's 10/64 sits near the precision knee: wider gaps add volume, not hits)\n");
+    out.push_str(
+        "(the paper's 10/64 sits near the precision knee: wider gaps add volume, not hits)\n",
+    );
+}
+
+/// Ablation 5: the merge window under *bursty* loss. Steady thinning
+/// (ablation 1) favors any retry scheme; a Gilbert–Elliott channel that
+/// spends whole days in a Bad state is the harder case — if a burst
+/// covers the entire merge window, no amount of merging helps, so the
+/// gain here bounds what graceful degradation can recover.
+fn chaos_merge(out: &mut String, json_rows: &mut Vec<serde_json::Value>) {
+    out.push_str(
+        "\n-- ablation 5: alias merge window under bursty (Gilbert\u{2013}Elliott) loss --\n",
+    );
+    out.push_str("(share of truly aliased prefixes labeled; single round vs 3-round merge)\n\n");
+    let mut t = TextTable::new(&["burst profile", "single round", "merged (paper)", "gain"]);
+    let profiles: [(&str, GilbertElliott); 3] = [
+        (
+            "calm (good 30d @2‰)",
+            GilbertElliott {
+                mean_good_days: 30,
+                mean_bad_days: 1,
+                good_drop_permille: 2,
+                bad_drop_permille: 2,
+            },
+        ),
+        (
+            "bursty (8d @20‰ / 4d @600‰)",
+            GilbertElliott {
+                mean_good_days: 8,
+                mean_bad_days: 4,
+                good_drop_permille: 20,
+                bad_drop_permille: 600,
+            },
+        ),
+        (
+            "storm (4d @50‰ / 6d @850‰)",
+            GilbertElliott {
+                mean_good_days: 4,
+                mean_bad_days: 6,
+                good_drop_permille: 50,
+                bad_drop_permille: 850,
+            },
+        ),
+    ];
+    for (name, burst) in profiles {
+        let net =
+            Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless().with_burst(burst));
+        let day = Day(400);
+        let truth: Vec<Prefix> = net
+            .population()
+            .aliased_groups(day)
+            .filter(|g| g.protos.contains(Protocol::Icmp))
+            .map(|g| g.prefix)
+            .take(250)
+            .collect();
+        let mut single = AliasDetector::new(DetectorConfig::builder().merge_rounds(0).build());
+        single.run_round(&net, &truth, day);
+        let single_hits = truth.iter().filter(|p| single.aliased().contains_exact(**p)).count();
+        let mut merged = AliasDetector::new(DetectorConfig::default());
+        for gap in 0..4u32 {
+            merged.run_round(&net, &truth, day.plus(gap));
+        }
+        let merged_hits = truth.iter().filter(|p| merged.aliased().contains_exact(**p)).count();
+        t.row(vec![
+            name.to_string(),
+            pct(single_hits as f64 / truth.len() as f64),
+            pct(merged_hits as f64 / truth.len() as f64),
+            format!("+{}", merged_hits.saturating_sub(single_hits)),
+        ]);
+        json_rows.push(json!({ "ablation": "chaos_merge", "profile": name,
+            "mean_good_days": burst.mean_good_days, "mean_bad_days": burst.mean_bad_days,
+            "good_drop_permille": burst.good_drop_permille,
+            "bad_drop_permille": burst.bad_drop_permille,
+            "single": single_hits, "merged": merged_hits, "truth": truth.len() }));
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "(merging spans days, so it only loses when a Bad burst outlives the whole window)\n",
+    );
 }
 
 /// The combined ablation report.
 pub fn ablations(ctx: &Ctx) -> ExpOutput {
-    let mut text = String::from(
-        "Ablations — what each pipeline mechanism buys (DESIGN.md §7)\n",
-    );
+    let mut text = String::from("Ablations — what each pipeline mechanism buys (DESIGN.md §7)\n");
     let mut json_rows = Vec::new();
     merge_window(&mut text, &mut json_rows);
     gfw_filter(&mut text, &mut json_rows);
     thirty_day_filter(&mut text, &mut json_rows);
     dc_params(ctx, &mut text, &mut json_rows);
+    chaos_merge(&mut text, &mut json_rows);
     ExpOutput { id: "ablations", text, json: json!({ "rows": json_rows }) }
 }

@@ -35,11 +35,8 @@ pub fn fig5(ctx: &Ctx) -> ExpOutput {
     for snap_day in Day::SNAPSHOTS {
         let snap = ctx.snapshot_at(snap_day);
         let with_as = aliased_with_as(ctx, &snap.aliased);
-        let filtered: Vec<u8> = with_as
-            .iter()
-            .filter(|(_, id)| Some(*id) != tf)
-            .map(|(p, _)| p.len())
-            .collect();
+        let filtered: Vec<u8> =
+            with_as.iter().filter(|(_, id)| Some(*id) != tf).map(|(p, _)| p.len()).collect();
         let h = PlenHistogram::from_lens(filtered.into_iter());
         text.push_str(&format!(
             "{}: {:>6} prefixes, /64 share {}  bins {:?}\n",
@@ -53,10 +50,8 @@ pub fn fig5(ctx: &Ctx) -> ExpOutput {
     }
     // The Trafficforce jump.
     let last = ctx.snapshot_at(Day::PAPER_END);
-    let tf_count = aliased_with_as(ctx, &last.aliased)
-        .iter()
-        .filter(|(_, id)| Some(*id) == tf)
-        .count();
+    let tf_count =
+        aliased_with_as(ctx, &last.aliased).iter().filter(|(_, id)| Some(*id) == tf).count();
     text.push_str(&format!(
         "Trafficforce /64 flood in the final snapshot: {tf_count} prefixes (paper: 66.4 k, ICMP-only)\n"
     ));
@@ -84,12 +79,7 @@ pub fn fig6(ctx: &Ctx) -> ExpOutput {
     let over90 = rows.iter().filter(|r| r.3 > 0.9).count();
     let mut t = TextTable::new(&["AS", "ASN", "aliased space (2^x)", "share of announced"]);
     for (name, asn, log2, share) in rows.iter().take(12) {
-        t.row(vec![
-            name.clone(),
-            asn.to_string(),
-            format!("{log2:.1}"),
-            pct(*share),
-        ]);
+        t.row(vec![name.clone(), asn.to_string(), format!("{log2:.1}"), pct(*share)]);
     }
     let text = format!(
         "Fig. 6 — aliased space per AS vs announced space ({} ASes with aliased prefixes)\n\
@@ -123,13 +113,9 @@ pub fn table2(ctx: &Ctx) -> ExpOutput {
             .collect();
     let mut t = TextTable::new(&["Protocol", "# Prefixes", "# ASes"]);
     let mut jrows = Vec::new();
-    for proto in [
-        Protocol::Icmp,
-        Protocol::Tcp443,
-        Protocol::Tcp80,
-        Protocol::Udp443,
-        Protocol::Udp53,
-    ] {
+    for proto in
+        [Protocol::Icmp, Protocol::Tcp443, Protocol::Tcp80, Protocol::Udp443, Protocol::Udp53]
+    {
         let probe = sixdust_scan::engine::probe_for(proto, "www.google.com");
         let mut hit_prefixes = 0usize;
         let mut ases: std::collections::HashSet<sixdust_net::AsId> = Default::default();
@@ -150,7 +136,9 @@ pub fn table2(ctx: &Ctx) -> ExpOutput {
             }
         }
         t.row(vec![proto.to_string(), hit_prefixes.to_string(), ases.len().to_string()]);
-        jrows.push(json!({ "protocol": proto.to_string(), "prefixes": hit_prefixes, "ases": ases.len() }));
+        jrows.push(
+            json!({ "protocol": proto.to_string(), "prefixes": hit_prefixes, "ases": ases.len() }),
+        );
     }
     let text = format!(
         "Table 2 — responsiveness of aliased prefixes (one random address each; {} prefixes, Trafficforce excluded)\n\
@@ -231,10 +219,8 @@ pub fn domains(ctx: &Ctx) -> ExpOutput {
         }
     }
     let max_prefix = per_prefix.iter().max_by_key(|(_, n)| **n);
-    let mut as_rows: Vec<(String, u64)> = per_as
-        .iter()
-        .map(|(id, n)| (ctx.net.registry().get(*id).name.clone(), *n))
-        .collect();
+    let mut as_rows: Vec<(String, u64)> =
+        per_as.iter().map(|(id, n)| (ctx.net.registry().get(*id).name.clone(), *n)).collect();
     as_rows.sort_by(|a, b| b.1.cmp(&a.1));
 
     // Top lists.
@@ -273,7 +259,9 @@ pub fn domains(ctx: &Ctx) -> ExpOutput {
     for (name, n) in as_rows.iter().take(6) {
         text.push_str(&format!("  {name:<24} {}\n", human(*n)));
     }
-    text.push_str("\ntop-list domains inside aliased prefixes (paper: 177 k / 170 k / 118 k of 1 M):\n");
+    text.push_str(
+        "\ntop-list domains inside aliased prefixes (paper: 177 k / 170 k / 118 k of 1 M):\n",
+    );
     for (name, n, top1k) in &toplist_counts {
         text.push_str(&format!(
             "  {name:<14} {:>8} of {} ({}) — top-1k cohort: {}\n",
@@ -332,9 +320,10 @@ pub fn dnsvalidate(ctx: &Ctx) -> ExpOutput {
                 }
             }
             Rcode::NoError if !msg.authority.is_empty() => {
-                if msg.authority.iter().any(|r| matches!(&r.rdata,
-                    sixdust_wire::dns::Rdata::Ns(n) if n == "localhost"))
-                {
+                if msg.authority.iter().any(|r| {
+                    matches!(&r.rdata,
+                    sixdust_wire::dns::Rdata::Ns(n) if n == "localhost")
+                }) {
                     broken += 1;
                 } else {
                     referral += 1;

@@ -30,8 +30,7 @@ pub fn seedless(ctx: &Ctx) -> ExpOutput {
         .filter(|p| p.len() <= 48) // operator-scale announcements
         .collect();
     let uncovered = Seedless::uncovered(announced.iter().copied(), &seeds);
-    let coverage_before =
-        1.0 - uncovered.len() as f64 / announced.len().max(1) as f64;
+    let coverage_before = 1.0 - uncovered.len() as f64 / announced.len().max(1) as f64;
 
     let generator = Seedless::default();
     let conventions = Seedless::mine_conventions(&seeds, 4);
@@ -40,8 +39,7 @@ pub fn seedless(ctx: &Ctx) -> ExpOutput {
     // exactly like in every other source evaluation, or seedless "hits"
     // would just be CDN space.
     let aliased = ctx.svc.aliased();
-    let candidates: Vec<Addr> =
-        raw.into_iter().filter(|a| !aliased.covers_addr(*a)).collect();
+    let candidates: Vec<Addr> = raw.into_iter().filter(|a| !aliased.covers_addr(*a)).collect();
 
     // Scan the candidates (ICMP, like AddrMiner's seedless validation).
     let mut responsive: Vec<Addr> = Vec::new();
@@ -51,12 +49,10 @@ pub fn seedless(ctx: &Ctx) -> ExpOutput {
         }
     }
     // Newly covered announced prefixes.
-    let covered_now: HashSet<_> = uncovered
-        .iter()
-        .filter(|p| responsive.iter().any(|a| p.contains(*a)))
-        .collect();
-    let coverage_after = 1.0
-        - (uncovered.len() - covered_now.len()) as f64 / announced.len().max(1) as f64;
+    let covered_now: HashSet<_> =
+        uncovered.iter().filter(|p| responsive.iter().any(|a| p.contains(*a))).collect();
+    let coverage_after =
+        1.0 - (uncovered.len() - covered_now.len()) as f64 / announced.len().max(1) as f64;
 
     let mut t = TextTable::new(&["metric", "value"]);
     t.row(vec!["announced prefixes (≤/48)".into(), announced.len().to_string()]);
@@ -64,10 +60,7 @@ pub fn seedless(ctx: &Ctx) -> ExpOutput {
     t.row(vec!["uncovered (the seedless target)".into(), uncovered.len().to_string()]);
     t.row(vec!["candidates generated".into(), human(candidates.len() as u64)]);
     t.row(vec!["responsive".into(), human(responsive.len() as u64)]);
-    t.row(vec![
-        "hit rate".into(),
-        pct(responsive.len() as f64 / candidates.len().max(1) as f64),
-    ]);
+    t.row(vec!["hit rate".into(), pct(responsive.len() as f64 / candidates.len().max(1) as f64)]);
     t.row(vec!["newly covered prefixes".into(), covered_now.len().to_string()]);
     t.row(vec!["coverage after".into(), pct(coverage_after)]);
     let text = format!(
@@ -101,9 +94,8 @@ pub fn publish_artifacts(ctx: &Ctx, out_dir: &std::path::Path) -> ExpOutput {
         t.row(vec![name.clone(), count.to_string()]);
     }
     // Consistency check mirroring what a downstream consumer would do.
-    let responsive =
-        sixdust_hitlist::Publication::parse_addresses(&publication.responsive)
-            .expect("published addresses parse");
+    let responsive = sixdust_hitlist::Publication::parse_addresses(&publication.responsive)
+        .expect("published addresses parse");
     let per53 = publication
         .per_protocol
         .iter()

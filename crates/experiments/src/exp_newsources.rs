@@ -91,13 +91,9 @@ pub fn table4(ctx: &mut Ctx) -> ExpOutput {
     grand.extend(hitlist_total.iter().copied());
     let hl_row = |label: &str, set: &HashSet<Addr>| -> Vec<String> {
         let mut cells = vec![label.to_string()];
-        for proto in [
-            Protocol::Icmp,
-            Protocol::Tcp443,
-            Protocol::Tcp80,
-            Protocol::Udp443,
-            Protocol::Udp53,
-        ] {
+        for proto in
+            [Protocol::Icmp, Protocol::Tcp443, Protocol::Tcp80, Protocol::Udp443, Protocol::Udp53]
+        {
             let per: HashSet<Addr> = hitlist_snap.cleaned_for(proto).iter().copied().collect();
             cells.push(human(per.intersection(set).count() as u64));
         }
@@ -115,13 +111,9 @@ pub fn table4(ctx: &mut Ctx) -> ExpOutput {
     t.row(hl_row("IPv6-Hitlist", &hitlist_total));
     // New sources union: per-proto over evals.
     let mut cells = vec!["New-Sources".to_string()];
-    for proto in [
-        Protocol::Icmp,
-        Protocol::Tcp443,
-        Protocol::Tcp80,
-        Protocol::Udp443,
-        Protocol::Udp53,
-    ] {
+    for proto in
+        [Protocol::Icmp, Protocol::Tcp443, Protocol::Tcp80, Protocol::Udp443, Protocol::Udp53]
+    {
         let mut set: HashSet<Addr> = HashSet::new();
         for e in &evals {
             set.extend(

@@ -46,7 +46,14 @@ pub fn fig2(ctx: &Ctx) -> ExpOutput {
         .map(|(id, n)| (ctx.net.registry().get(*id).name.clone(), *n))
         .unwrap_or_default();
 
-    let mut t = TextTable::new(&["set", "addresses", "ASes", "top-AS share", "top-10 share", "ASes for 80%"]);
+    let mut t = TextTable::new(&[
+        "set",
+        "addresses",
+        "ASes",
+        "top-AS share",
+        "top-10 share",
+        "ASes for 80%",
+    ]);
     for (name, cdf) in [
         ("input (full)", &full),
         ("input w/o aliased", &unaliased),
@@ -78,9 +85,11 @@ pub fn fig2(ctx: &Ctx) -> ExpOutput {
         ("responsive", &resp_cdf),
     ]
     .iter()
-    .map(|(k, c)| json!({ "set": k, "total": c.total, "ases": c.categories(),
+    .map(|(k, c)| {
+        json!({ "set": k, "total": c.total, "ases": c.categories(),
         "top_share": c.top_share(), "top10_share": c.share_of_top(10),
-        "cdf": c.series(40) }))
+        "cdf": c.series(40) })
+    })
     .collect();
     ExpOutput { id: "fig2", text, json: json!({ "sets": series }) }
 }
@@ -103,8 +112,7 @@ pub fn fig3(ctx: &Ctx) -> ExpOutput {
     // truth) and compare against the true era windows.
     let series = Series::new(rounds.iter().map(|r| (r.day.0, r.published[idx53])).collect());
     let detected = series.spike_windows(8.0, 30);
-    let true_eras =
-        [events::GFW_ERA1, events::GFW_ERA2, events::GFW_ERA3].map(|(a, b)| (a.0, b.0));
+    let true_eras = [events::GFW_ERA1, events::GFW_ERA2, events::GFW_ERA3].map(|(a, b)| (a.0, b.0));
 
     let text = format!(
         "Fig. 3 — responsiveness over time (published left / cleaned right in the paper)\n\
@@ -283,11 +291,7 @@ pub fn table5(ctx: &Ctx) -> ExpOutput {
         human(total),
         t.render()
     );
-    ExpOutput {
-        id: "table5",
-        text,
-        json: json!({ "total": total, "top10": json_rows }),
-    }
+    ExpOutput { id: "table5", text, json: json!({ "total": total, "top10": json_rows }) }
 }
 
 /// Fig. 9: AS distribution of responsive addresses per protocol.
@@ -320,10 +324,8 @@ pub fn fig9(ctx: &Ctx) -> ExpOutput {
 /// Fig. 10: overlap of addresses responsive to each protocol.
 pub fn fig10(ctx: &Ctx) -> ExpOutput {
     let snap = ctx.snapshot_at(Day::PAPER_END);
-    let sets: Vec<(String, Vec<Addr>)> = Protocol::ALL
-        .iter()
-        .map(|p| (p.to_string(), snap.cleaned_for(*p).to_vec()))
-        .collect();
+    let sets: Vec<(String, Vec<Addr>)> =
+        Protocol::ALL.iter().map(|p| (p.to_string(), snap.cleaned_for(*p).to_vec())).collect();
     let m = OverlapMatrix::new(&sets);
     // TCP/80 ∩ ICMP share — the headline "mostly also responsive to ICMP".
     let tcp80_row = sets.iter().position(|(l, _)| l == "TCP/80").expect("tcp80");
@@ -405,9 +407,5 @@ pub fn stability(ctx: &Ctx) -> ExpOutput {
         always.len() as f64 * 100.0 / last.max(1) as f64,
         human(last as u64),
     );
-    ExpOutput {
-        id: "stability",
-        text,
-        json: json!({ "always": always.len(), "final": last }),
-    }
+    ExpOutput { id: "stability", text, json: json!({ "always": always.len(), "final": last }) }
 }

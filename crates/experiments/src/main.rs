@@ -7,7 +7,7 @@
 //! ```text
 //! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
 //!             [--telemetry PATH] [--series PATH] [--trace PATH] \
-//!             <experiment>|all
+//!             [--checkpoint PATH] <experiment>|all
 //! ```
 //!
 //! `--telemetry PATH` dumps the shared metrics registry (scan, alias,
@@ -16,8 +16,10 @@
 //! `--series PATH` records per-round metric deltas during the service run
 //! and writes them as JSONL (one object per round). `--trace PATH`
 //! installs a trace journal and writes Chrome trace-event JSON loadable
-//! in `chrome://tracing` / Perfetto. See EXPERIMENTS.md for worked
-//! examples.
+//! in `chrome://tracing` / Perfetto. `--checkpoint PATH` saves the
+//! service state crash-safely during the four-year run and resumes from
+//! it on restart (a corrupt checkpoint is ignored, never fatal). See
+//! EXPERIMENTS.md for worked examples.
 
 mod context;
 mod exp_ablations;
@@ -43,15 +45,37 @@ pub struct ExpOutput {
 }
 
 const EXPERIMENTS: &[&str] = &[
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2",
-    "table3", "table4", "table5", "fingerprints", "domains", "dnsvalidate", "eui64", "stability",
-    "ablations", "seedless", "publish", "iidclasses", "pipeline",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fingerprints",
+    "domains",
+    "dnsvalidate",
+    "eui64",
+    "stability",
+    "ablations",
+    "seedless",
+    "publish",
+    "iidclasses",
+    "pipeline",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
-         [--telemetry PATH] [--series PATH] [--trace PATH] <experiment>|all\n\
+         [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
+         <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -85,6 +109,7 @@ fn main() {
     let mut telemetry_path: Option<PathBuf> = None;
     let mut series_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut checkpoint_path: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -129,6 +154,10 @@ fn main() {
                 let Some(p) = args.next() else { usage() };
                 trace_path = Some(PathBuf::from(p));
             }
+            "--checkpoint" => {
+                let Some(p) = args.next() else { usage() };
+                checkpoint_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
@@ -147,14 +176,11 @@ fn main() {
     }
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
-    let mut ctx = if series_path.is_some() || trace_path.is_some() {
-        Ctx::build_with(
-            scale,
-            context::ObsOptions { series: series_path.is_some(), trace: trace_path.is_some() },
-        )
-    } else {
-        Ctx::build(scale)
-    };
+    let mut ctx = Ctx::build_resumable(
+        scale,
+        context::ObsOptions { series: series_path.is_some(), trace: trace_path.is_some() },
+        checkpoint_path.as_deref(),
+    );
 
     // The service run is over, so the per-round series is complete now;
     // write it once up front rather than after each experiment.

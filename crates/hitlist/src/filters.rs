@@ -73,6 +73,11 @@ impl GfwFilter {
         GfwFilter::default()
     }
 
+    /// Rebuilds the filter from a checkpointed impacted set.
+    pub fn restore(impacted: impl IntoIterator<Item = Addr>) -> GfwFilter {
+        GfwFilter { impacted: impacted.into_iter().collect() }
+    }
+
     /// Scans a UDP/53 result: records injected-flagged targets and returns
     /// the cleaned hit list.
     pub fn clean(&mut self, result: &ScanResult) -> Vec<Addr> {
@@ -99,6 +104,11 @@ impl GfwFilter {
 /// days from the scan target list — and, true to the original service,
 /// never re-tests them (Sec. 3.1; re-scanning that pool is Sec. 6's
 /// "unresponsive addresses" source).
+///
+/// Days inside **quarantined** windows (degraded rounds: heavy loss or an
+/// outage at the vantage) do not count toward an address's silence, so a
+/// multi-round outage cannot mass-evict the pool: eviction is deferred by
+/// exactly the quarantined days, not skipped.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UnresponsiveFilter {
     /// Day an address last answered any protocol (or entered the input).
@@ -107,11 +117,20 @@ pub struct UnresponsiveFilter {
     dropped: std::collections::HashSet<Addr>,
     /// The cutoff in days.
     pub window: u32,
+    /// Half-open `[from, until)` day windows whose silence is forgiven.
+    /// Absent in checkpoints written before quarantine existed.
+    #[serde(default)]
+    quarantined: Vec<(Day, Day)>,
 }
 
 impl Default for UnresponsiveFilter {
     fn default() -> UnresponsiveFilter {
-        UnresponsiveFilter { last_seen: HashMap::new(), dropped: Default::default(), window: 30 }
+        UnresponsiveFilter {
+            last_seen: HashMap::new(),
+            dropped: Default::default(),
+            window: 30,
+            quarantined: Vec::new(),
+        }
     }
 }
 
@@ -140,27 +159,77 @@ impl UnresponsiveFilter {
         self.last_seen.contains_key(&addr)
     }
 
-    /// Ages the filter: addresses silent longer than the window are
-    /// permanently dropped. Returns how many were dropped this sweep.
+    /// Quarantines the half-open day window `[from, until)`: silence
+    /// accumulated across those days is forgiven in [`sweep`](Self::sweep),
+    /// because an address cannot prove liveness while the measurement
+    /// itself is degraded. Empty or inverted windows are ignored.
+    pub fn quarantine(&mut self, from: Day, until: Day) {
+        if from < until {
+            self.quarantined.push((from, until));
+        }
+    }
+
+    /// The quarantined `[from, until)` day windows recorded so far.
+    pub fn quarantined(&self) -> &[(Day, Day)] {
+        &self.quarantined
+    }
+
+    /// Ages the filter: addresses silent longer than the window (net of
+    /// quarantined days) are permanently dropped. Returns how many were
+    /// dropped this sweep.
     pub fn sweep(&mut self, day: Day) -> usize {
         let window = self.window;
         let mut dropped_now = Vec::new();
+        let quarantined = std::mem::take(&mut self.quarantined);
         self.last_seen.retain(|addr, last| {
-            if day.since(*last) >= window {
+            // Silent days are (last, day] = [last+1, day+1); forgive the
+            // days intersecting any quarantined [from, until) window.
+            let credit: u32 = quarantined
+                .iter()
+                .map(|(from, until)| {
+                    let lo = from.0.max(last.0 + 1);
+                    let hi = until.0.min(day.0 + 1);
+                    hi.saturating_sub(lo)
+                })
+                .sum();
+            if day.since(*last).saturating_sub(credit) >= window {
                 dropped_now.push(*addr);
                 false
             } else {
                 true
             }
         });
+        self.quarantined = quarantined;
         let n = dropped_now.len();
         self.dropped.extend(dropped_now);
         n
     }
 
+    /// Rebuilds a filter from checkpointed parts (the resume path of
+    /// [`ServiceState`](crate::ServiceState)).
+    pub fn restore(
+        active: impl IntoIterator<Item = (Addr, Day)>,
+        dropped: impl IntoIterator<Item = Addr>,
+        window: u32,
+        quarantined: Vec<(Day, Day)>,
+    ) -> UnresponsiveFilter {
+        UnresponsiveFilter {
+            last_seen: active.into_iter().collect(),
+            dropped: dropped.into_iter().collect(),
+            window,
+            quarantined,
+        }
+    }
+
     /// Active scan targets.
     pub fn active_targets(&self) -> impl Iterator<Item = Addr> + '_ {
         self.last_seen.keys().copied()
+    }
+
+    /// Active addresses with the day they last answered (checkpoint
+    /// capture).
+    pub fn active_entries(&self) -> impl Iterator<Item = (Addr, Day)> + '_ {
+        self.last_seen.iter().map(|(a, d)| (*a, *d))
     }
 
     /// The permanently dropped pool (Sec. 6's re-scan source).
@@ -190,12 +259,7 @@ mod tests {
     }
 
     fn dns_result(outcomes: Vec<ScanOutcome>) -> ScanResult {
-        ScanResult {
-            protocol: Protocol::Udp53,
-            day: Day(1),
-            outcomes,
-            stats: ScanStats::default(),
-        }
+        ScanResult { protocol: Protocol::Udp53, day: Day(1), outcomes, stats: ScanStats::default() }
     }
 
     #[test]
@@ -243,5 +307,60 @@ mod tests {
         f.register(a("::1"), Day(0));
         f.register(a("::1"), Day(25));
         assert_eq!(f.sweep(Day(31)), 1, "re-registration must not refresh");
+    }
+
+    #[test]
+    fn quarantine_defers_eviction_by_exactly_the_window() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        // A 10-day outage: days 20..30 are quarantined.
+        f.quarantine(Day(20), Day(30));
+        assert_eq!(f.sweep(Day(30)), 0, "30 silent days minus 10 forgiven");
+        assert_eq!(f.sweep(Day(39)), 0, "still 29 effective silent days");
+        assert_eq!(f.sweep(Day(40)), 1, "eviction deferred, not cancelled");
+    }
+
+    #[test]
+    fn quarantine_outside_silence_interval_grants_nothing() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        f.mark_responsive(a("::1"), Day(10));
+        // Window entirely before the address went silent.
+        f.quarantine(Day(3), Day(8));
+        assert_eq!(f.sweep(Day(40)), 1, "credit only for silent days");
+    }
+
+    #[test]
+    fn quarantine_windows_accumulate_and_empty_windows_are_ignored() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        f.quarantine(Day(5), Day(10));
+        f.quarantine(Day(15), Day(20));
+        f.quarantine(Day(30), Day(30)); // empty, ignored
+        f.quarantine(Day(9), Day(4)); // inverted, ignored
+        assert_eq!(f.quarantined().len(), 2);
+        // 40 silent days, 10 forgiven.
+        assert_eq!(f.sweep(Day(39)), 0);
+        assert_eq!(f.sweep(Day(40)), 1);
+    }
+
+    #[test]
+    fn restore_round_trips_filter_parts() {
+        let mut f = UnresponsiveFilter::new();
+        f.register(a("::1"), Day(0));
+        f.register(a("::2"), Day(5));
+        f.quarantine(Day(7), Day(9));
+        f.sweep(Day(32)); // drops ::1 (32 silent − 2 forgiven ≥ 30)
+        assert!(!f.active(a("::1")));
+        let g = UnresponsiveFilter::restore(
+            f.active_entries(),
+            f.dropped_pool().iter().copied(),
+            f.window,
+            f.quarantined().to_vec(),
+        );
+        assert!(g.active(a("::2")));
+        assert!(!g.active(a("::1")));
+        assert!(g.dropped_pool().contains(&a("::1")));
+        assert_eq!(g.quarantined(), f.quarantined());
     }
 }

@@ -24,16 +24,14 @@ pub mod filters;
 pub mod newsources;
 pub mod publish;
 pub mod service;
-pub mod state;
 pub mod sources;
+pub mod state;
 
 pub use filters::{Blocklist, GfwFilter, UnresponsiveFilter};
-pub use publish::{publish, Manifest, Publication};
-pub use state::ServiceState;
 pub use newsources::{evaluate_source, passive_sources, SourceEval};
-pub use service::{
-    HitlistService, RoundRecord, ServiceConfig, ServiceConfigBuilder, Snapshot,
-};
+pub use publish::{publish, Manifest, Publication};
+pub use service::{HitlistService, RoundRecord, ServiceConfig, ServiceConfigBuilder, Snapshot};
+pub use state::ServiceState;
 
 #[cfg(test)]
 mod tests {
@@ -41,7 +39,7 @@ mod tests {
     use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 2 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless().with_drop_permille(2))
     }
 
     fn quick_config() -> ServiceConfig {
@@ -84,11 +82,8 @@ mod tests {
         // the input (via traceroute) before the injections begin.
         let start = events::GFW_ERA1.0 .0 - 40;
         svc.run(&net, Day(start), events::GFW_ERA1.0.plus(10));
-        let in_era: Vec<&RoundRecord> = svc
-            .rounds()
-            .iter()
-            .filter(|r| r.day >= events::GFW_ERA1.0)
-            .collect();
+        let in_era: Vec<&RoundRecord> =
+            svc.rounds().iter().filter(|r| r.day >= events::GFW_ERA1.0).collect();
         assert!(!in_era.is_empty());
         let udp53_idx = Protocol::ALL.iter().position(|p| *p == Protocol::Udp53).unwrap();
         let spike = in_era.iter().map(|r| r.published[udp53_idx]).max().unwrap();
@@ -119,11 +114,7 @@ mod tests {
         let net = net();
         let mut svc = HitlistService::new(quick_config());
         svc.run(&net, Day(0), Day(16));
-        assert!(
-            svc.aliased().len() > 10,
-            "aliased prefixes labeled: {}",
-            svc.aliased().len()
-        );
+        assert!(svc.aliased().len() > 10, "aliased prefixes labeled: {}", svc.aliased().len());
         let r = svc.rounds().last().unwrap();
         assert_eq!(r.aliased_prefixes, svc.aliased().len());
     }
@@ -212,6 +203,7 @@ mod tests {
             .gfw_filter_from(None)
             .alias_every_days(7)
             .traceroute_cap(123)
+            .degraded_loss_permille(400)
             .snapshot_days(vec![Day(3)])
             .build();
         let chained = ServiceConfig::default()
@@ -220,11 +212,13 @@ mod tests {
             .with_gfw_filter_from(None)
             .with_alias_every_days(7)
             .with_traceroute_cap(123)
+            .with_degraded_loss_permille(400)
             .with_snapshot_days(vec![Day(3)]);
         assert_eq!(built, chained);
         assert_eq!(built.alias_every_days, 7);
         assert_eq!(built.scan.attempts, 2);
         assert_eq!(built.gfw_filter_from, None);
+        assert_eq!(built.degraded_loss_permille, 400);
     }
 
     #[test]
@@ -315,8 +309,7 @@ mod tests {
 
         // The 0/1-per-round anomaly counters reconcile with the records.
         let snap = registry.snapshot();
-        let flagged =
-            svc.rounds().iter().filter(|r| r.anomalous[udp53_idx]).count() as u64;
+        let flagged = svc.rounds().iter().filter(|r| r.anomalous[udp53_idx]).count() as u64;
         assert_eq!(snap.counter("service.anomaly.udp53"), Some(flagged));
     }
 
@@ -365,8 +358,7 @@ mod tests {
         svc.run(&net, Day(0), Day(8));
 
         let events = journal.events();
-        let round_spans =
-            events.iter().filter(|e| e.name == "service.round").count();
+        let round_spans = events.iter().filter(|e| e.name == "service.round").count();
         assert_eq!(round_spans, svc.rounds().len(), "one span per round");
         assert!(
             events.iter().any(|e| e.name.starts_with("scan.")),
@@ -379,6 +371,69 @@ mod tests {
         // Spans nest: the round span starts before its scan spans.
         let chrome = journal.to_chrome_json();
         assert!(chrome.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn outage_rounds_are_quarantined_not_swept() {
+        // A vantage outage spanning days 20..25 silences every scan.
+        let outage_net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless()
+                .with_drop_permille(2)
+                .with_outage(sixdust_net::Outage::vantage(Day(20), Day(25))),
+        );
+        let calm_net = net();
+        let mut hit = HitlistService::new(quick_config());
+        hit.run(&outage_net, Day(0), Day(45));
+        let mut calm = HitlistService::new(quick_config());
+        calm.run(&calm_net, Day(0), Day(45));
+
+        // Blackout rounds are classified degraded with a pegged estimate
+        // and never sweep.
+        let degraded: Vec<&RoundRecord> = hit.rounds().iter().filter(|r| r.degraded).collect();
+        assert!(degraded.len() >= 5, "outage rounds flagged: {}", degraded.len());
+        for r in &degraded {
+            assert!(r.day >= Day(20) && r.day < Day(25), "flag only in window: {:?}", r.day);
+            assert_eq!(r.loss_estimate_permille, 1000, "blackout pegs the estimate");
+            assert_eq!(r.dropped, 0, "degraded rounds never sweep");
+            assert_eq!(r.total_published, 0);
+        }
+        // Healthy rounds outside the window stay unflagged.
+        assert!(hit
+            .rounds()
+            .iter()
+            .filter(|r| r.day < Day(20) || r.day >= Day(25))
+            .all(|r| !r.degraded));
+        assert_eq!(hit.degraded_rounds(), degraded.len());
+        assert_eq!(hit.unresponsive().quarantined().len(), degraded.len());
+
+        // Quarantine defers eviction instead of mass-evicting: the outage
+        // run must not drop meaningfully more than the calm run.
+        let dropped_hit: usize = hit.rounds().iter().map(|r| r.dropped).sum();
+        let dropped_calm: usize = calm.rounds().iter().map(|r| r.dropped).sum();
+        assert!(
+            dropped_hit <= dropped_calm,
+            "outage must not mass-evict: {dropped_hit} vs calm {dropped_calm}"
+        );
+    }
+
+    #[test]
+    fn degraded_round_counter_reconciles() {
+        let outage_net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless()
+                .with_drop_permille(2)
+                .with_outage(sixdust_net::Outage::vantage(Day(6), Day(9))),
+        );
+        let registry = sixdust_telemetry::Registry::new();
+        let mut svc = HitlistService::new(quick_config()).with_telemetry(registry.clone());
+        svc.run(&outage_net, Day(0), Day(12));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("service.degraded_rounds"), Some(svc.degraded_rounds() as u64));
+        assert!(svc.degraded_rounds() >= 2);
+        let last = svc.rounds().last().unwrap();
+        assert_eq!(
+            snap.gauge("service.loss_estimate_permille"),
+            Some(i64::from(last.loss_estimate_permille))
+        );
     }
 
     #[test]

@@ -76,9 +76,8 @@ pub fn det_snapshot(net: &Internet, day: Day) -> Vec<Addr> {
     // Dead generated tails accompany the snapshot (DET mixes TGA output
     // into its published list).
     let n = out.len();
-    let tails: Vec<Addr> = (0..n * 2)
-        .map(|i| out[i % n.max(1)].saturating_add(0x10_0000 + i as u128))
-        .collect();
+    let tails: Vec<Addr> =
+        (0..n * 2).map(|i| out[i % n.max(1)].saturating_add(0x10_0000 + i as u128)).collect();
     out.extend(tails);
     out
 }
@@ -113,11 +112,7 @@ pub struct SourceEval {
 impl SourceEval {
     /// Responsive count for one protocol.
     pub fn count(&self, proto: Protocol) -> usize {
-        self.per_proto
-            .iter()
-            .find(|(p, _)| *p == proto)
-            .map(|(_, v)| v.len())
-            .unwrap_or(0)
+        self.per_proto.iter().find(|(p, _)| *p == proto).map(|(_, v)| v.len()).unwrap_or(0)
     }
 
     /// The hit rate (responsive / scanned).
@@ -137,11 +132,8 @@ pub fn evaluate_source(
     config: &ScanConfig,
 ) -> SourceEval {
     let targets: Vec<Addr> = {
-        let mut t: Vec<Addr> = candidates
-            .iter()
-            .filter(|a| !aliased.covers_addr(**a))
-            .copied()
-            .collect();
+        let mut t: Vec<Addr> =
+            candidates.iter().filter(|a| !aliased.covers_addr(**a)).copied().collect();
         t.sort_unstable();
         t.dedup();
         t

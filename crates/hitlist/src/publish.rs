@@ -83,10 +83,8 @@ pub fn publish(svc: &HitlistService) -> Publication {
             Protocol::ALL
                 .iter()
                 .map(|p| {
-                    let stem = format!(
-                        "responsive-{}.txt",
-                        p.label().to_lowercase().replace('/', "")
-                    );
+                    let stem =
+                        format!("responsive-{}.txt", p.label().to_lowercase().replace('/', ""));
                     (stem, lines(snap.cleaned_for(*p).iter().copied()))
                 })
                 .collect()
@@ -125,8 +123,7 @@ impl Publication {
         for (stem, body) in &self.per_protocol {
             std::fs::write(dir.join(stem), body)?;
         }
-        let manifest =
-            serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
+        let manifest = serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
         std::fs::write(dir.join("manifest.json"), manifest)?;
         Ok(())
     }
@@ -145,7 +142,7 @@ mod tests {
     use sixdust_net::{Day, FaultConfig, Internet, Scale};
 
     fn published() -> Publication {
-        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
         let mut svc =
             HitlistService::new(ServiceConfig::builder().snapshot_days(vec![Day(8)]).build());
         svc.run(&net, Day(0), Day(8));

@@ -14,9 +14,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use sixdust_addr::{prf, Addr, PrefixSet};
+use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
-use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_telemetry::{MadConfig, MadDetector, Registry, SeriesRecorder};
 
 use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
@@ -38,6 +38,17 @@ pub struct ServiceConfig {
     pub traceroute_cap: usize,
     /// Days whose full responsive sets are kept as snapshots.
     pub snapshot_days: Vec<Day>,
+    /// Aggregate loss estimate (permille) at or above which a round is
+    /// classified degraded and quarantined instead of swept by the 30-day
+    /// filter. A round is also degraded when ≥3 protocol monitors flag a
+    /// *downward* anomaly, or when a non-empty target list yields zero
+    /// responses (vantage blackout).
+    #[serde(default = "default_degraded_loss_permille")]
+    pub degraded_loss_permille: u32,
+}
+
+fn default_degraded_loss_permille() -> u32 {
+    350
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +60,7 @@ impl Default for ServiceConfig {
             alias_every_days: 28,
             traceroute_cap: 4000,
             snapshot_days: Day::SNAPSHOTS.to_vec(),
+            degraded_loss_permille: default_degraded_loss_permille(),
         }
     }
 }
@@ -86,6 +98,12 @@ impl ServiceConfig {
     /// Returns the config with a different traceroute cap.
     pub fn with_traceroute_cap(mut self, cap: usize) -> ServiceConfig {
         self.traceroute_cap = cap;
+        self
+    }
+
+    /// Returns the config with a different degraded-round loss threshold.
+    pub fn with_degraded_loss_permille(mut self, permille: u32) -> ServiceConfig {
+        self.degraded_loss_permille = permille;
         self
     }
 
@@ -130,6 +148,12 @@ impl ServiceConfigBuilder {
     /// Sets the maximum traceroute targets per round.
     pub fn traceroute_cap(mut self, cap: usize) -> ServiceConfigBuilder {
         self.config.traceroute_cap = cap;
+        self
+    }
+
+    /// Sets the degraded-round loss threshold (permille).
+    pub fn degraded_loss_permille(mut self, permille: u32) -> ServiceConfigBuilder {
+        self.config.degraded_loss_permille = permille;
         self
     }
 
@@ -180,6 +204,16 @@ pub struct RoundRecord {
     /// before the monitor existed, hence the serde default.
     #[serde(default)]
     pub anomalous: [bool; 5],
+    /// Whether this round was classified degraded (heavy loss, outage or
+    /// broad downward anomaly) and therefore quarantined: the 30-day
+    /// filter did not sweep, and the silent days will not count against
+    /// any address. Absent in pre-quarantine checkpoints.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Aggregate response-weighted loss estimate for the round's scans,
+    /// in permille (0 when unobservable, 1000 on a total blackout).
+    #[serde(default)]
+    pub loss_estimate_permille: u32,
 }
 
 /// A retained full snapshot (Table 1 / Figs. 2, 9, 10 inputs).
@@ -198,11 +232,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// The cleaned set for one protocol.
     pub fn cleaned_for(&self, proto: Protocol) -> &[Addr] {
-        self.cleaned
-            .iter()
-            .find(|(p, _)| *p == proto)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+        self.cleaned.iter().find(|(p, _)| *p == proto).map(|(_, v)| v.as_slice()).unwrap_or(&[])
     }
 
     /// All addresses responsive to at least one protocol (cleaned).
@@ -335,6 +365,70 @@ impl HitlistService {
     /// The 30-day-filtered pool (Sec. 6's re-scan source).
     pub fn unresponsive_pool(&self) -> &HashSet<Addr> {
         self.unresp.dropped_pool()
+    }
+
+    /// The 30-day unresponsive filter itself (active clocks, quarantined
+    /// windows — checkpoint capture reads these).
+    pub fn unresponsive(&self) -> &UnresponsiveFilter {
+        &self.unresp
+    }
+
+    /// The day the next periodic alias detection is due.
+    pub fn next_alias_day(&self) -> Day {
+        self.next_alias_day
+    }
+
+    /// Rounds classified degraded (and therefore quarantined) so far.
+    pub fn degraded_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Rebuilds a service from a checkpoint — the inverse of
+    /// [`ServiceState::capture`](crate::ServiceState::capture). The alias
+    /// detector restarts cold (its labels are restored; fingerprint detail
+    /// re-accumulates at the next periodic detection) and the per-protocol
+    /// anomaly monitors are re-warmed by replaying the checkpointed
+    /// published series, so a resumed service continues the timeline the
+    /// original would have produced.
+    pub fn from_state(config: ServiceConfig, state: &crate::state::ServiceState) -> HitlistService {
+        let mut svc = HitlistService::new(config);
+        svc.input = state.input.iter().copied().collect();
+        svc.aliased = state.aliased.iter().copied().collect();
+        svc.gfw = crate::filters::GfwFilter::restore(state.gfw_impacted.iter().copied());
+        let active: Vec<(Addr, Day)> = if state.active.is_empty() && !state.input.is_empty() {
+            // v1 checkpoint: per-address clocks were not captured, so
+            // every still-active input restarts its clock at the last
+            // checkpointed round (graceful, slightly lenient fallback).
+            let day = state.rounds.last().map(|r| r.day).unwrap_or(Day(0));
+            let dropped: HashSet<Addr> = state.unresponsive_pool.iter().copied().collect();
+            state.input.iter().filter(|a| !dropped.contains(a)).map(|a| (*a, day)).collect()
+        } else {
+            state.active.clone()
+        };
+        svc.unresp = UnresponsiveFilter::restore(
+            active,
+            state.unresponsive_pool.iter().copied(),
+            state.unresponsive_window,
+            state.quarantined.clone(),
+        );
+        svc.cumulative = state.cumulative.iter().copied().collect();
+        svc.prev_responsive = state.current_responsive.iter().copied().collect();
+        // `ever` and `cumulative` accumulate from the same cleaned hits.
+        svc.ever = state.cumulative.iter().map(|(a, _)| *a).collect();
+        svc.next_alias_day = state.next_alias_day;
+        svc.rounds = state.rounds.clone();
+        svc.snapshots = state.snapshots.clone();
+        svc.last_zone_week = state.rounds.last().map(|r| r.day.0 / 7);
+        let mut pending = svc.config.snapshot_days.clone();
+        pending.sort_unstable();
+        pending.drain(..state.snapshots.len().min(pending.len()));
+        svc.pending_snapshots = pending;
+        for r in &state.rounds {
+            for i in 0..5 {
+                svc.anomaly[i].observe(r.published[i] as f64);
+            }
+        }
+        svc
     }
 
     /// Addresses responsive at least once, with their cumulative protocol
@@ -470,19 +564,20 @@ impl HitlistService {
         let mut proto_published_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
         let mut scan_elapsed = Duration::ZERO;
         let mut gfw_elapsed = Duration::ZERO;
+        let mut loss_weighted = 0u64;
+        let mut received_total = 0u64;
         let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
         for (i, proto) in Protocol::ALL.into_iter().enumerate() {
             let scan_started = Instant::now();
             let result: ScanResult =
                 scan_with(net, proto, &targets, day, &self.config.scan, self.telemetry.as_ref());
             scan_elapsed += scan_started.elapsed();
+            loss_weighted += u64::from(result.stats.loss_estimate_permille) * result.stats.received;
+            received_total += result.stats.received;
             let pub_hits: Vec<Addr> = result.hits().collect();
             let gfw_started = Instant::now();
-            let clean_hits: Vec<Addr> = if proto == Protocol::Udp53 {
-                self.gfw.clean(&result)
-            } else {
-                pub_hits.clone()
-            };
+            let clean_hits: Vec<Addr> =
+                if proto == Protocol::Udp53 { self.gfw.clean(&result) } else { pub_hits.clone() };
             gfw_elapsed += gfw_started.elapsed();
             published[i] = pub_hits.len() as u64;
             cleaned[i] = clean_hits.len() as u64;
@@ -504,14 +599,77 @@ impl HitlistService {
             responsive_published = responsive_cleaned.clone();
         }
 
+        // 4b. Online anomaly monitoring over the published counts — the
+        // view the real service fed its users, where the GFW injections
+        // actually showed up (Fig. 3 left). Anomalous rounds are not
+        // absorbed into the baseline, so multi-round eras stay flagged
+        // from first spike to last. Runs before the 30-day sweep because
+        // broad *downward* anomalies feed the degraded-round classifier.
+        let mut anomalous = [false; 5];
+        let mut downward_anomalies = 0usize;
+        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
+            let verdict = self.anomaly[i].observe(published[i] as f64);
+            anomalous[i] = verdict.anomalous;
+            if verdict.anomalous && verdict.z < 0.0 {
+                downward_anomalies += 1;
+            }
+            if verdict.anomalous {
+                if let Some(j) = &tracer {
+                    j.instant(
+                        &format!("service.anomaly.{}", proto_metric_key(proto)),
+                        &[
+                            ("day", day_str.as_str()),
+                            ("value", &published[i].to_string()),
+                            ("z", &format!("{:.1}", verdict.z)),
+                        ],
+                    );
+                }
+            }
+        }
+
+        // 4c. Degraded-round classification: a round is degraded when the
+        // scans themselves are suspect — heavy estimated loss, a total
+        // blackout of a non-empty target list, or most protocols spiking
+        // *downward* at once (loss is protocol-agnostic; a real population
+        // collapse would show as churn, not a synchronized cliff).
+        let loss_estimate_permille = if targets.is_empty() {
+            0
+        } else if received_total == 0 {
+            1000
+        } else {
+            (loss_weighted / received_total) as u32
+        };
+        let degraded = !targets.is_empty()
+            && (loss_estimate_permille >= self.config.degraded_loss_permille
+                || downward_anomalies >= 3);
+
         // 5. Responsiveness bookkeeping: before the filter deployment the
-        // service kept GFW-"responsive" addresses in rotation.
+        // service kept GFW-"responsive" addresses in rotation. A degraded
+        // round still credits whoever answered, but never sweeps: silence
+        // during a broken measurement proves nothing, so the round's days
+        // are quarantined in the 30-day filter instead.
         let effective: &HashSet<Addr> =
             if gfw_live { &responsive_cleaned } else { &responsive_published };
         for a in effective {
             self.unresp.mark_responsive(*a, day);
         }
-        let dropped = self.unresp.sweep(day);
+        let dropped = if degraded {
+            let from = self.rounds.last().map(|r| r.day.plus(1)).unwrap_or(day);
+            self.unresp.quarantine(from, day.plus(1));
+            if let Some(j) = &tracer {
+                j.instant(
+                    "service.degraded",
+                    &[
+                        ("day", day_str.as_str()),
+                        ("loss_permille", &loss_estimate_permille.to_string()),
+                        ("downward_anomalies", &downward_anomalies.to_string()),
+                    ],
+                );
+            }
+            0
+        } else {
+            self.unresp.sweep(day)
+        };
 
         // 6. Traceroutes discover new candidates for the next round.
         let phase_started = Instant::now();
@@ -535,29 +693,6 @@ impl HitlistService {
         self.ever.extend(responsive_cleaned.iter().copied());
         self.record_phase("churn", phase_started.elapsed());
 
-        // 7b. Online anomaly monitoring over the published counts — the
-        // view the real service fed its users, where the GFW injections
-        // actually showed up (Fig. 3 left). Anomalous rounds are not
-        // absorbed into the baseline, so multi-round eras stay flagged
-        // from first spike to last.
-        let mut anomalous = [false; 5];
-        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
-            let verdict = self.anomaly[i].observe(published[i] as f64);
-            anomalous[i] = verdict.anomalous;
-            if verdict.anomalous {
-                if let Some(j) = &tracer {
-                    j.instant(
-                        &format!("service.anomaly.{}", proto_metric_key(proto)),
-                        &[
-                            ("day", day_str.as_str()),
-                            ("value", &published[i].to_string()),
-                            ("z", &format!("{:.1}", verdict.z)),
-                        ],
-                    );
-                }
-            }
-        }
-
         let record = RoundRecord {
             day,
             input_total: self.input.len(),
@@ -572,6 +707,8 @@ impl HitlistService {
             aliased_prefixes: self.aliased.len(),
             dropped,
             anomalous,
+            degraded,
+            loss_estimate_permille,
         };
         self.prev_responsive = responsive_cleaned;
 
@@ -584,6 +721,9 @@ impl HitlistService {
             t.counter("service.churn.brand_new").add(record.churn_brand_new);
             t.counter("service.churn.recurring").add(record.churn_recurring);
             t.counter("service.churn.gone").add(record.churn_gone);
+            // 0/1 per round, like the anomaly flags below.
+            t.counter("service.degraded_rounds").add(u64::from(record.degraded));
+            t.gauge("service.loss_estimate_permille").set(i64::from(record.loss_estimate_permille));
             for (i, proto) in Protocol::ALL.into_iter().enumerate() {
                 let key = proto_metric_key(proto);
                 t.counter(&format!("service.hits.published.{key}")).add(record.published[i]);

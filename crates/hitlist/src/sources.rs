@@ -44,9 +44,7 @@ pub enum SourceKind {
 pub fn domains_aaaa(net: &Internet, day: Day) -> Vec<Addr> {
     let zones = net.zones();
     let pop = net.population();
-    (0..zones.total_domains())
-        .map(|d| zones.resolve(pop, d, day).0)
-        .collect()
+    (0..zones.total_domains()).map(|d| zones.resolve(pop, d, day).0).collect()
 }
 
 /// CT-log-derived domains: a third of the namespace, same resolution path.
@@ -147,7 +145,7 @@ mod tests {
     use sixdust_net::{FaultConfig, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
     #[test]

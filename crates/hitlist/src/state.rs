@@ -4,17 +4,26 @@
 //! four years of accumulated state (the real hitlist's input list *is* its
 //! history). [`ServiceState`] is a serializable snapshot of everything a
 //! [`HitlistService`](crate::HitlistService) has learned; it round-trips
-//! through JSON so checkpoints are diffable and versionable.
+//! through JSON so checkpoints are diffable and versionable, writes to
+//! disk crash-safely ([`ServiceState::save_atomic`]), and restores into a
+//! running service ([`ServiceState::restore`]).
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use sixdust_addr::{Addr, Prefix};
-use sixdust_net::ProtoSet;
+use sixdust_net::{Day, ProtoSet};
 
-use crate::service::{HitlistService, RoundRecord, Snapshot};
+use crate::service::{HitlistService, RoundRecord, ServiceConfig, Snapshot};
 
 /// A serializable checkpoint of the service's accumulated knowledge.
+///
+/// Version 2 added the resume-critical fields (`active` clocks, quarantine
+/// windows, `current_responsive`, `next_alias_day`); they carry serde
+/// defaults so version-1 checkpoints still parse, restoring with a
+/// documented, slightly lenient fallback (see
+/// [`HitlistService::from_state`]).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct ServiceState {
     /// Format version for forward compatibility.
@@ -33,10 +42,32 @@ pub struct ServiceState {
     pub rounds: Vec<RoundRecord>,
     /// Retained full snapshots.
     pub snapshots: Vec<Snapshot>,
+    /// Active scan targets with the day each last answered (v2).
+    #[serde(default)]
+    pub active: Vec<(Addr, Day)>,
+    /// Quarantined `[from, until)` day windows of degraded rounds (v2).
+    #[serde(default)]
+    pub quarantined: Vec<(Day, Day)>,
+    /// The most recent cleaned responsive set (v2; churn baseline).
+    #[serde(default)]
+    pub current_responsive: Vec<Addr>,
+    /// The day the next periodic alias detection is due (v2).
+    #[serde(default)]
+    pub next_alias_day: Day,
+    /// The 30-day filter's window override, in days (v2).
+    #[serde(default = "default_unresponsive_window")]
+    pub unresponsive_window: u32,
+}
+
+fn default_unresponsive_window() -> u32 {
+    30
 }
 
 /// Current checkpoint format version.
-pub const STATE_VERSION: u32 = 1;
+pub const STATE_VERSION: u32 = 2;
+
+/// Oldest checkpoint version [`ServiceState::from_json`] still accepts.
+pub const OLDEST_SUPPORTED_STATE_VERSION: u32 = 1;
 
 impl ServiceState {
     /// Captures a checkpoint from a running service.
@@ -50,6 +81,10 @@ impl ServiceState {
         let mut cumulative: Vec<(Addr, ProtoSet)> =
             svc.cumulative().iter().map(|(a, p)| (*a, *p)).collect();
         cumulative.sort_unstable_by_key(|(a, _)| *a);
+        let mut active: Vec<(Addr, Day)> = svc.unresponsive().active_entries().collect();
+        active.sort_unstable_by_key(|(a, _)| *a);
+        let mut current: Vec<Addr> = svc.current_responsive().iter().copied().collect();
+        current.sort_unstable();
         ServiceState {
             version: STATE_VERSION,
             input,
@@ -59,7 +94,18 @@ impl ServiceState {
             cumulative,
             rounds: svc.rounds().to_vec(),
             snapshots: svc.snapshots().to_vec(),
+            active,
+            quarantined: svc.unresponsive().quarantined().to_vec(),
+            current_responsive: current,
+            next_alias_day: svc.next_alias_day(),
+            unresponsive_window: svc.unresponsive().window,
         }
+    }
+
+    /// Rebuilds a running service from this checkpoint; see
+    /// [`HitlistService::from_state`] for the fidelity guarantees.
+    pub fn restore(&self, config: ServiceConfig) -> HitlistService {
+        HitlistService::from_state(config, self)
     }
 
     /// Serializes to pretty JSON.
@@ -71,12 +117,35 @@ impl ServiceState {
     pub fn from_json(json: &str) -> Result<ServiceState, String> {
         let state: ServiceState =
             serde_json::from_str(json).map_err(|e| format!("checkpoint parse: {e}"))?;
-        if state.version != STATE_VERSION {
+        if !(OLDEST_SUPPORTED_STATE_VERSION..=STATE_VERSION).contains(&state.version) {
             return Err(format!(
-                "checkpoint version {} unsupported (expected {STATE_VERSION})",
+                "checkpoint version {} unsupported (expected \
+                 {OLDEST_SUPPORTED_STATE_VERSION}..={STATE_VERSION})",
                 state.version
             ));
         }
+        Ok(state)
+    }
+
+    /// Writes the checkpoint crash-safely: serializes to a sibling
+    /// temporary file, then atomically renames it over `path`. A crash
+    /// mid-write leaves either the previous checkpoint or a stray `.tmp`
+    /// file — never a truncated checkpoint at `path`.
+    pub fn save_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads, parses and validates a checkpoint written by
+    /// [`ServiceState::save_atomic`].
+    pub fn load(path: &Path) -> Result<ServiceState, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("checkpoint read {}: {e}", path.display()))?;
+        let state = ServiceState::from_json(&json)?;
+        state.validate()?;
         Ok(state)
     }
 
@@ -102,6 +171,24 @@ impl ServiceState {
                 return Err("snapshot missing protocols".into());
             }
         }
+        for w in self.snapshots.windows(2) {
+            if w[1].day <= w[0].day {
+                return Err("snapshots out of day order".into());
+            }
+        }
+        for (from, until) in &self.quarantined {
+            if from >= until {
+                return Err(format!("empty or inverted quarantine window {from:?}..{until:?}"));
+            }
+        }
+        let active: HashSet<Addr> = self.active.iter().map(|(a, _)| *a).collect();
+        if active.len() != self.active.len() {
+            return Err("duplicate active addresses".into());
+        }
+        let pool: HashSet<Addr> = self.unresponsive_pool.iter().copied().collect();
+        if let Some((a, _)) = self.active.iter().find(|(a, _)| pool.contains(a)) {
+            return Err(format!("{a} both active and permanently dropped"));
+        }
         Ok(())
     }
 }
@@ -112,10 +199,17 @@ mod tests {
     use crate::service::ServiceConfig;
     use sixdust_net::{Day, FaultConfig, Internet, Scale};
 
+    fn test_net() -> Internet {
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
+    }
+
+    fn test_config() -> ServiceConfig {
+        ServiceConfig::builder().snapshot_days(vec![Day(5)]).build()
+    }
+
     fn run_service(days: u32) -> HitlistService {
-        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
-        let mut svc =
-            HitlistService::new(ServiceConfig::builder().snapshot_days(vec![Day(5)]).build());
+        let net = test_net();
+        let mut svc = HitlistService::new(test_config());
         svc.run(&net, Day(0), Day(days));
         svc
     }
@@ -148,6 +242,80 @@ mod tests {
         state.version = 99;
         let err = ServiceState::from_json(&state.to_json()).unwrap_err();
         assert!(err.contains("version 99"), "{err}");
+        // The previous format version is still accepted.
+        state.version = 1;
+        assert!(ServiceState::from_json(&state.to_json()).is_ok());
+        state.version = 0;
+        assert!(ServiceState::from_json(&state.to_json()).is_err());
+    }
+
+    #[test]
+    fn restore_resumes_the_original_timeline() {
+        let net = test_net();
+        // Original service runs straight through.
+        let mut original = HitlistService::new(test_config());
+        original.run(&net, Day(0), Day(16));
+        // A second service is checkpointed mid-run and restored.
+        let mut first_leg = HitlistService::new(test_config());
+        first_leg.run(&net, Day(0), Day(8));
+        let state = ServiceState::capture(&first_leg);
+        state.validate().expect("mid-run checkpoint is valid");
+        let mut resumed = state.restore(test_config());
+        // Continue from the day after the checkpointed round.
+        let mut day = Day(9);
+        let until = Day(16);
+        while day < until {
+            resumed.run_round(&net, day);
+            let next = day.plus(sixdust_net::events::scan_gap(day));
+            day = if next > until { until } else { next };
+        }
+        resumed.run_round(&net, until);
+        // The resumed service reproduces the uninterrupted timeline.
+        assert_eq!(resumed.rounds().len(), original.rounds().len());
+        for (r, o) in resumed.rounds().iter().zip(original.rounds()) {
+            assert_eq!(r, o, "round {:?} diverged after resume", o.day);
+        }
+        assert_eq!(resumed.input().len(), original.input().len());
+        assert_eq!(resumed.cumulative().len(), original.cumulative().len());
+        assert_eq!(resumed.snapshots().len(), original.snapshots().len());
+        assert_eq!(resumed.current_responsive().len(), original.current_responsive().len());
+    }
+
+    #[test]
+    fn save_atomic_then_load_round_trips_and_leaves_no_temp() {
+        let svc = run_service(6);
+        let state = ServiceState::capture(&svc);
+        let dir = std::env::temp_dir().join("sixdust_state_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        state.save_atomic(&path).expect("atomic save");
+        assert!(!dir.join("checkpoint.json.tmp").exists(), "temp renamed away");
+        let back = ServiceState::load(&path).expect("load validates");
+        assert_eq!(back, state);
+        // Overwriting an existing checkpoint is also atomic.
+        state.save_atomic(&path).expect("overwrite");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validation_catches_v2_inconsistencies() {
+        let svc = run_service(5);
+        let base = ServiceState::capture(&svc);
+        let mut bad = base.clone();
+        bad.quarantined.push((Day(9), Day(9)));
+        assert!(bad.validate().is_err(), "empty quarantine window");
+        let mut bad = base.clone();
+        if let Some((a, _)) = bad.active.first().copied() {
+            bad.unresponsive_pool.push(a);
+            assert!(bad.validate().is_err(), "active address in dropped pool");
+        }
+        let mut bad = base;
+        if bad.snapshots.is_empty() {
+            return;
+        }
+        let dup = bad.snapshots[0].clone();
+        bad.snapshots.push(dup);
+        assert!(bad.validate().is_err(), "snapshot days must increase");
     }
 
     #[test]

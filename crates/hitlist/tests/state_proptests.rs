@@ -1,0 +1,111 @@
+//! Property tests for checkpoint robustness: a restarting service parses
+//! whatever it finds on disk — a checkpoint from an older version, a file
+//! truncated by a crash, or plain garbage — and must reject bad input with
+//! an error, never a panic, and never accept an inconsistent timeline.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sixdust_hitlist::{HitlistService, ServiceConfig, ServiceState};
+use sixdust_net::{Day, FaultConfig, Internet, Scale};
+
+/// One small service run, captured once: the donor checkpoint every
+/// mutation case starts from.
+fn donor() -> &'static ServiceState {
+    static STATE: OnceLock<ServiceState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
+        let mut svc = HitlistService::new(
+            ServiceConfig::builder().snapshot_days(vec![Day(3), Day(6)]).build(),
+        );
+        svc.run(&net, Day(0), Day(8));
+        let state = ServiceState::capture(&svc);
+        state.validate().expect("fresh capture is valid");
+        state
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes are not a checkpoint: parsing must return `Err`,
+    /// never panic — and on the off chance something parses, validation
+    /// must not panic either.
+    #[test]
+    fn garbage_never_panics(json in "\\PC*") {
+        if let Ok(state) = ServiceState::from_json(&json) {
+            let _ = state.validate();
+        }
+    }
+
+    /// JSON-shaped garbage (braces, quotes, numbers in plausible places)
+    /// is still rejected gracefully.
+    #[test]
+    fn json_shaped_garbage_never_panics(
+        version in any::<u32>(),
+        filler in "[a-z_]{1,12}",
+        n in any::<i64>(),
+    ) {
+        let json = format!("{{\"version\": {version}, \"{filler}\": {n}}}");
+        prop_assert!(ServiceState::from_json(&json).is_err());
+    }
+
+    /// A checkpoint cut off mid-write (any strict prefix of a real one)
+    /// parses to an error, never a panic and never a silently shorter
+    /// history — exactly the crash `save_atomic` defends against.
+    #[test]
+    fn truncated_checkpoints_are_rejected(cut_frac in 0.0f64..1.0) {
+        let json = donor().to_json();
+        let boundaries: Vec<usize> = json.char_indices().map(|(i, _)| i).collect();
+        let cut = boundaries[(cut_frac * (boundaries.len() - 1) as f64) as usize];
+        prop_assume!(cut < json.len());
+        prop_assert!(ServiceState::from_json(&json[..cut]).is_err());
+    }
+
+    /// One flipped byte can shift a brace or a digit; whatever it does,
+    /// the parser must not panic, and a still-parseable checkpoint must
+    /// survive validation without panicking.
+    #[test]
+    fn corrupted_checkpoints_never_panic(pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let mut bytes = donor().to_json().into_bytes();
+        let pos = (pos_frac * (bytes.len() - 1) as f64) as usize;
+        bytes[pos] ^= flip;
+        if let Ok(json) = String::from_utf8(bytes) {
+            if let Ok(state) = ServiceState::from_json(&json) {
+                let _ = state.validate();
+            }
+        }
+    }
+
+    /// Day monotonicity: round records and snapshots must be strictly
+    /// increasing in day. Reordering any two rounds, or duplicating any
+    /// snapshot, must fail validation.
+    #[test]
+    fn shuffled_timelines_fail_validation(i in 0usize..8, j in 0usize..8) {
+        prop_assume!(i != j);
+        let mut state = donor().clone();
+        prop_assume!(i < state.rounds.len() && j < state.rounds.len());
+        state.rounds.swap(i, j);
+        prop_assert!(state.validate().is_err(), "swapped rounds {i} and {j} accepted");
+    }
+
+    #[test]
+    fn duplicated_snapshots_fail_validation(idx in 0usize..2) {
+        let mut state = donor().clone();
+        prop_assume!(idx < state.snapshots.len());
+        let dup = state.snapshots[idx].clone();
+        state.snapshots.insert(idx, dup);
+        prop_assert!(state.validate().is_err());
+    }
+
+    /// Quarantine windows are half-open `[from, until)`: empty or inverted
+    /// windows must be rejected.
+    #[test]
+    fn inverted_quarantine_windows_fail_validation(from in 0u32..2000, len in 0u32..100) {
+        let mut state = donor().clone();
+        // len == 0 is the degenerate from == until empty window; larger
+        // len inverts the bounds. Both must be rejected.
+        state.quarantined.push((Day(from + len), Day(from)));
+        prop_assert!(state.validate().is_err());
+    }
+}

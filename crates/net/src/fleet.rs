@@ -249,10 +249,7 @@ mod tests {
         let a0 = f.current_addr(10, Day(0));
         let a2 = f.current_addr(10, Day(28));
         assert_eq!(a0.iid(), a2.iid(), "EUI-64 IID follows the device");
-        assert_eq!(
-            Eui64::from_addr(a0).unwrap(),
-            Eui64::from_addr(a2).unwrap()
-        );
+        assert_eq!(Eui64::from_addr(a0).unwrap(), Eui64::from_addr(a2).unwrap());
     }
 
     #[test]
@@ -287,9 +284,7 @@ mod tests {
         let f = fleet();
         assert!(f.lookup("2001:db9::1".parse().unwrap(), Day(0)).is_none());
         // Inside region but not EUI-64:
-        assert!(f
-            .lookup("2001:db8:100::1234".parse().unwrap(), Day(0))
-            .is_none());
+        assert!(f.lookup("2001:db8:100::1234".parse().unwrap(), Day(0)).is_none());
         // EUI-64 but wrong OUI:
         let wrong = Eui64::from_oui_serial(0x0026_86, SERIAL_BASE)
             .apply_to("2001:db8:100:42::".parse().unwrap());

@@ -111,8 +111,9 @@ impl Gfw {
         let qname = qname.to_string();
         (0..n)
             .map(|i| {
-                let v4 = WRONG_OPERATOR_V4
-                    [(prf::mix2(self.seed ^ i, dst.iid()) % WRONG_OPERATOR_V4.len() as u64) as usize];
+                let v4 = WRONG_OPERATOR_V4[(prf::mix2(self.seed ^ i, dst.iid())
+                    % WRONG_OPERATOR_V4.len() as u64)
+                    as usize];
                 let mut resp = DnsMessage::response_to(query, Rcode::NoError);
                 resp.ra = true;
                 let rdata = match era {
@@ -192,9 +193,7 @@ mod tests {
     fn era_payload_types() {
         let g = Gfw::new(1);
         let a_era = g.inject(dst(), &query(), events::GFW_ERA1.0);
-        assert!(a_era
-            .iter()
-            .all(|r| matches!(r.answers[0].rdata, Rdata::A(_))));
+        assert!(a_era.iter().all(|r| matches!(r.answers[0].rdata, Rdata::A(_))));
         let teredo_era = g.inject(dst(), &query(), events::GFW_ERA3.0);
         assert!(teredo_era.iter().all(|r| match &r.answers[0].rdata {
             Rdata::Aaaa(a6) => teredo::is_teredo(*a6),

@@ -24,6 +24,7 @@ use sixdust_wire::tcp::{TcpOption, TcpSegment};
 use sixdust_wire::udp::UdpDatagram;
 use sixdust_wire::{Ipv6Header, Packet, Transport};
 
+use crate::faults::{FaultConfig, OutageScope};
 use crate::fingerprint::{DnsBehavior, TcpFingerprint};
 use crate::gfw::Gfw;
 use crate::population::{HostView, Population};
@@ -36,19 +37,9 @@ use crate::zones::{DnsZones, CONTROLLED_DOMAIN};
 /// Default path MTU when no Packet Too Big message has been absorbed.
 pub const DEFAULT_MTU: u32 = 1500;
 
-/// Fault injection knobs (smoltcp-style: every example and test can dial
-/// adverse conditions in).
-#[derive(Debug, Clone, Copy)]
-pub struct FaultConfig {
-    /// Probe/response drop probability in permille (applies per probe).
-    pub drop_permille: u32,
-}
-
-impl Default for FaultConfig {
-    fn default() -> FaultConfig {
-        FaultConfig { drop_permille: 4 }
-    }
-}
+/// ICMPv6 rate-limiter bucket classes (see [`Internet::icmp_rate_limited`]).
+const RL_ROUTER: u8 = 0;
+const RL_BACKEND: u8 = 1;
 
 /// A semantic probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,7 +98,7 @@ pub enum Response {
 ///
 /// ```
 /// use sixdust_net::{Internet, ProbeKind, Scale, Day, FaultConfig};
-/// let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+/// let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
 /// // Ground truth can enumerate; a scanner can only probe.
 /// let (addr, ..) = net.population().enumerate_responsive(Day(100))[0];
 /// let replies = net.probe(addr, &ProbeKind::IcmpEcho { size: 8 }, Day(100));
@@ -120,6 +111,9 @@ pub struct Internet {
     gfw: Gfw,
     faults: FaultConfig,
     pmtu: Mutex<HashMap<u64, u32>>,
+    /// ICMPv6 rate-limiter budgets: `(class, entity) -> (day, spent)`.
+    /// Bounded by entity count — each entry resets when its day advances.
+    icmp_budget: Mutex<HashMap<(u8, u64), (u32, u32)>>,
     /// Queries that reached the controlled domain's authoritative server:
     /// `(source address, queried name)`.
     ns_log: Mutex<Vec<(Addr, String)>>,
@@ -138,6 +132,14 @@ pub struct NetCounters {
     pub ttl_probes: Counter,
     /// Wire-level packets handled ([`Internet::send_bytes`]).
     pub wire_packets: Counter,
+    /// Probes silenced by fault injection (loss or an outage window).
+    pub faults_dropped: Counter,
+    /// Responses delivered twice by fault injection.
+    pub faults_duplicated: Counter,
+    /// Wire responses with bytes flipped in flight.
+    pub faults_corrupted: Counter,
+    /// ICMPv6 messages suppressed/ignored by router rate limiting.
+    pub faults_rate_limited: Counter,
 }
 
 impl NetCounters {
@@ -146,6 +148,10 @@ impl NetCounters {
         registry.register_counter("net.probes", &self.probes);
         registry.register_counter("net.ttl_probes", &self.ttl_probes);
         registry.register_counter("net.wire_packets", &self.wire_packets);
+        registry.register_counter("net.faults.dropped", &self.faults_dropped);
+        registry.register_counter("net.faults.duplicated", &self.faults_duplicated);
+        registry.register_counter("net.faults.corrupted", &self.faults_corrupted);
+        registry.register_counter("net.faults.rate_limited", &self.faults_rate_limited);
     }
 }
 
@@ -172,8 +178,9 @@ impl Internet {
             registry,
             population,
             zones,
-            faults: FaultConfig::default(),
+            faults: FaultConfig::default_loss(),
             pmtu: Mutex::new(HashMap::new()),
+            icmp_budget: Mutex::new(HashMap::new()),
             ns_log: Mutex::new(Vec::new()),
             counters: NetCounters::default(),
         }
@@ -183,6 +190,11 @@ impl Internet {
     pub fn with_faults(mut self, faults: FaultConfig) -> Internet {
         self.faults = faults;
         self
+    }
+
+    /// The active fault configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
     }
 
     /// Exposes the simulator's always-on traffic counters in `registry`
@@ -212,9 +224,11 @@ impl Internet {
         &self.zones
     }
 
-    /// Resets mutable state (PMTU caches, NS query log).
+    /// Resets mutable state (PMTU caches, ICMPv6 rate budgets, NS query
+    /// log).
     pub fn reset_state(&self) {
         self.pmtu.lock().clear();
+        self.icmp_budget.lock().clear();
         self.ns_log.lock().clear();
     }
 
@@ -223,15 +237,65 @@ impl Internet {
         std::mem::take(&mut self.ns_log.lock())
     }
 
-    fn dropped(&self, dst: Addr, day: Day, salt: u64) -> bool {
-        self.faults.drop_permille > 0
+    /// The fault-stream seed: the world seed mixed with the fault
+    /// config's own seed (zero by default, preserving the historical
+    /// drop-coin stream).
+    fn fault_seed(&self) -> u64 {
+        self.seed ^ self.faults.seed
+    }
+
+    /// Whether an outage window silences `dst` on `day` — either the
+    /// vantage point is down (nothing answers) or the destination's
+    /// origin AS has withdrawn its routes.
+    fn outage_silenced(&self, dst: Addr, day: Day) -> bool {
+        if self.faults.outages.is_empty() {
+            return false;
+        }
+        if self.faults.vantage_down(day) {
+            return true;
+        }
+        if self.faults.outages.iter().any(|o| matches!(o.scope, OutageScope::Asn(_))) {
+            if let Some(asid) = self.registry.origin(dst) {
+                return self.faults.asn_down(self.registry.get(asid).asn, day);
+            }
+        }
+        false
+    }
+
+    fn dropped(&self, dst: Addr, proto: Option<Protocol>, day: Day, salt: u64) -> bool {
+        if !self.faults.any_loss() {
+            return false;
+        }
+        let origin_asn = if self.faults.as_drop.is_empty() {
+            None
+        } else {
+            self.registry.origin(dst).map(|id| self.registry.get(id).asn)
+        };
+        let permille = self.faults.loss_permille(self.fault_seed(), dst, proto, origin_asn, day);
+        permille > 0
             && prf::chance(
-                self.seed ^ salt,
+                self.fault_seed() ^ salt,
                 dst.0,
                 0x10_55 ^ u64::from(day.0),
-                u64::from(self.faults.drop_permille),
+                u64::from(permille),
                 1000,
             )
+    }
+
+    /// Charges one ICMPv6 message against `entity`'s daily budget and
+    /// reports whether the budget is exhausted (the message must be
+    /// suppressed). Always false when rate limiting is off.
+    fn icmp_rate_limited(&self, class: u8, entity: u64, day: Day) -> bool {
+        let Some(limit) = self.faults.icmp_rate_limit else {
+            return false;
+        };
+        let mut budgets = self.icmp_budget.lock();
+        let slot = budgets.entry((class, entity)).or_insert((day.0, 0));
+        if slot.0 != day.0 {
+            *slot = (day.0, 0);
+        }
+        slot.1 += 1;
+        slot.1 > limit.per_day
     }
 
     // ---- routing -------------------------------------------------------
@@ -247,18 +311,12 @@ impl Internet {
     pub fn hop_addr(&self, dst: Addr, hop: u8, day: Day) -> Addr {
         let vantage_as = self.registry.vantage();
         let dst_as = self.registry.origin(dst);
-        let transit = self
-            .registry
-            .by_asn(3356)
-            .and_then(|id| self.population.router_pool_of(id));
+        let transit = self.registry.by_asn(3356).and_then(|id| self.population.router_pool_of(id));
         let own = dst_as.and_then(|id| self.population.router_pool_of(id));
         let key = dst.0 >> 80; // route varies per /48-ish block
         match hop {
             1 => {
-                let pool = self
-                    .population
-                    .router_pool_of(vantage_as)
-                    .expect("vantage router pool");
+                let pool = self.population.router_pool_of(vantage_as).expect("vantage router pool");
                 pool.hop_addr(prf::prf_u128(self.seed, key, 1) % pool.slots.max(1), day)
             }
             2 | 3 => match transit {
@@ -288,13 +346,25 @@ impl Internet {
         day: Day,
     ) -> Option<Response> {
         self.counters.ttl_probes.incr();
-        if self.dropped(dst, day, u64::from(hop_limit)) {
+        if self.outage_silenced(dst, day) {
+            self.counters.faults_dropped.incr();
+            return None;
+        }
+        if self.dropped(dst, Some(probe_proto(kind)), day, u64::from(hop_limit)) {
+            self.counters.faults_dropped.incr();
             return None;
         }
         let plen = self.path_len(dst);
         if hop_limit < plen {
             let hop = self.hop_addr(dst, hop_limit.max(1), day);
             if hop == Addr(0) {
+                return None;
+            }
+            // Routers rate-limit ICMPv6 error generation (RFC 4443
+            // §2.4f): once an interface's daily budget is spent, further
+            // expiries go unanswered and yarrp sees a gap.
+            if self.icmp_rate_limited(RL_ROUTER, (hop.0 >> 64) as u64 ^ hop.0 as u64, day) {
+                self.counters.faults_rate_limited.incr();
                 return None;
             }
             return Some(Response::TimeExceeded { hop });
@@ -306,9 +376,32 @@ impl Internet {
 
     /// Sends a probe to `dst` and returns every response that comes back
     /// (the GFW can answer in addition to — or instead of — the target).
+    ///
+    /// Equivalent to [`Internet::probe_attempt`] with `attempt == 0`.
     pub fn probe(&self, dst: Addr, kind: &ProbeKind, day: Day) -> Vec<Response> {
+        self.probe_attempt(dst, kind, day, 0)
+    }
+
+    /// Sends one retry attempt of a probe. The loss coin is salted by
+    /// `attempt`, so consecutive attempts toward the same destination on
+    /// the same day see *independent* drop decisions — this is what makes
+    /// retries actually mask loss (a retry loop replaying attempt 0 gets
+    /// the identical coin and learns nothing). Attempt 0 reproduces the
+    /// historical [`Internet::probe`] stream bit-for-bit.
+    pub fn probe_attempt(
+        &self,
+        dst: Addr,
+        kind: &ProbeKind,
+        day: Day,
+        attempt: u8,
+    ) -> Vec<Response> {
         self.counters.probes.incr();
-        if self.dropped(dst, day, 0) {
+        if self.outage_silenced(dst, day) {
+            self.counters.faults_dropped.incr();
+            return Vec::new();
+        }
+        if self.dropped(dst, Some(probe_proto(kind)), day, attempt_salt(attempt)) {
+            self.counters.faults_dropped.incr();
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -331,6 +424,21 @@ impl Internet {
                 out.push(resp);
             }
         }
+
+        // In-flight duplication: the last response arrives twice.
+        if self.faults.duplicate_permille > 0
+            && !out.is_empty()
+            && prf::chance(
+                self.fault_seed() ^ attempt_salt(attempt),
+                dst.0,
+                0xD0_B1 ^ u64::from(day.0),
+                u64::from(self.faults.duplicate_permille),
+                1000,
+            )
+        {
+            out.push(out.last().expect("non-empty").clone());
+            self.counters.faults_duplicated.incr();
+        }
         out
     }
 
@@ -346,17 +454,19 @@ impl Internet {
                 if !host.protos.contains(Protocol::Icmp) {
                     return None;
                 }
-                let mtu = self
-                    .pmtu
-                    .lock()
-                    .get(&host.backend_uid)
-                    .copied()
-                    .unwrap_or(DEFAULT_MTU);
+                let mtu = self.pmtu.lock().get(&host.backend_uid).copied().unwrap_or(DEFAULT_MTU);
                 Some(Response::EchoReply { fragmented: u32::from(*size) + 48 > mtu })
             }
             ProbeKind::TooBig { mtu } => {
                 // Only hosts that answer pings process the error message.
                 if host.protos.contains(Protocol::Icmp) {
+                    // Hosts rate-limit inbound ICMPv6 error processing too:
+                    // over budget, the Too Big is ignored and the TBT's
+                    // cache seeding silently fails.
+                    if self.icmp_rate_limited(RL_BACKEND, host.backend_uid, day) {
+                        self.counters.faults_rate_limited.incr();
+                        return None;
+                    }
                     self.pmtu
                         .lock()
                         .insert(host.backend_uid, (*mtu).max(sixdust_wire::IPV6_MIN_MTU));
@@ -523,24 +633,35 @@ impl Internet {
             },
         };
 
+        if self.outage_silenced(dst, day) {
+            self.counters.faults_dropped.incr();
+            return Vec::new();
+        }
+
         // Hop-limited probes expire on-path.
         let plen = self.path_len(dst);
         if pkt.ipv6.hop_limit < plen {
-            if self.dropped(dst, day, u64::from(pkt.ipv6.hop_limit)) {
+            if self.dropped(dst, Some(probe_proto(&kind)), day, u64::from(pkt.ipv6.hop_limit)) {
+                self.counters.faults_dropped.incr();
                 return Vec::new();
             }
             let hop = self.hop_addr(dst, pkt.ipv6.hop_limit.max(1), day);
             if hop == Addr(0) {
                 return Vec::new();
             }
+            if self.icmp_rate_limited(RL_ROUTER, (hop.0 >> 64) as u64 ^ hop.0 as u64, day) {
+                self.counters.faults_rate_limited.incr();
+                return Vec::new();
+            }
             let reply = Packet {
                 ipv6: Ipv6Header::new(hop, src, 64),
                 transport: Transport::Icmpv6(Icmpv6::TimeExceeded { orig_dst: dst }),
             };
-            return vec![reply.to_bytes()];
+            return vec![self.maybe_corrupt(reply.to_bytes(), dst, day, 0)];
         }
 
-        self.probe(dst, &kind, day)
+        let replies: Vec<Vec<u8>> = self
+            .probe(dst, &kind, day)
             .into_iter()
             .flat_map(|resp| {
                 let transport = match resp {
@@ -561,8 +682,7 @@ impl Internet {
                             // A host whose PMTU cache says 1280 sends real
                             // fragments on the wire.
                             let bytes = reply.to_bytes();
-                            let hdr = sixdust_wire::Ipv6Header::parse(&bytes)
-                                .expect("just built");
+                            let hdr = sixdust_wire::Ipv6Header::parse(&bytes).expect("just built");
                             return sixdust_wire::fragment::fragment(
                                 &hdr,
                                 sixdust_wire::NextHeader::Icmpv6,
@@ -628,8 +748,60 @@ impl Internet {
                 };
                 vec![Packet { ipv6: Ipv6Header::new(dst, src, 64), transport }.to_bytes()]
             })
+            .collect();
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(i, bytes)| self.maybe_corrupt(bytes, dst, day, i as u64))
             .collect()
     }
+
+    /// Applies in-flight corruption to one wire response: with probability
+    /// `corrupt_permille`, a handful of bytes are deterministically
+    /// flipped. Downstream parsers must treat the result as untrusted
+    /// input — this is the fault that drives the never-panic guarantee of
+    /// the wire stack with realistic garbage instead of fuzzer noise.
+    fn maybe_corrupt(&self, mut bytes: Vec<u8>, dst: Addr, day: Day, idx: u64) -> Vec<u8> {
+        if self.faults.corrupt_permille == 0 || bytes.is_empty() {
+            return bytes;
+        }
+        let tag = 0xC0_22 ^ (u64::from(day.0) << 8) ^ idx;
+        if !prf::chance(
+            self.fault_seed(),
+            dst.0,
+            tag,
+            u64::from(self.faults.corrupt_permille),
+            1000,
+        ) {
+            return bytes;
+        }
+        let mut stream = prf::PrfStream::new(self.fault_seed(), dst.0, tag ^ 0xAA);
+        let flips = 1 + stream.next_bounded(4);
+        for _ in 0..flips {
+            let pos = stream.next_bounded(bytes.len() as u64) as usize;
+            bytes[pos] ^= 1 + stream.next_bounded(255) as u8;
+        }
+        self.counters.faults_corrupted.incr();
+        bytes
+    }
+}
+
+/// The scan protocol a probe kind exercises (for per-protocol fault
+/// overrides). `TooBig` rides ICMPv6.
+fn probe_proto(kind: &ProbeKind) -> Protocol {
+    match kind {
+        ProbeKind::IcmpEcho { .. } | ProbeKind::TooBig { .. } => Protocol::Icmp,
+        ProbeKind::TcpSyn { port: 443 } => Protocol::Tcp443,
+        ProbeKind::TcpSyn { .. } => Protocol::Tcp80,
+        ProbeKind::Dns { .. } => Protocol::Udp53,
+        ProbeKind::Quic => Protocol::Udp443,
+    }
+}
+
+/// Salts the per-attempt loss coin. Attempt 0 maps to salt 0 so the
+/// first attempt reproduces the historical single-attempt stream.
+fn attempt_salt(attempt: u8) -> u64 {
+    u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Reconstructs a TCP option list realizing a fingerprint's Optionstext.
@@ -663,7 +835,7 @@ mod tests {
     use crate::proto::ProtoSet;
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
     fn find_host(net: &Internet, day: Day, want: Protocol) -> Addr {
@@ -769,9 +941,8 @@ mod tests {
         let day = Day(100);
         let dst = find_host(&net, day, Protocol::Icmp);
         let plen = net.path_len(dst);
-        let r = net
-            .probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, day)
-            .expect("hop 2 answers");
+        let r =
+            net.probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, day).expect("hop 2 answers");
         assert!(matches!(r, Response::TimeExceeded { .. }));
         let r2 = net.probe_ttl(dst, plen, &ProbeKind::IcmpEcho { size: 16 }, day);
         assert_eq!(r2, Some(Response::EchoReply { fragmented: false }));
@@ -786,7 +957,11 @@ mod tests {
         let dst = find_host(&net, day, Protocol::Icmp);
         let probe = Packet {
             ipv6: Ipv6Header::new(src, dst, 64),
-            transport: Transport::Icmpv6(Icmpv6::EchoRequest { ident: 9, seq: 1, payload: vec![0; 32] }),
+            transport: Transport::Icmpv6(Icmpv6::EchoRequest {
+                ident: 9,
+                seq: 1,
+                payload: vec![0; 32],
+            }),
         };
         let replies = net.send_bytes(&probe.to_bytes(), day);
         assert_eq!(replies.len(), net.probe(dst, &ProbeKind::IcmpEcho { size: 32 }, day).len());
@@ -833,7 +1008,11 @@ mod tests {
         let q = DnsMessage::aaaa_query(0x4242, "www.google.com");
         let probe = Packet {
             ipv6: Ipv6Header::new(src, dst, 64),
-            transport: Transport::Udp(UdpDatagram { src_port: 53535, dst_port: 53, payload: q.to_bytes() }),
+            transport: Transport::Udp(UdpDatagram {
+                src_port: 53535,
+                dst_port: 53,
+                payload: q.to_bytes(),
+            }),
         };
         let replies = net.send_bytes(&probe.to_bytes(), day);
         assert_eq!(replies.len(), 1);
@@ -877,7 +1056,8 @@ mod tests {
 
     #[test]
     fn fault_injection_drops_probes() {
-        let lossy = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 500 });
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(500));
         let day = Day(100);
         let targets: Vec<Addr> = lossy
             .population()
@@ -893,6 +1073,160 @@ mod tests {
             .count();
         let rate = answered as f64 / targets.len() as f64;
         assert!((0.3..0.7).contains(&rate), "answer rate {rate} under 50% loss");
+    }
+
+    #[test]
+    fn retries_see_independent_loss_coins() {
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(500));
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(400)
+            .collect();
+        // Three salted attempts: residual loss should be ~0.5³ = 12.5%,
+        // far below the 50% a single attempt sees.
+        let answered = targets
+            .iter()
+            .filter(|a| {
+                (0..3).any(|att| {
+                    !lossy
+                        .probe_attempt(**a, &ProbeKind::IcmpEcho { size: 16 }, day, att)
+                        .is_empty()
+                })
+            })
+            .count();
+        let rate = answered as f64 / targets.len() as f64;
+        assert!(rate > 0.78, "3-attempt answer rate {rate} under 50% loss");
+        // And attempt 0 is the historical probe() stream.
+        let a = targets[0];
+        assert_eq!(
+            lossy.probe(a, &ProbeKind::IcmpEcho { size: 16 }, day),
+            lossy.probe_attempt(a, &ProbeKind::IcmpEcho { size: 16 }, day, 0),
+        );
+    }
+
+    #[test]
+    fn per_protocol_loss_override_only_hits_that_protocol() {
+        let net = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_proto_drop(Protocol::Udp53, 1000));
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        assert!(!net.probe(dst, &ProbeKind::IcmpEcho { size: 16 }, day).is_empty());
+        let dns = find_host(&net, day, Protocol::Udp53);
+        assert!(net.probe(dns, &ProbeKind::Dns { qname: "a.example".into() }, day).is_empty());
+    }
+
+    #[test]
+    fn vantage_outage_silences_everything() {
+        let net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless().with_outage(crate::faults::Outage::vantage(Day(99), Day(101))),
+        );
+        let dst = find_host(&net, Day(100), Protocol::Icmp);
+        assert!(net.probe(dst, &ProbeKind::IcmpEcho { size: 16 }, Day(100)).is_empty());
+        assert!(net.probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, Day(100)).is_none());
+        // The window is half-open: the day after, service resumes.
+        assert!(!net.probe(dst, &ProbeKind::IcmpEcho { size: 16 }, Day(101)).is_empty());
+        assert!(net.counters().faults_dropped.get() >= 2);
+    }
+
+    #[test]
+    fn asn_outage_withdraws_routes_including_gfw_injection() {
+        let day = crate::time::events::GFW_ERA3.0.plus(5);
+        let net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless().with_outage(crate::faults::Outage::asn(4134, day, day.plus(2))),
+        );
+        let ct = net.registry().by_asn(4134).unwrap();
+        let info = net.registry().get(ct);
+        let dst = Addr(info.prefixes[0].network().0 | 0xdead_beef);
+        // During the outage even the on-path injector has nothing to
+        // intercept — the route is withdrawn.
+        assert!(net.probe(dst, &ProbeKind::Dns { qname: "www.google.com".into() }, day).is_empty());
+        // After it, injection resumes.
+        assert!(!net
+            .probe(dst, &ProbeKind::Dns { qname: "www.google.com".into() }, day.plus(2))
+            .is_empty());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let net = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_duplicate_permille(1000));
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        let rs = net.probe(dst, &ProbeKind::IcmpEcho { size: 16 }, day);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0], rs[1]);
+        assert_eq!(net.counters().faults_duplicated.get(), 1);
+    }
+
+    #[test]
+    fn icmp_rate_limit_caps_time_exceeded_per_router_per_day() {
+        let net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless()
+                .with_icmp_rate_limit(crate::faults::IcmpRateLimit { per_day: 3 }),
+        );
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        // Same router interface answers hop 2 every time; budget is 3/day.
+        let answers = (0..10)
+            .filter(|_| net.probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, day).is_some())
+            .count();
+        assert_eq!(answers, 3);
+        assert_eq!(net.counters().faults_rate_limited.get(), 7);
+        // Next day the budget refills.
+        assert!(net.probe_ttl(dst, 2, &ProbeKind::IcmpEcho { size: 16 }, day.plus(1)).is_some());
+    }
+
+    #[test]
+    fn icmp_rate_limit_starves_toobig_cache_seeding() {
+        let net = Internet::build(Scale::tiny()).with_faults(
+            FaultConfig::lossless()
+                .with_icmp_rate_limit(crate::faults::IcmpRateLimit { per_day: 0 }),
+        );
+        let day = Day(100);
+        let dst = find_host(&net, day, Protocol::Icmp);
+        net.probe(dst, &ProbeKind::TooBig { mtu: 1280 }, day);
+        // The Too Big was absorbed by the rate limiter: no fragmentation.
+        assert_eq!(
+            net.probe(dst, &ProbeKind::IcmpEcho { size: 1300 }, day),
+            vec![Response::EchoReply { fragmented: false }]
+        );
+    }
+
+    #[test]
+    fn corruption_flips_wire_bytes_deterministically() {
+        let make = || {
+            Internet::build(Scale::tiny())
+                .with_faults(FaultConfig::lossless().with_corrupt_permille(1000))
+        };
+        let net = make();
+        let day = Day(100);
+        let src = net.registry().vantage_addr();
+        let dst = find_host(&net, day, Protocol::Icmp);
+        let probe = Packet {
+            ipv6: Ipv6Header::new(src, dst, 64),
+            transport: Transport::Icmpv6(Icmpv6::EchoRequest {
+                ident: 1,
+                seq: 1,
+                payload: vec![0; 32],
+            }),
+        };
+        let corrupted = net.send_bytes(&probe.to_bytes(), day);
+        assert_eq!(corrupted.len(), 1);
+        let clean = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless())
+            .send_bytes(&probe.to_bytes(), day);
+        assert_ne!(corrupted, clean, "bytes must differ in flight");
+        assert_eq!(net.counters().faults_corrupted.get(), 1);
+        // Deterministic: a fresh simulator corrupts identically.
+        assert_eq!(make().send_bytes(&probe.to_bytes(), day), corrupted);
+        // And the parser treats the garbage as untrusted input (no panic).
+        let _ = Packet::parse(&corrupted[0]);
     }
 
     #[test]

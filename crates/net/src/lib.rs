@@ -20,13 +20,19 @@
 //! * [`internet::Internet`] — the composed simulator answering probes both
 //!   semantically (fast path) and at wire level (bytes in, bytes out).
 //!
+//! Adverse conditions are first-class: [`faults::FaultConfig`] composes
+//! bursty Gilbert–Elliott loss, per-protocol/per-AS overrides, response
+//! duplication and corruption, ICMPv6 rate limiting and scheduled outage
+//! windows, all seeded and deterministic.
+//!
 //! Everything is a pure function of [`scale::Scale::seed`]; the only
-//! mutable state is PMTU caches (poked by the Too Big Trick) and the
-//! controlled-domain query log.
+//! mutable state is PMTU caches (poked by the Too Big Trick), ICMPv6
+//! rate-limiter budgets, and the controlled-domain query log.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fingerprint;
 pub mod fleet;
 pub mod gfw;
@@ -39,7 +45,10 @@ pub mod scale;
 pub mod time;
 pub mod zones;
 
-pub use internet::{FaultConfig, Internet, NetCounters, ProbeKind, Response};
+pub use faults::{
+    FaultConfig, FaultConfigBuilder, GilbertElliott, IcmpRateLimit, Outage, OutageScope,
+};
+pub use internet::{Internet, NetCounters, ProbeKind, Response};
 pub use population::{GroupId, GroupKind, HostView, Population, SubnetGroup};
 pub use proto::{ProtoSet, Protocol};
 pub use registry::{AsCategory, AsId, AsInfo, AsRegistry, BackendMode};

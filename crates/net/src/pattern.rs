@@ -337,7 +337,10 @@ mod tests {
     fn full_prefix_all_members() {
         let pat = AddrPattern::FullPrefix;
         let net = p("2001:db8:42::/64");
-        assert_eq!(pat.member_index(net, "2001:db8:42::dead:beef".parse().unwrap()), Some(0xdead_beef));
+        assert_eq!(
+            pat.member_index(net, "2001:db8:42::dead:beef".parse().unwrap()),
+            Some(0xdead_beef)
+        );
         assert_eq!(pat.member_index(net, "2001:db8:43::1".parse().unwrap()), None);
         assert_eq!(pat.count(p("2001:db8::/120")), 256);
     }

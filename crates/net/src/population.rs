@@ -20,8 +20,8 @@ use sixdust_addr::{prf, Addr, Prefix, PrefixTrie};
 
 use crate::fingerprint::{DnsBehavior, TcpFingerprint};
 use crate::fleet::{CpeFleet, RouterPool};
+use crate::proto::{ProtoSet, Protocol};
 use crate::registry::{AsCategory, AsId, AsRegistry, BackendMode, ProtoMix};
-use crate::proto::{Protocol, ProtoSet};
 use crate::time::Day;
 
 /// Index of a subnet group in the population.
@@ -150,7 +150,9 @@ impl SubnetGroup {
     pub fn member_protos(&self, seed: u64, member: u64) -> ProtoSet {
         match self.kind {
             GroupKind::Aliased { .. } => self.protos,
-            GroupKind::DnsServers => ProtoMix::DnsServer.draw(seed, u128::from(member) | (u128::from(self.id) << 80)),
+            GroupKind::DnsServers => {
+                ProtoMix::DnsServer.draw(seed, u128::from(member) | (u128::from(self.id) << 80))
+            }
             _ => self.mix.draw(seed, u128::from(member) | (u128::from(self.id) << 80)),
         }
     }
@@ -212,9 +214,11 @@ impl SlotAlloc {
     }
 
     fn take(&mut self) -> Prefix {
-        let p = self.slots.get(self.next).copied().unwrap_or_else(|| {
-            panic!("AS ran out of /40 slots (allocated {})", self.next)
-        });
+        let p = self
+            .slots
+            .get(self.next)
+            .copied()
+            .unwrap_or_else(|| panic!("AS ran out of /40 slots (allocated {})", self.next));
         self.next += 1;
         p
     }
@@ -255,56 +259,56 @@ impl Population {
                 if spec.plen == 28 {
                     // Whole-block aliases (EpicUp): one group per block.
                     for (i, block) in info.blocks.iter().enumerate() {
-                        push_group(&mut groups, SubnetGroup {
-                            prefix: *block,
-                            pattern: crate::pattern::AddrPattern::FullPrefix,
-                            kind: GroupKind::Aliased {
-                                backends: spec.backends,
-                                since: spec.since,
-                                hetero_window: hetero(i as u64),
+                        push_group(
+                            &mut groups,
+                            SubnetGroup {
+                                prefix: *block,
+                                pattern: crate::pattern::AddrPattern::FullPrefix,
+                                kind: GroupKind::Aliased {
+                                    backends: spec.backends,
+                                    since: spec.since,
+                                    hetero_window: hetero(i as u64),
+                                },
+                                asid,
+                                protos: spec.protos,
+                                mix: ProtoMix::Web,
+                                start_pct: 100,
+                                epoch_days: 30,
+                                uptime_pct: 100,
+                                visible_pct: 100,
+                                id: 0,
                             },
-                            asid,
-                            protos: spec.protos,
-                            mix: ProtoMix::Web,
-                            start_pct: 100,
-                            epoch_days: 30,
-                            uptime_pct: 100,
-                            visible_pct: 100,
-                            id: 0,
-                        });
+                        );
                     }
                     continue;
                 }
-                let count = if spec.count <= 16 {
-                    spec.count
-                } else {
-                    scale.entities(spec.count, 4)
-                };
+                let count =
+                    if spec.count <= 16 { spec.count } else { scale.entities(spec.count, 4) };
                 if spec.plen <= 40 {
                     // Coverage aliases: /36s (aligned) or /40 slots.
                     for i in 0..count {
-                        let prefix = if spec.plen == 36 {
-                            alloc.take_aligned_36()
-                        } else {
-                            alloc.take()
-                        };
-                        push_group(&mut groups, SubnetGroup {
-                            prefix,
-                            pattern: crate::pattern::AddrPattern::FullPrefix,
-                            kind: GroupKind::Aliased {
-                                backends: spec.backends,
-                                since: spec.since,
-                                hetero_window: hetero(i),
+                        let prefix =
+                            if spec.plen == 36 { alloc.take_aligned_36() } else { alloc.take() };
+                        push_group(
+                            &mut groups,
+                            SubnetGroup {
+                                prefix,
+                                pattern: crate::pattern::AddrPattern::FullPrefix,
+                                kind: GroupKind::Aliased {
+                                    backends: spec.backends,
+                                    since: spec.since,
+                                    hetero_window: hetero(i),
+                                },
+                                asid,
+                                protos: spec.protos,
+                                mix: ProtoMix::Web,
+                                start_pct: 100,
+                                epoch_days: 30,
+                                uptime_pct: 100,
+                                visible_pct: 100,
+                                id: 0,
                             },
-                            asid,
-                            protos: spec.protos,
-                            mix: ProtoMix::Web,
-                            start_pct: 100,
-                            epoch_days: 30,
-                            uptime_pct: 100,
-                            visible_pct: 100,
-                            id: 0,
-                        });
+                        );
                     }
                 } else {
                     // Bulk aliases: packed into /40 slots by capacity. New
@@ -326,25 +330,31 @@ impl Population {
                             } else if prf::chance(as_seed, gkey, 0xA5E, 28, 100) {
                                 Day(0)
                             } else {
-                                Day(prf::uniform(as_seed, gkey, 0xA5F, u64::from(Day::PAPER_END.0)) as u32)
+                                Day(prf::uniform(as_seed, gkey, 0xA5F, u64::from(Day::PAPER_END.0))
+                                    as u32)
                             };
-                            push_group(&mut groups, SubnetGroup {
-                                prefix: Prefix::new(net, spec.plen),
-                                pattern: crate::pattern::AddrPattern::FullPrefix,
-                                kind: GroupKind::Aliased {
-                                    backends: spec.backends,
-                                    since,
-                                    hetero_window: hetero((u64::from(spec_idx as u32) << 32) | j),
+                            push_group(
+                                &mut groups,
+                                SubnetGroup {
+                                    prefix: Prefix::new(net, spec.plen),
+                                    pattern: crate::pattern::AddrPattern::FullPrefix,
+                                    kind: GroupKind::Aliased {
+                                        backends: spec.backends,
+                                        since,
+                                        hetero_window: hetero(
+                                            (u64::from(spec_idx as u32) << 32) | j,
+                                        ),
+                                    },
+                                    asid,
+                                    protos: spec.protos,
+                                    mix: ProtoMix::Web,
+                                    start_pct: 100,
+                                    epoch_days: 30,
+                                    uptime_pct: 100,
+                                    visible_pct: 100,
+                                    id: 0,
                                 },
-                                asid,
-                                protos: spec.protos,
-                                mix: ProtoMix::Web,
-                                start_pct: 100,
-                                epoch_days: 30,
-                                uptime_pct: 100,
-                                visible_pct: 100,
-                                id: 0,
-                            });
+                            );
                         }
                         remaining -= here;
                     }
@@ -382,28 +392,29 @@ impl Population {
                     let step = 4 + (r >> 32) % 9;
                     let base_iid = (r >> 40 & 0xfff) * 0x100;
                     let subnet = prf::prf_u128(as_seed, u128::from(c), 0xDE3) & 0xff_ffff;
-                    let prefix = Prefix::new(
-                        Addr(region.network().0 | (u128::from(subnet) << 64)),
-                        64,
-                    );
-                    push_group(&mut groups, SubnetGroup {
-                        prefix,
-                        pattern: crate::pattern::AddrPattern::Jittered {
-                            base_iid,
-                            step,
-                            count,
-                            key: prf::mix2(as_seed, c),
+                    let prefix =
+                        Prefix::new(Addr(region.network().0 | (u128::from(subnet) << 64)), 64);
+                    push_group(
+                        &mut groups,
+                        SubnetGroup {
+                            prefix,
+                            pattern: crate::pattern::AddrPattern::Jittered {
+                                base_iid,
+                                step,
+                                count,
+                                key: prf::mix2(as_seed, c),
+                            },
+                            kind: GroupKind::DenseHidden,
+                            asid,
+                            protos: ProtoSet::EMPTY,
+                            mix: p.proto_mix,
+                            start_pct,
+                            epoch_days: 60,
+                            uptime_pct: 96,
+                            visible_pct: p.dense_visible_pct,
+                            id: 0,
                         },
-                        kind: GroupKind::DenseHidden,
-                        asid,
-                        protos: ProtoSet::EMPTY,
-                        mix: p.proto_mix,
-                        start_pct,
-                        epoch_days: 60,
-                        uptime_pct: 96,
-                        visible_pct: p.dense_visible_pct,
-                        id: 0,
-                    });
+                    );
                     remaining -= count;
                     c += 1;
                 }
@@ -473,11 +484,7 @@ impl Population {
                     AsCategory::Isp => 30,
                     _ => 0,
                 };
-                let epochs = if rotation == 0 {
-                    1
-                } else {
-                    u64::from(Day::PAPER_END.0 / rotation)
-                };
+                let epochs = if rotation == 0 { 1 } else { u64::from(Day::PAPER_END.0 / rotation) };
                 // Accumulated distinct addresses ≈ slots × epochs; when the
                 // scaled pool is too small to sustain rotation, model it as
                 // a static set of exactly `hops` interfaces so the AS's
@@ -637,13 +644,7 @@ impl Population {
         None
     }
 
-    fn member_view(
-        &self,
-        g: &SubnetGroup,
-        member: u64,
-        addr: Addr,
-        day: Day,
-    ) -> Option<HostView> {
+    fn member_view(&self, g: &SubnetGroup, member: u64, addr: Addr, day: Day) -> Option<HostView> {
         if !g.member_alive(self.seed, member, day) {
             return None;
         }
@@ -662,7 +663,9 @@ impl Population {
                 let fp_idx = prf::prf_u128(self.seed, u128::from(g.id), 0xF9);
                 let mut fp = TcpFingerprint::profile(fp_idx);
                 if hetero_window {
-                    fp = fp.with_window(16384 + (prf::prf_u128(self.seed, addr.0, 0xFA) % 8) as u16 * 4096);
+                    fp = fp.with_window(
+                        16384 + (prf::prf_u128(self.seed, addr.0, 0xFA) % 8) as u16 * 4096,
+                    );
                 }
                 (uid, fp)
             }
@@ -722,11 +725,7 @@ impl Population {
         for f in &self.cpe {
             for d in 0..f.devices {
                 if f.device_responds(d) {
-                    out.push((
-                        f.current_addr(d, day),
-                        ProtoSet::of(&[Protocol::Icmp]),
-                        f.asid,
-                    ));
+                    out.push((f.current_addr(d, day), ProtoSet::of(&[Protocol::Icmp]), f.asid));
                 }
             }
         }
@@ -757,8 +756,13 @@ impl Population {
             }
             let n = g.pattern.count(g.prefix);
             for m in 0..n {
-                if prf::chance(self.seed, u128::from(m) | (u128::from(g.id) << 80), 0xD5E, u64::from(g.visible_pct), 100)
-                    && g.member_alive(self.seed, m, day)
+                if prf::chance(
+                    self.seed,
+                    u128::from(m) | (u128::from(g.id) << 80),
+                    0xD5E,
+                    u64::from(g.visible_pct),
+                    100,
+                ) && g.member_alive(self.seed, m, day)
                 {
                     out.push(g.pattern.member_addr(g.prefix, m));
                 }
@@ -798,10 +802,7 @@ mod tests {
         let (_, a) = pop();
         let (_, b) = pop();
         assert_eq!(a.groups().len(), b.groups().len());
-        assert_eq!(
-            a.groups()[10].prefix,
-            b.groups()[10].prefix
-        );
+        assert_eq!(a.groups()[10].prefix, b.groups()[10].prefix);
     }
 
     #[test]
@@ -895,9 +896,8 @@ mod tests {
         let (_, p) = pop();
         let fleet = &p.cpe_fleets()[0];
         let day = Day(50);
-        let dev = (0..fleet.devices)
-            .find(|d| fleet.device_responds(*d))
-            .expect("some device responds");
+        let dev =
+            (0..fleet.devices).find(|d| fleet.device_responds(*d)).expect("some device responds");
         let addr = fleet.current_addr(dev, day);
         let v = p.lookup(addr, day).expect("current CPE addr responds");
         assert!(v.protos.contains(Protocol::Icmp));

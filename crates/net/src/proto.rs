@@ -22,13 +22,8 @@ pub enum Protocol {
 impl Protocol {
     /// All five protocols in the paper's table order
     /// (ICMP, TCP/443, TCP/80, UDP/443, UDP/53).
-    pub const ALL: [Protocol; 5] = [
-        Protocol::Icmp,
-        Protocol::Tcp443,
-        Protocol::Tcp80,
-        Protocol::Udp443,
-        Protocol::Udp53,
-    ];
+    pub const ALL: [Protocol; 5] =
+        [Protocol::Icmp, Protocol::Tcp443, Protocol::Tcp80, Protocol::Udp443, Protocol::Udp53];
 
     /// Stable bit index for [`ProtoSet`].
     pub fn bit(self) -> u8 {

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use sixdust_addr::{prf, Addr, Prefix, PrefixTrie};
 
-use crate::proto::{Protocol, ProtoSet};
+use crate::proto::{ProtoSet, Protocol};
 use crate::scale::Scale;
 use crate::time::{events, Day};
 
@@ -234,11 +234,7 @@ impl AsInfo {
     /// Total announced address space as a log2 count (sum over prefixes,
     /// reported as the largest exponent plus fractional load for Fig. 6).
     pub fn announced_space_log2(&self) -> f64 {
-        let total: f64 = self
-            .prefixes
-            .iter()
-            .map(|p| 2f64.powi(i32::from(p.size_log2())))
-            .sum();
+        let total: f64 = self.prefixes.iter().map(|p| 2f64.powi(i32::from(p.size_log2()))).sum();
         total.log2()
     }
 }
@@ -346,11 +342,7 @@ impl AsRegistry {
                 } else {
                     servers
                 },
-                cpe_devices: if matches!(category, AsCategory::Isp) {
-                    servers * 6
-                } else {
-                    0
-                },
+                cpe_devices: if matches!(category, AsCategory::Isp) { servers * 6 } else { 0 },
                 aliased: if !china && tag % 48 == 7 {
                     // A rare filler AS aliases 15/16 of its announced /32
                     // (the Fig. 6 cohort of >90 %-aliased operators); the
@@ -439,10 +431,7 @@ impl AsRegistry {
 
     /// Iterates all ASes.
     pub fn iter(&self) -> impl Iterator<Item = (AsId, &AsInfo)> {
-        self.infos
-            .iter()
-            .enumerate()
-            .map(|(i, info)| (AsId(i as u32), info))
+        self.infos.iter().enumerate().map(|(i, info)| (AsId(i as u32), info))
     }
 
     /// All announced BGP prefixes (the alias detection's first candidate
@@ -464,9 +453,8 @@ impl AsRegistry {
 }
 
 fn filler_country(tag: u64) -> &'static str {
-    const POOL: [&str; 12] = [
-        "US", "DE", "FR", "GB", "NL", "JP", "BR", "IN", "SE", "PL", "IT", "AU",
-    ];
+    const POOL: [&str; 12] =
+        ["US", "DE", "FR", "GB", "NL", "JP", "BR", "IN", "SE", "PL", "IT", "AU"];
     POOL[(tag % POOL.len() as u64) as usize]
 }
 
@@ -500,12 +488,8 @@ impl NamedSpec {
 /// The paper's cast of characters. All magnitudes are paper-scale; the
 /// population builder divides by the scale factors.
 fn named_specs() -> Vec<NamedSpec> {
-    let web_alias = ProtoSet::of(&[
-        Protocol::Icmp,
-        Protocol::Tcp80,
-        Protocol::Tcp443,
-        Protocol::Udp443,
-    ]);
+    let web_alias =
+        ProtoSet::of(&[Protocol::Icmp, Protocol::Tcp80, Protocol::Tcp443, Protocol::Udp443]);
     let mut v = Vec::new();
 
     // Measurement vantage (the scanner's own network).
@@ -609,11 +593,7 @@ fn named_specs() -> Vec<NamedSpec> {
                 domains: 150_000,
                 ..AliasSpec::new(48, 12)
             },
-            AliasSpec {
-                protos: web_alias,
-                domains: 80_000,
-                ..AliasSpec::new(64, 10_000)
-            },
+            AliasSpec { protos: web_alias, domains: 80_000, ..AliasSpec::new(64, 10_000) },
         ],
         domains: 700_000,
         ..AsProfile::default()
@@ -842,19 +822,13 @@ fn named_specs() -> Vec<NamedSpec> {
     v.push(cern);
 
     let mut arnes = NamedSpec::new(2107, "ARNES", AsCategory::Academic, "SI");
-    arnes.profile = AsProfile {
-        responsive_servers: 5_000,
-        dns_servers: 800,
-        ..AsProfile::default()
-    };
+    arnes.profile =
+        AsProfile { responsive_servers: 5_000, dns_servers: 800, ..AsProfile::default() };
     v.push(arnes);
 
     let mut level3 = NamedSpec::new(3356, "Level3", AsCategory::Transit, "US");
-    level3.profile = AsProfile {
-        responsive_servers: 30_000,
-        router_hops: 2_000_000,
-        ..AsProfile::default()
-    };
+    level3.profile =
+        AsProfile { responsive_servers: 30_000, router_hops: 2_000_000, ..AsProfile::default() };
     v.push(level3);
 
     let mut misaka = NamedSpec::new(50069, "Misaka", AsCategory::Dns, "US");

@@ -61,7 +61,8 @@ impl Scale {
     pub fn addrs_frac(&self, paper_count: u64, key: u64) -> u64 {
         let whole = paper_count / self.addr_div;
         let rem = paper_count % self.addr_div;
-        let bump = sixdust_addr::prf::chance(self.seed, u128::from(key), 0xF4AC, rem, self.addr_div);
+        let bump =
+            sixdust_addr::prf::chance(self.seed, u128::from(key), 0xF4AC, rem, self.addr_div);
         whole + u64::from(bump)
     }
 

@@ -48,20 +48,8 @@ impl Day {
             days -= ylen;
             year += 1;
         }
-        let month_lens = [
-            31,
-            if leap(year) { 29 } else { 28 },
-            31,
-            30,
-            31,
-            30,
-            31,
-            31,
-            30,
-            31,
-            30,
-            31,
-        ];
+        let month_lens =
+            [31, if leap(year) { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
         let mut month = 0usize;
         while days >= month_lens[month] {
             days -= month_lens[month];

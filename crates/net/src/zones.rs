@@ -137,10 +137,8 @@ impl DnsZones {
 
     fn entry_for(&self, key: u64) -> &HostingEntry {
         let target = prf::prf_u128(self.seed, u128::from(key), 0xD0) % self.total_weight.max(1);
-        let i = self
-            .entries
-            .partition_point(|e| e.cumulative <= target)
-            .min(self.entries.len() - 1);
+        let i =
+            self.entries.partition_point(|e| e.cumulative <= target).min(self.entries.len() - 1);
         &self.entries[i]
     }
 
@@ -157,12 +155,8 @@ impl DnsZones {
             let gidx = if prf::chance(self.seed, u128::from(key), 0xD1, 1, 4) {
                 entry.alias_groups[0]
             } else {
-                let j = prf::uniform(
-                    self.seed,
-                    u128::from(key),
-                    0xD2,
-                    entry.alias_groups.len() as u64,
-                );
+                let j =
+                    prf::uniform(self.seed, u128::from(key), 0xD2, entry.alias_groups.len() as u64);
                 entry.alias_groups[j as usize]
             };
             let g = population.group(GroupId(gidx));
@@ -187,12 +181,16 @@ impl DnsZones {
             let addr = g.prefix.random_addr(prf::mix2(group_key, slot));
             (addr, DomainHost { asid: entry.asid, aliased: Some(GroupId(gidx)) })
         } else {
-            let gidx = entry.server_groups
-                [(prf::prf_u128(self.seed, u128::from(key), 0xD3) % entry.server_groups.len() as u64) as usize];
+            let gidx = entry.server_groups[(prf::prf_u128(self.seed, u128::from(key), 0xD3)
+                % entry.server_groups.len() as u64)
+                as usize];
             let g = population.group(GroupId(gidx));
             let n = g.pattern.count(g.prefix).max(1);
             let member = prf::uniform(self.seed, u128::from(key), 0xD4, n);
-            (g.pattern.member_addr(g.prefix, member), DomainHost { asid: entry.asid, aliased: None })
+            (
+                g.pattern.member_addr(g.prefix, member),
+                DomainHost { asid: entry.asid, aliased: None },
+            )
         }
     }
 
@@ -300,10 +298,7 @@ mod tests {
             assert_eq!(h1.aliased, h2.aliased, "same prefix");
             let g = p.group(h1.aliased.unwrap());
             assert!(g.prefix.contains(a1) && g.prefix.contains(a2));
-            let cloud = matches!(
-                r.get(h1.asid).category,
-                crate::registry::AsCategory::Cloud
-            );
+            let cloud = matches!(r.get(h1.asid).category, crate::registry::AsCategory::Cloud);
             if cloud && g.prefix.len() >= 64 {
                 assert_ne!(a1, a2, "cloud LB rotates weekly (domain {d})");
                 saw_rotation = true;
@@ -344,13 +339,11 @@ mod tests {
     fn toplists_oversample_aliased() {
         let (_, _, z) = setup();
         let n = z.toplist_len();
-        let top_aliased = (0..n)
-            .filter(|r| z.is_aliased_hosted(z.toplist_domain(0, *r)))
-            .count() as f64
+        let top_aliased = (0..n).filter(|r| z.is_aliased_hosted(z.toplist_domain(0, *r))).count()
+            as f64
             / n as f64;
-        let base = (0..z.total_domains().min(20_000))
-            .filter(|d| z.is_aliased_hosted(*d))
-            .count() as f64
+        let base = (0..z.total_domains().min(20_000)).filter(|d| z.is_aliased_hosted(*d)).count()
+            as f64
             / z.total_domains().min(20_000) as f64;
         assert!(top_aliased > base, "toplist {top_aliased} vs zone {base}");
     }
@@ -359,9 +352,8 @@ mod tests {
     fn ns_records_concentrate_on_aliased_providers() {
         let (_, p, z) = setup();
         let n = 500;
-        let aliased = (0..n)
-            .filter(|d| z.resolve_ns(&p, *d, Day(0)).1.aliased.is_some())
-            .count() as f64
+        let aliased = (0..n).filter(|d| z.resolve_ns(&p, *d, Day(0)).1.aliased.is_some()).count()
+            as f64
             / n as f64;
         assert!(aliased > 0.5, "NS aliased share {aliased}");
     }

@@ -9,7 +9,7 @@ use sixdust_net::{Day, FaultConfig, Internet, ProbeKind, Scale};
 
 fn net() -> &'static Internet {
     static NET: OnceLock<Internet> = OnceLock::new();
-    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 }))
+    NET.get_or_init(|| Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless()))
 }
 
 proptest! {

@@ -50,6 +50,11 @@ pub struct ScanConfig {
     /// Worker threads.
     pub threads: usize,
     /// Probes sent per target (ZMap default 1; retries mask loss).
+    ///
+    /// Invariant: `attempts >= 1`. The builder and `with_attempts` clamp
+    /// 0 to 1 (a "scan that sends nothing" config is always a bug);
+    /// the engine additionally defends against a hand-rolled struct
+    /// literal smuggling a 0 through direct field access.
     pub attempts: u8,
     /// Probe rate in packets per second of virtual time.
     pub rate_pps: u64,
@@ -57,6 +62,14 @@ pub struct ScanConfig {
     pub seed: u64,
     /// DNS query name for the UDP/53 module.
     pub dns_qname: String,
+    /// Base virtual-time backoff between retry attempts, in milliseconds.
+    /// Attempt `i` (1-based retry) waits `retry_backoff_ms · 2^(i−1)`
+    /// before re-probing, giving bursty loss time to clear; the waits are
+    /// virtual (accounted in [`ScanStats::backoff_secs`]) and never sleep
+    /// the real thread. `0` (the default) retries back-to-back, matching
+    /// the engine's historical behaviour.
+    #[serde(default)]
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for ScanConfig {
@@ -67,6 +80,7 @@ impl Default for ScanConfig {
             rate_pps: 100_000,
             seed: 0x5CA7,
             dns_qname: DEFAULT_DNS_QNAME.to_string(),
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -89,9 +103,16 @@ impl ScanConfig {
         self
     }
 
-    /// Returns the config with the per-target attempt count replaced.
+    /// Returns the config with the per-target attempt count replaced,
+    /// clamped to at least 1.
     pub fn with_attempts(mut self, attempts: u8) -> ScanConfig {
-        self.attempts = attempts;
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Returns the config with the retry backoff base replaced.
+    pub fn with_retry_backoff_ms(mut self, retry_backoff_ms: u64) -> ScanConfig {
+        self.retry_backoff_ms = retry_backoff_ms;
         self
     }
 
@@ -127,9 +148,17 @@ impl ScanConfigBuilder {
         self
     }
 
-    /// Sets the per-target attempt count.
+    /// Sets the per-target attempt count, clamped to at least 1: a scan
+    /// that never sends is always a misconfiguration, so `attempts(0)`
+    /// yields 1 instead of a silently empty scan.
     pub fn attempts(mut self, attempts: u8) -> ScanConfigBuilder {
-        self.config.attempts = attempts;
+        self.config.attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the base virtual-time backoff between retries (milliseconds).
+    pub fn retry_backoff_ms(mut self, retry_backoff_ms: u64) -> ScanConfigBuilder {
+        self.config.retry_backoff_ms = retry_backoff_ms;
         self
     }
 
@@ -210,8 +239,25 @@ pub struct ScanStats {
     pub received: u64,
     /// Targets classified responsive.
     pub hits: u64,
-    /// Virtual scan duration in seconds (targets / rate).
+    /// Virtual scan duration in seconds (targets / rate), including any
+    /// virtual retry backoff.
     pub duration_secs: f64,
+    /// Probes beyond the first attempt per target (0 when `attempts` is 1
+    /// or every target answered immediately).
+    #[serde(default)]
+    pub retries: u64,
+    /// Online loss estimate in permille: of the targets that eventually
+    /// responded, the fraction of their probe attempts that went
+    /// unanswered — `failed · 1000 / (failed + responders)`. Silent
+    /// targets are excluded (dark space is indistinguishable from loss),
+    /// so with `attempts == 1` this is always 0; retries are what make
+    /// loss observable.
+    #[serde(default)]
+    pub loss_estimate_permille: u32,
+    /// Virtual seconds spent in retry backoff (already folded into
+    /// `duration_secs`).
+    #[serde(default)]
+    pub backoff_secs: f64,
 }
 
 /// A completed scan.
@@ -238,9 +284,7 @@ impl ScanResult {
     pub fn clean_hits(&self) -> impl Iterator<Item = Addr> + '_ {
         self.outcomes
             .iter()
-            .filter(|o| {
-                o.success && !matches!(o.detail, Detail::Dns { injected: true, .. })
-            })
+            .filter(|o| o.success && !matches!(o.detail, Detail::Dns { injected: true, .. }))
             .map(|o| o.target)
     }
 }
@@ -317,6 +361,28 @@ pub fn classify(protocol: Protocol, responses: &[Response]) -> (bool, Detail) {
     }
 }
 
+/// Per-worker probe accounting, merged into [`ScanStats`] after join.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerTally {
+    sent: u64,
+    retries: u64,
+    /// Unanswered attempts of targets that eventually responded — the
+    /// numerator of the loss estimator. Silent targets never contribute.
+    failed_of_responders: u64,
+    responders: u64,
+    backoff_ms: u64,
+}
+
+impl WorkerTally {
+    fn merge(&mut self, other: WorkerTally) {
+        self.sent += other.sent;
+        self.retries += other.retries;
+        self.failed_of_responders += other.failed_of_responders;
+        self.responders += other.responders;
+        self.backoff_ms += other.backoff_ms;
+    }
+}
+
 /// Renders a worker-panic payload as text.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -373,9 +439,9 @@ pub fn scan_with(
     });
 
     let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
-    let mut sent = 0u64;
+    let mut tally = WorkerTally::default();
     let chunks: Vec<&[u64]> = order.chunks(chunk).collect();
-    let results: Vec<(Vec<ScanOutcome>, u64)> = crossbeam::thread::scope(|s| {
+    let results: Vec<(Vec<ScanOutcome>, WorkerTally)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
@@ -395,24 +461,38 @@ pub fn scan_with(
                         )
                     });
                     let mut out = Vec::with_capacity(idxs.len());
-                    let mut sent = 0u64;
+                    let mut tally = WorkerTally::default();
                     for &i in idxs.iter() {
                         let target = targets[i as usize];
                         let mut responses = Vec::new();
                         // The retry loop stops on the first response, so
                         // count the probes actually emitted instead of
-                        // assuming `attempts` per target.
-                        for _attempt in 0..config.attempts.max(1) {
-                            sent += 1;
-                            responses = net.probe(target, &probe, day);
+                        // assuming `attempts` per target. Each attempt
+                        // draws an independent loss coin, so retries mask
+                        // transient loss rather than replaying it.
+                        let mut failed_before_response = 0u64;
+                        for attempt in 0..config.attempts.max(1) {
+                            if attempt > 0 {
+                                tally.retries += 1;
+                                tally.backoff_ms += config
+                                    .retry_backoff_ms
+                                    .saturating_mul(1u64 << (u64::from(attempt) - 1).min(32));
+                            }
+                            tally.sent += 1;
+                            responses = net.probe_attempt(target, &probe, day, attempt);
                             if !responses.is_empty() {
                                 break;
                             }
+                            failed_before_response += 1;
+                        }
+                        if !responses.is_empty() {
+                            tally.responders += 1;
+                            tally.failed_of_responders += failed_before_response;
                         }
                         let (success, detail) = classify(protocol, &responses);
                         out.push(ScanOutcome { target, success, detail });
                     }
-                    (out, sent)
+                    (out, tally)
                 });
                 (worker, idxs.len(), handle)
             })
@@ -440,28 +520,41 @@ pub fn scan_with(
             panic_message(&*payload)
         )
     });
-    for (r, worker_sent) in results {
+    for (r, worker_tally) in results {
         outcomes.extend(r);
-        sent += worker_sent;
+        tally.merge(worker_tally);
     }
 
     let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
     let hits = outcomes.iter().filter(|o| o.success).count() as u64;
+    let loss_samples = tally.failed_of_responders + tally.responders;
+    let loss_estimate_permille = if loss_samples == 0 {
+        0
+    } else {
+        (tally.failed_of_responders * 1000 / loss_samples) as u32
+    };
     if let Some(reg) = telemetry {
         let key = proto_metric_key(protocol);
-        reg.counter(&format!("scan.{key}.probes_sent")).add(sent);
+        reg.counter(&format!("scan.{key}.probes_sent")).add(tally.sent);
         reg.counter(&format!("scan.{key}.responses")).add(received);
         reg.counter(&format!("scan.{key}.hits")).add(hits);
+        reg.counter(&format!("scan.{key}.retries")).add(tally.retries);
+        reg.gauge(&format!("scan.{key}.loss_estimate_permille"))
+            .set(i64::from(loss_estimate_permille));
     }
+    let backoff_secs = tally.backoff_ms as f64 / 1e3;
     ScanResult {
         protocol,
         day,
         outcomes,
         stats: ScanStats {
-            sent,
+            sent: tally.sent,
             received,
             hits,
-            duration_secs: sent as f64 / config.rate_pps.max(1) as f64,
+            duration_secs: tally.sent as f64 / config.rate_pps.max(1) as f64 + backoff_secs,
+            retries: tally.retries,
+            loss_estimate_permille,
+            backoff_secs,
         },
     }
 }
@@ -507,10 +600,8 @@ pub fn scan_wire_with(
         }
         let probe_bytes = build_probe_bytes(protocol, src, target, &config.dns_qname, i as u32);
         let reply_bytes = reassemble_replies(net.send_bytes(&probe_bytes, day));
-        let responses: Vec<Response> = reply_bytes
-            .iter()
-            .filter_map(|b| parse_response(protocol, b))
-            .collect();
+        let responses: Vec<Response> =
+            reply_bytes.iter().filter_map(|b| parse_response(protocol, b)).collect();
         let (success, detail) = classify(protocol, &responses);
         outcomes.push(ScanOutcome { target, success, detail });
     }
@@ -532,6 +623,7 @@ pub fn scan_wire_with(
             received,
             hits,
             duration_secs: clock.now_micros() as f64 / 1e6,
+            ..ScanStats::default()
         },
     }
 }
@@ -575,7 +667,9 @@ pub fn build_probe_bytes(
             seq: nonce as u16,
             payload: vec![0u8; 8],
         }),
-        Protocol::Tcp80 => Transport::Tcp(TcpSegment::syn(80, 40_000 + (nonce % 20_000) as u16, nonce)),
+        Protocol::Tcp80 => {
+            Transport::Tcp(TcpSegment::syn(80, 40_000 + (nonce % 20_000) as u16, nonce))
+        }
         Protocol::Tcp443 => {
             Transport::Tcp(TcpSegment::syn(443, 40_000 + (nonce % 20_000) as u16, nonce))
         }

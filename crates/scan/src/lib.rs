@@ -43,10 +43,15 @@ mod tests {
     use sixdust_net::{events, Day, FaultConfig, Internet, Protocol, Scale};
 
     fn net() -> Internet {
-        Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 })
+        Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless())
     }
 
-    fn responsive_targets(net: &Internet, day: Day, proto: Protocol, extra_dark: usize) -> Vec<Addr> {
+    fn responsive_targets(
+        net: &Internet,
+        day: Day,
+        proto: Protocol,
+        extra_dark: usize,
+    ) -> Vec<Addr> {
         let mut t: Vec<Addr> = net
             .population()
             .enumerate_responsive(day)
@@ -159,12 +164,7 @@ mod tests {
                 .outcomes
                 .iter()
                 .filter(|o| o.success)
-                .flat_map(|f| {
-                    wire.outcomes
-                        .iter()
-                        .find(|w| w.target == f.target)
-                        .map(|w| (f, w))
-                })
+                .flat_map(|f| wire.outcomes.iter().find(|w| w.target == f.target).map(|w| (f, w)))
                 .take(10)
             {
                 match (&f.detail, &w.detail) {
@@ -187,7 +187,8 @@ mod tests {
 
     #[test]
     fn multi_day_merge_masks_loss() {
-        let lossy = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 300 });
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(300));
         let day = Day(100);
         let targets: Vec<Addr> = lossy
             .population()
@@ -197,15 +198,11 @@ mod tests {
             .map(|(a, ..)| a)
             .take(200)
             .collect();
-        let one = scan(
-            &lossy,
-            Protocol::Icmp,
-            &targets,
-            day,
-            &ScanConfig::builder().attempts(1).build(),
-        );
-        // Deterministic drops can't be masked by same-day retries of the
-        // same probe; the hitlist masks them by merging *multiple days*.
+        let one =
+            scan(&lossy, Protocol::Icmp, &targets, day, &ScanConfig::builder().attempts(1).build());
+        // With a single attempt per target, drops are only masked by
+        // merging *multiple days* (same-day retries with independent
+        // loss coins are exercised in retries_mask_loss_and_estimate_it).
         let next_day = scan(&lossy, Protocol::Icmp, &targets, day.plus(1), &ScanConfig::default());
         let merged: std::collections::HashSet<Addr> = one.hits().chain(next_day.hits()).collect();
         assert!(merged.len() >= one.stats.hits as usize);
@@ -299,7 +296,8 @@ mod tests {
         let day = Day(100);
         let targets = responsive_targets(&net, day, Protocol::Icmp, 30);
         let reg = sixdust_telemetry::Registry::new();
-        let result = scan_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
+        let result =
+            scan_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
         let snap = reg.snapshot();
         assert_eq!(snap.counter("scan.icmp.probes_sent"), Some(result.stats.sent));
         assert_eq!(snap.counter("scan.icmp.responses"), Some(result.stats.received));
@@ -308,13 +306,121 @@ mod tests {
         let chunks = snap.histogram("scan.worker.chunk_ms").unwrap();
         assert_eq!(chunks.count, ScanConfig::default().threads as u64);
         // The wire path also records rate-limiter stalls.
-        let wire = scan_wire_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
+        let wire =
+            scan_wire_with(&net, Protocol::Icmp, &targets, day, &ScanConfig::default(), Some(&reg));
         let snap = reg.snapshot();
         let wait = snap.histogram("scan.rate.wait_us").unwrap();
         assert_eq!(wait.count, wire.stats.sent);
         assert_eq!(
             snap.counter("scan.icmp.probes_sent"),
             Some(result.stats.sent + wire.stats.sent)
+        );
+    }
+
+    #[test]
+    fn attempts_zero_clamps_to_one() {
+        // Builder and chainable setter clamp the invalid 0.
+        assert_eq!(ScanConfig::builder().attempts(0).build().attempts, 1);
+        assert_eq!(ScanConfig::default().with_attempts(0).attempts, 1);
+        // Even a hand-rolled struct literal smuggling attempts = 0
+        // through direct field access still probes every target once.
+        let mut cfg = ScanConfig::default();
+        cfg.attempts = 0;
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 5);
+        let result = scan(&net, Protocol::Icmp, &targets, day, &cfg);
+        assert_eq!(result.stats.sent, targets.len() as u64);
+        assert!(result.stats.hits > 0);
+    }
+
+    #[test]
+    fn retries_mask_loss_and_estimate_it() {
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(300));
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(200)
+            .collect();
+        let single =
+            scan(&lossy, Protocol::Icmp, &targets, day, &ScanConfig::builder().attempts(1).build());
+        assert_eq!(single.stats.retries, 0);
+        assert_eq!(single.stats.loss_estimate_permille, 0, "one attempt cannot observe loss");
+        let retried =
+            scan(&lossy, Protocol::Icmp, &targets, day, &ScanConfig::builder().attempts(4).build());
+        assert!(
+            retried.stats.hits > single.stats.hits,
+            "independent retry coins recover dropped targets: {} vs {}",
+            retried.stats.hits,
+            single.stats.hits
+        );
+        assert!(
+            retried.stats.hits as f64 >= targets.len() as f64 * 0.95,
+            "four attempts at 30% loss recover nearly everyone: {}",
+            retried.stats.hits
+        );
+        assert!(retried.stats.retries > 0);
+        // The estimator should land in the neighbourhood of the true 300‰.
+        assert!(
+            (150..=450).contains(&retried.stats.loss_estimate_permille),
+            "loss estimate {}‰ near configured 300‰",
+            retried.stats.loss_estimate_permille
+        );
+    }
+
+    #[test]
+    fn retry_backoff_extends_virtual_duration_only() {
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(400));
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(100)
+            .collect();
+        let flat = ScanConfig::builder().attempts(3).build();
+        let backoff = ScanConfig::builder().attempts(3).retry_backoff_ms(10).build();
+        let a = scan(&lossy, Protocol::Icmp, &targets, day, &flat);
+        let b = scan(&lossy, Protocol::Icmp, &targets, day, &backoff);
+        // Same seed, same coins: identical outcomes and retry counts.
+        assert_eq!(a.stats.hits, b.stats.hits);
+        assert_eq!(a.stats.retries, b.stats.retries);
+        assert_eq!(a.stats.backoff_secs, 0.0);
+        assert!(b.stats.retries > 0);
+        assert!(b.stats.backoff_secs > 0.0, "backoff accrues virtual time");
+        assert!(b.stats.duration_secs > a.stats.duration_secs);
+    }
+
+    #[test]
+    fn lossy_scan_records_retry_telemetry() {
+        let lossy = Internet::build(Scale::tiny())
+            .with_faults(FaultConfig::lossless().with_drop_permille(300));
+        let day = Day(100);
+        let targets: Vec<Addr> = lossy
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .filter(|(_, p, _)| p.contains(Protocol::Icmp))
+            .map(|(a, ..)| a)
+            .take(150)
+            .collect();
+        let reg = sixdust_telemetry::Registry::new();
+        let cfg = ScanConfig::builder().attempts(3).build();
+        let result = scan_with(&lossy, Protocol::Icmp, &targets, day, &cfg, Some(&reg));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("scan.icmp.retries"), Some(result.stats.retries));
+        assert!(result.stats.retries > 0);
+        assert_eq!(
+            snap.gauge("scan.icmp.loss_estimate_permille"),
+            Some(i64::from(result.stats.loss_estimate_permille))
         );
     }
 

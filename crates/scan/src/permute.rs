@@ -30,7 +30,15 @@ impl CyclicPermutation {
     /// Creates a permutation of `0..n` seeded by `seed`.
     pub fn new(n: u64, seed: u64) -> CyclicPermutation {
         if n == 0 {
-            return CyclicPermutation { n, prime: 2, generator: 1, current: 1, first: 1, done: true, emitted: 0 };
+            return CyclicPermutation {
+                n,
+                prime: 2,
+                generator: 1,
+                current: 1,
+                first: 1,
+                done: true,
+                emitted: 0,
+            };
         }
         let prime = next_prime(n.max(2));
         // Any element generates a large-order subgroup for our purposes if
@@ -162,7 +170,8 @@ fn find_primitive_root(p: u64, seed: u64) -> u64 {
     let phi = p - 1;
     let factors = factorize(phi);
     // Try seeded candidates, then small integers.
-    let mut candidates: Vec<u64> = (0..32).map(|i| 2 + (seed.wrapping_add(i * 0x9e37) % (p - 2))).collect();
+    let mut candidates: Vec<u64> =
+        (0..32).map(|i| 2 + (seed.wrapping_add(i * 0x9e37) % (p - 2))).collect();
     candidates.extend(2..64.min(p));
     for g in candidates {
         if g <= 1 || g >= p {

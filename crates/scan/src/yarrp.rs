@@ -113,11 +113,8 @@ pub struct YarrpResult {
 impl YarrpResult {
     /// All distinct router addresses discovered.
     pub fn discovered_routers(&self) -> Vec<Addr> {
-        let mut set: Vec<Addr> = self
-            .traces
-            .iter()
-            .flat_map(|t| t.hops.iter().map(|(_, a)| *a))
-            .collect();
+        let mut set: Vec<Addr> =
+            self.traces.iter().flat_map(|t| t.hops.iter().map(|(_, a)| *a)).collect();
         set.sort_unstable();
         set.dedup();
         set
@@ -153,10 +150,8 @@ pub fn yarrp(net: &Internet, targets: &[Addr], day: Day, config: &YarrpConfig) -
             _ => {}
         }
     }
-    let mut traces: Vec<Trace> = targets
-        .iter()
-        .map(|t| by_target.remove(t).expect("trace"))
-        .collect();
+    let mut traces: Vec<Trace> =
+        targets.iter().map(|t| by_target.remove(t).expect("trace")).collect();
     for t in &mut traces {
         t.hops.sort_unstable_by_key(|(ttl, _)| *ttl);
         t.hops.dedup();

@@ -1,0 +1,117 @@
+//! Property tests for the chaos contract of the scan engine: fault
+//! injection is *seeded*, so the same `FaultConfig` must yield
+//! byte-identical scan results no matter how the work is sharded across
+//! worker threads, and re-running the same scan must replay it exactly.
+
+use proptest::prelude::*;
+use sixdust_addr::Addr;
+use sixdust_net::{Day, FaultConfig, GilbertElliott, Internet, Protocol, Scale};
+use sixdust_scan::{scan, ScanConfig, ScanOutcome, ScanResult, ScanStats};
+
+/// Builds a faulty world from the generated knobs. Every fault class the
+/// config supports is exercised across the case space.
+fn faulty_net(
+    fault_seed: u64,
+    drop_permille: u32,
+    duplicate_permille: u32,
+    bursty: bool,
+) -> Internet {
+    let mut faults = FaultConfig::lossless()
+        .with_seed(fault_seed)
+        .with_drop_permille(drop_permille)
+        .with_duplicate_permille(duplicate_permille);
+    if bursty {
+        faults = faults.with_burst(GilbertElliott {
+            mean_good_days: 6,
+            mean_bad_days: 3,
+            good_drop_permille: drop_permille,
+            bad_drop_permille: 500,
+        });
+    }
+    Internet::build(Scale::tiny()).with_faults(faults)
+}
+
+/// The comparable projection of a scan: per-target outcomes in probe
+/// order plus every deterministic stats field. (`ScanResult` itself does
+/// not implement `Eq` because `duration_secs` is an `f64`.)
+fn fingerprint(r: &ScanResult) -> (Vec<ScanOutcome>, u64, u64, u64, u64, u32) {
+    let ScanStats { sent, received, hits, retries, loss_estimate_permille, .. } = r.stats;
+    (r.outcomes.clone(), sent, received, hits, retries, loss_estimate_permille)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same `FaultConfig` ⇒ identical results for 1, 2 and 8
+    /// workers. The permutation, the loss coins and the retry loop must
+    /// all key off (target, day, attempt), never off scheduling.
+    #[test]
+    fn results_identical_across_worker_counts(
+        fault_seed in any::<u64>(),
+        scan_seed in any::<u64>(),
+        drop_permille in 0u32..400,
+        duplicate_permille in 0u32..200,
+        bursty in any::<bool>(),
+        attempts in 1u8..4,
+        proto_idx in 0usize..5,
+        day in 0u32..1376,
+    ) {
+        let net = faulty_net(fault_seed, drop_permille, duplicate_permille, bursty);
+        let day = Day(day);
+        let protocol = Protocol::ALL[proto_idx];
+        let targets: Vec<Addr> = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .map(|(a, ..)| a)
+            .take(300)
+            .collect();
+        prop_assume!(!targets.is_empty());
+        let config = |threads: usize| {
+            ScanConfig::builder()
+                .threads(threads)
+                .attempts(attempts)
+                .seed(scan_seed)
+                .build()
+        };
+        let single = scan(&net, protocol, &targets, day, &config(1));
+        let double = scan(&net, protocol, &targets, day, &config(2));
+        let wide = scan(&net, protocol, &targets, day, &config(8));
+        prop_assert_eq!(fingerprint(&single), fingerprint(&double));
+        prop_assert_eq!(fingerprint(&single), fingerprint(&wide));
+        // And the same scan replayed against the same world is a replay,
+        // not a re-roll.
+        let again = scan(&net, protocol, &targets, day, &config(1));
+        prop_assert_eq!(fingerprint(&single), fingerprint(&again));
+    }
+
+    /// Loss can only lose: under pure drop faults every hit is a hit the
+    /// lossless run also sees, and retries only narrow the gap.
+    #[test]
+    fn faulty_hits_are_a_subset_of_lossless_hits(
+        fault_seed in any::<u64>(),
+        drop_permille in 0u32..500,
+        attempts in 1u8..4,
+        day in 0u32..1376,
+    ) {
+        let day = Day(day);
+        let lossy = faulty_net(fault_seed, drop_permille, 0, false);
+        let clean = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
+        let targets: Vec<Addr> = clean
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .map(|(a, ..)| a)
+            .take(300)
+            .collect();
+        prop_assume!(!targets.is_empty());
+        let config = ScanConfig::builder().attempts(attempts).build();
+        let faulty = scan(&lossy, Protocol::Icmp, &targets, day, &config);
+        let baseline = scan(&clean, Protocol::Icmp, &targets, day, &config);
+        let baseline_hits: std::collections::HashSet<Addr> = baseline.hits().collect();
+        for hit in faulty.hits() {
+            prop_assert!(baseline_hits.contains(&hit), "{hit} answered only under loss");
+        }
+        prop_assert!(faulty.stats.hits <= baseline.stats.hits);
+    }
+}

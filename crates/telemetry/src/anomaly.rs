@@ -186,11 +186,7 @@ impl MadDetector {
 /// cross-check against `sixdust-analysis`' median-factor spike detector.
 pub fn flag_series(points: &[(u32, u64)], config: &MadConfig) -> Vec<u32> {
     let mut det = MadDetector::new(config.clone());
-    points
-        .iter()
-        .filter(|(_, v)| det.observe(*v as f64).anomalous)
-        .map(|(d, _)| *d)
-        .collect()
+    points.iter().filter(|(_, v)| det.observe(*v as f64).anomalous).map(|(d, _)| *d).collect()
 }
 
 #[cfg(test)]

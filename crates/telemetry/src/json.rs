@@ -115,10 +115,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {} of telemetry JSON",
-                c as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {} of telemetry JSON", c as char, self.pos))
         }
     }
 
@@ -154,8 +151,7 @@ impl<'a> Parser<'a> {
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             self.pos += 4;
                             out.push(
-                                char::from_u32(code)
-                                    .ok_or("invalid \\u codepoint".to_string())?,
+                                char::from_u32(code).ok_or("invalid \\u codepoint".to_string())?,
                             );
                         }
                         other => {
@@ -190,11 +186,7 @@ impl<'a> Parser<'a> {
         if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
         }
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit())
-        {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
         // The scanned range is '-' and ASCII digits only, but never trust
@@ -416,8 +408,8 @@ mod tests {
     fn random_snapshots_round_trip() {
         for seed in 0..64 {
             let snap = random_snapshot(seed);
-            let back = Snapshot::from_json(&snap.to_json())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let back =
+                Snapshot::from_json(&snap.to_json()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(back, snap, "seed {seed}");
         }
     }

@@ -79,11 +79,7 @@ pub use trace::{TraceEvent, TraceJournal, TracePhase, TraceSpan, DEFAULT_TRACE_C
 /// Records the elapsed milliseconds since `started` into the histogram
 /// named `name`, if a registry is attached. The no-registry path is a
 /// single branch, keeping uninstrumented runs free of overhead.
-pub fn record_phase(
-    registry: Option<&Registry>,
-    name: &str,
-    started: std::time::Instant,
-) {
+pub fn record_phase(registry: Option<&Registry>, name: &str, started: std::time::Instant) {
     if let Some(reg) = registry {
         reg.histogram(name).record_duration(started.elapsed());
     }

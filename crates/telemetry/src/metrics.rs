@@ -206,10 +206,7 @@ impl Histogram {
 
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Histogram")
-            .field("count", &self.count())
-            .field("sum", &self.sum())
-            .finish()
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
     }
 }
 

@@ -109,13 +109,7 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            gauges: self.inner.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             histograms: self
                 .inner
                 .histograms

@@ -91,9 +91,8 @@ impl SeriesRecorder {
     /// appends one round keyed by `key`. Returns the recorded round.
     pub fn record(&mut self, key: u32) -> &SeriesRound {
         let cur = self.registry.snapshot();
-        let mut values: Vec<(String, u64)> = Vec::with_capacity(
-            cur.counters.len() + cur.gauges.len() + cur.histograms.len() * 5,
-        );
+        let mut values: Vec<(String, u64)> =
+            Vec::with_capacity(cur.counters.len() + cur.gauges.len() + cur.histograms.len() * 5);
 
         // All three sections are sorted by name, so each diff is a single
         // merge walk against the previous snapshot.
@@ -175,19 +174,13 @@ impl SeriesRecorder {
     /// directly consumable by `sixdust_analysis::Series::new`. Rounds in
     /// which the metric was absent are skipped.
     pub fn points(&self, metric: &str) -> Vec<(u32, u64)> {
-        self.rounds
-            .iter()
-            .filter_map(|r| r.value(metric).map(|v| (r.key, v)))
-            .collect()
+        self.rounds.iter().filter_map(|r| r.value(metric).map(|v| (r.key, v))).collect()
     }
 
     /// Every metric name appearing in any retained round, sorted.
     pub fn metric_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .rounds
-            .iter()
-            .flat_map(|r| r.values.iter().map(|(n, _)| n.clone()))
-            .collect();
+        let mut names: Vec<String> =
+            self.rounds.iter().flat_map(|r| r.values.iter().map(|(n, _)| n.clone())).collect();
         names.sort_unstable();
         names.dedup();
         names

@@ -48,10 +48,7 @@ pub fn nibble_entropy(seeds: &[Addr]) -> [f64; 32] {
 /// (Sec. 6.1 filters 90 % of passive candidates as already known).
 pub fn dedup_excluding(candidates: Vec<Addr>, seeds: &[Addr]) -> Vec<Addr> {
     let seed_set: HashSet<Addr> = seeds.iter().copied().collect();
-    let mut out: Vec<Addr> = candidates
-        .into_iter()
-        .filter(|a| !seed_set.contains(a))
-        .collect();
+    let mut out: Vec<Addr> = candidates.into_iter().filter(|a| !seed_set.contains(a)).collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -89,10 +86,8 @@ mod tests {
     #[test]
     fn dedup_removes_seeds_and_dups() {
         let seeds = vec![a("2001:db8::1")];
-        let out = dedup_excluding(
-            vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::2")],
-            &seeds,
-        );
+        let out =
+            dedup_excluding(vec![a("2001:db8::1"), a("2001:db8::2"), a("2001:db8::2")], &seeds);
         assert_eq!(out, vec![a("2001:db8::2")]);
     }
 }

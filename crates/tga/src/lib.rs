@@ -28,10 +28,10 @@
 pub mod corpus;
 pub mod dc;
 pub mod entropyip;
+pub mod seedless;
 pub mod sixgan;
 pub mod sixgen;
 pub mod sixgraph;
-pub mod seedless;
 pub mod sixtree;
 pub mod sixveclm;
 
@@ -40,9 +40,9 @@ use sixdust_telemetry::Registry;
 
 pub use dc::DistanceClustering;
 pub use entropyip::EntropyIp;
+pub use seedless::Seedless;
 pub use sixgan::SixGan;
 pub use sixgen::SixGen;
-pub use seedless::Seedless;
 pub use sixgraph::SixGraph;
 pub use sixtree::SixTree;
 pub use sixveclm::SixVecLm;
@@ -130,16 +130,11 @@ mod tests {
     /// hidden TGA-target regions.
     fn scenario() -> (Vec<Addr>, Vec<Addr>) {
         let net = 0x2001_0db8_0000_0777u128 << 64;
-        let members: Vec<Addr> = (0..400u128)
-            .map(|j| Addr(net | (0x1000 + j * 8 + (j * 2654435761) % 8)))
-            .collect();
+        let members: Vec<Addr> =
+            (0..400u128).map(|j| Addr(net | (0x1000 + j * 8 + (j * 2654435761) % 8))).collect();
         // 30% visible.
-        let seeds: Vec<Addr> = members
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 10 < 3)
-            .map(|(_, a)| *a)
-            .collect();
+        let seeds: Vec<Addr> =
+            members.iter().enumerate().filter(|(i, _)| i % 10 < 3).map(|(_, a)| *a).collect();
         (members, seeds)
     }
 

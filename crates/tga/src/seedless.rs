@@ -176,8 +176,11 @@ mod tests {
     #[test]
     fn narrow_prefixes_single_subnet() {
         let announced = vec![p("2001:db9:0:1::/64")];
-        let gen = Seedless { per_subnet: 2, subnets_per_prefix: 8 }
-            .generate_for(announced.into_iter(), &[], 100);
+        let gen = Seedless { per_subnet: 2, subnets_per_prefix: 8 }.generate_for(
+            announced.into_iter(),
+            &[],
+            100,
+        );
         // Only one /64 exists; two conventions emitted.
         assert_eq!(gen.len(), 2);
         for a in &gen {

@@ -141,10 +141,7 @@ mod tests {
         assert_eq!(classify("2001:db8::1".parse().unwrap()), SeedClass::LowByte);
         let e = Eui64::from_oui_serial(0x0014_22, 9).apply_to("2001:db8::".parse().unwrap());
         assert_eq!(classify(e), SeedClass::Eui64);
-        assert_eq!(
-            classify("2001:db8::89ab:cdef:1234:5678".parse().unwrap()),
-            SeedClass::Random
-        );
+        assert_eq!(classify("2001:db8::89ab:cdef:1234:5678".parse().unwrap()), SeedClass::Random);
     }
 
     #[test]
@@ -179,8 +176,7 @@ mod tests {
         // mostly miss exact member addresses (the paper's observed 6GAN
         // behaviour), unlike the in-fill generators.
         let net = 0x2001_0db8_0000_0003u128 << 64;
-        let members: Vec<Addr> =
-            (0..300u128).map(|i| Addr(net | (i * 8 + (i * i) % 8))).collect();
+        let members: Vec<Addr> = (0..300u128).map(|i| Addr(net | (i * 8 + (i * i) % 8))).collect();
         let seeds: Vec<Addr> = members.iter().step_by(3).copied().collect();
         let gen = SixGan::default().generate(&seeds, 2000);
         let hits = gen.iter().filter(|g| members.contains(g)).count();

@@ -53,10 +53,7 @@ impl NibbleRange {
 
     /// Whether an address falls inside the range.
     pub fn contains(&self, addr: Addr) -> bool {
-        addr.nibbles()
-            .iter()
-            .zip(self.bounds.iter())
-            .all(|(v, (lo, hi))| v >= lo && v <= hi)
+        addr.nibbles().iter().zip(self.bounds.iter()).all(|(v, (lo, hi))| v >= lo && v <= hi)
     }
 
     /// Number of addresses covered (saturating).
@@ -96,8 +93,7 @@ impl NibbleRange {
             if gained == 0 || (new_lo == lo && new_hi == hi) {
                 continue;
             }
-            let added = (u128::from(new_hi - new_lo) + 1) as f64
-                / (u128::from(hi - lo) + 1) as f64;
+            let added = (u128::from(new_hi - new_lo) + 1) as f64 / (u128::from(hi - lo) + 1) as f64;
             let density = gained as f64 / added.max(1.0);
             if best.as_ref().map(|(.., d)| density > *d).unwrap_or(true) {
                 best = Some((pos, new_lo, new_hi, density));
@@ -147,10 +143,8 @@ impl TargetGenerator for SixGen {
     fn generate(&self, seeds: &[Addr], budget: usize) -> Vec<Addr> {
         let buckets = by_network(seeds);
         // Grow one range per qualifying /64, densest seed buckets first.
-        let mut clusters: Vec<(u64, Vec<Addr>)> = buckets
-            .into_iter()
-            .filter(|(_, v)| v.len() >= self.min_bucket)
-            .collect();
+        let mut clusters: Vec<(u64, Vec<Addr>)> =
+            buckets.into_iter().filter(|(_, v)| v.len() >= self.min_bucket).collect();
         clusters.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
         let mut out = Vec::new();
         for (_, bucket) in clusters {
@@ -206,8 +200,7 @@ mod tests {
     fn generates_infill_around_seeds() {
         let net = 0x2001_0db8_0000_0002u128 << 64;
         // Seeds 1..=8 with a hole at 5.
-        let seeds: Vec<Addr> =
-            [1u128, 2, 3, 4, 6, 7, 8].iter().map(|i| Addr(net | i)).collect();
+        let seeds: Vec<Addr> = [1u128, 2, 3, 4, 6, 7, 8].iter().map(|i| Addr(net | i)).collect();
         let gen = SixGen::default().generate(&seeds, 10_000);
         assert!(gen.contains(&Addr(net | 5)), "fills the hole: {gen:?}");
         assert!(!gen.contains(&Addr(net | 3)), "seeds excluded");

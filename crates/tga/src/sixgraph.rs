@@ -46,10 +46,7 @@ pub struct Pattern {
 impl Pattern {
     /// Number of candidate combinations the pattern spans.
     pub fn combinations(&self) -> u64 {
-        self.wildcards
-            .iter()
-            .map(|(_, lo, hi)| u64::from(hi - lo) + 1)
-            .product()
+        self.wildcards.iter().map(|(_, lo, hi)| u64::from(hi - lo) + 1).product()
     }
 
     /// Seed density over the pattern space.
@@ -128,11 +125,7 @@ pub fn mine_patterns(seeds: &[Addr], min_bucket: usize, max_wildcards: usize) ->
             wildcards.truncate(max_wildcards);
             wildcards.sort_by_key(|(p, ..)| *p);
         }
-        patterns.push(Pattern {
-            template: nibbles[0],
-            wildcards,
-            support: pooled.len(),
-        });
+        patterns.push(Pattern { template: nibbles[0], wildcards, support: pooled.len() });
     }
     patterns
 }
@@ -217,9 +210,8 @@ mod tests {
     #[test]
     fn wildcard_cap_enforced() {
         // Seeds varying in 6 positions; cap at 4.
-        let seeds: Vec<Addr> = (0..32u128)
-            .map(|i| Addr((0x2001_0db8_0000_0100u128 << 64) | (i * 0x11111)))
-            .collect();
+        let seeds: Vec<Addr> =
+            (0..32u128).map(|i| Addr((0x2001_0db8_0000_0100u128 << 64) | (i * 0x11111))).collect();
         let patterns = mine_patterns(&seeds, 4, 4);
         assert!(patterns.iter().all(|p| p.wildcards.len() <= 4));
     }

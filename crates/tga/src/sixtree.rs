@@ -49,9 +49,7 @@ impl Region {
 fn split(seeds: Vec<[u8; 32]>, leaf_size: usize, out: &mut Vec<Region>) {
     // Find the leftmost varying nibble.
     let varying = (0..32).find(|&i| seeds.iter().any(|s| s[i] != seeds[0][i]));
-    let free: Vec<usize> = (0..32)
-        .filter(|&i| seeds.iter().any(|s| s[i] != seeds[0][i]))
-        .collect();
+    let free: Vec<usize> = (0..32).filter(|&i| seeds.iter().any(|s| s[i] != seeds[0][i])).collect();
     match varying {
         None => out.push(Region { seeds, free }),
         Some(pos) => {
@@ -98,13 +96,8 @@ impl TargetGenerator for SixTree {
             }
             // Expand the rightmost free dims over the min..=max observed
             // values (full range for the final nibble).
-            let dims: Vec<usize> = region
-                .free
-                .iter()
-                .rev()
-                .take(self.max_free_dims)
-                .copied()
-                .collect();
+            let dims: Vec<usize> =
+                region.free.iter().rev().take(self.max_free_dims).copied().collect();
             let template = region.seeds[0];
             let mut ranges: Vec<(usize, u8, u8)> = Vec::new();
             for &d in &dims {

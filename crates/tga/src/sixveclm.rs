@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let s = seeds();
-        assert_eq!(
-            SixVecLm::default().generate(&s, 300),
-            SixVecLm::default().generate(&s, 300)
-        );
+        assert_eq!(SixVecLm::default().generate(&s, 300), SixVecLm::default().generate(&s, 300));
     }
 
     #[test]

@@ -12,15 +12,12 @@ use sixdust_tga::{
 /// regime all generators are built for (fully random corpora are
 /// degenerate for every method).
 fn arb_corpus() -> impl Strategy<Value = Vec<Addr>> {
-    (
-        proptest::collection::vec((0u8..4, 0u64..0x400, 1u64..32), 4..40),
-        any::<u32>(),
-    )
-        .prop_map(|(specs, salt)| {
+    (proptest::collection::vec((0u8..4, 0u64..0x400, 1u64..32), 4..40), any::<u32>()).prop_map(
+        |(specs, salt)| {
             let mut out = Vec::new();
             for (net_id, base, stride) in specs {
-                let net = (0x2001_0db8_0000_0000u128 + u128::from(net_id) + u128::from(salt % 7))
-                    << 64;
+                let net =
+                    (0x2001_0db8_0000_0000u128 + u128::from(net_id) + u128::from(salt % 7)) << 64;
                 for j in 0..6u64 {
                     out.push(Addr(net | u128::from(base + j * stride)));
                 }
@@ -28,7 +25,8 @@ fn arb_corpus() -> impl Strategy<Value = Vec<Addr>> {
             out.sort_unstable();
             out.dedup();
             out
-        })
+        },
+    )
 }
 
 fn generators() -> Vec<Box<dyn TargetGenerator>> {

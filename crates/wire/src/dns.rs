@@ -269,8 +269,8 @@ impl DnsMessage {
                 return Err(WireError::Truncated);
             }
             let qtype_raw = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
-            let qtype = RrType::from_value(qtype_raw)
-                .ok_or(WireError::Malformed("unknown qtype"))?;
+            let qtype =
+                RrType::from_value(qtype_raw).ok_or(WireError::Malformed("unknown qtype"))?;
             pos += 4;
             questions.push(Question { qname, qtype });
         }
@@ -344,13 +344,9 @@ fn decode_name(bytes: &[u8], mut pos: usize) -> Result<(String, usize), WireErro
         if len >= 64 {
             return Err(WireError::Malformed("label length"));
         }
-        let label = bytes
-            .get(pos + 1..pos + 1 + len)
-            .ok_or(WireError::Truncated)?;
+        let label = bytes.get(pos + 1..pos + 1 + len).ok_or(WireError::Truncated)?;
         labels.push(
-            std::str::from_utf8(label)
-                .map_err(|_| WireError::Malformed("label utf8"))?
-                .to_string(),
+            std::str::from_utf8(label).map_err(|_| WireError::Malformed("label utf8"))?.to_string(),
         );
         pos += 1 + len;
         if !jumped {
@@ -407,9 +403,7 @@ fn decode_record(bytes: &[u8], pos: usize) -> Result<(Record, usize), WireError>
             if rdlen != 16 {
                 return Err(WireError::Malformed("AAAA rdlength"));
             }
-            Rdata::Aaaa(Addr(u128::from_be_bytes(
-                rdata_bytes.try_into().expect("16 bytes"),
-            )))
+            Rdata::Aaaa(Addr(u128::from_be_bytes(rdata_bytes.try_into().expect("16 bytes"))))
         }
         RrType::Ns => Rdata::Ns(decode_name(bytes, pos)?.0),
         RrType::Cname => Rdata::Cname(decode_name(bytes, pos)?.0),
@@ -535,7 +529,7 @@ mod tests {
         // Patch ANCOUNT to 1.
         bytes[6..8].copy_from_slice(&1u16.to_be_bytes());
         bytes[2] |= 0x80; // QR
-        // Append record with compressed name.
+                          // Append record with compressed name.
         bytes.extend_from_slice(&[0xc0, 12]); // pointer to offset 12
         bytes.extend_from_slice(&28u16.to_be_bytes()); // AAAA
         bytes.extend_from_slice(&1u16.to_be_bytes()); // IN
@@ -545,10 +539,7 @@ mod tests {
         let back = DnsMessage::parse(&bytes).unwrap();
         assert_eq!(back.answers.len(), 1);
         assert_eq!(back.answers[0].name, "www.x.test");
-        assert_eq!(
-            back.answers[0].rdata,
-            Rdata::Aaaa("2001:db8::7".parse().unwrap())
-        );
+        assert_eq!(back.answers[0].rdata, Rdata::Aaaa("2001:db8::7".parse().unwrap()));
     }
 
     #[test]

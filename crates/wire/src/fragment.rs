@@ -95,12 +95,7 @@ pub fn fragment(
     while offset < payload.len() || (payload.is_empty() && out.is_empty()) {
         let end = (offset + chunk).min(payload.len());
         let more = end < payload.len();
-        let fh = FragmentHeader {
-            next_header,
-            offset_units: (offset / 8) as u16,
-            more,
-            ident,
-        };
+        let fh = FragmentHeader { next_header, offset_units: (offset / 8) as u16, more, ident };
         let mut hdr = *ipv6;
         hdr.next_header = NextHeader::Other(FRAGMENT_NEXT_HEADER);
         hdr.payload_len = (FRAGMENT_HEADER_LEN + end - offset) as u16;

@@ -100,8 +100,8 @@ impl Icmpv6 {
             }
             Icmpv6::TimeExceeded { orig_dst } => {
                 b.extend_from_slice(&[0; 4]); // unused field
-                // Quoted original packet: we embed the 16-byte original dst,
-                // which is all Yarrp needs to correlate probe and reply.
+                                              // Quoted original packet: we embed the 16-byte original dst,
+                                              // which is all Yarrp needs to correlate probe and reply.
                 b.extend_from_slice(&orig_dst.0.to_be_bytes());
             }
         }
@@ -149,9 +149,7 @@ impl Icmpv6 {
                     return Err(WireError::Truncated);
                 }
                 Ok(Icmpv6::TimeExceeded {
-                    orig_dst: Addr(u128::from_be_bytes(
-                        bytes[8..24].try_into().expect("16 bytes"),
-                    )),
+                    orig_dst: Addr(u128::from_be_bytes(bytes[8..24].try_into().expect("16 bytes"))),
                 })
             }
             _ => Err(WireError::Malformed("icmpv6 type")),
@@ -176,22 +174,13 @@ mod tests {
 
     #[test]
     fn echo_request_roundtrip() {
-        roundtrip(Icmpv6::EchoRequest {
-            ident: 0xbeef,
-            seq: 42,
-            payload: vec![1, 2, 3, 4, 5],
-        });
+        roundtrip(Icmpv6::EchoRequest { ident: 0xbeef, seq: 42, payload: vec![1, 2, 3, 4, 5] });
     }
 
     #[test]
     fn echo_reply_roundtrip_both_fragment_states() {
         for fragmented in [false, true] {
-            roundtrip(Icmpv6::EchoReply {
-                ident: 9,
-                seq: 1,
-                payload: vec![0; 1300],
-                fragmented,
-            });
+            roundtrip(Icmpv6::EchoReply { ident: 9, seq: 1, payload: vec![0; 1300], fragmented });
         }
     }
 
@@ -199,9 +188,7 @@ mod tests {
     fn error_messages_roundtrip() {
         roundtrip(Icmpv6::DestUnreachable { code: 4 });
         roundtrip(Icmpv6::PacketTooBig { mtu: 1280 });
-        roundtrip(Icmpv6::TimeExceeded {
-            orig_dst: a("2a02:26f0::dead"),
-        });
+        roundtrip(Icmpv6::TimeExceeded { orig_dst: a("2a02:26f0::dead") });
     }
 
     #[test]
@@ -209,10 +196,7 @@ mod tests {
         let msg = Icmpv6::EchoRequest { ident: 1, seq: 1, payload: vec![] };
         let bytes = msg.to_bytes(a("::1"), a("::2"));
         // Same bytes "received" with a different source: checksum must fail.
-        assert_eq!(
-            Icmpv6::parse(&bytes, a("::9"), a("::2")),
-            Err(WireError::BadChecksum)
-        );
+        assert_eq!(Icmpv6::parse(&bytes, a("::9"), a("::2")), Err(WireError::BadChecksum));
     }
 
     #[test]

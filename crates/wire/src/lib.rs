@@ -182,10 +182,7 @@ mod tests {
             }),
         };
         let bytes = pkt.to_bytes();
-        assert!(matches!(
-            Packet::parse(&bytes[..bytes.len() - 2]),
-            Err(WireError::Truncated)
-        ));
+        assert!(matches!(Packet::parse(&bytes[..bytes.len() - 2]), Err(WireError::Truncated)));
         assert!(matches!(Packet::parse(&[0; 4]), Err(WireError::Truncated)));
     }
 }

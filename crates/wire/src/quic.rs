@@ -87,20 +87,14 @@ impl QuicPacket {
             return Err(WireError::Malformed("dcid length"));
         }
         let mut pos = 6;
-        let dcid = bytes
-            .get(pos..pos + dcid_len)
-            .ok_or(WireError::Truncated)?
-            .to_vec();
+        let dcid = bytes.get(pos..pos + dcid_len).ok_or(WireError::Truncated)?.to_vec();
         pos += dcid_len;
         let scid_len = *bytes.get(pos).ok_or(WireError::Truncated)? as usize;
         if scid_len > 20 {
             return Err(WireError::Malformed("scid length"));
         }
         pos += 1;
-        let scid = bytes
-            .get(pos..pos + scid_len)
-            .ok_or(WireError::Truncated)?
-            .to_vec();
+        let scid = bytes.get(pos..pos + scid_len).ok_or(WireError::Truncated)?.to_vec();
         pos += scid_len;
         if version == 0 {
             let rest = &bytes[pos..];
@@ -185,11 +179,8 @@ mod tests {
 
     #[test]
     fn bad_vn_length_rejected() {
-        let p = QuicPacket::VersionNegotiation {
-            dcid: vec![],
-            scid: vec![],
-            supported: vec![QUIC_V1],
-        };
+        let p =
+            QuicPacket::VersionNegotiation { dcid: vec![], scid: vec![], supported: vec![QUIC_V1] };
         let mut bytes = p.to_bytes();
         bytes.push(0xff); // version list no longer a multiple of 4
         assert!(QuicPacket::parse(&bytes).is_err());

@@ -267,9 +267,9 @@ impl TcpSegment {
                     }
                     let body = &bytes[i + 2..i + len];
                     match (kind, body.len()) {
-                        (2, 2) => options.push(TcpOption::Mss(u16::from_be_bytes([
-                            body[0], body[1],
-                        ]))),
+                        (2, 2) => {
+                            options.push(TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])))
+                        }
                         (3, 1) => options.push(TcpOption::WindowScale(body[0])),
                         (4, 0) => options.push(TcpOption::SackPermitted),
                         (8, 8) => options.push(TcpOption::Timestamps(
@@ -359,10 +359,7 @@ mod tests {
         let seg = TcpSegment::syn(80, 1, 2);
         let mut bytes = seg.to_bytes(a("::1"), a("::2"));
         bytes[4] ^= 0x40;
-        assert_eq!(
-            TcpSegment::parse(&bytes, a("::1"), a("::2")),
-            Err(WireError::BadChecksum)
-        );
+        assert_eq!(TcpSegment::parse(&bytes, a("::1"), a("::2")), Err(WireError::BadChecksum));
     }
 
     #[test]

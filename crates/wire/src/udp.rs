@@ -84,10 +84,7 @@ mod tests {
     fn roundtrip() {
         let d = UdpDatagram { src_port: 53535, dst_port: 53, payload: b"payload".to_vec() };
         let bytes = d.to_bytes(a("2001:db8::1"), a("2001:db8::2"));
-        assert_eq!(
-            UdpDatagram::parse(&bytes, a("2001:db8::1"), a("2001:db8::2")).unwrap(),
-            d
-        );
+        assert_eq!(UdpDatagram::parse(&bytes, a("2001:db8::1"), a("2001:db8::2")).unwrap(), d);
     }
 
     #[test]
@@ -115,10 +112,7 @@ mod tests {
         let d = UdpDatagram { src_port: 1, dst_port: 2, payload: vec![1, 2, 3] };
         let mut bytes = d.to_bytes(a("::1"), a("::2"));
         bytes[9] ^= 0xf0;
-        assert_eq!(
-            UdpDatagram::parse(&bytes, a("::1"), a("::2")),
-            Err(WireError::BadChecksum)
-        );
+        assert_eq!(UdpDatagram::parse(&bytes, a("::1"), a("::2")), Err(WireError::BadChecksum));
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! cargo run --release --example aliased_cdn
 //! ```
 
-use sixdust::alias::{fingerprint_prefix, too_big_trick, AliasDetector, DetectorConfig, TbtOutcome};
+use sixdust::alias::{
+    fingerprint_prefix, too_big_trick, AliasDetector, DetectorConfig, TbtOutcome,
+};
 use sixdust::net::{BackendMode, Day, FaultConfig, GroupKind, Internet, Protocol, Scale};
 
 fn main() {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(400);
 
     // Ground truth: one single-host alias and one load-balanced CDN
@@ -28,7 +30,10 @@ fn main() {
         .aliased_groups(day)
         .find(|g| {
             g.protos.contains(Protocol::Icmp)
-                && matches!(g.kind, GroupKind::Aliased { backends: BackendMode::LoadBalanced(_), .. })
+                && matches!(
+                    g.kind,
+                    GroupKind::Aliased { backends: BackendMode::LoadBalanced(_), .. }
+                )
         })
         .expect("load-balanced alias");
 
@@ -37,10 +42,7 @@ fn main() {
     let candidates = vec![single.prefix, balanced.prefix];
     let round = detector.run_round(&net, &candidates, day);
     for d in &round.detected {
-        println!(
-            "  {} fully responsive (icmp: {}, tcp/80: {})",
-            d.prefix, d.icmp, d.tcp80
-        );
+        println!("  {} fully responsive (icmp: {}, tcp/80: {})", d.prefix, d.icmp, d.tcp80);
     }
 
     println!("\n== TCP fingerprints across each prefix ==");

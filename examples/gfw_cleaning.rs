@@ -13,7 +13,7 @@ use sixdust::scan::{scan, Detail, ScanConfig};
 use sixdust::wire::dns::Rdata;
 
 fn main() {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
 
     // Pick addresses inside China Telecom Backbone's space that host
     // nothing at all.
@@ -24,7 +24,9 @@ fn main() {
     let era_day = events::GFW_ERA3.0.plus(30);
 
     println!("== GFW DNS injection, as the scanner sees it ==\n");
-    for (label, day) in [("outside any injection era", quiet_day), ("during the Teredo era", era_day)] {
+    for (label, day) in
+        [("outside any injection era", quiet_day), ("during the Teredo era", era_day)]
+    {
         let result = scan(&net, Protocol::Udp53, &targets, day, &ScanConfig::default());
         println!(
             "{label} (day {}): {} of {} dark addresses counted 'responsive'",
@@ -67,8 +69,5 @@ fn main() {
     // the targets really are dark.
     let own = sixdust::net::ProbeKind::Dns { qname: "sixdust-owned.test".into() };
     let silent = net.probe(targets[0], &own, era_day);
-    println!(
-        "same address queried for an unblocked domain: {} responses (silence)",
-        silent.len()
-    );
+    println!("same address queried for an unblocked domain: {} responses (silence)", silent.len());
 }

@@ -14,7 +14,7 @@ use sixdust::telemetry::Registry;
 fn main() {
     let registry = Registry::new();
     let net = Internet::build(Scale::tiny())
-        .with_faults(FaultConfig { drop_permille: 2 })
+        .with_faults(FaultConfig::lossless().with_drop_permille(2))
         .with_telemetry(&registry);
     let config = ServiceConfig::builder().alias_every_days(28).build();
     let mut svc = HitlistService::new(config).with_telemetry(registry.clone());

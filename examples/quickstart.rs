@@ -10,7 +10,7 @@ use sixdust::scan::{scan, ScanConfig};
 
 fn main() {
     // A miniature Internet: ~120 ASes, deterministic from the seed.
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(100);
 
     println!("== sixdust quickstart ==");

@@ -12,7 +12,7 @@ use sixdust::net::{Day, FaultConfig, Internet, Scale};
 use sixdust::tga::paper_lineup;
 
 fn main() {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(1200);
 
     // Seeds: what a hitlist would plausibly know — every responsive

@@ -13,7 +13,7 @@ use sixdust::net::{Day, FaultConfig, Internet, Scale};
 use sixdust::scan::{yarrp, YarrpConfig};
 
 fn main() {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let day = Day(400);
 
     // Trace a broad sample: live hosts plus dark Chinese space.
@@ -59,7 +59,8 @@ fn main() {
 
     // The accumulation effect: re-trace the dark Chinese targets two weeks
     // later and count how many *new* last-hop interfaces appear.
-    let dark: Vec<Addr> = targets.iter().filter(|a| ct_block.0 >> 96 == a.0 >> 96).copied().collect();
+    let dark: Vec<Addr> =
+        targets.iter().filter(|a| ct_block.0 >> 96 == a.0 >> 96).copied().collect();
     let before: HashSet<Addr> = yarrp(&net, &dark, day, &YarrpConfig::default())
         .traces
         .iter()

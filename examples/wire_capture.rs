@@ -15,7 +15,7 @@ use sixdust::wire::icmpv6::Icmpv6;
 use sixdust::wire::{Ipv6Header, Packet, Transport};
 
 fn main() -> std::io::Result<()> {
-    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig { drop_permille: 0 });
+    let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let src = net.registry().vantage_addr();
     let day = events::GFW_ERA3.0.plus(30);
     let path = std::env::temp_dir().join("sixdust.pcap");
@@ -76,7 +76,11 @@ fn main() -> std::io::Result<()> {
     exchange(ptb.to_bytes(), "packet too big (seed)")?;
     let big = Packet {
         ipv6: Ipv6Header::new(src, target, 64),
-        transport: Transport::Icmpv6(Icmpv6::EchoRequest { ident: 9, seq: 1, payload: vec![0; 1300] }),
+        transport: Transport::Icmpv6(Icmpv6::EchoRequest {
+            ident: 9,
+            seq: 1,
+            payload: vec![0; 1300],
+        }),
     };
     let frags = exchange(big.to_bytes(), "1300B echo (fragments)")?;
     assert!(frags >= 2, "reply arrives as real fragments");

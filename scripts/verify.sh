@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --all --check"
+cargo fmt --all --check
+
 echo "== cargo build --workspace --release"
 cargo build --workspace --release
 
