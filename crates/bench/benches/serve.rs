@@ -1,0 +1,108 @@
+//! Serve-layer benchmarks: the delta codec's encode/decode throughput
+//! and shard reads racing a concurrent publisher (the atomic-swap
+//! claim, measured).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sixdust_serve::codec::{apply_delta, decode_full, encode_delta, encode_full};
+use sixdust_serve::{ArtifactKind, SnapshotStore, StoreConfig};
+
+/// A hitlist-shaped item set: mostly structured strides with a sprinkle
+/// of isolated addresses, `n` items total.
+fn item_set(n: u128, salt: u128) -> Vec<u128> {
+    let mut v: Vec<u128> = (0..n)
+        .map(|i| {
+            if i % 17 == 0 {
+                // Isolated: break the stride so the codec sees both shapes.
+                (0x2001u128 << 112) + i * i + salt * 13
+            } else {
+                (0x2001u128 << 112) + i * 256 + salt
+            }
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_codec");
+    let items = item_set(100_000, 0);
+    let mut next = item_set(100_000, 0);
+    // ~2% churn, like consecutive hitlist rounds.
+    next.retain(|a| a % 53 != 0);
+    next.extend(item_set(2_000, 9_999_999));
+    next.sort_unstable();
+    next.dedup();
+
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("encode_full_100k", |b| b.iter(|| encode_full(black_box(&items)).len()));
+    let encoded = encode_full(&items);
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("decode_full_100k", |b| {
+        b.iter(|| decode_full(black_box(&encoded)).expect("valid").len())
+    });
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("encode_delta_2pct_churn", |b| {
+        b.iter(|| encode_delta(black_box(&items), black_box(&next)).len())
+    });
+    let delta = encode_delta(&items, &next);
+    g.bench_function("apply_delta_2pct_churn", |b| {
+        b.iter(|| apply_delta(black_box(&items), black_box(&delta)).expect("applies").len())
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_store");
+    g.sample_size(20);
+
+    // Publication cost with structural sharing: round 2 differs from
+    // round 1 by ~2%, so most shards carry over untouched.
+    g.bench_function("publish_round_100k_2pct_churn", |b| {
+        let base = item_set(100_000, 0);
+        let mut churned = base.clone();
+        churned.retain(|a| a % 53 != 0);
+        b.iter(|| {
+            let store = SnapshotStore::new(StoreConfig::default());
+            store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, base.clone())]);
+            store.publish_round(2, "d2", vec![(ArtifactKind::Responsive, churned.clone())]);
+            store.current_round()
+        })
+    });
+
+    // Concurrent shard reads while a publisher keeps swapping
+    // generations: readers never block on the publish, so per-read cost
+    // should stay flat versus an idle store.
+    g.bench_function("shard_reads_during_publication", |b| {
+        let store = Arc::new(SnapshotStore::new(StoreConfig::default()));
+        store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, item_set(50_000, 0))]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let store = store.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut round = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let items = item_set(50_000, u128::from(round));
+                    store.publish_round(round, "d", vec![(ArtifactKind::Responsive, items)]);
+                    round += 1;
+                }
+            })
+        };
+        let shards = store.shard_count();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % shards;
+            store.shard(ArtifactKind::Responsive, i).map(|s| s.items().len() + s.round() as usize)
+        });
+        stop.store(true, Ordering::Relaxed);
+        publisher.join().expect("publisher thread");
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_store);
+criterion_main!(benches);

@@ -4,12 +4,14 @@
 
 use std::collections::HashSet;
 use std::path::Path;
+use std::sync::Arc;
 
 use sixdust_addr::Addr;
 use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfig};
 use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, ServiceState, SourceEval};
 use sixdust_net::{events, Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
+use sixdust_serve::{SnapshotStore, StoreConfig};
 use sixdust_telemetry::{Registry, TraceJournal, DEFAULT_SERIES_CAPACITY};
 use sixdust_tga::instrumented_lineup;
 
@@ -31,6 +33,9 @@ pub struct Ctx {
     /// Trace journal installed into the registry when `--trace <path>` is
     /// given; dumped as Chrome trace-event JSON.
     pub trace: Option<TraceJournal>,
+    /// Serve-layer snapshot store, populated with every round of the
+    /// service run when `--serve-report <path>` is given.
+    pub serve: Option<Arc<SnapshotStore>>,
     new_sources: Option<Vec<SourceEval>>,
 }
 
@@ -44,6 +49,9 @@ pub struct ObsOptions {
     /// Install a [`TraceJournal`] into the registry so the service, scan
     /// engine and alias detector emit spans.
     pub trace: bool,
+    /// Attach a serve-layer [`SnapshotStore`] and publish every round of
+    /// the service run into it.
+    pub serve: bool,
 }
 
 /// Rounds between crash-safe checkpoint saves during the service run.
@@ -60,6 +68,7 @@ fn run_checkpointed(
     resume_from: Option<Day>,
     until: Day,
     checkpoint: Option<&Path>,
+    serve: Option<&SnapshotStore>,
 ) {
     let mut day = match resume_from {
         Some(last) if last >= until => return,
@@ -76,6 +85,9 @@ fn run_checkpointed(
     let mut rounds_since_save = 0usize;
     loop {
         svc.run_round(net, day);
+        if let Some(store) = serve {
+            store.publish_service(svc, u64::from(day.0), &day.to_date());
+        }
         rounds_since_save += 1;
         if let Some(path) = checkpoint {
             if rounds_since_save >= CHECKPOINT_EVERY_ROUNDS || day >= until {
@@ -144,12 +156,23 @@ impl Ctx {
         if opts.series {
             svc = svc.with_series(DEFAULT_SERIES_CAPACITY);
         }
+        let serve = opts.serve.then(|| {
+            Arc::new(SnapshotStore::new(StoreConfig::default()).with_telemetry(telemetry.clone()))
+        });
         eprintln!(
             "[ctx] running four-year service (addr 1/{}, entity 1/{}, seed {:#x})…",
             scale.addr_div, scale.entity_div, scale.seed
         );
         let t0 = std::time::Instant::now();
-        run_checkpointed(&mut svc, &net, resume_from, Day::PAPER_END, checkpoint);
+        run_checkpointed(&mut svc, &net, resume_from, Day::PAPER_END, checkpoint, serve.as_deref());
+        if let Some(store) = &serve {
+            // A fully resumed run executes zero new rounds; publish the
+            // restored final state once so the store is never empty.
+            if store.current_round().is_none() {
+                let day = svc.rounds().last().map(|r| r.day).unwrap_or(Day(0));
+                store.publish_service(&svc, u64::from(day.0), &day.to_date());
+            }
+        }
         eprintln!(
             "[ctx] service done: {} rounds, input {}, responsive {} ({:.1}s)",
             svc.rounds().len(),
@@ -157,7 +180,7 @@ impl Ctx {
             svc.rounds().last().map(|r| r.total_cleaned).unwrap_or(0),
             t0.elapsed().as_secs_f64()
         );
-        Ctx { net, svc, scale, telemetry, trace, new_sources: None }
+        Ctx { net, svc, scale, telemetry, trace, serve, new_sources: None }
     }
 
     /// The snapshot at (or just after) a requested day.

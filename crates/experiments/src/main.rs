@@ -7,7 +7,7 @@
 //! ```text
 //! sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
 //!             [--telemetry PATH] [--series PATH] [--trace PATH] \
-//!             [--checkpoint PATH] <experiment>|all
+//!             [--checkpoint PATH] [--serve-report PATH] <experiment>|all
 //! ```
 //!
 //! `--telemetry PATH` dumps the shared metrics registry (scan, alias,
@@ -18,8 +18,12 @@
 //! installs a trace journal and writes Chrome trace-event JSON loadable
 //! in `chrome://tracing` / Perfetto. `--checkpoint PATH` saves the
 //! service state crash-safely during the four-year run and resumes from
-//! it on restart (a corrupt checkpoint is ignored, never fatal). See
-//! EXPERIMENTS.md for worked examples.
+//! it on restart (a corrupt checkpoint is ignored, never fatal).
+//! `--serve-report PATH` publishes every service round into a serve-layer
+//! snapshot store, replays a deterministic high-QPS day of simulated
+//! registered-consumer load against it (100k requests, Zipf artifact
+//! popularity, ETag and delta fetches, admission control) and writes the
+//! day's totals as JSON. See EXPERIMENTS.md for worked examples.
 
 mod context;
 mod exp_ablations;
@@ -75,7 +79,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
          [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
-         <experiment>|all\n\
+         [--serve-report PATH] <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -110,6 +114,7 @@ fn main() {
     let mut series_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut checkpoint_path: Option<PathBuf> = None;
+    let mut serve_report_path: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -158,6 +163,10 @@ fn main() {
                 let Some(p) = args.next() else { usage() };
                 checkpoint_path = Some(PathBuf::from(p));
             }
+            "--serve-report" => {
+                let Some(p) = args.next() else { usage() };
+                serve_report_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
@@ -178,7 +187,11 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let mut ctx = Ctx::build_resumable(
         scale,
-        context::ObsOptions { series: series_path.is_some(), trace: trace_path.is_some() },
+        context::ObsOptions {
+            series: series_path.is_some(),
+            trace: trace_path.is_some(),
+            serve: serve_report_path.is_some(),
+        },
         checkpoint_path.as_deref(),
     );
 
@@ -188,6 +201,33 @@ fn main() {
         let recorder = ctx.svc.series().expect("series recorder attached");
         write_observability(path, &recorder.to_jsonl());
         eprintln!("[obs] wrote {} rounds of series data to {}", recorder.len(), path.display());
+    }
+    // The store now holds every round of the run; replay one high-QPS
+    // day of simulated consumer load against it and write the report.
+    if let Some(path) = &serve_report_path {
+        let store = ctx.serve.clone().expect("serve store attached");
+        let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
+        let report = sixdust_serve::run_day(
+            &fleet,
+            sixdust_serve::FrontendConfig::default(),
+            &store,
+            Some(&ctx.telemetry),
+        );
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_observability(path, &json);
+        eprintln!(
+            "[obs] serve day: {} requests, {} bodies ({} delta), {} bytes, {} hits/{} misses, \
+             {} not-modified, {} shed -> {}",
+            report.totals.requests,
+            report.totals.bodies,
+            report.totals.delta_fetches,
+            report.totals.bytes_sent,
+            report.totals.cache_hits,
+            report.totals.cache_misses,
+            report.totals.not_modified,
+            report.totals.shed_client + report.totals.shed_global,
+            path.display()
+        );
     }
     for cmd in &cmds {
         let t0 = std::time::Instant::now();

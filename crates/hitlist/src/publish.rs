@@ -11,7 +11,6 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use sixdust_addr::Addr;
-use sixdust_net::Protocol;
 
 use crate::service::HitlistService;
 
@@ -44,17 +43,51 @@ pub struct Manifest {
     pub counts: Vec<(String, usize)>,
     /// Whether the GFW filter was active for this round.
     pub gfw_filter_active: bool,
+    /// Stable per-artifact content digests (16 hex digits of FNV-1a 64
+    /// over the sorted item set), keyed by file stem. Content-derived,
+    /// not render-derived: two manifests list the same digest exactly
+    /// when the artifact holds the same addresses, so consumers can key
+    /// ETags and deltas off it. Absent in manifests written before
+    /// digests existed, hence the serde default.
+    #[serde(default)]
+    pub digests: Vec<(String, String)>,
 }
 
-fn lines<I: IntoIterator<Item = Addr>>(addrs: I) -> String {
+/// FNV-1a 64-bit digest over the little-endian bytes of each item — the
+/// stable content digest recorded per artifact in [`Manifest::digests`].
+/// Items must be sorted (and deduplicated) first so the digest depends
+/// on content, not render order. Byte-for-byte the same function as
+/// `sixdust_serve::codec::content_digest`, so serve-layer ETags match
+/// what the manifest records.
+pub fn content_digest(items: &[u128]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for item in items {
+        for byte in item.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn sorted(addrs: impl IntoIterator<Item = Addr>) -> Vec<Addr> {
     let mut v: Vec<Addr> = addrs.into_iter().collect();
     v.sort_unstable();
     v.dedup();
-    let mut out = String::with_capacity(v.len() * 24);
-    for a in v {
+    v
+}
+
+fn render(addrs: &[Addr]) -> String {
+    let mut out = String::with_capacity(addrs.len() * 24);
+    for a in addrs {
         let _ = writeln!(out, "{a}");
     }
     out
+}
+
+fn digest_hex(addrs: &[Addr]) -> String {
+    let items: Vec<u128> = addrs.iter().map(|a| a.0).collect();
+    format!("{:016x}", content_digest(&items))
 }
 
 /// Renders the current publication from a service.
@@ -63,33 +96,41 @@ pub fn publish(svc: &HitlistService) -> Publication {
     let date = last.map(|r| r.day.to_date()).unwrap_or_else(|| "unpublished".into());
     let gfw_active = last.map(|r| r.published == r.cleaned).unwrap_or(false);
 
-    let responsive = lines(svc.current_responsive().iter().copied());
-    let aliased_prefixes = {
+    let responsive_set = sorted(svc.current_responsive().iter().copied());
+    let responsive = render(&responsive_set);
+    let (aliased_prefixes, aliased_packed) = {
         let mut v: Vec<String> = svc.aliased().iter().map(|p| p.to_string()).collect();
         v.sort();
         let mut out = String::new();
         for p in v {
             let _ = writeln!(out, "{p}");
         }
-        out
+        // Prefixes digest over their packed form (network | len), the
+        // same item encoding the serve layer ships them in.
+        let mut packed: Vec<u128> =
+            svc.aliased().iter().map(|p| p.network().0 | u128::from(p.len())).collect();
+        packed.sort_unstable();
+        packed.dedup();
+        (out, packed)
     };
-    let gfw_filtered = lines(svc.gfw_impacted().iter().copied());
-    let input = lines(svc.input().iter().copied());
+    let gfw_set = sorted(svc.gfw_impacted().iter().copied());
+    let gfw_filtered = render(&gfw_set);
+    let input_set = sorted(svc.input().iter().copied());
+    let input = render(&input_set);
 
-    let per_protocol: Vec<(String, String)> = svc
-        .snapshots()
-        .last()
-        .map(|snap| {
-            Protocol::ALL
-                .iter()
-                .map(|p| {
-                    let stem =
-                        format!("responsive-{}.txt", p.label().to_lowercase().replace('/', ""));
-                    (stem, lines(snap.cleaned_for(*p).iter().copied()))
-                })
-                .collect()
+    // Per-protocol slices come from the last completed round — retained
+    // every round, not just snapshot days — so a mid-cadence publication
+    // reflects the current state.
+    let proto_sets: Vec<(String, Vec<Addr>)> = svc
+        .proto_responsive()
+        .iter()
+        .map(|(p, addrs)| {
+            let stem = format!("responsive-{}.txt", p.label().to_lowercase().replace('/', ""));
+            (stem, sorted(addrs.iter().copied()))
         })
-        .unwrap_or_default();
+        .collect();
+    let per_protocol: Vec<(String, String)> =
+        proto_sets.iter().map(|(stem, addrs)| (stem.clone(), render(addrs))).collect();
 
     let mut counts = vec![
         ("responsive-addresses.txt".to_string(), responsive.lines().count()),
@@ -101,8 +142,18 @@ pub fn publish(svc: &HitlistService) -> Publication {
         counts.push((stem.clone(), body.lines().count()));
     }
 
+    let mut digests = vec![
+        ("responsive-addresses.txt".to_string(), digest_hex(&responsive_set)),
+        ("aliased-prefixes.txt".to_string(), format!("{:016x}", content_digest(&aliased_packed))),
+        ("gfw-filtered.txt".to_string(), digest_hex(&gfw_set)),
+        ("input-candidates.txt".to_string(), digest_hex(&input_set)),
+    ];
+    for (stem, addrs) in &proto_sets {
+        digests.push((stem.clone(), digest_hex(addrs)));
+    }
+
     Publication {
-        manifest: Manifest { date: date.clone(), counts, gfw_filter_active: gfw_active },
+        manifest: Manifest { date: date.clone(), counts, gfw_filter_active: gfw_active, digests },
         date,
         responsive,
         aliased_prefixes,
@@ -199,6 +250,51 @@ mod tests {
         assert_eq!(body, p.responsive);
         assert!(dir.join("manifest.json").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_digests_cover_every_artifact_and_are_content_stable() {
+        let p = published();
+        // Every counted artifact carries a digest, in the same stem order.
+        let count_stems: Vec<&String> = p.manifest.counts.iter().map(|(s, _)| s).collect();
+        let digest_stems: Vec<&String> = p.manifest.digests.iter().map(|(s, _)| s).collect();
+        assert_eq!(count_stems, digest_stems);
+        for (stem, hex) in &p.manifest.digests {
+            assert_eq!(hex.len(), 16, "{stem} digest is 16 hex digits");
+            assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        }
+        // The digest is derived from content, not render order.
+        let addrs = Publication::parse_addresses(&p.responsive).expect("valid");
+        let mut items: Vec<u128> = addrs.iter().map(|a| a.0).collect();
+        items.sort_unstable();
+        items.dedup();
+        let expected = format!("{:016x}", content_digest(&items));
+        let (_, recorded) = p
+            .manifest
+            .digests
+            .iter()
+            .find(|(s, _)| s == "responsive-addresses.txt")
+            .expect("responsive digest present");
+        assert_eq!(recorded, &expected);
+    }
+
+    #[test]
+    fn manifest_stays_backward_readable() {
+        // A manifest written before digests existed (no `digests` key)
+        // must still deserialize; the field defaults to empty.
+        let old = r#"{
+            "date": "2021-06-01",
+            "counts": [["responsive-addresses.txt", 3]],
+            "gfw_filter_active": false
+        }"#;
+        let m: Manifest = serde_json::from_str(old).expect("old manifest readable");
+        assert!(m.digests.is_empty());
+        assert_eq!(m.counts.len(), 1);
+        // And a new manifest round-trips with digests intact.
+        let p = published();
+        let json = serde_json::to_string(&p.manifest).expect("serializes");
+        let back: Manifest = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.digests, p.manifest.digests);
     }
 
     #[test]

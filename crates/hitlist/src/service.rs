@@ -263,6 +263,11 @@ pub struct HitlistService {
     pending_snapshots: Vec<Day>,
     rounds: Vec<RoundRecord>,
     snapshots: Vec<Snapshot>,
+    /// The most recent round's cleaned responsive sets per protocol
+    /// (Protocol::ALL order) — retained every round, not just snapshot
+    /// days, so publication and the serve layer can slice the current
+    /// state by protocol.
+    last_proto_cleaned: Vec<(Protocol, Vec<Addr>)>,
     last_zone_week: Option<u32>,
     /// One online MAD monitor per protocol, fed the published responsive
     /// counts (Protocol::ALL order). Always on: the detectors are a few
@@ -292,6 +297,7 @@ impl HitlistService {
             pending_snapshots: pending,
             rounds: Vec::new(),
             snapshots: Vec::new(),
+            last_proto_cleaned: Vec::new(),
             last_zone_week: None,
             anomaly: std::array::from_fn(|_| MadDetector::new(MadConfig::default())),
             series: None,
@@ -418,6 +424,13 @@ impl HitlistService {
         svc.next_alias_day = state.next_alias_day;
         svc.rounds = state.rounds.clone();
         svc.snapshots = state.snapshots.clone();
+        // Per-protocol sets are only checkpointed inside snapshots; when
+        // the last checkpointed round was a snapshot day its sets are the
+        // current ones, otherwise they re-fill on the next round.
+        svc.last_proto_cleaned = match (state.snapshots.last(), state.rounds.last()) {
+            (Some(snap), Some(round)) if snap.day == round.day => snap.cleaned.clone(),
+            _ => Vec::new(),
+        };
         svc.last_zone_week = state.rounds.last().map(|r| r.day.0 / 7);
         let mut pending = svc.config.snapshot_days.clone();
         pending.sort_unstable();
@@ -450,6 +463,25 @@ impl HitlistService {
     /// The most recent cleaned responsive set.
     pub fn current_responsive(&self) -> &HashSet<Addr> {
         &self.prev_responsive
+    }
+
+    /// The most recent round's cleaned responsive sets per protocol
+    /// (Protocol::ALL order). Empty until the first round runs (or, on a
+    /// resumed service, until the first post-resume round when the
+    /// checkpoint did not end on a snapshot day).
+    pub fn proto_responsive(&self) -> &[(Protocol, Vec<Addr>)] {
+        &self.last_proto_cleaned
+    }
+
+    /// The most recent round's cleaned responsive addresses for one
+    /// protocol; empty under the same conditions as
+    /// [`HitlistService::proto_responsive`].
+    pub fn current_responsive_for(&self, proto: Protocol) -> &[Addr] {
+        self.last_proto_cleaned
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
     }
 
     fn ingest_sources(&mut self, net: &Internet, day: Day) {
@@ -734,16 +766,19 @@ impl HitlistService {
             }
         }
 
-        // 8. Snapshots.
+        // 8. Per-protocol state and snapshots. The per-protocol sets are
+        // retained every round (publication and the serve layer read
+        // them); snapshot days additionally archive them permanently.
         if self.pending_snapshots.first().is_some_and(|d| day >= *d) {
             self.pending_snapshots.remove(0);
             self.snapshots.push(Snapshot {
                 day,
-                cleaned: proto_cleaned_sets,
+                cleaned: proto_cleaned_sets.clone(),
                 published: proto_published_sets,
                 aliased: self.aliased.iter().collect(),
             });
         }
+        self.last_proto_cleaned = proto_cleaned_sets;
 
         self.rounds.push(record);
 
@@ -763,12 +798,28 @@ impl HitlistService {
     /// historical scan cadence. The final round always lands exactly on
     /// `until` so snapshots for that day exist.
     pub fn run(&mut self, net: &Internet, from: Day, until: Day) {
+        self.run_with(net, from, until, |_, _| {});
+    }
+
+    /// Like [`HitlistService::run`], but invokes `hook` with the service
+    /// and the round's day after every completed round — the integration
+    /// point for per-round consumers (checkpointing, publication into a
+    /// serve-layer snapshot store) that must not live inside this crate.
+    pub fn run_with(
+        &mut self,
+        net: &Internet,
+        from: Day,
+        until: Day,
+        mut hook: impl FnMut(&HitlistService, Day),
+    ) {
         let mut day = from;
         while day < until {
             self.run_round(net, day);
+            hook(self, day);
             let next = day.plus(events::scan_gap(day));
             day = if next > until { until } else { next };
         }
         self.run_round(net, until);
+        hook(self, until);
     }
 }

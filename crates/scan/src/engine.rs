@@ -47,7 +47,12 @@ pub fn proto_metric_key(protocol: Protocol) -> &'static str {
 /// compatibility but new code should prefer the builder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScanConfig {
-    /// Worker threads.
+    /// Worker threads. The engine clamps the effective value to
+    /// `1..=32` at scan time — a `0` runs single-threaded and anything
+    /// above 32 runs with 32. A clamped scan bumps the
+    /// `scan.config.threads_clamped` telemetry counter (once per scan)
+    /// when a registry is attached, so a misconfigured fleet is visible
+    /// instead of silently slower.
     pub threads: usize,
     /// Probes sent per target (ZMap default 1; retries mask loss).
     ///
@@ -426,6 +431,13 @@ pub fn scan_with(
     let n = targets.len() as u64;
     let order: Vec<u64> = CyclicPermutation::new(n, config.seed ^ u64::from(day.0)).collect();
     let threads = config.threads.clamp(1, 32);
+    if threads != config.threads {
+        // The clamp used to be silent; a configured 0 or 200 ran with a
+        // different parallelism than asked and nothing recorded the fact.
+        if let Some(t) = telemetry {
+            t.counter("scan.config.threads_clamped").incr();
+        }
+    }
     let chunk = order.len().div_ceil(threads.max(1)).max(1);
     let chunk_hist = telemetry.map(|t| t.histogram("scan.worker.chunk_ms"));
     // Resolved once per scan; workers clone the journal handle, not the

@@ -425,6 +425,30 @@ mod tests {
     }
 
     #[test]
+    fn thread_clamp_is_counted_not_silent() {
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
+        let day = Day(100);
+        let targets: Vec<Addr> = net
+            .population()
+            .enumerate_responsive(day)
+            .into_iter()
+            .map(|(a, ..)| a)
+            .take(50)
+            .collect();
+        let reg = sixdust_telemetry::Registry::new();
+        // Out-of-range settings clamp (0 -> 1, 200 -> 32) and count.
+        for threads in [0usize, 200] {
+            let cfg = ScanConfig::builder().threads(threads).build();
+            scan_with(&net, Protocol::Icmp, &targets, day, &cfg, Some(&reg));
+        }
+        assert_eq!(reg.snapshot().counter("scan.config.threads_clamped"), Some(2));
+        // An in-range setting does not.
+        let cfg = ScanConfig::builder().threads(4).build();
+        scan_with(&net, Protocol::Icmp, &targets, day, &cfg, Some(&reg));
+        assert_eq!(reg.snapshot().counter("scan.config.threads_clamped"), Some(2));
+    }
+
+    #[test]
     fn chinese_last_hops_rotate_over_time() {
         let net = net();
         let ct = net.registry().by_asn(4134).unwrap();

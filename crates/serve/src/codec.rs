@@ -1,0 +1,494 @@
+//! The artifact delta codec: sorted `u128` item sets as compact,
+//! checksummed byte streams.
+//!
+//! The real hitlist service ships multi-megabyte daily text files; a
+//! consumer who already holds yesterday's list only needs the day's
+//! churn, which is orders of magnitude smaller. This module encodes a
+//! sorted set of 128-bit items (addresses, or packed prefixes) two ways:
+//!
+//! * **full** — the whole set, varint delta-of-delta encoded: the first
+//!   item absolute, the first gap plain, every later gap as a zigzag
+//!   second difference. Structured address sets (regular strides inside
+//!   a prefix) collapse to near one byte per item.
+//! * **delta** — the removed and added items versus a base set, plus the
+//!   FNV-1a digests of both the base and the result, so a consumer can
+//!   detect applying a delta to the wrong base *before* trusting the
+//!   output.
+//!
+//! Every stream ends in an FNV-1a checksum over the preceding bytes.
+//! Decoding is panic-free: corrupted, truncated or internally
+//! inconsistent input yields a [`CodecError`], never UB or an abort.
+
+use std::fmt;
+
+/// Magic prefix of a full-snapshot stream (`SDF1`).
+pub const FULL_MAGIC: [u8; 4] = *b"SDF1";
+/// Magic prefix of a delta stream (`SDD1`).
+pub const DELTA_MAGIC: [u8; 4] = *b"SDD1";
+
+/// Why a stream failed to decode or apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the structure it promised.
+    Truncated,
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The trailing checksum does not match the stream contents.
+    ChecksumMismatch,
+    /// A varint ran past the width of `u128`.
+    BadVarint,
+    /// The item count claims more items than the stream could hold.
+    LengthOverflow,
+    /// Decoded items were not strictly increasing.
+    NotSorted,
+    /// Bytes remained after the advertised structure was consumed.
+    TrailingBytes,
+    /// A delta was applied to a base set with the wrong digest.
+    BaseMismatch {
+        /// Digest the delta was encoded against.
+        expected: u64,
+        /// Digest of the base actually supplied.
+        actual: u64,
+    },
+    /// The delta applied cleanly but the result digest disagrees.
+    ResultMismatch {
+        /// Digest the delta promised for the result.
+        expected: u64,
+        /// Digest of the set actually produced.
+        actual: u64,
+    },
+    /// A delta removed an item the base does not hold, or added one it
+    /// already holds.
+    InconsistentDelta,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "stream truncated"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CodecError::BadVarint => write!(f, "varint exceeds 128 bits"),
+            CodecError::LengthOverflow => write!(f, "item count exceeds stream size"),
+            CodecError::NotSorted => write!(f, "items not strictly increasing"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after structure"),
+            CodecError::BaseMismatch { expected, actual } => {
+                write!(f, "delta base digest {expected:#x} != supplied base {actual:#x}")
+            }
+            CodecError::ResultMismatch { expected, actual } => {
+                write!(f, "delta result digest {expected:#x} != reconstructed {actual:#x}")
+            }
+            CodecError::InconsistentDelta => write!(f, "delta inconsistent with base set"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit digest over the little-endian bytes of each item — the
+/// stable per-artifact content digest (order-independent inputs must be
+/// sorted first; every caller in this crate passes sorted sets).
+///
+/// Matches [`sixdust_hitlist::publish::content_digest`] byte for byte so
+/// serve-layer ETags key off the same value `manifest.json` records.
+pub fn content_digest(items: &[u128]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for item in items {
+        for byte in item.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// FNV-1a 64-bit over raw bytes (stream checksums).
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
+    let mut value: u128 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 128 {
+            return Err(CodecError::BadVarint);
+        }
+        let part = u128::from(byte & 0x7f);
+        // The final 7-bit group may not carry bits past position 127.
+        if shift > 121 && (part >> (128 - shift)) != 0 {
+            return Err(CodecError::BadVarint);
+        }
+        value |= part << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a wrapped second difference into an unsigned varint-friendly
+/// value. Works over the full `u128` ring: `wrapping_sub` then zigzag is a
+/// bijection, so even pathological gap sequences round-trip exactly.
+fn zigzag(d: i128) -> u128 {
+    ((d << 1) ^ (d >> 127)) as u128
+}
+
+fn unzigzag(z: u128) -> i128 {
+    ((z >> 1) as i128) ^ -((z & 1) as i128)
+}
+
+/// Appends `count` + the delta-of-delta item stream for a sorted set.
+fn push_items(out: &mut Vec<u8>, items: &[u128]) {
+    debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+    push_varint(out, items.len() as u128);
+    let mut prev_item: u128 = 0;
+    let mut prev_gap: u128 = 0;
+    for (i, &item) in items.iter().enumerate() {
+        match i {
+            0 => push_varint(out, item),
+            1 => {
+                prev_gap = item - prev_item;
+                push_varint(out, prev_gap);
+            }
+            _ => {
+                let gap = item - prev_item;
+                push_varint(out, zigzag(gap.wrapping_sub(prev_gap) as i128));
+                prev_gap = gap;
+            }
+        }
+        prev_item = item;
+    }
+}
+
+/// Reads one item stream written by [`push_items`].
+fn read_items(bytes: &[u8], pos: &mut usize) -> Result<Vec<u128>, CodecError> {
+    let count = read_varint(bytes, pos)?;
+    // Each encoded item costs at least one byte, so a count beyond the
+    // stream length is corrupt — reject before allocating.
+    if count > bytes.len() as u128 {
+        return Err(CodecError::LengthOverflow);
+    }
+    let count = count as usize;
+    let mut items = Vec::with_capacity(count);
+    let mut prev_item: u128 = 0;
+    let mut prev_gap: u128 = 0;
+    for i in 0..count {
+        let item = match i {
+            0 => read_varint(bytes, pos)?,
+            _ => {
+                let gap = if i == 1 {
+                    read_varint(bytes, pos)?
+                } else {
+                    prev_gap.wrapping_add(unzigzag(read_varint(bytes, pos)?) as u128)
+                };
+                if gap == 0 {
+                    return Err(CodecError::NotSorted);
+                }
+                prev_gap = gap;
+                prev_item.checked_add(gap).ok_or(CodecError::NotSorted)?
+            }
+        };
+        items.push(item);
+        prev_item = item;
+    }
+    Ok(items)
+}
+
+/// Checks the trailing 8-byte checksum and returns the payload in front
+/// of it.
+fn checked_payload(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < 12 {
+        return Err(CodecError::Truncated);
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("split_at leaves 8 bytes"));
+    if fnv_bytes(payload) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+fn push_checksum(out: &mut Vec<u8>) {
+    let sum = fnv_bytes(out);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Encodes a full snapshot of a sorted, deduplicated item set.
+///
+/// # Panics
+///
+/// Debug builds assert the input is strictly increasing; release builds
+/// trust the caller (every in-crate caller sorts and dedups first).
+pub fn encode_full(items: &[u128]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + items.len() * 2);
+    out.extend_from_slice(&FULL_MAGIC);
+    push_items(&mut out, items);
+    push_checksum(&mut out);
+    out
+}
+
+/// Decodes a full snapshot, verifying magic, checksum, sortedness and
+/// exact consumption. Never panics on corrupt input.
+pub fn decode_full(bytes: &[u8]) -> Result<Vec<u128>, CodecError> {
+    let payload = checked_payload(bytes)?;
+    if payload[..4] != FULL_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut pos = 4;
+    let items = read_items(payload, &mut pos)?;
+    if pos != payload.len() {
+        return Err(CodecError::TrailingBytes);
+    }
+    Ok(items)
+}
+
+/// Encodes the delta from sorted set `prev` to sorted set `next`: the
+/// removed and added items, framed by the digests of both endpoints.
+pub fn encode_delta(prev: &[u128], next: &[u128]) -> Vec<u8> {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev.len() || j < next.len() {
+        match (prev.get(i), next.get(j)) {
+            (Some(&p), Some(&n)) if p == n => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&p), Some(&n)) if p < n => {
+                removed.push(p);
+                i += 1;
+            }
+            (Some(_), Some(&n)) => {
+                added.push(n);
+                j += 1;
+            }
+            (Some(&p), None) => {
+                removed.push(p);
+                i += 1;
+            }
+            (None, Some(&n)) => {
+                added.push(n);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    let mut out = Vec::with_capacity(32 + (removed.len() + added.len()) * 2);
+    out.extend_from_slice(&DELTA_MAGIC);
+    out.extend_from_slice(&content_digest(prev).to_le_bytes());
+    out.extend_from_slice(&content_digest(next).to_le_bytes());
+    push_items(&mut out, &removed);
+    push_items(&mut out, &added);
+    push_checksum(&mut out);
+    out
+}
+
+/// The `(base, result)` digests a delta stream was encoded against,
+/// without applying it — the serve layer's ETag fast path.
+pub fn delta_digests(bytes: &[u8]) -> Result<(u64, u64), CodecError> {
+    let payload = checked_payload(bytes)?;
+    if payload[..4] != DELTA_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if payload.len() < 20 {
+        return Err(CodecError::Truncated);
+    }
+    let base = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+    let result = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes"));
+    Ok((base, result))
+}
+
+/// Applies a delta stream to the sorted base set `prev`, returning the
+/// reconstructed sorted result.
+///
+/// Three layers of validation guard the reconstruction: the stream
+/// checksum, the base digest (wrong-base application fails fast), and the
+/// result digest (a forged-but-checksummed delta still cannot produce a
+/// silently wrong set).
+pub fn apply_delta(prev: &[u128], bytes: &[u8]) -> Result<Vec<u128>, CodecError> {
+    let payload = checked_payload(bytes)?;
+    if payload[..4] != DELTA_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if payload.len() < 20 {
+        return Err(CodecError::Truncated);
+    }
+    let base_digest = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+    let result_digest = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes"));
+    let mut pos = 20;
+    let removed = read_items(payload, &mut pos)?;
+    let added = read_items(payload, &mut pos)?;
+    if pos != payload.len() {
+        return Err(CodecError::TrailingBytes);
+    }
+    let actual_base = content_digest(prev);
+    if actual_base != base_digest {
+        return Err(CodecError::BaseMismatch { expected: base_digest, actual: actual_base });
+    }
+
+    // Merge walk: drop removed items (which must exist), keep the rest,
+    // interleave added items (which must be new).
+    let mut next = Vec::with_capacity(prev.len() + added.len() - removed.len().min(prev.len()));
+    let mut rem = removed.iter().copied().peekable();
+    let mut add = added.iter().copied().peekable();
+    for &p in prev {
+        while add.peek().is_some_and(|&a| a < p) {
+            next.push(add.next().expect("peeked"));
+        }
+        if add.peek() == Some(&p) {
+            return Err(CodecError::InconsistentDelta);
+        }
+        if rem.peek() == Some(&p) {
+            rem.next();
+        } else {
+            next.push(p);
+        }
+    }
+    next.extend(add);
+    if rem.next().is_some() {
+        return Err(CodecError::InconsistentDelta);
+    }
+    let actual = content_digest(&next);
+    if actual != result_digest {
+        return Err(CodecError::ResultMismatch { expected: result_digest, actual });
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u128]) -> Vec<u128> {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn full_round_trips() {
+        for items in [
+            vec![],
+            vec![0u128],
+            vec![u128::MAX],
+            set(&[1, 2, 3, 1000, u128::MAX - 1, u128::MAX]),
+            (0..500u128).map(|i| i * 7 + 3).collect(),
+        ] {
+            let bytes = encode_full(&items);
+            assert_eq!(decode_full(&bytes).expect("round trip"), items);
+        }
+    }
+
+    #[test]
+    fn regular_strides_compress_to_near_one_byte_per_item() {
+        // A structured /64 sweep: constant gap, so every second
+        // difference is zero — one byte each after the first two items.
+        let items: Vec<u128> = (0..10_000u128).map(|i| (0x2001 << 112) + i * 256).collect();
+        let bytes = encode_full(&items);
+        assert!(
+            bytes.len() < items.len() + 64,
+            "dod encoding should collapse strides: {} bytes for {} items",
+            bytes.len(),
+            items.len()
+        );
+    }
+
+    #[test]
+    fn delta_round_trips_including_edge_shapes() {
+        let cases: Vec<(Vec<u128>, Vec<u128>)> = vec![
+            (vec![], vec![]),
+            (vec![], vec![5]),
+            (vec![5], vec![]),
+            (vec![1, 2, 3], vec![1, 2, 3]),
+            (vec![1, 2, 3], vec![2]), // removal-only (plus keeps)
+            (vec![1, 2, 3], vec![1, 2, 3, 4, 9]), // addition-only
+            (set(&[10, 20, 30, 40]), set(&[5, 20, 35, 40, 50])),
+        ];
+        for (prev, next) in cases {
+            let delta = encode_delta(&prev, &next);
+            assert_eq!(apply_delta(&prev, &delta).expect("apply"), next, "{prev:?} -> {next:?}");
+            let (b, r) = delta_digests(&delta).expect("digests");
+            assert_eq!(b, content_digest(&prev));
+            assert_eq!(r, content_digest(&next));
+        }
+    }
+
+    #[test]
+    fn wrong_base_is_rejected_before_reconstruction() {
+        let prev = set(&[1, 2, 3]);
+        let next = set(&[1, 2, 3, 4]);
+        let delta = encode_delta(&prev, &next);
+        let err = apply_delta(&[1, 2], &delta).expect_err("wrong base");
+        assert!(matches!(err, CodecError::BaseMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_streams_error_instead_of_panicking() {
+        let items = set(&[7, 9, 100, 2000]);
+        let good = encode_full(&items);
+        assert_eq!(decode_full(&[]).expect_err("empty"), CodecError::Truncated);
+        assert_eq!(decode_full(&good[..good.len() - 1]).expect_err("truncated"), {
+            CodecError::ChecksumMismatch
+        });
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(decode_full(&bad_magic).is_err());
+        for i in 0..good.len() {
+            let mut flipped = good.clone();
+            flipped[i] ^= 0x55;
+            assert!(decode_full(&flipped).is_err(), "flip at {i} must not decode");
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FULL_MAGIC);
+        push_varint(&mut bytes, u128::from(u64::MAX)); // absurd count
+        push_checksum(&mut bytes);
+        assert_eq!(decode_full(&bytes).expect_err("huge count"), CodecError::LengthOverflow);
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // 19 continuation bytes push past 128 bits.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FULL_MAGIC);
+        bytes.push(1); // count = 1
+        bytes.extend_from_slice(&[0xff; 19]);
+        bytes.push(0x7f);
+        push_checksum(&mut bytes);
+        assert_eq!(decode_full(&bytes).expect_err("overflow"), CodecError::BadVarint);
+    }
+
+    #[test]
+    fn digest_is_content_stable() {
+        let a = set(&[3, 1, 2]);
+        let b = set(&[2, 3, 1]);
+        assert_eq!(content_digest(&a), content_digest(&b));
+        assert_ne!(content_digest(&a), content_digest(&[1, 2]));
+        // Known FNV-1a property: empty input is the offset basis.
+        assert_eq!(content_digest(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,308 @@
+//! A deterministic simulated fleet of registered hitlist consumers.
+//!
+//! Every schedule decision — who asks, for what, when, and how fresh
+//! their local copy is — is derived from a seed through the same
+//! SplitMix-based PRF the rest of the workspace uses, so a day of load
+//! replays bit-identically. Artifact popularity follows a Zipf law over
+//! [`ArtifactKind::ALL`] (the full responsive list dominates, exotic
+//! slices tail off), matching how real hitlist mirrors see traffic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sixdust_addr::prf::prf_u128;
+
+use crate::server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
+use crate::store::{ArtifactKind, SnapshotStore};
+
+const TAG_TIME: u64 = 1;
+const TAG_CLIENT: u64 = 2;
+const TAG_KIND: u64 = 3;
+const TAG_FRESH: u64 = 4;
+const TAG_COND: u64 = 5;
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of distinct registered consumers.
+    pub clients: u64,
+    /// Requests issued across the day.
+    pub requests: u64,
+    /// Zipf exponent over artifact popularity ranks (milli-units:
+    /// 1000 = classic 1/rank).
+    pub zipf_exponent_milli: u32,
+    /// PRNG seed; equal seeds replay the identical day.
+    pub seed: u64,
+    /// Permille of requests from clients holding the round the store
+    /// last diffed against (e.g. yesterday's mirror sync); they ask for
+    /// a delta on top of it.
+    pub one_behind_permille: u32,
+    /// Permille of requests sent conditionally (If-None-Match with the
+    /// digest the client last saw).
+    pub conditional_permille: u32,
+    /// Length of the simulated day in virtual microseconds.
+    pub day_micros: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            clients: 500,
+            requests: 100_000,
+            zipf_exponent_milli: 1_000,
+            seed: 0x6D15_7A11,
+            one_behind_permille: 350,
+            conditional_permille: 250,
+            day_micros: 86_400_000_000,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Starts from the default configuration.
+    pub fn builder() -> FleetConfig {
+        FleetConfig::default()
+    }
+
+    /// Sets the consumer count.
+    pub fn with_clients(mut self, clients: u64) -> FleetConfig {
+        self.clients = clients.max(1);
+        self
+    }
+
+    /// Sets the total request count for the day.
+    pub fn with_requests(mut self, requests: u64) -> FleetConfig {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> FleetConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The report card of one simulated day, serializable for
+/// `--serve-report`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DayReport {
+    /// Seed the day was generated from.
+    pub seed: u64,
+    /// Configured consumer count.
+    pub clients: u64,
+    /// Store round the day was served from.
+    pub round: u64,
+    /// Front-end totals (requests, bytes, cache, shed, …).
+    pub totals: FrontendTotals,
+    /// Served bodies per artifact kind, in [`ArtifactKind::ALL`] order.
+    pub bodies_by_kind: Vec<(String, u64)>,
+}
+
+/// Zipf cumulative weights over the popularity-ranked artifact kinds,
+/// in integer milli-weights so the draw is exact and portable.
+fn zipf_cumulative(exponent_milli: u32) -> Vec<u64> {
+    let mut acc = 0u64;
+    let mut cumulative = Vec::with_capacity(ArtifactKind::ALL.len());
+    for rank in 1..=ArtifactKind::ALL.len() as u32 {
+        // weight = 1 / rank^s with s in milli-units, computed as a
+        // fixed-point power: rank^s = exp2(s * log2(rank)). Integer
+        // approximation: interpolate between the two nearest integer
+        // exponents, which is exact at s = 0 and s = 1000 (the default).
+        let s = exponent_milli;
+        let lo = rank.pow(s / 1000);
+        let hi = lo.saturating_mul(rank);
+        let frac = u64::from(s % 1000);
+        let denom_milli = u64::from(lo) * (1000 - frac) + u64::from(hi) * frac;
+        // weight in parts-per-million of the rank-1 weight.
+        acc += 1_000_000_000 / denom_milli.max(1);
+        cumulative.push(acc);
+    }
+    cumulative
+}
+
+fn pick_kind(cumulative: &[u64], draw: u64) -> ArtifactKind {
+    let total = *cumulative.last().expect("non-empty kind table");
+    let point = draw % total;
+    let slot = cumulative.iter().position(|&c| point < c).unwrap_or(cumulative.len() - 1);
+    ArtifactKind::ALL[slot]
+}
+
+/// What each (client, kind) pair remembers between requests: the
+/// content digest of the copy it last downloaded (its ETag).
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    digest: u64,
+}
+
+/// Drives one simulated day of fleet load against a front end and
+/// returns the report. Deterministic for a fixed (config, store state).
+pub fn simulate_day(
+    config: &FleetConfig,
+    frontend: &mut Frontend,
+    store: &SnapshotStore,
+) -> DayReport {
+    let cumulative = zipf_cumulative(config.zipf_exponent_milli);
+    let current_round = store.current_round().unwrap_or(0);
+    // The round each artifact's delta was diffed against, fixed at day
+    // start: the base a one-behind consumer holds.
+    let prev_rounds: Vec<Option<u64>> =
+        ArtifactKind::ALL.iter().map(|&k| store.artifact(k).and_then(|v| v.prev_round())).collect();
+
+    // Build the arrival schedule up front and sort by (time, index) so
+    // replay order is total and independent of generation order.
+    let mut schedule: Vec<(u64, u64)> = (0..config.requests)
+        .map(|i| {
+            let at = prf_u128(config.seed, u128::from(i), TAG_TIME) % config.day_micros.max(1);
+            (at, i)
+        })
+        .collect();
+    schedule.sort_unstable();
+
+    let mut held: HashMap<(u64, usize), Held> = HashMap::new();
+    let mut bodies_by_kind = vec![0u64; ArtifactKind::ALL.len()];
+
+    for &(at_us, i) in &schedule {
+        let client = prf_u128(config.seed, u128::from(i), TAG_CLIENT) % config.clients.max(1);
+        let kind = pick_kind(&cumulative, prf_u128(config.seed, u128::from(i), TAG_KIND));
+        let state = held.get(&(client, kind.index())).copied();
+
+        // Freshness: a slice of the fleet holds the store's previous
+        // round (yesterday's sync) and asks for a delta on top of it;
+        // everyone else asks for the full snapshot. Knowingly-stale
+        // consumers do not send an ETag; up-to-date ones (with a body
+        // fetched earlier today) conditionally revalidate instead.
+        let fresh_draw = prf_u128(config.seed, u128::from(i), TAG_FRESH) % 1000;
+        let one_behind = fresh_draw < u64::from(config.one_behind_permille);
+        let fetch = match prev_rounds[kind.index()] {
+            Some(prev) if one_behind => FetchKind::DeltaSince(prev),
+            _ => FetchKind::Full,
+        };
+        let cond_draw = prf_u128(config.seed, u128::from(i), TAG_COND) % 1000;
+        let if_none_match = match state {
+            Some(h) if !one_behind && cond_draw < u64::from(config.conditional_permille) => {
+                Some(h.digest)
+            }
+            _ => None,
+        };
+
+        let request = Request { client, kind, fetch, if_none_match, at_us };
+        match frontend.handle(&request) {
+            Outcome::Body { digest, .. } => {
+                bodies_by_kind[kind.index()] += 1;
+                held.insert((client, kind.index()), Held { digest });
+            }
+            Outcome::NotModified { .. }
+            | Outcome::ShedClient
+            | Outcome::ShedGlobal
+            | Outcome::Unavailable => {}
+        }
+    }
+
+    DayReport {
+        seed: config.seed,
+        clients: config.clients,
+        round: current_round,
+        totals: frontend.totals().clone(),
+        bodies_by_kind: ArtifactKind::ALL
+            .iter()
+            .zip(bodies_by_kind)
+            .map(|(kind, n)| (kind.file_stem(), n))
+            .collect(),
+    }
+}
+
+/// Convenience wrapper: build a front end over `store` with `frontend`
+/// config (telemetry optional) and replay one day of `fleet` load.
+pub fn run_day(
+    fleet: &FleetConfig,
+    frontend: FrontendConfig,
+    store: &Arc<SnapshotStore>,
+    telemetry: Option<&sixdust_telemetry::Registry>,
+) -> DayReport {
+    let mut fe = Frontend::new(frontend, store.clone());
+    if let Some(registry) = telemetry {
+        fe = fe.with_telemetry(registry);
+    }
+    simulate_day(fleet, &mut fe, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn seeded_store() -> Arc<SnapshotStore> {
+        let store = SnapshotStore::new(StoreConfig::default());
+        for round in 1..=3u64 {
+            let artifacts = ArtifactKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let base = kind.index() as u128 * 1_000_000;
+                    let n = 200 + round as u128 * 50;
+                    (kind, (0..n).map(|i| base + i * 7).collect::<Vec<u128>>())
+                })
+                .collect();
+            store.publish_round(round, "day", artifacts);
+        }
+        Arc::new(store)
+    }
+
+    #[test]
+    fn zipf_weights_decrease_and_cover() {
+        let c = zipf_cumulative(1_000);
+        assert_eq!(c.len(), ArtifactKind::ALL.len());
+        let mut prev = 0;
+        let mut prev_w = u64::MAX;
+        for &cum in &c {
+            let w = cum - prev;
+            assert!(w <= prev_w, "weights are non-increasing in rank");
+            assert!(w > 0);
+            prev = cum;
+            prev_w = w;
+        }
+        // Exponent 0 degenerates to uniform.
+        let flat = zipf_cumulative(0);
+        let w0 = flat[0];
+        assert!(flat.windows(2).all(|w| w[1] - w[0] == w0));
+    }
+
+    #[test]
+    fn same_seed_same_day() {
+        let store = seeded_store();
+        let fleet = FleetConfig::builder().with_requests(5_000).with_clients(40);
+        let a = run_day(&fleet, FrontendConfig::default(), &store, None);
+        let b = run_day(&fleet, FrontendConfig::default(), &store, None);
+        assert_eq!(a, b, "identical seed and store replay identically");
+        let c = run_day(&fleet.clone().with_seed(99), FrontendConfig::default(), &store, None);
+        assert_ne!(a.totals, c.totals, "different seed gives a different day");
+    }
+
+    #[test]
+    fn day_exercises_every_path() {
+        let store = seeded_store();
+        let mut fleet = FleetConfig::builder().with_requests(20_000).with_clients(60);
+        // Compress the day to one virtual hour: per-client demand
+        // (20000/60 ≈ 333) then provably exceeds the per-client token
+        // budget (burst 8 + 4/min × 60 min = 248), so shedding is
+        // guaranteed by arithmetic, not by arrival clustering.
+        fleet.day_micros = 3_600_000_000;
+        let report = run_day(&fleet, FrontendConfig::default(), &store, None);
+        let t = &report.totals;
+        assert_eq!(t.requests, 20_000);
+        assert_eq!(
+            t.bodies + t.not_modified + t.shed_client + t.shed_global + t.unavailable,
+            t.requests,
+            "every request is accounted exactly once"
+        );
+        assert_eq!(t.unavailable, 0, "a fully published store always has a body");
+        assert_eq!(t.bodies, t.delta_fetches + t.full_fetches);
+        assert!(t.cache_hits > 0 && t.not_modified > 0 && t.shed_client > 0);
+        assert!(t.delta_fetches > 0, "one-behind clients pull deltas");
+        assert!(t.bytes_sent > 0);
+        // Zipf head: the full responsive list is the most-served body.
+        let responsive = report.bodies_by_kind[0].1;
+        assert!(report.bodies_by_kind[1..].iter().all(|&(_, n)| n <= responsive));
+        assert_eq!(report.round, 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! `sixdust-serve`: the hitlist distribution subsystem.
+//!
+//! A paper-scale hitlist is only useful if researchers can actually
+//! fetch it, so this crate models the publishing side that sits between
+//! [`HitlistService`](sixdust_hitlist::HitlistService) rounds and a
+//! fleet of registered consumers:
+//!
+//! * [`store`] — a sharded snapshot store. Addresses are PRF-sharded
+//!   across N shards; a publishing round builds a fresh generation off
+//!   to the side and installs it with one atomic pointer swap, so
+//!   concurrent readers never block and never observe a torn mix of
+//!   rounds. Unchanged artifacts and shards are structurally shared
+//!   (`Arc` reuse) between generations.
+//! * [`codec`] — full-snapshot and delta wire formats for sorted
+//!   `u128` address sets: varint delta-of-delta encoding, FNV-1a
+//!   content digests, and checksummed frames whose decoder rejects
+//!   corruption instead of panicking.
+//! * [`server`] — what one front end does to a request stream: ETag
+//!   conditional fetches (304s), an LRU of encoded bodies, per-client
+//!   token buckets plus a global concurrency cap, and explicit
+//!   load-shedding accounting.
+//! * [`fleet`] — a seeded, Zipf-popular simulated consumer fleet that
+//!   replays a deterministic high-QPS day and emits a [`DayReport`].
+//!
+//! All request handling runs on virtual time, so a 100k-request day
+//! replays in milliseconds and bit-identically for a fixed seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fleet;
+pub mod server;
+pub mod store;
+
+pub use codec::{apply_delta, content_digest, decode_full, encode_delta, encode_full, CodecError};
+pub use fleet::{run_day, simulate_day, DayReport, FleetConfig};
+pub use server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
+pub use store::{ArtifactKind, ArtifactVersion, ShardData, SnapshotStore, StoreConfig};

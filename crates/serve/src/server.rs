@@ -1,0 +1,561 @@
+//! The request layer: what one front-end process does to a request
+//! stream — ETag conditional fetches, an LRU cache of response bodies,
+//! per-client token-bucket admission and a global concurrency cap with
+//! explicit load-shedding accounting.
+//!
+//! The layer is driven on *virtual* time (microseconds since midnight of
+//! the simulated day), so a whole high-QPS day replays in well under a
+//! second of wall clock and every run is deterministic. Latencies are
+//! synthetic but structurally honest: a constant service floor, a
+//! render penalty on cache misses, and a transfer term proportional to
+//! body size.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sixdust_telemetry::{Counter, Histogram, Registry};
+
+use crate::store::{ArtifactKind, SnapshotStore};
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// LRU cache capacity, in encoded response bodies.
+    pub cache_capacity: usize,
+    /// Maximum requests in flight at once; arrivals beyond it are shed.
+    pub global_concurrency: usize,
+    /// Token-bucket burst per client.
+    pub client_burst: u32,
+    /// Token-bucket refill per client, tokens per virtual minute.
+    pub client_rate_per_min: u32,
+    /// Constant service floor, microseconds.
+    pub base_latency_us: u64,
+    /// Extra latency when a body misses the cache and must be rendered.
+    pub render_latency_us: u64,
+    /// Transfer rate for the size-proportional latency term, bytes per
+    /// microsecond (50 ≈ 400 Mbit/s).
+    pub bytes_per_us: u64,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            cache_capacity: 12,
+            global_concurrency: 64,
+            client_burst: 8,
+            client_rate_per_min: 4,
+            base_latency_us: 1_500,
+            render_latency_us: 4_000,
+            bytes_per_us: 50,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// Starts from the default configuration.
+    pub fn builder() -> FrontendConfig {
+        FrontendConfig::default()
+    }
+
+    /// Sets the LRU cache capacity.
+    pub fn with_cache_capacity(mut self, entries: usize) -> FrontendConfig {
+        self.cache_capacity = entries.max(1);
+        self
+    }
+
+    /// Sets the global concurrency cap.
+    pub fn with_global_concurrency(mut self, cap: usize) -> FrontendConfig {
+        self.global_concurrency = cap.max(1);
+        self
+    }
+
+    /// Sets the per-client token bucket (burst, refill per minute).
+    pub fn with_client_bucket(mut self, burst: u32, rate_per_min: u32) -> FrontendConfig {
+        self.client_burst = burst.max(1);
+        self.client_rate_per_min = rate_per_min;
+        self
+    }
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// The full current snapshot.
+    Full,
+    /// The delta on top of the round the client already holds.
+    DeltaSince(u64),
+}
+
+/// One consumer request at a point in virtual time.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Requesting client id.
+    pub client: u64,
+    /// Which artifact.
+    pub kind: ArtifactKind,
+    /// Full or delta fetch.
+    pub fetch: FetchKind,
+    /// Conditional-fetch ETag: the content digest the client holds.
+    pub if_none_match: Option<u64>,
+    /// Arrival time, microseconds into the simulated day.
+    pub at_us: u64,
+}
+
+/// How the front end answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A body was served.
+    Body {
+        /// Bytes on the wire.
+        bytes: u64,
+        /// Round of the served version.
+        round: u64,
+        /// ETag (content digest) of the served version.
+        digest: u64,
+        /// Whether a delta (vs full) body was served.
+        delta: bool,
+        /// Whether the body came from the LRU cache.
+        cached: bool,
+        /// Synthetic service latency.
+        latency_us: u64,
+    },
+    /// The client's ETag still matches: 304, no body.
+    NotModified {
+        /// Round of the current version.
+        round: u64,
+        /// Synthetic service latency.
+        latency_us: u64,
+    },
+    /// Shed by the client's token bucket.
+    ShedClient,
+    /// Shed by the global concurrency cap.
+    ShedGlobal,
+    /// Nothing has been published yet.
+    Unavailable,
+}
+
+/// Running totals of one front end — the per-day report card.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FrontendTotals {
+    /// Requests received (every outcome counts).
+    pub requests: u64,
+    /// Bodies served.
+    pub bodies: u64,
+    /// Body bytes sent.
+    pub bytes_sent: u64,
+    /// 304 responses.
+    pub not_modified: u64,
+    /// LRU cache hits.
+    pub cache_hits: u64,
+    /// LRU cache misses.
+    pub cache_misses: u64,
+    /// Requests shed by per-client buckets.
+    pub shed_client: u64,
+    /// Requests shed by the global concurrency cap.
+    pub shed_global: u64,
+    /// Delta bodies served.
+    pub delta_fetches: u64,
+    /// Full bodies served.
+    pub full_fetches: u64,
+    /// Delta requests that fell back to a full body (stale base round).
+    pub delta_fallbacks: u64,
+    /// Requests that arrived before anything was published.
+    pub unavailable: u64,
+}
+
+/// Per-client token bucket on virtual time. Integer math in
+/// milli-tokens keeps refill exact and the replay deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    milli_tokens: u64,
+    last_us: u64,
+}
+
+/// A tiny exact LRU keyed by `(artifact, round, delta)`. Capacity is a
+/// handful of entries, so linear scans beat pointer-chasing here.
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<(CacheKey, Arc<Vec<u8>>, u64)>,
+}
+
+type CacheKey = (usize, u64, bool);
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache { capacity: capacity.max(1), tick: 0, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|(k, _, _)| *k == key).map(|entry| {
+            entry.2 = tick;
+            entry.1.clone()
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, body: Arc<Vec<u8>>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) =
+                self.entries.iter().enumerate().min_by_key(|(_, (_, _, t))| *t).map(|(i, _)| i)
+            {
+                self.entries.swap_remove(oldest);
+            }
+        }
+        self.entries.push((key, body, self.tick));
+    }
+}
+
+/// Telemetry handles, resolved once at construction (hot-path rule).
+struct Meters {
+    requests: Counter,
+    bytes_sent: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    shed: Counter,
+    shed_client: Counter,
+    shed_global: Counter,
+    not_modified: Counter,
+    delta_fallback: Counter,
+    latency_ms: Histogram,
+}
+
+impl Meters {
+    fn resolve(registry: &Registry) -> Meters {
+        Meters {
+            requests: registry.counter("serve.requests"),
+            bytes_sent: registry.counter("serve.bytes_sent"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            shed: registry.counter("serve.shed"),
+            shed_client: registry.counter("serve.shed.client"),
+            shed_global: registry.counter("serve.shed.global"),
+            not_modified: registry.counter("serve.not_modified"),
+            delta_fallback: registry.counter("serve.delta_fallback"),
+            latency_ms: registry.histogram("serve.latency_ms"),
+        }
+    }
+}
+
+/// One simulated front-end process serving a [`SnapshotStore`].
+pub struct Frontend {
+    config: FrontendConfig,
+    store: Arc<SnapshotStore>,
+    cache: LruCache,
+    buckets: HashMap<u64, Bucket>,
+    /// Completion times of requests currently in flight (min-heap).
+    inflight: BinaryHeap<std::cmp::Reverse<u64>>,
+    meters: Option<Meters>,
+    totals: FrontendTotals,
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontend")
+            .field("clients", &self.buckets.len())
+            .field("inflight", &self.inflight.len())
+            .field("totals", &self.totals)
+            .finish()
+    }
+}
+
+impl Frontend {
+    /// Creates a front end over a store.
+    pub fn new(config: FrontendConfig, store: Arc<SnapshotStore>) -> Frontend {
+        Frontend {
+            cache: LruCache::new(config.cache_capacity),
+            config,
+            store,
+            buckets: HashMap::new(),
+            inflight: BinaryHeap::new(),
+            meters: None,
+            totals: FrontendTotals::default(),
+        }
+    }
+
+    /// Attaches a metrics registry (`serve.requests`, `serve.bytes_sent`,
+    /// `serve.cache.{hits,misses}`, `serve.shed{,.client,.global}`,
+    /// `serve.not_modified`, `serve.delta_fallback`, `serve.latency_ms`).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Frontend {
+        self.meters = Some(Meters::resolve(registry));
+        self
+    }
+
+    /// The running totals so far.
+    pub fn totals(&self) -> &FrontendTotals {
+        &self.totals
+    }
+
+    fn admit_client(&mut self, client: u64, now_us: u64) -> bool {
+        let burst = u64::from(self.config.client_burst) * 1_000;
+        let rate = u64::from(self.config.client_rate_per_min);
+        let bucket =
+            self.buckets.entry(client).or_insert(Bucket { milli_tokens: burst, last_us: 0 });
+        let elapsed = now_us.saturating_sub(bucket.last_us);
+        bucket.last_us = now_us;
+        // rate tokens/minute = rate * 1000 milli-tokens / 60e6 us.
+        let refill = elapsed.saturating_mul(rate) / 60_000;
+        bucket.milli_tokens = (bucket.milli_tokens + refill).min(burst);
+        if bucket.milli_tokens >= 1_000 {
+            bucket.milli_tokens -= 1_000;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Handles one request at its virtual arrival time. Requests must be
+    /// fed in non-decreasing `at_us` order (the fleet replay sorts its
+    /// schedule); the concurrency window is maintained by retiring every
+    /// in-flight request whose completion time has passed.
+    pub fn handle(&mut self, request: &Request) -> Outcome {
+        self.totals.requests += 1;
+        if let Some(m) = &self.meters {
+            m.requests.incr();
+        }
+        let now = request.at_us;
+        while self.inflight.peek().is_some_and(|done| done.0 <= now) {
+            self.inflight.pop();
+        }
+
+        // Admission: the client's bucket first (cheapest rejection),
+        // then the global in-flight cap.
+        if !self.admit_client(request.client, now) {
+            self.totals.shed_client += 1;
+            if let Some(m) = &self.meters {
+                m.shed.incr();
+                m.shed_client.incr();
+            }
+            return Outcome::ShedClient;
+        }
+        if self.inflight.len() >= self.config.global_concurrency {
+            self.totals.shed_global += 1;
+            if let Some(m) = &self.meters {
+                m.shed.incr();
+                m.shed_global.incr();
+            }
+            return Outcome::ShedGlobal;
+        }
+
+        let Some(version) = self.store.artifact(request.kind) else {
+            self.totals.unavailable += 1;
+            return Outcome::Unavailable;
+        };
+
+        // Conditional fetch: the ETag is the content digest, so an
+        // up-to-date consumer pays one round trip and zero body bytes.
+        if request.if_none_match == Some(version.digest()) {
+            let latency = self.config.base_latency_us;
+            self.finish(now, latency);
+            self.totals.not_modified += 1;
+            if let Some(m) = &self.meters {
+                m.not_modified.incr();
+            }
+            return Outcome::NotModified { round: version.round(), latency_us: latency };
+        }
+
+        // Body selection: a delta is only valid on top of the round the
+        // store actually diffed against; anything else falls back to the
+        // full snapshot (and is accounted, so staleness is visible).
+        let mut serve_delta = false;
+        let body_src: Arc<Vec<u8>> = match request.fetch {
+            FetchKind::DeltaSince(have) => match version.delta_encoded() {
+                Some(delta) if version.prev_round() == Some(have) => {
+                    serve_delta = true;
+                    delta.clone()
+                }
+                _ => {
+                    self.totals.delta_fallbacks += 1;
+                    if let Some(m) = &self.meters {
+                        m.delta_fallback.incr();
+                    }
+                    version.full_encoded().clone()
+                }
+            },
+            FetchKind::Full => version.full_encoded().clone(),
+        };
+
+        let key: CacheKey = (request.kind.index(), version.round(), serve_delta);
+        let (body, cached) = match self.cache.get(key) {
+            Some(body) => {
+                self.totals.cache_hits += 1;
+                if let Some(m) = &self.meters {
+                    m.cache_hits.incr();
+                }
+                (body, true)
+            }
+            None => {
+                self.totals.cache_misses += 1;
+                if let Some(m) = &self.meters {
+                    m.cache_misses.incr();
+                }
+                self.cache.insert(key, body_src.clone());
+                (body_src, false)
+            }
+        };
+
+        let bytes = body.len() as u64;
+        let mut latency = self.config.base_latency_us + bytes / self.config.bytes_per_us.max(1);
+        if !cached {
+            latency += self.config.render_latency_us;
+        }
+        self.finish(now, latency);
+        self.totals.bodies += 1;
+        self.totals.bytes_sent += bytes;
+        if serve_delta {
+            self.totals.delta_fetches += 1;
+        } else {
+            self.totals.full_fetches += 1;
+        }
+        if let Some(m) = &self.meters {
+            m.bytes_sent.add(bytes);
+        }
+        Outcome::Body {
+            bytes,
+            round: version.round(),
+            digest: version.digest(),
+            delta: serve_delta,
+            cached,
+            latency_us: latency,
+        }
+    }
+
+    fn finish(&mut self, now_us: u64, latency_us: u64) {
+        self.inflight.push(std::cmp::Reverse(now_us + latency_us));
+        if let Some(m) = &self.meters {
+            m.latency_ms.record(latency_us.div_ceil(1_000).max(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn served_store() -> Arc<SnapshotStore> {
+        let store = SnapshotStore::new(StoreConfig::default());
+        let items: Vec<u128> = (0..2000u128).map(|i| i * 31).collect();
+        store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, items.clone())]);
+        let mut next = items;
+        next.push(1_000_000);
+        store.publish_round(2, "d2", vec![(ArtifactKind::Responsive, next)]);
+        Arc::new(store)
+    }
+
+    fn request(client: u64, at_us: u64) -> Request {
+        Request {
+            client,
+            kind: ArtifactKind::Responsive,
+            fetch: FetchKind::Full,
+            if_none_match: None,
+            at_us,
+        }
+    }
+
+    #[test]
+    fn full_fetch_serves_and_caches() {
+        let mut fe = Frontend::new(FrontendConfig::default(), served_store());
+        let first = fe.handle(&request(1, 0));
+        let Outcome::Body { bytes, cached, round, .. } = first else {
+            panic!("expected body, got {first:?}");
+        };
+        assert!(bytes > 0);
+        assert!(!cached);
+        assert_eq!(round, 2);
+        let second = fe.handle(&request(2, 1_000_000));
+        let Outcome::Body { cached, latency_us, .. } = second else { panic!("body") };
+        assert!(cached, "second fetch hits the cache");
+        assert!(latency_us < fe.config.render_latency_us + fe.config.base_latency_us + 100_000);
+        assert_eq!(fe.totals().cache_hits, 1);
+        assert_eq!(fe.totals().cache_misses, 1);
+    }
+
+    #[test]
+    fn etag_match_returns_not_modified() {
+        let store = served_store();
+        let digest = store.artifact(ArtifactKind::Responsive).unwrap().digest();
+        let mut fe = Frontend::new(FrontendConfig::default(), store);
+        let mut req = request(1, 0);
+        req.if_none_match = Some(digest);
+        assert!(matches!(fe.handle(&req), Outcome::NotModified { round: 2, .. }));
+        req.if_none_match = Some(digest ^ 1);
+        assert!(matches!(fe.handle(&req), Outcome::Body { .. }), "stale etag gets a body");
+        assert_eq!(fe.totals().not_modified, 1);
+    }
+
+    #[test]
+    fn delta_since_prev_round_serves_delta_else_falls_back() {
+        let mut fe = Frontend::new(FrontendConfig::default(), served_store());
+        let mut req = request(1, 0);
+        req.fetch = FetchKind::DeltaSince(1);
+        let Outcome::Body { delta, bytes: delta_bytes, .. } = fe.handle(&req) else {
+            panic!("body")
+        };
+        assert!(delta, "holder of round 1 gets the delta");
+        req.fetch = FetchKind::DeltaSince(0);
+        let Outcome::Body { delta, bytes: full_bytes, .. } = fe.handle(&request(2, 0)) else {
+            panic!("body")
+        };
+        assert!(!delta);
+        let out = fe.handle(&Request { client: 3, fetch: FetchKind::DeltaSince(0), ..req });
+        let Outcome::Body { delta, .. } = out else { panic!("body") };
+        assert!(!delta, "unknown base falls back to full");
+        assert_eq!(fe.totals().delta_fallbacks, 1);
+        assert!(delta_bytes < full_bytes, "delta is far smaller than full");
+    }
+
+    #[test]
+    fn client_bucket_sheds_bursts_and_refills() {
+        let config = FrontendConfig::builder().with_client_bucket(2, 60);
+        let mut fe = Frontend::new(config, served_store());
+        assert!(matches!(fe.handle(&request(7, 0)), Outcome::Body { .. }));
+        assert!(matches!(fe.handle(&request(7, 1)), Outcome::Body { .. }));
+        assert!(matches!(fe.handle(&request(7, 2)), Outcome::ShedClient));
+        // 60 tokens/minute = one per second: a token is back after 1s.
+        assert!(matches!(fe.handle(&request(7, 1_000_002)), Outcome::Body { .. }));
+        assert_eq!(fe.totals().shed_client, 1);
+    }
+
+    #[test]
+    fn global_cap_sheds_synchronized_arrivals() {
+        let config = FrontendConfig::builder().with_global_concurrency(4);
+        let mut fe = Frontend::new(config, served_store());
+        let mut shed = 0;
+        for client in 0..10u64 {
+            // All at the same instant: only `cap` fit in flight.
+            match fe.handle(&request(client, 5)) {
+                Outcome::ShedGlobal => shed += 1,
+                Outcome::Body { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(shed, 6);
+        // Far enough later every in-flight request has drained.
+        assert!(matches!(fe.handle(&request(99, 60_000_000)), Outcome::Body { .. }));
+        assert_eq!(fe.totals().shed_global, 6);
+    }
+
+    #[test]
+    fn empty_store_is_unavailable() {
+        let store = Arc::new(SnapshotStore::new(StoreConfig::default()));
+        let mut fe = Frontend::new(FrontendConfig::default(), store);
+        assert_eq!(fe.handle(&request(1, 0)), Outcome::Unavailable);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert((0, 0, false), Arc::new(vec![0]));
+        lru.insert((1, 0, false), Arc::new(vec![1]));
+        assert!(lru.get((0, 0, false)).is_some(), "refresh entry 0");
+        lru.insert((2, 0, false), Arc::new(vec![2]));
+        assert!(lru.get((1, 0, false)).is_none(), "1 was evicted");
+        assert!(lru.get((0, 0, false)).is_some());
+        assert!(lru.get((2, 0, false)).is_some());
+    }
+}

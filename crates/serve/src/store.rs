@@ -1,0 +1,457 @@
+//! The sharded snapshot store: publication-side state of the
+//! distribution subsystem.
+//!
+//! Addresses are hash-sharded across `N` shards. A publishing round
+//! builds every changed shard *off to the side* and then swaps one
+//! [`Arc`] under a short write lock, so concurrent readers never block
+//! on a publication and never observe a torn (half-written) shard:
+//! every shard handle a reader clones is a complete, checksummed
+//! snapshot from exactly one round. Shards whose content did not change
+//! between rounds are structurally shared — their `Arc`s carry over —
+//! so a quiet round costs almost nothing to publish.
+
+use std::sync::{Arc, RwLock};
+
+use sixdust_net::Protocol;
+use sixdust_scan::proto_metric_key;
+use sixdust_telemetry::Registry;
+
+use crate::codec::{self, CodecError};
+
+/// One artifact kind the service distributes — the files a registered
+/// consumer can download.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArtifactKind {
+    /// `responsive-addresses` — the full cleaned responsive list.
+    Responsive,
+    /// `responsive-<proto>` — the per-protocol slice.
+    PerProtocol(Protocol),
+    /// `aliased-prefixes` — MAPD labels, packed `network | len` items.
+    AliasedPrefixes,
+    /// `gfw-filtered` — addresses the paper's filter removed.
+    GfwFiltered,
+}
+
+impl ArtifactKind {
+    /// Every artifact kind, in the serving layer's canonical (and Zipf
+    /// popularity rank) order.
+    pub const ALL: [ArtifactKind; 8] = [
+        ArtifactKind::Responsive,
+        ArtifactKind::PerProtocol(Protocol::Icmp),
+        ArtifactKind::AliasedPrefixes,
+        ArtifactKind::PerProtocol(Protocol::Tcp443),
+        ArtifactKind::GfwFiltered,
+        ArtifactKind::PerProtocol(Protocol::Udp53),
+        ArtifactKind::PerProtocol(Protocol::Tcp80),
+        ArtifactKind::PerProtocol(Protocol::Udp443),
+    ];
+
+    /// Position in [`ArtifactKind::ALL`].
+    pub fn index(self) -> usize {
+        ArtifactKind::ALL.iter().position(|k| *k == self).expect("ALL is exhaustive")
+    }
+
+    /// Stable file stem, mirroring the publication file names.
+    pub fn file_stem(self) -> String {
+        match self {
+            ArtifactKind::Responsive => "responsive-addresses".to_string(),
+            ArtifactKind::PerProtocol(p) => format!("responsive-{}", proto_metric_key(p)),
+            ArtifactKind::AliasedPrefixes => "aliased-prefixes".to_string(),
+            ArtifactKind::GfwFiltered => "gfw-filtered".to_string(),
+        }
+    }
+}
+
+/// One shard of one artifact version: a consistent, checksummed slice of
+/// the item set. Immutable once built; shared by `Arc`.
+#[derive(Debug)]
+pub struct ShardData {
+    round: u64,
+    digest: u64,
+    items: Vec<u128>,
+    encoded: Arc<Vec<u8>>,
+}
+
+impl ShardData {
+    /// The round this shard was built for (unchanged shards keep the
+    /// round that last rebuilt them).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Content digest of the shard's items.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The shard's sorted items.
+    pub fn items(&self) -> &[u128] {
+        &self.items
+    }
+
+    /// The shard body as an encoded full snapshot.
+    pub fn encoded(&self) -> &Arc<Vec<u8>> {
+        &self.encoded
+    }
+
+    /// Decodes the shard body and cross-checks it against the in-memory
+    /// items and digest — the torn-read detector used by tests: a shard
+    /// observed mid-publication must still verify.
+    pub fn verify(&self) -> Result<(), CodecError> {
+        let decoded = codec::decode_full(&self.encoded)?;
+        if decoded != self.items || codec::content_digest(&decoded) != self.digest {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// One published version of one artifact: the full item set, its shards,
+/// the encoded full body, and the delta from the previous round.
+#[derive(Debug)]
+pub struct ArtifactVersion {
+    kind: ArtifactKind,
+    round: u64,
+    digest: u64,
+    items: Arc<Vec<u128>>,
+    full: Arc<Vec<u8>>,
+    delta: Option<Arc<Vec<u8>>>,
+    prev_round: Option<u64>,
+    shards: Vec<Arc<ShardData>>,
+}
+
+impl ArtifactVersion {
+    /// The artifact kind.
+    pub fn kind(&self) -> ArtifactKind {
+        self.kind
+    }
+
+    /// The round (simulation day) this version was published for.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Stable content digest — the serving layer's ETag value.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The sorted item set.
+    pub fn items(&self) -> &Arc<Vec<u128>> {
+        &self.items
+    }
+
+    /// The encoded full snapshot body.
+    pub fn full_encoded(&self) -> &Arc<Vec<u8>> {
+        &self.full
+    }
+
+    /// The encoded delta from `prev_round`, when a previous version
+    /// existed.
+    pub fn delta_encoded(&self) -> Option<&Arc<Vec<u8>>> {
+        self.delta.as_ref()
+    }
+
+    /// The round the delta applies on top of.
+    pub fn prev_round(&self) -> Option<u64> {
+        self.prev_round
+    }
+
+    /// The shard handles of this version.
+    pub fn shards(&self) -> &[Arc<ShardData>] {
+        &self.shards
+    }
+}
+
+/// One atomically-swapped generation: every artifact of one round.
+#[derive(Debug)]
+struct Generation {
+    round: u64,
+    date: String,
+    artifacts: Vec<Arc<ArtifactVersion>>,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of hash shards per artifact.
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig { shards: 8 }
+    }
+}
+
+impl StoreConfig {
+    /// Starts from the default configuration.
+    pub fn builder() -> StoreConfig {
+        StoreConfig::default()
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> StoreConfig {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// The sharded, atomically-published snapshot store.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    shards: usize,
+    current: RwLock<Option<Arc<Generation>>>,
+    telemetry: Option<Registry>,
+}
+
+/// Stable shard assignment for one item: any pure hash works, as long as
+/// it never changes between rounds (structural sharing depends on it).
+fn shard_of(item: u128, shards: usize) -> usize {
+    (sixdust_addr::prf::prf_u128(0x51A2D, item, 0) % shards as u64) as usize
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> SnapshotStore {
+        SnapshotStore { shards: config.shards.max(1), current: RwLock::new(None), telemetry: None }
+    }
+
+    /// Attaches a metrics registry: publications report
+    /// `serve.publish.*` counters and encode timings there.
+    pub fn with_telemetry(mut self, registry: Registry) -> SnapshotStore {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// Shards per artifact.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The current round, if anything has been published.
+    pub fn current_round(&self) -> Option<u64> {
+        self.current.read().expect("store lock").as_ref().map(|g| g.round)
+    }
+
+    /// ISO date of the current publication.
+    pub fn current_date(&self) -> Option<String> {
+        self.current.read().expect("store lock").as_ref().map(|g| g.date.clone())
+    }
+
+    /// The current version of one artifact. The returned handle stays
+    /// valid (and immutable) across later publications.
+    pub fn artifact(&self, kind: ArtifactKind) -> Option<Arc<ArtifactVersion>> {
+        let guard = self.current.read().expect("store lock");
+        guard.as_ref().map(|g| g.artifacts[kind.index()].clone())
+    }
+
+    /// One shard of one artifact's current version — what a concurrent
+    /// reader grabs while a publication may be in flight.
+    pub fn shard(&self, kind: ArtifactKind, index: usize) -> Option<Arc<ShardData>> {
+        self.artifact(kind).and_then(|v| v.shards().get(index).cloned())
+    }
+
+    /// Publishes one round: items per artifact kind (missing kinds
+    /// publish as empty sets). Items are sorted and deduplicated here, so
+    /// callers can pass collections in any order. Readers keep serving
+    /// the previous generation until the single atomic swap at the end.
+    pub fn publish_round(&self, round: u64, date: &str, artifacts: Vec<(ArtifactKind, Vec<u128>)>) {
+        let started = std::time::Instant::now();
+        let prev = self.current.read().expect("store lock").clone();
+        let mut reused = 0u64;
+        let mut rebuilt = 0u64;
+        let mut bytes_full = 0u64;
+        let mut bytes_delta = 0u64;
+
+        let mut versions: Vec<Arc<ArtifactVersion>> = Vec::with_capacity(ArtifactKind::ALL.len());
+        for kind in ArtifactKind::ALL {
+            let mut items: Vec<u128> = artifacts
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            items.sort_unstable();
+            items.dedup();
+            let digest = codec::content_digest(&items);
+            let prev_version = prev.as_ref().map(|g| &g.artifacts[kind.index()]);
+
+            // Unchanged artifact: carry the whole version over, only
+            // bumping nothing — readers keep the same Arcs.
+            if let Some(pv) = prev_version {
+                if pv.digest == digest && pv.items.as_slice() == items.as_slice() {
+                    reused += self.shards as u64;
+                    versions.push(pv.clone());
+                    continue;
+                }
+            }
+
+            // Split into shards; reuse any shard whose content is
+            // unchanged since the previous version.
+            let mut per_shard: Vec<Vec<u128>> = vec![Vec::new(); self.shards];
+            for &item in &items {
+                per_shard[shard_of(item, self.shards)].push(item);
+            }
+            let mut shards: Vec<Arc<ShardData>> = Vec::with_capacity(self.shards);
+            for (i, shard_items) in per_shard.into_iter().enumerate() {
+                let shard_digest = codec::content_digest(&shard_items);
+                let reusable = prev_version.and_then(|pv| pv.shards.get(i)).filter(|old| {
+                    old.digest == shard_digest && old.items.as_slice() == shard_items.as_slice()
+                });
+                match reusable {
+                    Some(old) => {
+                        reused += 1;
+                        shards.push(old.clone());
+                    }
+                    None => {
+                        rebuilt += 1;
+                        let encoded = Arc::new(codec::encode_full(&shard_items));
+                        shards.push(Arc::new(ShardData {
+                            round,
+                            digest: shard_digest,
+                            items: shard_items,
+                            encoded,
+                        }));
+                    }
+                }
+            }
+
+            let full = Arc::new(codec::encode_full(&items));
+            bytes_full += full.len() as u64;
+            let (delta, prev_round) = match prev_version {
+                Some(pv) => {
+                    let d = Arc::new(codec::encode_delta(&pv.items, &items));
+                    bytes_delta += d.len() as u64;
+                    (Some(d), Some(pv.round))
+                }
+                None => (None, None),
+            };
+            versions.push(Arc::new(ArtifactVersion {
+                kind,
+                round,
+                digest,
+                items: Arc::new(items),
+                full,
+                delta,
+                prev_round,
+                shards,
+            }));
+        }
+
+        let generation =
+            Arc::new(Generation { round, date: date.to_string(), artifacts: versions });
+        *self.current.write().expect("store lock") = Some(generation);
+
+        if let Some(t) = &self.telemetry {
+            t.counter("serve.publish.rounds").incr();
+            t.counter("serve.publish.shards_rebuilt").add(rebuilt);
+            t.counter("serve.publish.shards_reused").add(reused);
+            t.counter("serve.publish.bytes_full").add(bytes_full);
+            t.counter("serve.publish.bytes_delta").add(bytes_delta);
+            t.histogram("serve.publish.encode_ms").record_duration(started.elapsed());
+        }
+    }
+
+    /// Publishes a [`HitlistService`](sixdust_hitlist::HitlistService)'s
+    /// current state as one round: the cleaned responsive set, the
+    /// per-protocol slices from the last completed round, the aliased
+    /// prefixes (packed as `network | len`, invertible for lengths the
+    /// detector emits) and the GFW-filtered pool. The natural hook body
+    /// for [`HitlistService::run_with`](sixdust_hitlist::HitlistService::run_with).
+    pub fn publish_service(&self, svc: &sixdust_hitlist::HitlistService, round: u64, date: &str) {
+        let mut artifacts: Vec<(ArtifactKind, Vec<u128>)> = vec![
+            (ArtifactKind::Responsive, svc.current_responsive().iter().map(|a| a.0).collect()),
+            (
+                ArtifactKind::AliasedPrefixes,
+                svc.aliased().iter().map(|p| p.network().0 | u128::from(p.len())).collect(),
+            ),
+            (ArtifactKind::GfwFiltered, svc.gfw_impacted().iter().map(|a| a.0).collect()),
+        ];
+        for (proto, addrs) in svc.proto_responsive() {
+            artifacts
+                .push((ArtifactKind::PerProtocol(*proto), addrs.iter().map(|a| a.0).collect()));
+        }
+        self.publish_round(round, date, artifacts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(range: std::ops::Range<u128>) -> Vec<u128> {
+        range.map(|i| i * 97 + 5).collect()
+    }
+
+    fn store() -> SnapshotStore {
+        SnapshotStore::new(StoreConfig::builder().with_shards(4))
+    }
+
+    #[test]
+    fn empty_store_serves_nothing() {
+        let s = store();
+        assert_eq!(s.current_round(), None);
+        assert!(s.artifact(ArtifactKind::Responsive).is_none());
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let s = store();
+        s.publish_round(3, "2021-01-03", vec![(ArtifactKind::Responsive, items(0..100))]);
+        let v = s.artifact(ArtifactKind::Responsive).expect("published");
+        assert_eq!(v.round(), 3);
+        assert_eq!(v.items().len(), 100);
+        assert_eq!(codec::decode_full(v.full_encoded()).expect("decodes"), **v.items());
+        assert!(v.delta_encoded().is_none(), "first round has no delta");
+        // Shards partition the items exactly.
+        let mut recovered: Vec<u128> = Vec::new();
+        for shard in v.shards() {
+            shard.verify().expect("shard verifies");
+            recovered.extend(shard.items().iter().copied());
+        }
+        recovered.sort_unstable();
+        assert_eq!(recovered, **v.items());
+        // Unmentioned kinds exist as empty sets.
+        let gfw = s.artifact(ArtifactKind::GfwFiltered).expect("empty artifact");
+        assert!(gfw.items().is_empty());
+    }
+
+    #[test]
+    fn second_round_carries_delta_and_reuses_unchanged_shards() {
+        let s = store();
+        s.publish_round(1, "d1", vec![(ArtifactKind::Responsive, items(0..1000))]);
+        let v1 = s.artifact(ArtifactKind::Responsive).expect("v1");
+        // One added item: at most one shard should be rebuilt.
+        let mut next = items(0..1000);
+        next.push(999_999_999);
+        s.publish_round(2, "d2", vec![(ArtifactKind::Responsive, next.clone())]);
+        let v2 = s.artifact(ArtifactKind::Responsive).expect("v2");
+        assert_eq!(v2.prev_round(), Some(1));
+        let delta = v2.delta_encoded().expect("delta");
+        let rebuilt = codec::apply_delta(&v1.items(), delta).expect("applies");
+        next.sort_unstable();
+        assert_eq!(rebuilt, next);
+        let shared = v1.shards().iter().zip(v2.shards()).filter(|(a, b)| Arc::ptr_eq(a, b)).count();
+        assert_eq!(shared, s.shard_count() - 1, "only the touched shard rebuilds");
+    }
+
+    #[test]
+    fn unchanged_artifact_is_structurally_shared() {
+        let s = store();
+        s.publish_round(1, "d1", vec![(ArtifactKind::AliasedPrefixes, items(0..50))]);
+        let v1 = s.artifact(ArtifactKind::AliasedPrefixes).expect("v1");
+        s.publish_round(2, "d2", vec![(ArtifactKind::AliasedPrefixes, items(0..50))]);
+        let v2 = s.artifact(ArtifactKind::AliasedPrefixes).expect("v2");
+        assert!(Arc::ptr_eq(&v1, &v2), "identical content carries the version over");
+        assert_eq!(v2.round(), 1, "round stays the one that built it");
+    }
+
+    #[test]
+    fn artifact_kinds_have_stable_order_and_stems() {
+        for (i, kind) in ArtifactKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(ArtifactKind::Responsive.file_stem(), "responsive-addresses");
+        assert_eq!(ArtifactKind::PerProtocol(Protocol::Udp53).file_stem(), "responsive-udp53");
+    }
+}

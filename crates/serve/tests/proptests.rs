@@ -1,0 +1,135 @@
+//! Property tests for the delta codec: round-trips, delta application,
+//! and corrupted-input rejection (errors, never panics).
+
+use proptest::prelude::*;
+
+use sixdust_serve::codec::{
+    apply_delta, content_digest, decode_full, delta_digests, encode_delta, encode_full,
+};
+
+/// A sorted, deduplicated u128 set with a mix of small and huge values.
+fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u128>> {
+    prop::collection::vec(
+        prop_oneof![
+            0..5_000u128,
+            any::<u64>().prop_map(u128::from),
+            any::<u128>(),
+            Just(u128::MAX),
+        ],
+        0..max_len,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// A pair (prev, next) sharing structure: next is prev with some items
+/// removed and some added, like consecutive hitlist rounds.
+fn related_pair() -> impl Strategy<Value = (Vec<u128>, Vec<u128>)> {
+    (sorted_set(200), sorted_set(40), any::<u16>()).prop_map(|(prev, extra, mask)| {
+        let mut next: Vec<u128> = prev
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 16) & 1 == 0)
+            .map(|(_, &a)| a)
+            .collect();
+        next.extend(extra);
+        next.sort_unstable();
+        next.dedup();
+        (prev, next)
+    })
+}
+
+proptest! {
+    #[test]
+    fn full_round_trips(items in sorted_set(300)) {
+        let encoded = encode_full(&items);
+        let decoded = decode_full(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, items);
+    }
+
+    #[test]
+    fn delta_applies_to_next(pair in related_pair()) {
+        let (prev, next) = pair;
+        let delta = encode_delta(&prev, &next);
+        let rebuilt = apply_delta(&prev, &delta).expect("own delta applies");
+        prop_assert_eq!(&rebuilt, &next);
+        // The advertised digests match the actual contents.
+        let (base, result) = delta_digests(&delta).expect("digests readable");
+        prop_assert_eq!(base, content_digest(&prev));
+        prop_assert_eq!(result, content_digest(&next));
+        // And the delta round-trip lands on the same bytes as a full
+        // snapshot of `next` — byte-identical artifacts either way.
+        prop_assert_eq!(encode_full(&rebuilt), encode_full(&next));
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base(pair in related_pair(), nudge in 1..1_000u128) {
+        let (prev, next) = pair;
+        let delta = encode_delta(&prev, &next);
+        let mut wrong = prev.clone();
+        wrong.push(wrong.last().map_or(nudge, |l| l.wrapping_add(nudge)));
+        wrong.sort_unstable();
+        wrong.dedup();
+        if content_digest(&wrong) != content_digest(&prev) {
+            prop_assert!(apply_delta(&wrong, &delta).is_err());
+        }
+    }
+
+    #[test]
+    fn truncation_always_rejected(items in sorted_set(120), cut in 0..1_000usize) {
+        let encoded = encode_full(&items);
+        let cut = cut % encoded.len().max(1);
+        prop_assert!(decode_full(&encoded[..cut]).is_err(), "prefix of length {} accepted", cut);
+    }
+
+    #[test]
+    fn byte_flips_never_panic(items in sorted_set(120), pos in 0..1_000usize, bit in 0..8u32) {
+        let mut encoded = encode_full(&items);
+        let pos = pos % encoded.len();
+        encoded[pos] ^= 1 << bit;
+        // Any single-bit flip must be rejected (checksum or structural
+        // validation) — and must never panic.
+        prop_assert!(decode_full(&encoded).is_err());
+    }
+
+    #[test]
+    fn delta_byte_flips_never_panic(pair in related_pair(), pos in 0..10_000usize, bit in 0..8u32) {
+        let (prev, next) = pair;
+        let mut delta = encode_delta(&prev, &next);
+        let pos = pos % delta.len();
+        delta[pos] ^= 1 << bit;
+        prop_assert!(apply_delta(&prev, &delta).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300), base in sorted_set(50)) {
+        // Arbitrary byte soup: both decoders must return Err, not panic.
+        let _ = decode_full(&bytes);
+        let _ = apply_delta(&base, &bytes);
+    }
+}
+
+#[test]
+fn empty_singleton_and_removal_only_deltas() {
+    let empty: Vec<u128> = vec![];
+    let one = vec![42u128];
+    let many = vec![1u128, 5, 9];
+
+    // empty -> empty, empty -> singleton, singleton -> empty.
+    for (prev, next) in
+        [(&empty, &empty), (&empty, &one), (&one, &empty), (&many, &one), (&one, &many)]
+    {
+        let delta = encode_delta(prev, next);
+        assert_eq!(&apply_delta(prev, &delta).unwrap(), next);
+    }
+
+    // Removal-only delta is smaller than the full snapshot it replaces.
+    let big: Vec<u128> = (0..500u128).map(|i| i * 97).collect();
+    let smaller: Vec<u128> = big.iter().copied().filter(|a| a % 5 != 0).collect();
+    let delta = encode_delta(&big, &smaller);
+    assert_eq!(apply_delta(&big, &delta).unwrap(), smaller);
+    assert!(delta.len() < encode_full(&smaller).len());
+}

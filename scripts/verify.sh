@@ -16,7 +16,7 @@ echo "== cargo test --workspace"
 cargo test --workspace --release -q
 
 if [ "${1:-}" != "--quick" ]; then
-  echo "== cargo clippy --workspace -- -D warnings"
+  echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
 
   echo "== cargo bench --workspace --no-run"

@@ -15,6 +15,10 @@
 //! * [`tga`] — the target-generation-algorithm lineup of the paper;
 //! * [`hitlist`] — the hitlist service pipeline (ingest, filter, scan,
 //!   publish, churn);
+//! * [`serve`] — the distribution subsystem: a sharded snapshot store
+//!   with atomic generation swaps, delta-encoded artifacts, and a
+//!   simulated registered-consumer fleet (ETags, LRU cache, admission
+//!   control);
 //! * [`analysis`] — tables, CDFs and histograms for the experiments;
 //! * [`telemetry`] — always-on counters, histograms and span timers for
 //!   every stage above, plus the longitudinal layer: per-round series
@@ -42,6 +46,7 @@ pub use sixdust_analysis as analysis;
 pub use sixdust_hitlist as hitlist;
 pub use sixdust_net as net;
 pub use sixdust_scan as scan;
+pub use sixdust_serve as serve;
 pub use sixdust_telemetry as telemetry;
 pub use sixdust_tga as tga;
 pub use sixdust_wire as wire;
