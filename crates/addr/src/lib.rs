@@ -23,6 +23,9 @@
 //! * [`prf`] — a small deterministic pseudo-random function used everywhere
 //!   a reproducible per-address coin flip is required (host liveness, churn,
 //!   probe address generation).
+//! * [`sorted`] — linear merge kernels (union/diff/intersect) over sorted
+//!   slices with reusable buffers; the allocation-lean replacement for the
+//!   hitlist service's per-round `HashSet` bookkeeping.
 //!
 //! All types are `Copy` where possible, serializable, and allocate only when
 //! a collection genuinely must.
@@ -36,6 +39,7 @@ mod eui64;
 mod prefix;
 pub mod prf;
 mod set;
+pub mod sorted;
 pub mod teredo;
 mod trie;
 

@@ -1,0 +1,253 @@
+//! Merge kernels over sorted slices.
+//!
+//! The hitlist service's round hot path used to shuffle its responsive
+//! sets through `HashSet` clones and rebuilds — one hash per address per
+//! protocol per round. These kernels replace that bookkeeping with linear
+//! merges over sorted, deduplicated `Vec`s: every operation is a single
+//! pass, the output buffers are caller-owned and reusable across rounds,
+//! and the resulting sets are canonically ordered (which also makes
+//! snapshots and published artifacts byte-stable for free).
+//!
+//! All kernels require their inputs sorted ascending and free of
+//! duplicates; [`normalize`] produces that form. Outputs are cleared
+//! first and are themselves sorted and deduplicated.
+
+/// Sorts `v` ascending and removes duplicates — the canonical form every
+/// other kernel in this module expects.
+///
+/// ```
+/// use sixdust_addr::{sorted, Addr};
+/// let mut v = vec![Addr(3), Addr(1), Addr(3), Addr(2)];
+/// sorted::normalize(&mut v);
+/// assert_eq!(v, vec![Addr(1), Addr(2), Addr(3)]);
+/// ```
+pub fn normalize<T: Ord>(v: &mut Vec<T>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// Whether sorted slice `s` contains `item` (binary search).
+pub fn contains<T: Ord>(s: &[T], item: &T) -> bool {
+    s.binary_search(item).is_ok()
+}
+
+/// Writes `a ∪ b` into `out` (cleared first).
+///
+/// ```
+/// use sixdust_addr::{sorted, Addr};
+/// let a = vec![Addr(1), Addr(3)];
+/// let b = vec![Addr(2), Addr(3)];
+/// let mut out = Vec::new();
+/// sorted::union_into(&a, &b, &mut out);
+/// assert_eq!(out, vec![Addr(1), Addr(2), Addr(3)]);
+/// ```
+pub fn union_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    out.reserve(a.len().max(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Merges `b` into the accumulator `acc` in place, using `scratch` as the
+/// reusable merge buffer (its capacity is retained across calls — the
+/// allocation-free steady state of a per-round accumulation loop).
+///
+/// ```
+/// use sixdust_addr::{sorted, Addr};
+/// let mut acc = vec![Addr(1), Addr(4)];
+/// let mut scratch = Vec::new();
+/// sorted::union_in_place(&mut acc, &[Addr(2), Addr(4)], &mut scratch);
+/// assert_eq!(acc, vec![Addr(1), Addr(2), Addr(4)]);
+/// ```
+pub fn union_in_place<T: Ord + Copy>(acc: &mut Vec<T>, b: &[T], scratch: &mut Vec<T>) {
+    if b.is_empty() {
+        return;
+    }
+    if acc.is_empty() {
+        acc.extend_from_slice(b);
+        return;
+    }
+    union_into(acc, b, scratch);
+    std::mem::swap(acc, scratch);
+}
+
+/// Writes `a \ b` into `out` (cleared first).
+///
+/// ```
+/// use sixdust_addr::{sorted, Addr};
+/// let a = vec![Addr(1), Addr(2), Addr(3)];
+/// let b = vec![Addr(2)];
+/// let mut out = Vec::new();
+/// sorted::diff_into(&a, &b, &mut out);
+/// assert_eq!(out, vec![Addr(1), Addr(3)]);
+/// ```
+pub fn diff_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+}
+
+/// Counts `|a \ b|` without materializing the difference.
+pub fn diff_count<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let mut j = 0;
+    let mut count = 0;
+    for x in a {
+        while j < b.len() && b[j] < *x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != *x {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Writes `a ∩ b` into `out` (cleared first).
+///
+/// ```
+/// use sixdust_addr::{sorted, Addr};
+/// let a = vec![Addr(1), Addr(2), Addr(3)];
+/// let b = vec![Addr(2), Addr(3), Addr(4)];
+/// let mut out = Vec::new();
+/// sorted::intersect_into(&a, &b, &mut out);
+/// assert_eq!(out, vec![Addr(2), Addr(3)]);
+/// ```
+pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+    use std::collections::HashSet;
+
+    fn addrs(v: &[u128]) -> Vec<Addr> {
+        v.iter().map(|x| Addr(*x)).collect()
+    }
+
+    #[test]
+    fn union_diff_intersect_basic() {
+        let a = addrs(&[1, 3, 5, 7]);
+        let b = addrs(&[2, 3, 6, 7, 9]);
+        let mut out = Vec::new();
+        union_into(&a, &b, &mut out);
+        assert_eq!(out, addrs(&[1, 2, 3, 5, 6, 7, 9]));
+        diff_into(&a, &b, &mut out);
+        assert_eq!(out, addrs(&[1, 5]));
+        assert_eq!(diff_count(&a, &b), 2);
+        diff_into(&b, &a, &mut out);
+        assert_eq!(out, addrs(&[2, 6, 9]));
+        assert_eq!(diff_count(&b, &a), 3);
+        intersect_into(&a, &b, &mut out);
+        assert_eq!(out, addrs(&[3, 7]));
+    }
+
+    #[test]
+    fn empty_and_disjoint_edges() {
+        let a = addrs(&[1, 2]);
+        let empty: Vec<Addr> = Vec::new();
+        let mut out = Vec::new();
+        union_into(&a, &empty, &mut out);
+        assert_eq!(out, a);
+        union_into(&empty, &a, &mut out);
+        assert_eq!(out, a);
+        diff_into(&a, &empty, &mut out);
+        assert_eq!(out, a);
+        diff_into(&empty, &a, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(diff_count(&empty, &a), 0);
+        intersect_into(&a, &addrs(&[3, 4]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn union_in_place_reuses_scratch() {
+        let mut acc: Vec<Addr> = Vec::new();
+        let mut scratch: Vec<Addr> = Vec::new();
+        union_in_place(&mut acc, &addrs(&[5, 9]), &mut scratch);
+        union_in_place(&mut acc, &addrs(&[1, 5, 7]), &mut scratch);
+        union_in_place(&mut acc, &[], &mut scratch);
+        assert_eq!(acc, addrs(&[1, 5, 7, 9]));
+        union_in_place(&mut acc, &addrs(&[2]), &mut scratch);
+        assert_eq!(acc, addrs(&[1, 2, 5, 7, 9]));
+        assert!(scratch.capacity() > 0, "scratch keeps a reusable buffer after the swap");
+    }
+
+    #[test]
+    fn normalize_and_contains() {
+        let mut v = addrs(&[9, 1, 9, 4, 1]);
+        normalize(&mut v);
+        assert_eq!(v, addrs(&[1, 4, 9]));
+        assert!(contains(&v, &Addr(4)));
+        assert!(!contains(&v, &Addr(5)));
+        assert!(!contains::<Addr>(&[], &Addr(5)));
+    }
+
+    #[test]
+    fn kernels_agree_with_hashsets() {
+        // Pseudo-random cross-check against the HashSet reference on a few
+        // hundred deterministic draws.
+        let mut a: Vec<u128> =
+            (0..400).map(|i: u128| i.wrapping_mul(2_654_435_761) % 512).collect();
+        let mut b: Vec<u128> = (0..300).map(|i: u128| i.wrapping_mul(40_503) % 512).collect();
+        normalize(&mut a);
+        normalize(&mut b);
+        let sa: HashSet<u128> = a.iter().copied().collect();
+        let sb: HashSet<u128> = b.iter().copied().collect();
+        let mut out = Vec::new();
+
+        union_into(&a, &b, &mut out);
+        let mut want: Vec<u128> = sa.union(&sb).copied().collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+
+        diff_into(&a, &b, &mut out);
+        let mut want: Vec<u128> = sa.difference(&sb).copied().collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+        assert_eq!(diff_count(&a, &b), want.len());
+
+        intersect_into(&a, &b, &mut out);
+        let mut want: Vec<u128> = sa.intersection(&sb).copied().collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+}

@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use sixdust_addr::{prf, Addr, PrefixSet};
+use sixdust_addr::{prf, sorted, Addr, PrefixSet};
 use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
@@ -45,10 +45,23 @@ pub struct ServiceConfig {
     /// responses (vantage blackout).
     #[serde(default = "default_degraded_loss_permille")]
     pub degraded_loss_permille: u32,
+    /// Run each round's five protocol scans concurrently (one scanner
+    /// module per protocol, with [`ScanConfig::threads`] acting as a
+    /// round-level worker budget split across the in-flight scans).
+    /// Results are merged strictly in `Protocol::ALL` order either way,
+    /// so round records, snapshots and checkpoints are byte-identical
+    /// with the sequential path — this switch only trades cores for
+    /// wall-clock.
+    #[serde(default = "default_parallel_protocols")]
+    pub parallel_protocols: bool,
 }
 
 fn default_degraded_loss_permille() -> u32 {
     350
+}
+
+fn default_parallel_protocols() -> bool {
+    true
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +74,7 @@ impl Default for ServiceConfig {
             traceroute_cap: 4000,
             snapshot_days: Day::SNAPSHOTS.to_vec(),
             degraded_loss_permille: default_degraded_loss_permille(),
+            parallel_protocols: default_parallel_protocols(),
         }
     }
 }
@@ -104,6 +118,12 @@ impl ServiceConfig {
     /// Returns the config with a different degraded-round loss threshold.
     pub fn with_degraded_loss_permille(mut self, permille: u32) -> ServiceConfig {
         self.degraded_loss_permille = permille;
+        self
+    }
+
+    /// Returns the config with concurrent protocol scans on or off.
+    pub fn with_parallel_protocols(mut self, parallel: bool) -> ServiceConfig {
+        self.parallel_protocols = parallel;
         self
     }
 
@@ -154,6 +174,12 @@ impl ServiceConfigBuilder {
     /// Sets the degraded-round loss threshold (permille).
     pub fn degraded_loss_permille(mut self, permille: u32) -> ServiceConfigBuilder {
         self.config.degraded_loss_permille = permille;
+        self
+    }
+
+    /// Turns concurrent protocol scans on or off.
+    pub fn parallel_protocols(mut self, parallel: bool) -> ServiceConfigBuilder {
+        self.config.parallel_protocols = parallel;
         self
     }
 
@@ -210,8 +236,13 @@ pub struct RoundRecord {
     /// any address. Absent in pre-quarantine checkpoints.
     #[serde(default)]
     pub degraded: bool,
-    /// Aggregate response-weighted loss estimate for the round's scans,
-    /// in permille (0 when unobservable, 1000 on a total blackout).
+    /// Aggregate loss estimate for the round's scans in permille,
+    /// weighting each protocol by the probes it *sent* (0 when
+    /// unobservable, 1000 on a total blackout). A protocol with a
+    /// cleaned-responsive history that goes completely silent counts as
+    /// 1000‰ for its share of probes: weighting by responses — as this
+    /// service once did — gives exactly the blacked-out scans zero say
+    /// in the average the degraded-round classifier reads.
     #[serde(default)]
     pub loss_estimate_permille: u32,
 }
@@ -257,8 +288,16 @@ pub struct HitlistService {
     aliased: PrefixSet,
     /// Cumulative per-address protocols (cleaned view).
     cumulative: HashMap<Addr, ProtoSet>,
-    prev_responsive: HashSet<Addr>,
-    ever: HashSet<Addr>,
+    /// Previous round's cleaned responsive set, sorted (churn baseline).
+    prev_responsive: Vec<Addr>,
+    /// Every address ever seen cleaned-responsive, sorted.
+    ever: Vec<Addr>,
+    /// Whether each protocol (Protocol::ALL order) has ever produced a
+    /// cleaned responsive hit. Distinguishes a previously-alive protocol
+    /// going totally silent (loss) from one that was always dark (not
+    /// loss); replayed from the round records on restore so resumed
+    /// services estimate identically.
+    proto_seen: [bool; 5],
     next_alias_day: Day,
     pending_snapshots: Vec<Day>,
     rounds: Vec<RoundRecord>,
@@ -291,8 +330,9 @@ impl HitlistService {
             gfw: GfwFilter::new(),
             aliased: PrefixSet::new(),
             cumulative: HashMap::new(),
-            prev_responsive: HashSet::new(),
-            ever: HashSet::new(),
+            prev_responsive: Vec::new(),
+            ever: Vec::new(),
+            proto_seen: [false; 5],
             next_alias_day: Day(0),
             pending_snapshots: pending,
             rounds: Vec::new(),
@@ -418,9 +458,11 @@ impl HitlistService {
             state.quarantined.clone(),
         );
         svc.cumulative = state.cumulative.iter().copied().collect();
-        svc.prev_responsive = state.current_responsive.iter().copied().collect();
+        svc.prev_responsive = state.current_responsive.clone();
+        sorted::normalize(&mut svc.prev_responsive);
         // `ever` and `cumulative` accumulate from the same cleaned hits.
         svc.ever = state.cumulative.iter().map(|(a, _)| *a).collect();
+        sorted::normalize(&mut svc.ever);
         svc.next_alias_day = state.next_alias_day;
         svc.rounds = state.rounds.clone();
         svc.snapshots = state.snapshots.clone();
@@ -439,6 +481,7 @@ impl HitlistService {
         for r in &state.rounds {
             for i in 0..5 {
                 svc.anomaly[i].observe(r.published[i] as f64);
+                svc.proto_seen[i] |= r.cleaned[i] > 0;
             }
         }
         svc
@@ -460,8 +503,8 @@ impl HitlistService {
         &self.snapshots
     }
 
-    /// The most recent cleaned responsive set.
-    pub fn current_responsive(&self) -> &HashSet<Addr> {
+    /// The most recent cleaned responsive set, sorted ascending.
+    pub fn current_responsive(&self) -> &[Addr] {
         &self.prev_responsive
     }
 
@@ -506,21 +549,10 @@ impl HitlistService {
     }
 
     fn traceroute(&mut self, net: &Internet, day: Day) {
-        let cap = self.config.traceroute_cap;
-        // Rotating sample of the whole input (covers the Chinese router
-        // pools whose interfaces rotate weekly).
-        let stride = (self.input.len() / cap.max(1)).max(1) as u64;
-        // Sort before applying the cap: HashSet iteration order varies per
-        // process, and a `.take(cap)` straight off it would make the
-        // traceroute sample — and every round after it — nondeterministic.
-        let mut targets: Vec<Addr> = self
-            .input
-            .iter()
-            .filter(|a| prf::prf_u128(0x7ace, a.0, u64::from(day.0 / 7)) % stride == 0)
-            .copied()
-            .collect();
-        targets.sort_unstable();
-        targets.truncate(cap);
+        // Rotating weekly sample of the whole input (covers the Chinese
+        // router pools whose interfaces rotate weekly).
+        let targets =
+            traceroute_sample(&self.input, self.config.traceroute_cap, u64::from(day.0 / 7));
         let probe = ProbeKind::IcmpEcho { size: 16 };
         let mut discovered = Vec::new();
         for t in targets {
@@ -587,41 +619,112 @@ impl HitlistService {
             .collect();
         self.record_phase("select", phase_started.elapsed());
 
-        // 3. Scans.
+        // 3b. Scans — the five protocol modules run concurrently (each
+        // with its slice of the round's thread budget) or back to back,
+        // depending on `parallel_protocols`. A scan is a pure function of
+        // (net, protocol, targets, day, config), so the only ordering
+        // that matters is the merge below, which is strictly sequential
+        // in Protocol::ALL order either way: records, snapshots and
+        // checkpoints come out byte-identical at any thread budget.
+        let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
+        let telemetry = self.telemetry.as_ref();
+        let scan_started = Instant::now();
+        let results: Vec<ScanResult> = if self.config.parallel_protocols {
+            let budgets = split_thread_budget(self.config.scan.threads);
+            let scan_cfg = &self.config.scan;
+            let targets = &targets;
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = Protocol::ALL
+                    .into_iter()
+                    .zip(budgets)
+                    .map(|(proto, budget)| {
+                        let cfg = scan_cfg.clone().with_threads(budget);
+                        let handle =
+                            s.spawn(move |_| scan_with(net, proto, targets, day, &cfg, telemetry));
+                        (proto, handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(proto, handle)| {
+                        handle.join().unwrap_or_else(|payload| {
+                            panic!(
+                                "{proto} scan (day {}) panicked: {}",
+                                day.0,
+                                panic_message(&*payload)
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|payload| {
+                panic!("round scan scope (day {}) panicked: {}", day.0, panic_message(&*payload))
+            })
+        } else {
+            Protocol::ALL
+                .into_iter()
+                .map(|proto| scan_with(net, proto, &targets, day, &self.config.scan, telemetry))
+                .collect()
+        };
+        self.record_phase("scan", scan_started.elapsed());
+
+        // 3c. Merge, strictly in Protocol::ALL order. GFW cleaning
+        // mutates filter state and stays sequential; set bookkeeping is
+        // linear merges over sorted slices with one reusable scratch
+        // buffer instead of per-protocol HashSet churn.
         let mut published = [0u64; 5];
         let mut cleaned = [0u64; 5];
-        let mut responsive_published: HashSet<Addr> = HashSet::new();
-        let mut responsive_cleaned: HashSet<Addr> = HashSet::new();
+        let mut responsive_published: Vec<Addr> = Vec::new();
+        let mut responsive_cleaned: Vec<Addr> = Vec::new();
+        let mut scratch: Vec<Addr> = Vec::new();
         let mut proto_cleaned_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
         let mut proto_published_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
-        let mut scan_elapsed = Duration::ZERO;
         let mut gfw_elapsed = Duration::ZERO;
         let mut loss_weighted = 0u64;
+        let mut sent_total = 0u64;
         let mut received_total = 0u64;
-        let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
-        for (i, proto) in Protocol::ALL.into_iter().enumerate() {
-            let scan_started = Instant::now();
-            let result: ScanResult =
-                scan_with(net, proto, &targets, day, &self.config.scan, self.telemetry.as_ref());
-            scan_elapsed += scan_started.elapsed();
-            loss_weighted += u64::from(result.stats.loss_estimate_permille) * result.stats.received;
+        for (i, result) in results.into_iter().enumerate() {
+            let proto = result.protocol;
+            debug_assert_eq!(proto, Protocol::ALL[i], "merge order is Protocol::ALL order");
+            // Weight each scan's loss estimate by the probes it *sent*.
+            // Weighting by responses — as this loop once did — hands a
+            // fully blacked-out protocol zero weight, hiding exactly the
+            // rounds the estimate feeds the degraded classifier for. A
+            // protocol whose cleaned history proves it can answer
+            // (`proto_seen`, read before this round updates it) counts
+            // a zero-response scan as total loss; an always-dark one
+            // stays excluded (dark space is not loss).
+            let sent = result.stats.sent;
+            let per_scan = if sent > 0 && result.stats.received == 0 && self.proto_seen[i] {
+                1000
+            } else {
+                u64::from(result.stats.loss_estimate_permille)
+            };
+            loss_weighted += per_scan * sent;
+            sent_total += sent;
             received_total += result.stats.received;
-            let pub_hits: Vec<Addr> = result.hits().collect();
+            let mut pub_hits: Vec<Addr> = result.hits().collect();
+            pub_hits.sort_unstable();
             let gfw_started = Instant::now();
-            let clean_hits: Vec<Addr> =
-                if proto == Protocol::Udp53 { self.gfw.clean(&result) } else { pub_hits.clone() };
+            let clean_hits: Vec<Addr> = if proto == Protocol::Udp53 {
+                let mut v = self.gfw.clean(&result);
+                v.sort_unstable();
+                v
+            } else {
+                pub_hits.clone()
+            };
             gfw_elapsed += gfw_started.elapsed();
             published[i] = pub_hits.len() as u64;
             cleaned[i] = clean_hits.len() as u64;
-            responsive_published.extend(pub_hits.iter().copied());
-            responsive_cleaned.extend(clean_hits.iter().copied());
+            self.proto_seen[i] |= !clean_hits.is_empty();
+            sorted::union_in_place(&mut responsive_published, &pub_hits, &mut scratch);
+            sorted::union_in_place(&mut responsive_cleaned, &clean_hits, &mut scratch);
             for a in &clean_hits {
                 self.cumulative.entry(*a).or_insert(ProtoSet::EMPTY).insert(proto);
             }
             proto_published_sets.push((proto, pub_hits));
             proto_cleaned_sets.push((proto, clean_hits));
         }
-        self.record_phase("scan", scan_elapsed);
         self.record_phase("gfw", gfw_elapsed);
 
         // 4. Once the filter is deployed the service *publishes* cleaned
@@ -669,7 +772,7 @@ impl HitlistService {
         } else if received_total == 0 {
             1000
         } else {
-            (loss_weighted / received_total) as u32
+            (loss_weighted / sent_total.max(1)) as u32
         };
         let degraded = !targets.is_empty()
             && (loss_estimate_permille >= self.config.degraded_loss_permille
@@ -680,8 +783,7 @@ impl HitlistService {
         // round still credits whoever answered, but never sweeps: silence
         // during a broken measurement proves nothing, so the round's days
         // are quarantined in the 30-day filter instead.
-        let effective: &HashSet<Addr> =
-            if gfw_live { &responsive_cleaned } else { &responsive_published };
+        let effective: &[Addr] = if gfw_live { &responsive_cleaned } else { &responsive_published };
         for a in effective {
             self.unresp.mark_responsive(*a, day);
         }
@@ -714,15 +816,17 @@ impl HitlistService {
         let phase_started = Instant::now();
         let mut churn_brand_new = 0u64;
         let mut churn_recurring = 0u64;
-        for a in responsive_cleaned.difference(&self.prev_responsive) {
-            if self.ever.contains(a) {
+        let mut newly: Vec<Addr> = Vec::new();
+        sorted::diff_into(&responsive_cleaned, &self.prev_responsive, &mut newly);
+        for a in &newly {
+            if sorted::contains(&self.ever, a) {
                 churn_recurring += 1;
             } else {
                 churn_brand_new += 1;
             }
         }
-        let churn_gone = self.prev_responsive.difference(&responsive_cleaned).count() as u64;
-        self.ever.extend(responsive_cleaned.iter().copied());
+        let churn_gone = sorted::diff_count(&self.prev_responsive, &responsive_cleaned) as u64;
+        sorted::union_in_place(&mut self.ever, &responsive_cleaned, &mut scratch);
         self.record_phase("churn", phase_started.elapsed());
 
         let record = RoundRecord {
@@ -821,5 +925,130 @@ impl HitlistService {
         }
         self.run_round(net, until);
         hook(self, until);
+    }
+}
+
+/// Splits the round-level worker budget ([`ScanConfig::threads`]) across
+/// the five concurrent protocol scans. Earlier protocols (Protocol::ALL
+/// order) receive the remainder, and every scan keeps at least one
+/// worker — a budget below five oversubscribes instead of starving a
+/// protocol.
+fn split_thread_budget(budget: usize) -> [usize; 5] {
+    let budget = budget.max(1);
+    let base = budget / 5;
+    let extra = budget % 5;
+    std::array::from_fn(|i| (base + usize::from(i < extra)).max(1))
+}
+
+/// One week's rotating traceroute sample. The PRF filter admits roughly
+/// `cap · stride` of the input; the cap then keeps the `cap` *lowest
+/// draws*, a fresh pseudo-random cross-section each week. Ranking by the
+/// draw rather than by address is what makes the sample actually rotate:
+/// cutting a sorted-by-address candidate list at `cap` — as this service
+/// once did — handed the numerically lowest addresses a permanent seat,
+/// and with `stride == 1` returned the identical set every single week.
+/// Ties break by address, so the result is deterministic at any HashSet
+/// iteration order.
+fn traceroute_sample(input: &HashSet<Addr>, cap: usize, week: u64) -> Vec<Addr> {
+    let stride = (input.len() / cap.max(1)).max(1) as u64;
+    let mut ranked: Vec<(u64, Addr)> = input
+        .iter()
+        .filter_map(|a| {
+            let draw = prf::prf_u128(0x7ace, a.0, week);
+            (draw % stride == 0).then_some((draw, *a))
+        })
+        .collect();
+    ranked.sort_unstable();
+    ranked.truncate(cap);
+    ranked.into_iter().map(|(_, a)| a).collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixdust_net::{FaultConfig, Internet, Scale};
+
+    #[test]
+    fn thread_budget_split_covers_all_protocols() {
+        assert_eq!(split_thread_budget(0), [1, 1, 1, 1, 1]);
+        assert_eq!(split_thread_budget(1), [1, 1, 1, 1, 1]);
+        assert_eq!(split_thread_budget(4), [1, 1, 1, 1, 1]);
+        assert_eq!(split_thread_budget(5), [1, 1, 1, 1, 1]);
+        assert_eq!(split_thread_budget(8), [2, 2, 2, 1, 1]);
+        assert_eq!(split_thread_budget(32), [7, 7, 6, 6, 6]);
+        for budget in 0..40 {
+            let split = split_thread_budget(budget);
+            assert!(split.iter().all(|w| *w >= 1), "budget {budget}: {split:?}");
+            assert_eq!(split.iter().sum::<usize>(), budget.clamp(5, usize::MAX), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn traceroute_sample_rotates_weekly_beyond_the_cap() {
+        // An input 1.5× the cap makes the stride 1, so the PRF filter
+        // admits *everything* — the exact regime where cutting a
+        // sorted-by-address list at the cap returned the identical
+        // lowest-`cap` set every single week.
+        let cap = 100;
+        let input: HashSet<Addr> =
+            (0..150u128).map(|i| Addr((0x2001u128 << 112) | (i << 82) | 7)).collect();
+        let mut all: Vec<Addr> = input.iter().copied().collect();
+        all.sort_unstable();
+        let lowest_cap: Vec<Addr> = all.iter().take(cap).copied().collect();
+
+        let sample = |week: u64| -> Vec<Addr> {
+            let mut s = traceroute_sample(&input, cap, week);
+            s.sort_unstable();
+            s
+        };
+        let w0 = sample(0);
+        let w1 = sample(1);
+        assert_eq!(w0, sample(0), "same week, same sample");
+        assert_eq!(w0.len(), cap);
+        assert_eq!(w1.len(), cap);
+        assert_ne!(w0, w1, "consecutive weeks must draw different samples");
+        assert_ne!(w0, lowest_cap, "the lowest addresses must not always win");
+        assert_ne!(w1, lowest_cap, "the lowest addresses must not always win");
+        let overlap = w0.iter().filter(|a| sorted::contains(&w1, a)).count();
+        assert!(overlap < cap, "rotation changes membership beyond the cap boundary");
+        // Small inputs are untouched: everything under the cap is traced.
+        let tiny: HashSet<Addr> = all.iter().take(10).copied().collect();
+        let mut traced = traceroute_sample(&tiny, cap, 3);
+        traced.sort_unstable();
+        assert_eq!(traced, all[..10].to_vec());
+    }
+
+    #[test]
+    fn traceroute_rotation_reaches_different_router_interfaces() {
+        // Two fresh services with identical inputs, traced in different
+        // weeks on the same day-of-week: the rotated samples reach
+        // different targets, so the discovered hop interfaces differ too.
+        let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
+        let cfg = ServiceConfig::builder().traceroute_cap(40).alias_every_days(10_000).build();
+        let input: HashSet<Addr> =
+            (0..80u128).map(|i| Addr((0x2001u128 << 112) | (i << 82) | 7)).collect();
+        let mut week_a = HitlistService::new(cfg.clone());
+        week_a.input = input.clone();
+        week_a.traceroute(&net, Day(0));
+        let mut week_b = HitlistService::new(cfg);
+        week_b.input = input.clone();
+        week_b.traceroute(&net, Day(7));
+        let mut hops_a: Vec<Addr> =
+            week_a.input.iter().filter(|a| !input.contains(a)).copied().collect();
+        let mut hops_b: Vec<Addr> =
+            week_b.input.iter().filter(|a| !input.contains(a)).copied().collect();
+        hops_a.sort_unstable();
+        hops_b.sort_unstable();
+        assert_ne!(hops_a, hops_b, "different weeks discover different router interfaces");
     }
 }

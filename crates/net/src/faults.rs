@@ -19,8 +19,9 @@
 //!   garbage);
 //! * per-router **ICMPv6 rate limiting** (a day-bucketed token budget —
 //!   degrades yarrp traceroutes and the Too Big Trick);
-//! * scheduled **outage windows** for the vantage point or a single AS,
-//!   expressed in the same [`Day`] timeline as every other event.
+//! * scheduled **outage windows** for the vantage point, a single AS, or
+//!   a single protocol (total blackout of one probe module), expressed in
+//!   the same [`Day`] timeline as every other event.
 //!
 //! Every stochastic decision is a pure function of `(world seed, fault
 //! seed, question)` via [`sixdust_addr::prf`], so two runs with the same
@@ -128,6 +129,10 @@ pub enum OutageScope {
     /// One origin AS withdraws: probes toward its address space get no
     /// response at all (not even on-path middlebox injections).
     Asn(u32),
+    /// One protocol goes fully dark (a filtered port, a dead middlebox, a
+    /// broken probe module): every probe of that protocol times out, for
+    /// every destination, while the other four protocols keep answering.
+    Protocol(Protocol),
 }
 
 /// A scheduled outage window `[from, until)` on the simulation timeline —
@@ -152,6 +157,11 @@ impl Outage {
     /// An AS outage window `[from, until)`.
     pub fn asn(asn: u32, from: Day, until: Day) -> Outage {
         Outage { from, until, scope: OutageScope::Asn(asn) }
+    }
+
+    /// A single-protocol blackout window `[from, until)`.
+    pub fn protocol(proto: Protocol, from: Day, until: Day) -> Outage {
+        Outage { from, until, scope: OutageScope::Protocol(proto) }
     }
 
     /// Whether the window covers `day`.
@@ -290,6 +300,11 @@ impl FaultConfig {
     /// Whether `asn` is down on `day`.
     pub fn asn_down(&self, asn: u32, day: Day) -> bool {
         self.outages.iter().any(|o| o.scope == OutageScope::Asn(asn) && o.active(day))
+    }
+
+    /// Whether `proto` is fully blacked out on `day`.
+    pub fn proto_down(&self, proto: Protocol, day: Day) -> bool {
+        self.outages.iter().any(|o| o.scope == OutageScope::Protocol(proto) && o.active(day))
     }
 
     /// The effective loss probability (permille) for a probe toward
@@ -494,6 +509,7 @@ mod tests {
         let f = FaultConfig::builder()
             .outage(Outage::vantage(Day(10), Day(12)))
             .outage(Outage::asn(4134, Day(20), Day(25)))
+            .outage(Outage::protocol(Protocol::Udp53, Day(30), Day(33)))
             .build();
         assert!(!f.vantage_down(Day(9)));
         assert!(f.vantage_down(Day(10)));
@@ -502,6 +518,11 @@ mod tests {
         assert!(f.asn_down(4134, Day(20)));
         assert!(!f.asn_down(4134, Day(25)));
         assert!(!f.asn_down(3356, Day(20)));
+        assert!(!f.proto_down(Protocol::Udp53, Day(29)));
+        assert!(f.proto_down(Protocol::Udp53, Day(30)));
+        assert!(f.proto_down(Protocol::Udp53, Day(32)));
+        assert!(!f.proto_down(Protocol::Udp53, Day(33)));
+        assert!(!f.proto_down(Protocol::Icmp, Day(30)), "other protocols stay up");
     }
 
     #[test]

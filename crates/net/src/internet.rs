@@ -244,14 +244,17 @@ impl Internet {
         self.seed ^ self.faults.seed
     }
 
-    /// Whether an outage window silences `dst` on `day` — either the
-    /// vantage point is down (nothing answers) or the destination's
-    /// origin AS has withdrawn its routes.
-    fn outage_silenced(&self, dst: Addr, day: Day) -> bool {
+    /// Whether an outage window silences `dst` on `day` — the vantage
+    /// point is down (nothing answers), the probe's protocol is blacked
+    /// out, or the destination's origin AS has withdrawn its routes.
+    fn outage_silenced(&self, dst: Addr, proto: Protocol, day: Day) -> bool {
         if self.faults.outages.is_empty() {
             return false;
         }
         if self.faults.vantage_down(day) {
+            return true;
+        }
+        if self.faults.proto_down(proto, day) {
             return true;
         }
         if self.faults.outages.iter().any(|o| matches!(o.scope, OutageScope::Asn(_))) {
@@ -346,7 +349,7 @@ impl Internet {
         day: Day,
     ) -> Option<Response> {
         self.counters.ttl_probes.incr();
-        if self.outage_silenced(dst, day) {
+        if self.outage_silenced(dst, probe_proto(kind), day) {
             self.counters.faults_dropped.incr();
             return None;
         }
@@ -396,7 +399,7 @@ impl Internet {
         attempt: u8,
     ) -> Vec<Response> {
         self.counters.probes.incr();
-        if self.outage_silenced(dst, day) {
+        if self.outage_silenced(dst, probe_proto(kind), day) {
             self.counters.faults_dropped.incr();
             return Vec::new();
         }
@@ -633,7 +636,7 @@ impl Internet {
             },
         };
 
-        if self.outage_silenced(dst, day) {
+        if self.outage_silenced(dst, probe_proto(&kind), day) {
             self.counters.faults_dropped.incr();
             return Vec::new();
         }

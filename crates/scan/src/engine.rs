@@ -429,7 +429,7 @@ pub fn scan_with(
 ) -> ScanResult {
     let probe = probe_for(protocol, &config.dns_qname);
     let n = targets.len() as u64;
-    let order: Vec<u64> = CyclicPermutation::new(n, config.seed ^ u64::from(day.0)).collect();
+    let perm = CyclicPermutation::new(n, config.seed ^ u64::from(day.0));
     let threads = config.threads.clamp(1, 32);
     if threads != config.threads {
         // The clamp used to be silent; a configured 0 or 200 ran with a
@@ -438,7 +438,18 @@ pub fn scan_with(
             t.counter("scan.config.threads_clamped").incr();
         }
     }
-    let chunk = order.len().div_ceil(threads.max(1)).max(1);
+    // Partition the permutation's raw group cycle instead of materializing
+    // the whole order (one u64 per target, five times a round): each worker
+    // jumps to its contiguous range of cycle positions (O(log start) setup,
+    // O(1) state) and walks it lazily. Concatenating the ranges in worker
+    // order reproduces the materialized order exactly, so outcomes stay
+    // byte-identical for any worker count.
+    let cycle = perm.cycle_len();
+    let per_worker = cycle.div_ceil(threads as u64).max(1);
+    let ranges: Vec<(u64, u64)> = (0..cycle)
+        .step_by(per_worker as usize)
+        .map(|start| (start, per_worker.min(cycle - start)))
+        .collect();
     let chunk_hist = telemetry.map(|t| t.histogram("scan.worker.chunk_ms"));
     // Resolved once per scan; workers clone the journal handle, not the
     // registry lookup.
@@ -452,15 +463,15 @@ pub fn scan_with(
 
     let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
     let mut tally = WorkerTally::default();
-    let chunks: Vec<&[u64]> = order.chunks(chunk).collect();
     let results: Vec<(Vec<ScanOutcome>, WorkerTally)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
+        let handles: Vec<_> = ranges
             .iter()
             .enumerate()
-            .map(|(worker, idxs)| {
+            .map(|(worker, &(start, len))| {
                 let probe = probe.clone();
                 let chunk_hist = chunk_hist.clone();
                 let worker_tracer = tracer.clone();
+                let perm = &perm;
                 let handle = s.spawn(move |_| {
                     let _span = chunk_hist.as_ref().map(SpanTimer::start);
                     let _trace_span = worker_tracer.as_ref().map(|j| {
@@ -468,13 +479,13 @@ pub fn scan_with(
                             "scan.worker",
                             &[
                                 ("worker", worker.to_string().as_str()),
-                                ("chunk", idxs.len().to_string().as_str()),
+                                ("chunk", len.to_string().as_str()),
                             ],
                         )
                     });
-                    let mut out = Vec::with_capacity(idxs.len());
+                    let mut out = Vec::with_capacity(len.min(n) as usize);
                     let mut tally = WorkerTally::default();
-                    for &i in idxs.iter() {
+                    for i in perm.segment(start, len) {
                         let target = targets[i as usize];
                         let mut responses = Vec::new();
                         // The retry loop stops on the first response, so
@@ -506,17 +517,16 @@ pub fn scan_with(
                     }
                     (out, tally)
                 });
-                (worker, idxs.len(), handle)
+                (worker, start, len, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|(worker, len, handle)| {
+            .map(|(worker, start, len, handle)| {
                 handle.join().unwrap_or_else(|payload| {
-                    let start = worker * chunk;
                     panic!(
-                        "scan worker {worker} ({protocol} day {}, permuted chunk \
-                         {start}..{}, {len} targets) panicked: {}",
+                        "scan worker {worker} ({protocol} day {}, cycle positions \
+                         {start}..{}, {len} of them) panicked: {}",
                         day.0,
                         start + len,
                         panic_message(&*payload)

@@ -32,7 +32,7 @@ pub use engine::{
     ScanConfig, ScanConfigBuilder, ScanOutcome, ScanResult, ScanStats,
 };
 pub use pcap::{PcapReader, PcapWriter};
-pub use permute::CyclicPermutation;
+pub use permute::{CyclicPermutation, PermutationSegment};
 pub use rate::{Clock, MonotonicClock, TokenBucket, VirtualClock};
 pub use yarrp::{yarrp, Trace, YarrpConfig, YarrpConfigBuilder, YarrpResult};
 
@@ -315,6 +315,26 @@ mod tests {
             snap.counter("scan.icmp.probes_sent"),
             Some(result.stats.sent + wire.stats.sent)
         );
+    }
+
+    #[test]
+    fn scan_outcomes_identical_across_thread_counts() {
+        // The permutation is walked as lazily-segmented cycle ranges whose
+        // concatenation is the materialized order — so the worker count
+        // must never show up in the results.
+        let net = net();
+        let day = Day(100);
+        let targets = responsive_targets(&net, day, Protocol::Icmp, 40);
+        let base =
+            scan(&net, Protocol::Icmp, &targets, day, &ScanConfig::builder().threads(1).build());
+        for threads in [2usize, 4, 8, 32] {
+            let cfg = ScanConfig::builder().threads(threads).build();
+            let result = scan(&net, Protocol::Icmp, &targets, day, &cfg);
+            assert_eq!(result.outcomes, base.outcomes, "{threads} threads");
+            assert_eq!(result.stats.sent, base.stats.sent, "{threads} threads");
+            assert_eq!(result.stats.received, base.stats.received, "{threads} threads");
+            assert_eq!(result.stats.hits, base.stats.hits, "{threads} threads");
+        }
     }
 
     #[test]

@@ -60,6 +60,81 @@ impl CyclicPermutation {
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
+
+    /// The length of the underlying group cycle (`prime − 1`; 0 when the
+    /// permutation is empty). The cycle visits every group element once;
+    /// positions whose element exceeds `n` emit nothing, so partitioning
+    /// `0..cycle_len()` into contiguous ranges and concatenating each
+    /// range's [`CyclicPermutation::segment`] output reproduces the full
+    /// permutation — without materializing it.
+    pub fn cycle_len(&self) -> u64 {
+        if self.n == 0 {
+            0
+        } else {
+            self.prime - 1
+        }
+    }
+
+    /// An iterator over the indices emitted by the raw cycle positions
+    /// `start..start + len` (clamped to the cycle). O(log start) setup —
+    /// the segment's first element is `first · generator^start` — and O(1)
+    /// state, so workers can split a scan's permutation without anyone
+    /// ever allocating the whole order.
+    ///
+    /// ```
+    /// use sixdust_scan::CyclicPermutation;
+    /// let perm = CyclicPermutation::new(100, 7);
+    /// let full: Vec<u64> = perm.clone().collect();
+    /// let split: Vec<u64> =
+    ///     perm.segment(0, 40).chain(perm.segment(40, perm.cycle_len())).collect();
+    /// assert_eq!(split, full);
+    /// ```
+    pub fn segment(&self, start: u64, len: u64) -> PermutationSegment {
+        let remaining = len.min(self.cycle_len().saturating_sub(start));
+        let current = if remaining == 0 {
+            1
+        } else {
+            mulmod(self.first, powmod(self.generator, start, self.prime), self.prime)
+        };
+        PermutationSegment {
+            n: self.n,
+            prime: self.prime,
+            generator: self.generator,
+            current,
+            remaining,
+        }
+    }
+}
+
+/// A contiguous slice of a [`CyclicPermutation`]'s raw cycle, yielding
+/// only the in-range indices; see [`CyclicPermutation::segment`].
+#[derive(Debug, Clone)]
+pub struct PermutationSegment {
+    n: u64,
+    prime: u64,
+    generator: u64,
+    current: u64,
+    remaining: u64,
+}
+
+impl Iterator for PermutationSegment {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.remaining > 0 {
+            let value = self.current - 1; // group elements are 1..prime
+            self.current = mulmod(self.current, self.generator, self.prime);
+            self.remaining -= 1;
+            if value < self.n {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining.min(self.n) as usize))
+    }
 }
 
 impl Iterator for CyclicPermutation {
@@ -228,6 +303,39 @@ mod tests {
     fn empty_and_tiny() {
         assert_eq!(CyclicPermutation::new(0, 1).count(), 0);
         assert_eq!(CyclicPermutation::new(1, 1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn segments_concatenate_to_the_full_permutation() {
+        for n in [1u64, 2, 7, 100, 1013, 5000] {
+            for seed in [0u64, 1, 42] {
+                let perm = CyclicPermutation::new(n, seed);
+                let full: Vec<u64> = perm.clone().collect();
+                for workers in [1u64, 3, 4, 8] {
+                    let per = perm.cycle_len().div_ceil(workers).max(1);
+                    let mut split: Vec<u64> = Vec::new();
+                    let mut start = 0;
+                    while start < perm.cycle_len() {
+                        split.extend(perm.segment(start, per));
+                        start += per;
+                    }
+                    assert_eq!(split, full, "n={n} seed={seed} workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_edges() {
+        let perm = CyclicPermutation::new(100, 9);
+        // Zero-length, past-the-end and over-long segments are safe.
+        assert_eq!(perm.segment(0, 0).count(), 0);
+        assert_eq!(perm.segment(perm.cycle_len(), 10).count(), 0);
+        assert_eq!(perm.segment(0, u64::MAX).collect::<Vec<_>>(), perm.clone().collect::<Vec<_>>());
+        // The empty permutation has no cycle at all.
+        let empty = CyclicPermutation::new(0, 1);
+        assert_eq!(empty.cycle_len(), 0);
+        assert_eq!(empty.segment(0, 5).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the round hot-path benchmark and refresh BENCH_round.json at the repo
+# root with the measured rounds/sec trajectory.
+#
+#   scripts/bench_round.sh           # full criterion run, rewrite BENCH_round.json
+#   scripts/bench_round.sh --test    # quick mode: one pass per bench, no JSON refresh
+#
+# The JSON records the mean wall time per 10-day window for the sequential
+# baseline and each parallel thread budget, so later PRs can compare.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--test" ]; then
+  cargo bench -p sixdust-bench --bench round -- --test
+  exit 0
+fi
+
+cargo bench -p sixdust-bench --bench round
+
+out="BENCH_round.json"
+crit="target/criterion/round"
+
+# Criterion writes estimates.json (nanoseconds) per bench under
+# target/criterion/<group>/<bench>/new/. Distil the point estimates.
+python3 - "$crit" "$out" <<'PY'
+import json
+import os
+import sys
+
+crit, out = sys.argv[1], sys.argv[2]
+window_days = 10
+results = {}
+for name in sorted(os.listdir(crit)) if os.path.isdir(crit) else []:
+    est = os.path.join(crit, name, "new", "estimates.json")
+    if not os.path.isfile(est):
+        continue
+    with open(est) as f:
+        mean_ns = json.load(f)["mean"]["point_estimate"]
+    results[name] = {
+        "mean_window_secs": mean_ns / 1e9,
+        "rounds_per_sec": window_days / (mean_ns / 1e9),
+    }
+doc = {
+    "bench": "crates/bench/benches/round.rs",
+    "window_days": window_days,
+    "refreshed_by": "scripts/bench_round.sh",
+    "results": results or None,
+    "note": None
+    if results
+    else "no criterion estimates found under target/criterion/round; run the bench first",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: {len(results)} benches")
+PY

@@ -22,6 +22,9 @@ if [ "${1:-}" != "--quick" ]; then
   echo "== cargo bench --workspace --no-run"
   cargo bench --workspace --no-run
 
+  echo "== cargo bench -p sixdust-bench --bench round -- --test (quick mode)"
+  cargo bench -p sixdust-bench --bench round -- --test
+
   echo "== cargo doc --workspace --no-deps (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi
