@@ -23,9 +23,12 @@
 //! * [`prf`] — a small deterministic pseudo-random function used everywhere
 //!   a reproducible per-address coin flip is required (host liveness, churn,
 //!   probe address generation).
-//! * [`sorted`] — linear merge kernels (union/diff/intersect) over sorted
-//!   slices with reusable buffers; the allocation-lean replacement for the
-//!   hitlist service's per-round `HashSet` bookkeeping.
+//! * [`AddrSet`] — the chunked address-set type every crate boundary
+//!   speaks: /32-bucketed, per-density sorted-block or bitmap chunks,
+//!   streaming ascending iteration, and serde output identical to a sorted
+//!   `Vec<Addr>`. The linear merge kernels (union/diff/intersect over
+//!   sorted slices) that used to be public as `sorted::*` are now
+//!   crate-private plumbing behind this type.
 //!
 //! All types are `Copy` where possible, serializable, and allocate only when
 //! a collection genuinely must.
@@ -34,16 +37,18 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod addrset;
 pub mod classify;
 mod eui64;
 mod prefix;
 pub mod prf;
 mod set;
-pub mod sorted;
+pub(crate) mod sorted;
 pub mod teredo;
 mod trie;
 
 pub use addr::Addr;
+pub use addrset::{AddrSet, Iter as AddrSetIter};
 pub use classify::{classify_iid, IidBreakdown, IidClass};
 pub use eui64::{Eui64, OuiVendor, OUI_REGISTRY, ZTE_OUI};
 pub use prefix::{ParsePrefixError, Prefix, SubPrefixes};

@@ -1,4 +1,5 @@
-//! Merge kernels over sorted slices.
+//! Merge kernels over sorted slices — crate-private plumbing behind
+//! [`AddrSet`](crate::AddrSet).
 //!
 //! The hitlist service's round hot path used to shuffle its responsive
 //! sets through `HashSet` clones and rebuilds — one hash per address per
@@ -6,7 +7,10 @@
 //! merges over sorted, deduplicated `Vec`s: every operation is a single
 //! pass, the output buffers are caller-owned and reusable across rounds,
 //! and the resulting sets are canonically ordered (which also makes
-//! snapshots and published artifacts byte-stable for free).
+//! snapshots and published artifacts byte-stable for free). Since the
+//! `AddrSet` redesign these free functions are no longer exported; every
+//! external caller goes through the set type, which applies them one
+//! chunk at a time.
 //!
 //! All kernels require their inputs sorted ascending and free of
 //! duplicates; [`normalize`] produces that form. Outputs are cleared
@@ -14,13 +18,6 @@
 
 /// Sorts `v` ascending and removes duplicates — the canonical form every
 /// other kernel in this module expects.
-///
-/// ```
-/// use sixdust_addr::{sorted, Addr};
-/// let mut v = vec![Addr(3), Addr(1), Addr(3), Addr(2)];
-/// sorted::normalize(&mut v);
-/// assert_eq!(v, vec![Addr(1), Addr(2), Addr(3)]);
-/// ```
 pub fn normalize<T: Ord>(v: &mut Vec<T>) {
     v.sort_unstable();
     v.dedup();
@@ -32,15 +29,6 @@ pub fn contains<T: Ord>(s: &[T], item: &T) -> bool {
 }
 
 /// Writes `a ∪ b` into `out` (cleared first).
-///
-/// ```
-/// use sixdust_addr::{sorted, Addr};
-/// let a = vec![Addr(1), Addr(3)];
-/// let b = vec![Addr(2), Addr(3)];
-/// let mut out = Vec::new();
-/// sorted::union_into(&a, &b, &mut out);
-/// assert_eq!(out, vec![Addr(1), Addr(2), Addr(3)]);
-/// ```
 pub fn union_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     out.clear();
     out.reserve(a.len().max(b.len()));
@@ -69,14 +57,6 @@ pub fn union_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
 /// Merges `b` into the accumulator `acc` in place, using `scratch` as the
 /// reusable merge buffer (its capacity is retained across calls — the
 /// allocation-free steady state of a per-round accumulation loop).
-///
-/// ```
-/// use sixdust_addr::{sorted, Addr};
-/// let mut acc = vec![Addr(1), Addr(4)];
-/// let mut scratch = Vec::new();
-/// sorted::union_in_place(&mut acc, &[Addr(2), Addr(4)], &mut scratch);
-/// assert_eq!(acc, vec![Addr(1), Addr(2), Addr(4)]);
-/// ```
 pub fn union_in_place<T: Ord + Copy>(acc: &mut Vec<T>, b: &[T], scratch: &mut Vec<T>) {
     if b.is_empty() {
         return;
@@ -90,15 +70,6 @@ pub fn union_in_place<T: Ord + Copy>(acc: &mut Vec<T>, b: &[T], scratch: &mut Ve
 }
 
 /// Writes `a \ b` into `out` (cleared first).
-///
-/// ```
-/// use sixdust_addr::{sorted, Addr};
-/// let a = vec![Addr(1), Addr(2), Addr(3)];
-/// let b = vec![Addr(2)];
-/// let mut out = Vec::new();
-/// sorted::diff_into(&a, &b, &mut out);
-/// assert_eq!(out, vec![Addr(1), Addr(3)]);
-/// ```
 pub fn diff_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     out.clear();
     let mut j = 0;
@@ -128,15 +99,6 @@ pub fn diff_count<T: Ord>(a: &[T], b: &[T]) -> usize {
 }
 
 /// Writes `a ∩ b` into `out` (cleared first).
-///
-/// ```
-/// use sixdust_addr::{sorted, Addr};
-/// let a = vec![Addr(1), Addr(2), Addr(3)];
-/// let b = vec![Addr(2), Addr(3), Addr(4)];
-/// let mut out = Vec::new();
-/// sorted::intersect_into(&a, &b, &mut out);
-/// assert_eq!(out, vec![Addr(2), Addr(3)]);
-/// ```
 pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     out.clear();
     let (mut i, mut j) = (0, 0);

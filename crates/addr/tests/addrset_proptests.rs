@@ -1,0 +1,134 @@
+//! Property tests for [`AddrSet`]: every operation must agree with the
+//! obviously-correct model (`BTreeSet<u128>`) regardless of which chunk
+//! representation — sorted block or bitmap — each /32 bucket lands in,
+//! and the serialized form must stay byte-identical to a sorted
+//! `Vec<Addr>`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sixdust_addr::{Addr, AddrSet};
+
+/// Raw items mixing dense runs (bitmap chunks), strided mid-density
+/// buckets, several distinct /32 keys, and fully random sparse values.
+fn arb_items(max_len: usize) -> impl Strategy<Value = Vec<u128>> {
+    prop::collection::vec(
+        prop_oneof![
+            0..10_000u128,
+            (0..4u128, 0..2_000u128).prop_map(|(h, l)| (h << 96) + l * 17),
+            any::<u64>().prop_map(u128::from),
+            any::<u128>(),
+            Just(u128::MAX),
+        ],
+        0..max_len,
+    )
+}
+
+fn model(items: &[u128]) -> BTreeSet<u128> {
+    items.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_model(items in arb_items(400)) {
+        let set = AddrSet::from_unsorted(items.clone());
+        let reference = model(&items);
+        prop_assert_eq!(set.len(), reference.len());
+        prop_assert!(set.iter().eq(reference.iter().copied()), "iteration order is sorted");
+        prop_assert_eq!(set.to_vec(), reference.iter().copied().collect::<Vec<_>>());
+        // Bulk and incremental construction canonicalize identically.
+        let mut incremental = AddrSet::new();
+        for &item in &items {
+            incremental.insert(item);
+        }
+        prop_assert_eq!(&incremental, &set);
+        prop_assert_eq!(incremental.bitmap_chunk_count(), set.bitmap_chunk_count());
+    }
+
+    #[test]
+    fn contains_matches_model(items in arb_items(200), probes in arb_items(50)) {
+        let set = AddrSet::from_unsorted(items.clone());
+        let reference = model(&items);
+        for p in items.iter().chain(probes.iter()) {
+            prop_assert_eq!(set.contains(*p), reference.contains(p));
+        }
+    }
+
+    #[test]
+    fn insert_remove_match_model(items in arb_items(200), ops in arb_items(60), mask in any::<u64>()) {
+        let mut set = AddrSet::from_unsorted(items.clone());
+        let mut reference = model(&items);
+        for (i, &v) in ops.iter().enumerate() {
+            if mask >> (i % 64) & 1 == 0 {
+                prop_assert_eq!(set.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(set.remove(v), reference.remove(&v));
+            }
+            prop_assert_eq!(set.len(), reference.len());
+        }
+        prop_assert!(set.iter().eq(reference.iter().copied()));
+    }
+
+    #[test]
+    fn set_algebra_matches_model(a in arb_items(250), b in arb_items(250)) {
+        let sa = AddrSet::from_unsorted(a.clone());
+        let sb = AddrSet::from_unsorted(b.clone());
+        let ma = model(&a);
+        let mb = model(&b);
+
+        let mut union = sa.clone();
+        union.union_in_place(&sb);
+        prop_assert!(union.iter().eq(ma.union(&mb).copied()));
+
+        let diff = sa.diff(&sb);
+        prop_assert!(diff.iter().eq(ma.difference(&mb).copied()));
+        prop_assert_eq!(sa.diff_count(&sb), ma.difference(&mb).count());
+
+        let inter = sa.intersect(&sb);
+        prop_assert!(inter.iter().eq(ma.intersection(&mb).copied()));
+        prop_assert_eq!(sa.intersect_count(&sb), ma.intersection(&mb).count());
+
+        // Counting shortcuts agree with materializing.
+        prop_assert_eq!(sa.diff_count(&sb), diff.len());
+        prop_assert_eq!(sa.intersect_count(&sb), inter.len());
+    }
+
+    #[test]
+    fn serde_is_byte_identical_to_sorted_vec(items in arb_items(200)) {
+        let set = AddrSet::from_unsorted(items.clone());
+        let flat: Vec<Addr> = model(&items).into_iter().map(Addr).collect();
+        let via_set = serde_json::to_string(&set).expect("set serializes");
+        let via_vec = serde_json::to_string(&flat).expect("vec serializes");
+        prop_assert_eq!(&via_set, &via_vec, "AddrSet wire form is the sorted Vec<Addr> wire form");
+        let back: AddrSet = serde_json::from_str(&via_set).expect("round trip");
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn mem_bytes_accounts_every_chunk(items in arb_items(300)) {
+        let set = AddrSet::from_unsorted(items);
+        // Lower bound: the bookkeeping itself, plus at least one byte of
+        // payload per chunk; dense buckets must come in under the flat
+        // 16-bytes-per-item cost they replace.
+        if set.is_empty() {
+            prop_assert_eq!(set.chunk_count(), 0);
+        } else {
+            prop_assert!(set.mem_bytes() > 0);
+            prop_assert!(set.chunk_count() >= 1);
+        }
+    }
+}
+
+#[test]
+fn dense_bucket_is_a_bitmap_and_cheap() {
+    // 100k consecutive addresses: one bucket, bitmap-packed, far below
+    // the 1.6 MB a Vec<u128> would spend.
+    let set: AddrSet = (0..100_000u128).collect();
+    assert_eq!(set.len(), 100_000);
+    assert!(set.bitmap_chunk_count() >= 1, "a solid run packs as bitmap");
+    assert!(
+        set.mem_bytes() < 100_000 * 16 / 4,
+        "bitmap run far cheaper than flat vec: {} bytes",
+        set.mem_bytes()
+    );
+}

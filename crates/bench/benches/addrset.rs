@@ -1,0 +1,100 @@
+//! Hitlist-at-scale benchmarks for [`AddrSet`]: set-operation
+//! micro-benches over dense and sparse populations, plus the
+//! population-scale curve — full 10-day `HitlistService` windows at
+//! 1×/10×/100× the tiny-scale population. `scripts/bench_addrset.sh`
+//! distils the criterion estimates and the resident-set sizes recorded
+//! here into `BENCH_addrset.json` (rounds/sec and peak set bytes per
+//! population multiplier).
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sixdust_addr::AddrSet;
+use sixdust_hitlist::{HitlistService, ServiceConfig};
+use sixdust_net::{Day, FaultConfig, Internet, Scale};
+
+/// Days per window: matches `benches/round.rs` so the x1 column here is
+/// directly comparable with BENCH_round.json.
+const WINDOW_DAYS: u32 = 10;
+
+/// The population axis of the bench curve.
+const MULTS: [u64; 3] = [1, 10, 100];
+
+fn net_for(mult: u64) -> Internet {
+    Internet::build(Scale::tiny().with_population_mult(mult))
+        .with_faults(FaultConfig::lossless().with_drop_permille(2))
+}
+
+/// One full service window; returns (rounds completed, resident set
+/// bytes across every AddrSet the service retains at the end).
+fn run_window(net: &Internet) -> (usize, usize) {
+    let mut svc = HitlistService::new(ServiceConfig::default());
+    svc.run(net, Day(0), Day(WINDOW_DAYS));
+    (svc.rounds().len(), svc.resident_set_bytes())
+}
+
+/// Set-operation micro-benches over the two shapes that matter: a dense
+/// population (bitmap chunks) and a strided sparse one (sorted chunks).
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addrset_ops");
+    let dense: AddrSet = (0..1_000_000u128).filter(|i| i % 3 != 0).collect();
+    let sparse: AddrSet = (0..50_000u128).map(|i| i * 65_537).collect();
+    let raw: Vec<u128> = (0..200_000u128).map(|i| (i * 2_654_435_761) % 3_000_000).collect();
+
+    g.throughput(Throughput::Elements(raw.len() as u64));
+    g.bench_function("from_unsorted_200k", |b| {
+        b.iter(|| AddrSet::from_unsorted(black_box(raw.clone())).len())
+    });
+    g.throughput(Throughput::Elements(dense.len() as u64));
+    g.bench_function("union_in_place_dense_sparse", |b| {
+        b.iter(|| {
+            let mut d = dense.clone();
+            d.union_in_place(black_box(&sparse));
+            d.len()
+        })
+    });
+    g.bench_function("diff_count_dense_sparse", |b| {
+        b.iter(|| black_box(&dense).diff_count(black_box(&sparse)))
+    });
+    g.bench_function("intersect_count_dense_sparse", |b| {
+        b.iter(|| black_box(&dense).intersect_count(black_box(&sparse)))
+    });
+    g.bench_function("iterate_dense", |b| {
+        b.iter(|| black_box(&dense).iter().fold(0u64, |acc, v| acc ^ v as u64))
+    });
+    g.finish();
+}
+
+/// The population-scale curve: rounds/sec at 1×/10×/100× population.
+/// Resident-set sizes are measured once per multiplier outside the
+/// timing loop and written to `target/addrset_resident.json` for the
+/// bench script to merge.
+fn bench_scale_curve(c: &mut Criterion) {
+    let mut resident = String::from("{\n");
+    let mut g = c.benchmark_group("addrset_scale");
+    g.sample_size(10);
+    for (i, mult) in MULTS.into_iter().enumerate() {
+        let net = net_for(mult);
+        let (rounds, bytes) = run_window(&net);
+        let _ = write!(
+            resident,
+            "  \"x{mult}\": {{\"window_rounds\": {rounds}, \"resident_set_bytes\": {bytes}}}{}\n",
+            if i + 1 < MULTS.len() { "," } else { "" }
+        );
+        g.bench_function(format!("window10_x{mult}"), |b| {
+            b.iter(|| black_box(run_window(&net).0))
+        });
+    }
+    g.finish();
+    resident.push('}');
+    resident.push('\n');
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/addrset_resident.json", resident).ok();
+}
+
+criterion_group!(
+    name = addrset;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ops, bench_scale_curve
+);
+criterion_main!(addrset);

@@ -6,36 +6,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sixdust_addr::AddrSet;
 use sixdust_serve::codec::{apply_delta, decode_full, encode_delta, encode_full};
 use sixdust_serve::{ArtifactKind, SnapshotStore, StoreConfig};
 
 /// A hitlist-shaped item set: mostly structured strides with a sprinkle
 /// of isolated addresses, `n` items total.
-fn item_set(n: u128, salt: u128) -> Vec<u128> {
-    let mut v: Vec<u128> = (0..n)
-        .map(|i| {
-            if i % 17 == 0 {
-                // Isolated: break the stride so the codec sees both shapes.
-                (0x2001u128 << 112) + i * i + salt * 13
-            } else {
-                (0x2001u128 << 112) + i * 256 + salt
-            }
-        })
-        .collect();
-    v.sort_unstable();
-    v.dedup();
-    v
+fn item_set(n: u128, salt: u128) -> AddrSet {
+    AddrSet::from_unsorted(
+        (0..n)
+            .map(|i| {
+                if i % 17 == 0 {
+                    // Isolated: break the stride so the codec sees both shapes.
+                    (0x2001u128 << 112) + i * i + salt * 13
+                } else {
+                    (0x2001u128 << 112) + i * 256 + salt
+                }
+            })
+            .collect(),
+    )
 }
 
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("serve_codec");
     let items = item_set(100_000, 0);
-    let mut next = item_set(100_000, 0);
     // ~2% churn, like consecutive hitlist rounds.
-    next.retain(|a| a % 53 != 0);
-    next.extend(item_set(2_000, 9_999_999));
-    next.sort_unstable();
-    next.dedup();
+    let mut next: AddrSet = items.iter().filter(|a| a % 53 != 0).collect();
+    next.union_in_place(&item_set(2_000, 9_999_999));
 
     g.throughput(Throughput::Elements(items.len() as u64));
     g.bench_function("encode_full_100k", |b| b.iter(|| encode_full(black_box(&items)).len()));
@@ -63,8 +60,7 @@ fn bench_store(c: &mut Criterion) {
     // round 1 by ~2%, so most shards carry over untouched.
     g.bench_function("publish_round_100k_2pct_churn", |b| {
         let base = item_set(100_000, 0);
-        let mut churned = base.clone();
-        churned.retain(|a| a % 53 != 0);
+        let churned: AddrSet = base.iter().filter(|a| a % 53 != 0).collect();
         b.iter(|| {
             let store = SnapshotStore::new(StoreConfig::default());
             store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, base.clone())]);

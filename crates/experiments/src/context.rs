@@ -195,7 +195,7 @@ impl Ctx {
 
     /// The TGA seed corpus: the cleaned responsive set of December 2021.
     pub fn tga_seeds(&self) -> Vec<Addr> {
-        self.snapshot_at(TGA_SEED_DAY).cleaned_total()
+        self.snapshot_at(TGA_SEED_DAY).cleaned_total().to_addr_vec()
     }
 
     /// The Sec. 6 new-source evaluations (computed once, cached).

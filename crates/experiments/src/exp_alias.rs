@@ -299,10 +299,10 @@ pub fn dnsvalidate(ctx: &Ctx) -> ExpOutput {
     let mut proxied = 0u64;
     let mut broken = 0u64;
     let mut silent = 0u64;
-    for (i, target) in dns_responders.iter().enumerate() {
+    for (i, target) in dns_responders.addrs().enumerate() {
         // A unique-hash subdomain per probe, mapping probes to NS queries.
         let qname = format!("h{i:08x}.{}", sixdust_net::zones::CONTROLLED_DOMAIN);
-        let responses = ctx.net.probe(*target, &ProbeKind::Dns { qname: qname.clone() }, day);
+        let responses = ctx.net.probe(target, &ProbeKind::Dns { qname: qname.clone() }, day);
         let log = ctx.net.take_ns_log();
         let Some(Response::Dns(msg)) = responses.first() else {
             silent += 1;
@@ -313,7 +313,7 @@ pub fn dnsvalidate(ctx: &Ctx) -> ExpOutput {
             Rcode::NoError if !msg.answers.is_empty() => {
                 // Did the recursive query reach our name server from the
                 // probed address?
-                if log.iter().any(|(src, q)| src == target && *q == qname) {
+                if log.iter().any(|(src, q)| *src == target && *q == qname) {
                     correct_matching += 1;
                 } else {
                     proxied += 1;

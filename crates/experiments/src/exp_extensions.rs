@@ -131,7 +131,7 @@ pub fn iidclasses(ctx: &Ctx) -> ExpOutput {
     use sixdust_addr::IidBreakdown;
     let input = IidBreakdown::of(ctx.svc.input().iter().copied());
     let snap = ctx.snapshot_at(Day::PAPER_END);
-    let responsive = IidBreakdown::of(snap.cleaned_total().into_iter());
+    let responsive = IidBreakdown::of(snap.cleaned_total().addrs());
     let mut t = TextTable::new(&["class", "input", "input %", "responsive", "responsive %"]);
     for ((label, n_in), (_, n_resp)) in input.rows().into_iter().zip(responsive.rows()) {
         t.row(vec![

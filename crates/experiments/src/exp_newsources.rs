@@ -85,7 +85,7 @@ pub fn table4(ctx: &mut Ctx) -> ExpOutput {
         }));
     }
     // Aggregate rows: all new sources, the hitlist, and the grand total.
-    let hitlist_total: HashSet<Addr> = hitlist_snap.cleaned_total().into_iter().collect();
+    let hitlist_total: HashSet<Addr> = hitlist_snap.cleaned_total().addrs().collect();
     let new_union = union.len();
     let mut grand: HashSet<Addr> = union.clone();
     grand.extend(hitlist_total.iter().copied());
@@ -94,7 +94,7 @@ pub fn table4(ctx: &mut Ctx) -> ExpOutput {
         for proto in
             [Protocol::Icmp, Protocol::Tcp443, Protocol::Tcp80, Protocol::Udp443, Protocol::Udp53]
         {
-            let per: HashSet<Addr> = hitlist_snap.cleaned_for(proto).iter().copied().collect();
+            let per: HashSet<Addr> = hitlist_snap.cleaned_for(proto).addrs().collect();
             cells.push(human(per.intersection(set).count() as u64));
         }
         cells.push(human(set.len() as u64));

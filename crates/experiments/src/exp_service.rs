@@ -36,7 +36,7 @@ pub fn fig2(ctx: &Ctx) -> ExpOutput {
     let full = cdf_of(ctx, input.iter().copied());
     let unaliased = cdf_of(ctx, input.iter().filter(|a| !aliased.covers_addr(**a)).copied());
     let gfw_cdf = cdf_of(ctx, gfw.iter().copied());
-    let resp_cdf = cdf_of(ctx, responsive.iter().copied());
+    let resp_cdf = cdf_of(ctx, responsive.addrs());
 
     // Who is the input's top AS, before aliased filtering?
     let counts = as_counts(ctx, input.iter().copied());
@@ -214,13 +214,13 @@ pub fn table1(ctx: &Ctx) -> ExpOutput {
         jrow.insert("date".into(), json!(snap.day.to_date()));
         for proto in Protocol::ALL {
             let addrs = snap.cleaned_for(proto);
-            let ases = as_counts(ctx, addrs.iter().copied()).len();
+            let ases = as_counts(ctx, addrs.addrs()).len();
             cells.push(human(addrs.len() as u64));
             cells.push(ases.to_string());
             jrow.insert(format!("{proto}"), json!({ "addrs": addrs.len(), "ases": ases }));
         }
         let total = snap.cleaned_total();
-        let total_ases = as_counts(ctx, total.iter().copied()).len();
+        let total_ases = as_counts(ctx, total.addrs()).len();
         cells.push(human(total.len() as u64));
         cells.push(total_ases.to_string());
         jrow.insert("total".into(), json!({ "addrs": total.len(), "ases": total_ases }));
@@ -301,7 +301,7 @@ pub fn fig9(ctx: &Ctx) -> ExpOutput {
     let mut series = Vec::new();
     for proto in Protocol::ALL {
         let addrs = snap.cleaned_for(proto);
-        let cdf = cdf_of(ctx, addrs.iter().copied());
+        let cdf = cdf_of(ctx, addrs.addrs());
         t.row(vec![
             proto.to_string(),
             human(cdf.total),
@@ -325,7 +325,7 @@ pub fn fig9(ctx: &Ctx) -> ExpOutput {
 pub fn fig10(ctx: &Ctx) -> ExpOutput {
     let snap = ctx.snapshot_at(Day::PAPER_END);
     let sets: Vec<(String, Vec<Addr>)> =
-        Protocol::ALL.iter().map(|p| (p.to_string(), snap.cleaned_for(*p).to_vec())).collect();
+        Protocol::ALL.iter().map(|p| (p.to_string(), snap.cleaned_for(*p).to_addr_vec())).collect();
     let m = OverlapMatrix::new(&sets);
     // TCP/80 ∩ ICMP share — the headline "mostly also responsive to ICMP".
     let tcp80_row = sets.iter().position(|(l, _)| l == "TCP/80").expect("tcp80");
@@ -392,7 +392,7 @@ pub fn stability(ctx: &Ctx) -> ExpOutput {
     // Approximate "always responsive" via intersection of snapshots.
     let mut always: Option<HashSet<Addr>> = None;
     for snap_day in Day::SNAPSHOTS {
-        let set: HashSet<Addr> = ctx.snapshot_at(snap_day).cleaned_total().into_iter().collect();
+        let set: HashSet<Addr> = ctx.snapshot_at(snap_day).cleaned_total().addrs().collect();
         always = Some(match always {
             None => set,
             Some(prev) => prev.intersection(&set).copied().collect(),

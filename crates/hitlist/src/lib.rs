@@ -169,8 +169,8 @@ mod tests {
         let mut svc = HitlistService::new(quick_config());
         svc.run(&net, Day(0), Day(20));
         assert!(svc.cumulative().len() as u64 >= svc.rounds().last().unwrap().total_cleaned);
-        for a in svc.current_responsive().iter().take(20) {
-            assert!(svc.cumulative().contains_key(a));
+        for a in svc.current_responsive().addrs().take(20) {
+            assert!(svc.cumulative().contains_key(&a));
         }
     }
 
@@ -326,7 +326,7 @@ mod tests {
         svc.run_with(&net, Day(start), deploy.plus(10), |s, day| {
             let r = s.rounds().last().expect("round just ran");
             assert_eq!(r.day, day);
-            let cur: HashSet<Addr> = s.current_responsive().iter().copied().collect();
+            let cur: HashSet<Addr> = s.current_responsive().addrs().collect();
             let brand_new = cur.difference(&prev).filter(|a| !ever.contains(a)).count() as u64;
             let recurring = cur.difference(&prev).filter(|a| ever.contains(a)).count() as u64;
             let gone = prev.difference(&cur).count() as u64;

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use sixdust_addr::Addr;
+use sixdust_addr::{Addr, AddrSet};
 
 use crate::service::HitlistService;
 
@@ -55,11 +55,13 @@ pub struct Manifest {
 
 /// FNV-1a 64-bit digest over the little-endian bytes of each item — the
 /// stable content digest recorded per artifact in [`Manifest::digests`].
-/// Items must be sorted (and deduplicated) first so the digest depends
-/// on content, not render order. Byte-for-byte the same function as
+/// Items must arrive in ascending deduplicated order (the order every
+/// [`AddrSet`] iterates in) so the digest depends on content, not render
+/// order. Streaming: consumes any item iterator without materializing a
+/// flat vector. Byte-for-byte the same function as
 /// `sixdust_serve::codec::content_digest`, so serve-layer ETags match
 /// what the manifest records.
-pub fn content_digest(items: &[u128]) -> u64 {
+pub fn content_digest<I: IntoIterator<Item = u128>>(items: I) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for item in items {
         for byte in item.to_le_bytes() {
@@ -70,24 +72,20 @@ pub fn content_digest(items: &[u128]) -> u64 {
     hash
 }
 
-fn sorted(addrs: impl IntoIterator<Item = Addr>) -> Vec<Addr> {
-    let mut v: Vec<Addr> = addrs.into_iter().collect();
-    v.sort_unstable();
-    v.dedup();
-    v
+fn collect_set(addrs: impl IntoIterator<Item = Addr>) -> AddrSet {
+    addrs.into_iter().collect()
 }
 
-fn render(addrs: &[Addr]) -> String {
-    let mut out = String::with_capacity(addrs.len() * 24);
-    for a in addrs {
+fn render(set: &AddrSet) -> String {
+    let mut out = String::with_capacity(set.len() * 24);
+    for a in set.addrs() {
         let _ = writeln!(out, "{a}");
     }
     out
 }
 
-fn digest_hex(addrs: &[Addr]) -> String {
-    let items: Vec<u128> = addrs.iter().map(|a| a.0).collect();
-    format!("{:016x}", content_digest(&items))
+fn digest_hex(set: &AddrSet) -> String {
+    format!("{:016x}", content_digest(set.iter()))
 }
 
 /// Renders the current publication from a service.
@@ -96,8 +94,8 @@ pub fn publish(svc: &HitlistService) -> Publication {
     let date = last.map(|r| r.day.to_date()).unwrap_or_else(|| "unpublished".into());
     let gfw_active = last.map(|r| r.published == r.cleaned).unwrap_or(false);
 
-    let responsive_set = sorted(svc.current_responsive().iter().copied());
-    let responsive = render(&responsive_set);
+    let responsive_set = svc.current_responsive();
+    let responsive = render(responsive_set);
     let (aliased_prefixes, aliased_packed) = {
         let mut v: Vec<String> = svc.aliased().iter().map(|p| p.to_string()).collect();
         v.sort();
@@ -113,24 +111,24 @@ pub fn publish(svc: &HitlistService) -> Publication {
         packed.dedup();
         (out, packed)
     };
-    let gfw_set = sorted(svc.gfw_impacted().iter().copied());
+    let gfw_set = collect_set(svc.gfw_impacted().iter().copied());
     let gfw_filtered = render(&gfw_set);
-    let input_set = sorted(svc.input().iter().copied());
+    let input_set = collect_set(svc.input().iter().copied());
     let input = render(&input_set);
 
     // Per-protocol slices come from the last completed round — retained
     // every round, not just snapshot days — so a mid-cadence publication
     // reflects the current state.
-    let proto_sets: Vec<(String, Vec<Addr>)> = svc
+    let proto_sets: Vec<(String, &AddrSet)> = svc
         .proto_responsive()
         .iter()
-        .map(|(p, addrs)| {
+        .map(|(p, set)| {
             let stem = format!("responsive-{}.txt", p.label().to_lowercase().replace('/', ""));
-            (stem, sorted(addrs.iter().copied()))
+            (stem, set)
         })
         .collect();
     let per_protocol: Vec<(String, String)> =
-        proto_sets.iter().map(|(stem, addrs)| (stem.clone(), render(addrs))).collect();
+        proto_sets.iter().map(|(stem, set)| (stem.clone(), render(set))).collect();
 
     let mut counts = vec![
         ("responsive-addresses.txt".to_string(), responsive.lines().count()),
@@ -143,13 +141,13 @@ pub fn publish(svc: &HitlistService) -> Publication {
     }
 
     let mut digests = vec![
-        ("responsive-addresses.txt".to_string(), digest_hex(&responsive_set)),
-        ("aliased-prefixes.txt".to_string(), format!("{:016x}", content_digest(&aliased_packed))),
+        ("responsive-addresses.txt".to_string(), digest_hex(responsive_set)),
+        ("aliased-prefixes.txt".to_string(), format!("{:016x}", content_digest(aliased_packed))),
         ("gfw-filtered.txt".to_string(), digest_hex(&gfw_set)),
         ("input-candidates.txt".to_string(), digest_hex(&input_set)),
     ];
-    for (stem, addrs) in &proto_sets {
-        digests.push((stem.clone(), digest_hex(addrs)));
+    for (stem, set) in &proto_sets {
+        digests.push((stem.clone(), digest_hex(set)));
     }
 
     Publication {
@@ -265,10 +263,8 @@ mod tests {
         }
         // The digest is derived from content, not render order.
         let addrs = Publication::parse_addresses(&p.responsive).expect("valid");
-        let mut items: Vec<u128> = addrs.iter().map(|a| a.0).collect();
-        items.sort_unstable();
-        items.dedup();
-        let expected = format!("{:016x}", content_digest(&items));
+        let set: AddrSet = addrs.iter().copied().collect();
+        let expected = format!("{:016x}", content_digest(set.iter()));
         let (_, recorded) = p
             .manifest
             .digests

@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use sixdust_addr::{prf, sorted, Addr, PrefixSet};
+use sixdust_addr::{prf, Addr, AddrSet, PrefixSet};
 use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
@@ -248,30 +248,40 @@ pub struct RoundRecord {
 }
 
 /// A retained full snapshot (Table 1 / Figs. 2, 9, 10 inputs).
+///
+/// The per-protocol sets are [`AddrSet`]s; they serialize as the same
+/// plain address sequences the old `Vec<Addr>` layout wrote, so
+/// checkpoints containing snapshots are byte-identical across the
+/// representation change.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Snapshot day (the first scan round at or after the requested day).
     pub day: Day,
     /// Cleaned responsive addresses per protocol.
-    pub cleaned: Vec<(Protocol, Vec<Addr>)>,
+    pub cleaned: Vec<(Protocol, AddrSet)>,
     /// Published responsive addresses per protocol.
-    pub published: Vec<(Protocol, Vec<Addr>)>,
+    pub published: Vec<(Protocol, AddrSet)>,
     /// Aliased prefix labels at snapshot time (Fig. 5's yearly series).
     pub aliased: Vec<sixdust_addr::Prefix>,
 }
 
+/// The shared empty set returned by by-protocol accessors when a
+/// protocol has no retained slice.
+static EMPTY_SET: AddrSet = AddrSet::new();
+
 impl Snapshot {
     /// The cleaned set for one protocol.
-    pub fn cleaned_for(&self, proto: Protocol) -> &[Addr] {
-        self.cleaned.iter().find(|(p, _)| *p == proto).map(|(_, v)| v.as_slice()).unwrap_or(&[])
+    pub fn cleaned_for(&self, proto: Protocol) -> &AddrSet {
+        self.cleaned.iter().find(|(p, _)| *p == proto).map(|(_, v)| v).unwrap_or(&EMPTY_SET)
     }
 
     /// All addresses responsive to at least one protocol (cleaned).
-    pub fn cleaned_total(&self) -> Vec<Addr> {
-        let mut v: Vec<Addr> = self.cleaned.iter().flat_map(|(_, a)| a.iter().copied()).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    pub fn cleaned_total(&self) -> AddrSet {
+        let mut total = AddrSet::new();
+        for (_, set) in &self.cleaned {
+            total.union_in_place(set);
+        }
+        total
     }
 }
 
@@ -288,10 +298,10 @@ pub struct HitlistService {
     aliased: PrefixSet,
     /// Cumulative per-address protocols (cleaned view).
     cumulative: HashMap<Addr, ProtoSet>,
-    /// Previous round's cleaned responsive set, sorted (churn baseline).
-    prev_responsive: Vec<Addr>,
-    /// Every address ever seen cleaned-responsive, sorted.
-    ever: Vec<Addr>,
+    /// Previous round's cleaned responsive set (churn baseline).
+    prev_responsive: AddrSet,
+    /// Every address ever seen cleaned-responsive.
+    ever: AddrSet,
     /// Whether each protocol (Protocol::ALL order) has ever produced a
     /// cleaned responsive hit. Distinguishes a previously-alive protocol
     /// going totally silent (loss) from one that was always dark (not
@@ -306,7 +316,7 @@ pub struct HitlistService {
     /// (Protocol::ALL order) — retained every round, not just snapshot
     /// days, so publication and the serve layer can slice the current
     /// state by protocol.
-    last_proto_cleaned: Vec<(Protocol, Vec<Addr>)>,
+    last_proto_cleaned: Vec<(Protocol, AddrSet)>,
     last_zone_week: Option<u32>,
     /// One online MAD monitor per protocol, fed the published responsive
     /// counts (Protocol::ALL order). Always on: the detectors are a few
@@ -330,8 +340,8 @@ impl HitlistService {
             gfw: GfwFilter::new(),
             aliased: PrefixSet::new(),
             cumulative: HashMap::new(),
-            prev_responsive: Vec::new(),
-            ever: Vec::new(),
+            prev_responsive: AddrSet::new(),
+            ever: AddrSet::new(),
             proto_seen: [false; 5],
             next_alias_day: Day(0),
             pending_snapshots: pending,
@@ -438,31 +448,29 @@ impl HitlistService {
     /// original would have produced.
     pub fn from_state(config: ServiceConfig, state: &crate::state::ServiceState) -> HitlistService {
         let mut svc = HitlistService::new(config);
-        svc.input = state.input.iter().copied().collect();
+        svc.input = state.input.addrs().collect();
         svc.aliased = state.aliased.iter().copied().collect();
-        svc.gfw = crate::filters::GfwFilter::restore(state.gfw_impacted.iter().copied());
+        svc.gfw = crate::filters::GfwFilter::restore(state.gfw_impacted.addrs());
         let active: Vec<(Addr, Day)> = if state.active.is_empty() && !state.input.is_empty() {
             // v1 checkpoint: per-address clocks were not captured, so
             // every still-active input restarts its clock at the last
             // checkpointed round (graceful, slightly lenient fallback).
             let day = state.rounds.last().map(|r| r.day).unwrap_or(Day(0));
-            let dropped: HashSet<Addr> = state.unresponsive_pool.iter().copied().collect();
-            state.input.iter().filter(|a| !dropped.contains(a)).map(|a| (*a, day)).collect()
+            let dropped = &state.unresponsive_pool;
+            state.input.addrs().filter(|a| !dropped.contains_addr(*a)).map(|a| (a, day)).collect()
         } else {
             state.active.clone()
         };
         svc.unresp = UnresponsiveFilter::restore(
             active,
-            state.unresponsive_pool.iter().copied(),
+            state.unresponsive_pool.addrs(),
             state.unresponsive_window,
             state.quarantined.clone(),
         );
         svc.cumulative = state.cumulative.iter().copied().collect();
         svc.prev_responsive = state.current_responsive.clone();
-        sorted::normalize(&mut svc.prev_responsive);
         // `ever` and `cumulative` accumulate from the same cleaned hits.
         svc.ever = state.cumulative.iter().map(|(a, _)| *a).collect();
-        sorted::normalize(&mut svc.ever);
         svc.next_alias_day = state.next_alias_day;
         svc.rounds = state.rounds.clone();
         svc.snapshots = state.snapshots.clone();
@@ -503,8 +511,9 @@ impl HitlistService {
         &self.snapshots
     }
 
-    /// The most recent cleaned responsive set, sorted ascending.
-    pub fn current_responsive(&self) -> &[Addr] {
+    /// The most recent cleaned responsive set (ascending iteration via
+    /// [`AddrSet::iter`] / [`AddrSet::addrs`]).
+    pub fn current_responsive(&self) -> &AddrSet {
         &self.prev_responsive
     }
 
@@ -512,19 +521,36 @@ impl HitlistService {
     /// (Protocol::ALL order). Empty until the first round runs (or, on a
     /// resumed service, until the first post-resume round when the
     /// checkpoint did not end on a snapshot day).
-    pub fn proto_responsive(&self) -> &[(Protocol, Vec<Addr>)] {
+    pub fn proto_responsive(&self) -> &[(Protocol, AddrSet)] {
         &self.last_proto_cleaned
     }
 
     /// The most recent round's cleaned responsive addresses for one
     /// protocol; empty under the same conditions as
     /// [`HitlistService::proto_responsive`].
-    pub fn current_responsive_for(&self, proto: Protocol) -> &[Addr] {
+    pub fn current_responsive_for(&self, proto: Protocol) -> &AddrSet {
         self.last_proto_cleaned
             .iter()
             .find(|(p, _)| *p == proto)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+            .map(|(_, v)| v)
+            .unwrap_or(&EMPTY_SET)
+    }
+
+    /// Approximate heap bytes currently held by the service's address
+    /// sets: the churn baselines, the per-protocol slices of the last
+    /// round, and every retained snapshot. This is the resident-set
+    /// metric the population-scale bench curve tracks.
+    pub fn resident_set_bytes(&self) -> usize {
+        let mut bytes = self.prev_responsive.mem_bytes() + self.ever.mem_bytes();
+        for (_, set) in &self.last_proto_cleaned {
+            bytes += set.mem_bytes();
+        }
+        for snap in &self.snapshots {
+            for (_, set) in snap.cleaned.iter().chain(snap.published.iter()) {
+                bytes += set.mem_bytes();
+            }
+        }
+        bytes
     }
 
     fn ingest_sources(&mut self, net: &Internet, day: Day) {
@@ -669,16 +695,16 @@ impl HitlistService {
         self.record_phase("scan", scan_started.elapsed());
 
         // 3c. Merge, strictly in Protocol::ALL order. GFW cleaning
-        // mutates filter state and stays sequential; set bookkeeping is
-        // linear merges over sorted slices with one reusable scratch
-        // buffer instead of per-protocol HashSet churn.
+        // mutates filter state and stays sequential; set bookkeeping
+        // accumulates into chunked [`AddrSet`]s one /32 bucket at a time
+        // instead of per-protocol HashSet churn or full flat-vector
+        // rebuilds.
         let mut published = [0u64; 5];
         let mut cleaned = [0u64; 5];
-        let mut responsive_published: Vec<Addr> = Vec::new();
-        let mut responsive_cleaned: Vec<Addr> = Vec::new();
-        let mut scratch: Vec<Addr> = Vec::new();
-        let mut proto_cleaned_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
-        let mut proto_published_sets: Vec<(Protocol, Vec<Addr>)> = Vec::new();
+        let mut responsive_published = AddrSet::new();
+        let mut responsive_cleaned = AddrSet::new();
+        let mut proto_cleaned_sets: Vec<(Protocol, AddrSet)> = Vec::new();
+        let mut proto_published_sets: Vec<(Protocol, AddrSet)> = Vec::new();
         let mut gfw_elapsed = Duration::ZERO;
         let mut loss_weighted = 0u64;
         let mut sent_total = 0u64;
@@ -705,25 +731,26 @@ impl HitlistService {
             received_total += result.stats.received;
             let mut pub_hits: Vec<Addr> = result.hits().collect();
             pub_hits.sort_unstable();
+            let pub_set = AddrSet::from_sorted_addrs(&pub_hits);
             let gfw_started = Instant::now();
-            let clean_hits: Vec<Addr> = if proto == Protocol::Udp53 {
+            let clean_set: AddrSet = if proto == Protocol::Udp53 {
                 let mut v = self.gfw.clean(&result);
                 v.sort_unstable();
-                v
+                AddrSet::from_sorted_addrs(&v)
             } else {
-                pub_hits.clone()
+                pub_set.clone()
             };
             gfw_elapsed += gfw_started.elapsed();
-            published[i] = pub_hits.len() as u64;
-            cleaned[i] = clean_hits.len() as u64;
-            self.proto_seen[i] |= !clean_hits.is_empty();
-            sorted::union_in_place(&mut responsive_published, &pub_hits, &mut scratch);
-            sorted::union_in_place(&mut responsive_cleaned, &clean_hits, &mut scratch);
-            for a in &clean_hits {
-                self.cumulative.entry(*a).or_insert(ProtoSet::EMPTY).insert(proto);
+            published[i] = pub_set.len() as u64;
+            cleaned[i] = clean_set.len() as u64;
+            self.proto_seen[i] |= !clean_set.is_empty();
+            responsive_published.union_in_place(&pub_set);
+            responsive_cleaned.union_in_place(&clean_set);
+            for a in clean_set.addrs() {
+                self.cumulative.entry(a).or_insert(ProtoSet::EMPTY).insert(proto);
             }
-            proto_published_sets.push((proto, pub_hits));
-            proto_cleaned_sets.push((proto, clean_hits));
+            proto_published_sets.push((proto, pub_set));
+            proto_cleaned_sets.push((proto, clean_set));
         }
         self.record_phase("gfw", gfw_elapsed);
 
@@ -783,9 +810,10 @@ impl HitlistService {
         // round still credits whoever answered, but never sweeps: silence
         // during a broken measurement proves nothing, so the round's days
         // are quarantined in the 30-day filter instead.
-        let effective: &[Addr] = if gfw_live { &responsive_cleaned } else { &responsive_published };
-        for a in effective {
-            self.unresp.mark_responsive(*a, day);
+        let effective: &AddrSet =
+            if gfw_live { &responsive_cleaned } else { &responsive_published };
+        for a in effective.addrs() {
+            self.unresp.mark_responsive(a, day);
         }
         let dropped = if degraded {
             let from = self.rounds.last().map(|r| r.day.plus(1)).unwrap_or(day);
@@ -814,19 +842,14 @@ impl HitlistService {
         // responsive this round is "brand new" if no earlier round ever saw
         // it responsive, "recurring" otherwise.
         let phase_started = Instant::now();
-        let mut churn_brand_new = 0u64;
-        let mut churn_recurring = 0u64;
-        let mut newly: Vec<Addr> = Vec::new();
-        sorted::diff_into(&responsive_cleaned, &self.prev_responsive, &mut newly);
-        for a in &newly {
-            if sorted::contains(&self.ever, a) {
-                churn_recurring += 1;
-            } else {
-                churn_brand_new += 1;
-            }
-        }
-        let churn_gone = sorted::diff_count(&self.prev_responsive, &responsive_cleaned) as u64;
-        sorted::union_in_place(&mut self.ever, &responsive_cleaned, &mut scratch);
+        let newly = responsive_cleaned.diff(&self.prev_responsive);
+        // A linear merge count per chunk pair, not a per-address binary
+        // search over `ever` — the newly-responsive set is intersected
+        // against the ever-responsive accumulator in one pass.
+        let churn_recurring = newly.intersect_count(&self.ever) as u64;
+        let churn_brand_new = (newly.len() - churn_recurring as usize) as u64;
+        let churn_gone = self.prev_responsive.diff_count(&responsive_cleaned) as u64;
+        self.ever.union_in_place(&responsive_cleaned);
         self.record_phase("churn", phase_started.elapsed());
 
         let record = RoundRecord {
@@ -1019,7 +1042,10 @@ mod tests {
         assert_ne!(w0, w1, "consecutive weeks must draw different samples");
         assert_ne!(w0, lowest_cap, "the lowest addresses must not always win");
         assert_ne!(w1, lowest_cap, "the lowest addresses must not always win");
-        let overlap = w0.iter().filter(|a| sorted::contains(&w1, a)).count();
+        // Linear chunk-merge intersection count — one pass over both
+        // sorted samples, not a binary search per member.
+        let overlap = AddrSet::from_sorted_addrs(&w0)
+            .intersect_count(&AddrSet::from_sorted_addrs(&w1));
         assert!(overlap < cap, "rotation changes membership beyond the cap boundary");
         // Small inputs are untouched: everything under the cap is traced.
         let tiny: HashSet<Addr> = all.iter().take(10).copied().collect();

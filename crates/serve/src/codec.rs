@@ -1,10 +1,10 @@
-//! The artifact delta codec: sorted `u128` item sets as compact,
+//! The artifact delta codec: chunked item sets ([`AddrSet`]) as compact,
 //! checksummed byte streams.
 //!
 //! The real hitlist service ships multi-megabyte daily text files; a
 //! consumer who already holds yesterday's list only needs the day's
 //! churn, which is orders of magnitude smaller. This module encodes a
-//! sorted set of 128-bit items (addresses, or packed prefixes) two ways:
+//! set of 128-bit items (addresses, or packed prefixes) two ways:
 //!
 //! * **full** — the whole set, varint delta-of-delta encoded: the first
 //!   item absolute, the first gap plain, every later gap as a zigzag
@@ -18,8 +18,15 @@
 //! Every stream ends in an FNV-1a checksum over the preceding bytes.
 //! Decoding is panic-free: corrupted, truncated or internally
 //! inconsistent input yields a [`CodecError`], never UB or an abort.
+//!
+//! Since the `AddrSet` redesign, encoders stream straight off the chunked
+//! set's ascending iterator (the byte streams are unchanged — they were
+//! always defined over the sorted item sequence, which is exactly the
+//! order an `AddrSet` iterates in), and decoders hand back an `AddrSet`.
 
 use std::fmt;
+
+use sixdust_addr::AddrSet;
 
 /// Magic prefix of a full-snapshot stream (`SDF1`).
 pub const FULL_MAGIC: [u8; 4] = *b"SDF1";
@@ -86,12 +93,14 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// FNV-1a 64-bit digest over the little-endian bytes of each item — the
-/// stable per-artifact content digest (order-independent inputs must be
-/// sorted first; every caller in this crate passes sorted sets).
+/// stable per-artifact content digest. Streaming: consumes any item
+/// iterator, and an `&AddrSet` directly; items must arrive in ascending
+/// deduplicated order (the order every [`AddrSet`] iterates in) so the
+/// digest depends on content alone.
 ///
 /// Matches [`sixdust_hitlist::publish::content_digest`] byte for byte so
 /// serve-layer ETags key off the same value `manifest.json` records.
-pub fn content_digest(items: &[u128]) -> u64 {
+pub fn content_digest<I: IntoIterator<Item = u128>>(items: I) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for item in items {
         for byte in item.to_le_bytes() {
@@ -157,13 +166,16 @@ fn unzigzag(z: u128) -> i128 {
     ((z >> 1) as i128) ^ -((z & 1) as i128)
 }
 
-/// Appends `count` + the delta-of-delta item stream for a sorted set.
-fn push_items(out: &mut Vec<u8>, items: &[u128]) {
-    debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+/// Appends `count` + the delta-of-delta item stream for an ascending,
+/// deduplicated item iterator (exact-size so the count leads the stream
+/// without a second pass — streaming straight off an [`AddrSet`] chunk
+/// cursor never materializes the flat item vector).
+fn push_items<I: ExactSizeIterator<Item = u128>>(out: &mut Vec<u8>, items: I) {
     push_varint(out, items.len() as u128);
     let mut prev_item: u128 = 0;
     let mut prev_gap: u128 = 0;
-    for (i, &item) in items.iter().enumerate() {
+    for (i, item) in items.enumerate() {
+        debug_assert!(i == 0 || item > prev_item, "items must be strictly increasing");
         match i {
             0 => push_varint(out, item),
             1 => {
@@ -233,13 +245,15 @@ fn push_checksum(out: &mut Vec<u8>) {
     out.extend_from_slice(&sum.to_le_bytes());
 }
 
-/// Encodes a full snapshot of a sorted, deduplicated item set.
-///
-/// # Panics
-///
-/// Debug builds assert the input is strictly increasing; release builds
-/// trust the caller (every in-crate caller sorts and dedups first).
-pub fn encode_full(items: &[u128]) -> Vec<u8> {
+/// Encodes a full snapshot of an item set, streaming chunk by chunk off
+/// the set's ascending iterator. Accepts any exact-size ascending item
+/// iterator — pass an `&AddrSet` directly.
+pub fn encode_full<I>(items: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = u128>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let items = items.into_iter();
     let mut out = Vec::with_capacity(16 + items.len() * 2);
     out.extend_from_slice(&FULL_MAGIC);
     push_items(&mut out, items);
@@ -249,7 +263,7 @@ pub fn encode_full(items: &[u128]) -> Vec<u8> {
 
 /// Decodes a full snapshot, verifying magic, checksum, sortedness and
 /// exact consumption. Never panics on corrupt input.
-pub fn decode_full(bytes: &[u8]) -> Result<Vec<u128>, CodecError> {
+pub fn decode_full(bytes: &[u8]) -> Result<AddrSet, CodecError> {
     let payload = checked_payload(bytes)?;
     if payload[..4] != FULL_MAGIC {
         return Err(CodecError::BadMagic);
@@ -259,46 +273,50 @@ pub fn decode_full(bytes: &[u8]) -> Result<Vec<u128>, CodecError> {
     if pos != payload.len() {
         return Err(CodecError::TrailingBytes);
     }
-    Ok(items)
+    // `read_items` enforces strictly increasing order, so the canonical
+    // fast path applies.
+    Ok(AddrSet::from_sorted(items))
 }
 
-/// Encodes the delta from sorted set `prev` to sorted set `next`: the
-/// removed and added items, framed by the digests of both endpoints.
-pub fn encode_delta(prev: &[u128], next: &[u128]) -> Vec<u8> {
+/// Encodes the delta from set `prev` to set `next`: the removed and
+/// added items, framed by the digests of both endpoints. One merge walk
+/// over both sets' streaming iterators.
+pub fn encode_delta(prev: &AddrSet, next: &AddrSet) -> Vec<u8> {
     let mut removed = Vec::new();
     let mut added = Vec::new();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < prev.len() || j < next.len() {
-        match (prev.get(i), next.get(j)) {
-            (Some(&p), Some(&n)) if p == n => {
-                i += 1;
-                j += 1;
+    let mut i = prev.iter().peekable();
+    let mut j = next.iter().peekable();
+    loop {
+        match (i.peek().copied(), j.peek().copied()) {
+            (Some(p), Some(n)) if p == n => {
+                i.next();
+                j.next();
             }
-            (Some(&p), Some(&n)) if p < n => {
+            (Some(p), Some(n)) if p < n => {
                 removed.push(p);
-                i += 1;
+                i.next();
             }
-            (Some(_), Some(&n)) => {
+            (Some(_), Some(n)) => {
                 added.push(n);
-                j += 1;
+                j.next();
             }
-            (Some(&p), None) => {
+            (Some(p), None) => {
                 removed.push(p);
-                i += 1;
+                i.next();
             }
-            (None, Some(&n)) => {
+            (None, Some(n)) => {
                 added.push(n);
-                j += 1;
+                j.next();
             }
-            (None, None) => unreachable!("loop condition"),
+            (None, None) => break,
         }
     }
     let mut out = Vec::with_capacity(32 + (removed.len() + added.len()) * 2);
     out.extend_from_slice(&DELTA_MAGIC);
     out.extend_from_slice(&content_digest(prev).to_le_bytes());
     out.extend_from_slice(&content_digest(next).to_le_bytes());
-    push_items(&mut out, &removed);
-    push_items(&mut out, &added);
+    push_items(&mut out, removed.iter().copied());
+    push_items(&mut out, added.iter().copied());
     push_checksum(&mut out);
     out
 }
@@ -318,14 +336,14 @@ pub fn delta_digests(bytes: &[u8]) -> Result<(u64, u64), CodecError> {
     Ok((base, result))
 }
 
-/// Applies a delta stream to the sorted base set `prev`, returning the
-/// reconstructed sorted result.
+/// Applies a delta stream to the base set `prev`, returning the
+/// reconstructed result set.
 ///
 /// Three layers of validation guard the reconstruction: the stream
 /// checksum, the base digest (wrong-base application fails fast), and the
 /// result digest (a forged-but-checksummed delta still cannot produce a
 /// silently wrong set).
-pub fn apply_delta(prev: &[u128], bytes: &[u8]) -> Result<Vec<u128>, CodecError> {
+pub fn apply_delta(prev: &AddrSet, bytes: &[u8]) -> Result<AddrSet, CodecError> {
     let payload = checked_payload(bytes)?;
     if payload[..4] != DELTA_MAGIC {
         return Err(CodecError::BadMagic);
@@ -346,12 +364,13 @@ pub fn apply_delta(prev: &[u128], bytes: &[u8]) -> Result<Vec<u128>, CodecError>
         return Err(CodecError::BaseMismatch { expected: base_digest, actual: actual_base });
     }
 
-    // Merge walk: drop removed items (which must exist), keep the rest,
-    // interleave added items (which must be new).
+    // Merge walk over the base set's streaming iterator: drop removed
+    // items (which must exist), keep the rest, interleave added items
+    // (which must be new).
     let mut next = Vec::with_capacity(prev.len() + added.len() - removed.len().min(prev.len()));
     let mut rem = removed.iter().copied().peekable();
     let mut add = added.iter().copied().peekable();
-    for &p in prev {
+    for p in prev.iter() {
         while add.peek().is_some_and(|&a| a < p) {
             next.push(add.next().expect("peeked"));
         }
@@ -368,22 +387,19 @@ pub fn apply_delta(prev: &[u128], bytes: &[u8]) -> Result<Vec<u128>, CodecError>
     if rem.next().is_some() {
         return Err(CodecError::InconsistentDelta);
     }
-    let actual = content_digest(&next);
+    let actual = content_digest(next.iter().copied());
     if actual != result_digest {
         return Err(CodecError::ResultMismatch { expected: result_digest, actual });
     }
-    Ok(next)
+    Ok(AddrSet::from_sorted(next))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn set(v: &[u128]) -> Vec<u128> {
-        let mut v = v.to_vec();
-        v.sort_unstable();
-        v.dedup();
-        v
+    fn set(v: &[u128]) -> AddrSet {
+        AddrSet::from_unsorted(v.to_vec())
     }
 
     #[test]
@@ -392,12 +408,27 @@ mod tests {
             vec![],
             vec![0u128],
             vec![u128::MAX],
-            set(&[1, 2, 3, 1000, u128::MAX - 1, u128::MAX]),
+            vec![1, 2, 3, 1000, u128::MAX - 1, u128::MAX],
             (0..500u128).map(|i| i * 7 + 3).collect(),
         ] {
+            let items = set(&items);
             let bytes = encode_full(&items);
             assert_eq!(decode_full(&bytes).expect("round trip"), items);
         }
+    }
+
+    #[test]
+    fn streams_are_byte_identical_across_chunk_representations() {
+        // A dense run (bitmap chunk), a sparse spread (sorted chunks) and
+        // a mix: the encoder streaming off the chunk cursors must produce
+        // the same bytes as one walking the flat sorted vector.
+        let mut items: Vec<u128> = (0..5_000u128).map(|i| (0x2001u128 << 96) + i).collect();
+        items.extend((0..100u128).map(|i| i << 80));
+        let chunked = set(&items);
+        assert!(chunked.bitmap_chunk_count() > 0, "test needs a bitmap chunk");
+        let flat = chunked.to_vec();
+        assert_eq!(encode_full(&chunked), encode_full(flat.iter().copied()));
+        assert_eq!(content_digest(&chunked), content_digest(flat.into_iter()));
     }
 
     #[test]
@@ -405,12 +436,12 @@ mod tests {
         // A structured /64 sweep: constant gap, so every second
         // difference is zero — one byte each after the first two items.
         let items: Vec<u128> = (0..10_000u128).map(|i| (0x2001 << 112) + i * 256).collect();
-        let bytes = encode_full(&items);
+        let count = items.len();
+        let bytes = encode_full(AddrSet::from_sorted(items).iter());
         assert!(
-            bytes.len() < items.len() + 64,
-            "dod encoding should collapse strides: {} bytes for {} items",
+            bytes.len() < count + 64,
+            "dod encoding should collapse strides: {} bytes for {count} items",
             bytes.len(),
-            items.len()
         );
     }
 
@@ -423,9 +454,10 @@ mod tests {
             (vec![1, 2, 3], vec![1, 2, 3]),
             (vec![1, 2, 3], vec![2]), // removal-only (plus keeps)
             (vec![1, 2, 3], vec![1, 2, 3, 4, 9]), // addition-only
-            (set(&[10, 20, 30, 40]), set(&[5, 20, 35, 40, 50])),
+            (vec![10, 20, 30, 40], vec![5, 20, 35, 40, 50]),
         ];
         for (prev, next) in cases {
+            let (prev, next) = (set(&prev), set(&next));
             let delta = encode_delta(&prev, &next);
             assert_eq!(apply_delta(&prev, &delta).expect("apply"), next, "{prev:?} -> {next:?}");
             let (b, r) = delta_digests(&delta).expect("digests");
@@ -439,7 +471,7 @@ mod tests {
         let prev = set(&[1, 2, 3]);
         let next = set(&[1, 2, 3, 4]);
         let delta = encode_delta(&prev, &next);
-        let err = apply_delta(&[1, 2], &delta).expect_err("wrong base");
+        let err = apply_delta(&set(&[1, 2]), &delta).expect_err("wrong base");
         assert!(matches!(err, CodecError::BaseMismatch { .. }), "{err:?}");
     }
 
@@ -487,8 +519,8 @@ mod tests {
         let a = set(&[3, 1, 2]);
         let b = set(&[2, 3, 1]);
         assert_eq!(content_digest(&a), content_digest(&b));
-        assert_ne!(content_digest(&a), content_digest(&[1, 2]));
+        assert_ne!(content_digest(&a), content_digest([1u128, 2]));
         // Known FNV-1a property: empty input is the offset basis.
-        assert_eq!(content_digest(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_digest(std::iter::empty::<u128>()), 0xcbf2_9ce4_8422_2325);
     }
 }

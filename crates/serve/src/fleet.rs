@@ -240,7 +240,7 @@ mod tests {
                 .map(|&kind| {
                     let base = kind.index() as u128 * 1_000_000;
                     let n = 200 + round as u128 * 50;
-                    (kind, (0..n).map(|i| base + i * 7).collect::<Vec<u128>>())
+                    (kind, (0..n).map(|i| base + i * 7).collect::<sixdust_addr::AddrSet>())
                 })
                 .collect();
             store.publish_round(round, "day", artifacts);

@@ -439,10 +439,10 @@ mod tests {
 
     fn served_store() -> Arc<SnapshotStore> {
         let store = SnapshotStore::new(StoreConfig::default());
-        let items: Vec<u128> = (0..2000u128).map(|i| i * 31).collect();
+        let items: sixdust_addr::AddrSet = (0..2000u128).map(|i| i * 31).collect();
         store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, items.clone())]);
         let mut next = items;
-        next.push(1_000_000);
+        next.insert(1_000_000);
         store.publish_round(2, "d2", vec![(ArtifactKind::Responsive, next)]);
         Arc::new(store)
     }

@@ -12,6 +12,7 @@
 
 use std::sync::{Arc, RwLock};
 
+use sixdust_addr::AddrSet;
 use sixdust_net::Protocol;
 use sixdust_scan::proto_metric_key;
 use sixdust_telemetry::Registry;
@@ -68,7 +69,7 @@ impl ArtifactKind {
 pub struct ShardData {
     round: u64,
     digest: u64,
-    items: Vec<u128>,
+    items: AddrSet,
     encoded: Arc<Vec<u8>>,
 }
 
@@ -84,8 +85,8 @@ impl ShardData {
         self.digest
     }
 
-    /// The shard's sorted items.
-    pub fn items(&self) -> &[u128] {
+    /// The shard's item set.
+    pub fn items(&self) -> &AddrSet {
         &self.items
     }
 
@@ -113,7 +114,7 @@ pub struct ArtifactVersion {
     kind: ArtifactKind,
     round: u64,
     digest: u64,
-    items: Arc<Vec<u128>>,
+    items: Arc<AddrSet>,
     full: Arc<Vec<u8>>,
     delta: Option<Arc<Vec<u8>>>,
     prev_round: Option<u64>,
@@ -136,8 +137,8 @@ impl ArtifactVersion {
         self.digest
     }
 
-    /// The sorted item set.
-    pub fn items(&self) -> &Arc<Vec<u128>> {
+    /// The item set.
+    pub fn items(&self) -> &Arc<AddrSet> {
         &self.items
     }
 
@@ -252,11 +253,12 @@ impl SnapshotStore {
         self.artifact(kind).and_then(|v| v.shards().get(index).cloned())
     }
 
-    /// Publishes one round: items per artifact kind (missing kinds
-    /// publish as empty sets). Items are sorted and deduplicated here, so
-    /// callers can pass collections in any order. Readers keep serving
-    /// the previous generation until the single atomic swap at the end.
-    pub fn publish_round(&self, round: u64, date: &str, artifacts: Vec<(ArtifactKind, Vec<u128>)>) {
+    /// Publishes one round: an item set per artifact kind (missing kinds
+    /// publish as empty sets). [`AddrSet`]s are deduplicated and
+    /// canonically ordered by construction, so no normalization happens
+    /// here. Readers keep serving the previous generation until the
+    /// single atomic swap at the end.
+    pub fn publish_round(&self, round: u64, date: &str, artifacts: Vec<(ArtifactKind, AddrSet)>) {
         let started = std::time::Instant::now();
         let prev = self.current.read().expect("store lock").clone();
         let mut reused = 0u64;
@@ -266,37 +268,36 @@ impl SnapshotStore {
 
         let mut versions: Vec<Arc<ArtifactVersion>> = Vec::with_capacity(ArtifactKind::ALL.len());
         for kind in ArtifactKind::ALL {
-            let mut items: Vec<u128> = artifacts
+            let items: AddrSet = artifacts
                 .iter()
                 .find(|(k, _)| *k == kind)
                 .map(|(_, v)| v.clone())
                 .unwrap_or_default();
-            items.sort_unstable();
-            items.dedup();
             let digest = codec::content_digest(&items);
             let prev_version = prev.as_ref().map(|g| &g.artifacts[kind.index()]);
 
             // Unchanged artifact: carry the whole version over, only
             // bumping nothing — readers keep the same Arcs.
             if let Some(pv) = prev_version {
-                if pv.digest == digest && pv.items.as_slice() == items.as_slice() {
+                if pv.digest == digest && *pv.items == items {
                     reused += self.shards as u64;
                     versions.push(pv.clone());
                     continue;
                 }
             }
 
-            // Split into shards; reuse any shard whose content is
-            // unchanged since the previous version.
+            // Split into shards off the set's streaming iterator (each
+            // per-shard list stays ascending); reuse any shard whose
+            // content is unchanged since the previous version.
             let mut per_shard: Vec<Vec<u128>> = vec![Vec::new(); self.shards];
-            for &item in &items {
+            for item in items.iter() {
                 per_shard[shard_of(item, self.shards)].push(item);
             }
             let mut shards: Vec<Arc<ShardData>> = Vec::with_capacity(self.shards);
             for (i, shard_items) in per_shard.into_iter().enumerate() {
-                let shard_digest = codec::content_digest(&shard_items);
+                let shard_digest = codec::content_digest(shard_items.iter().copied());
                 let reusable = prev_version.and_then(|pv| pv.shards.get(i)).filter(|old| {
-                    old.digest == shard_digest && old.items.as_slice() == shard_items.as_slice()
+                    old.digest == shard_digest && old.items.iter().eq(shard_items.iter().copied())
                 });
                 match reusable {
                     Some(old) => {
@@ -305,11 +306,11 @@ impl SnapshotStore {
                     }
                     None => {
                         rebuilt += 1;
-                        let encoded = Arc::new(codec::encode_full(&shard_items));
+                        let encoded = Arc::new(codec::encode_full(shard_items.iter().copied()));
                         shards.push(Arc::new(ShardData {
                             round,
                             digest: shard_digest,
-                            items: shard_items,
+                            items: AddrSet::from_sorted(shard_items),
                             encoded,
                         }));
                     }
@@ -359,17 +360,16 @@ impl SnapshotStore {
     /// detector emits) and the GFW-filtered pool. The natural hook body
     /// for [`HitlistService::run_with`](sixdust_hitlist::HitlistService::run_with).
     pub fn publish_service(&self, svc: &sixdust_hitlist::HitlistService, round: u64, date: &str) {
-        let mut artifacts: Vec<(ArtifactKind, Vec<u128>)> = vec![
-            (ArtifactKind::Responsive, svc.current_responsive().iter().map(|a| a.0).collect()),
+        let mut artifacts: Vec<(ArtifactKind, AddrSet)> = vec![
+            (ArtifactKind::Responsive, svc.current_responsive().clone()),
             (
                 ArtifactKind::AliasedPrefixes,
                 svc.aliased().iter().map(|p| p.network().0 | u128::from(p.len())).collect(),
             ),
             (ArtifactKind::GfwFiltered, svc.gfw_impacted().iter().map(|a| a.0).collect()),
         ];
-        for (proto, addrs) in svc.proto_responsive() {
-            artifacts
-                .push((ArtifactKind::PerProtocol(*proto), addrs.iter().map(|a| a.0).collect()));
+        for (proto, set) in svc.proto_responsive() {
+            artifacts.push((ArtifactKind::PerProtocol(*proto), set.clone()));
         }
         self.publish_round(round, date, artifacts);
     }
@@ -379,7 +379,7 @@ impl SnapshotStore {
 mod tests {
     use super::*;
 
-    fn items(range: std::ops::Range<u128>) -> Vec<u128> {
+    fn items(range: std::ops::Range<u128>) -> AddrSet {
         range.map(|i| i * 97 + 5).collect()
     }
 
@@ -407,10 +407,10 @@ mod tests {
         let mut recovered: Vec<u128> = Vec::new();
         for shard in v.shards() {
             shard.verify().expect("shard verifies");
-            recovered.extend(shard.items().iter().copied());
+            recovered.extend(shard.items().iter());
         }
         recovered.sort_unstable();
-        assert_eq!(recovered, **v.items());
+        assert_eq!(recovered, v.items().to_vec());
         // Unmentioned kinds exist as empty sets.
         let gfw = s.artifact(ArtifactKind::GfwFiltered).expect("empty artifact");
         assert!(gfw.items().is_empty());
@@ -423,13 +423,12 @@ mod tests {
         let v1 = s.artifact(ArtifactKind::Responsive).expect("v1");
         // One added item: at most one shard should be rebuilt.
         let mut next = items(0..1000);
-        next.push(999_999_999);
+        next.insert(999_999_999);
         s.publish_round(2, "d2", vec![(ArtifactKind::Responsive, next.clone())]);
         let v2 = s.artifact(ArtifactKind::Responsive).expect("v2");
         assert_eq!(v2.prev_round(), Some(1));
         let delta = v2.delta_encoded().expect("delta");
-        let rebuilt = codec::apply_delta(&v1.items(), delta).expect("applies");
-        next.sort_unstable();
+        let rebuilt = codec::apply_delta(v1.items(), delta).expect("applies");
         assert_eq!(rebuilt, next);
         let shared = v1.shards().iter().zip(v2.shards()).filter(|(a, b)| Arc::ptr_eq(a, b)).count();
         assert_eq!(shared, s.shard_count() - 1, "only the touched shard rebuilds");

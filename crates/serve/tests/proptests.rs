@@ -1,14 +1,19 @@
 //! Property tests for the delta codec: round-trips, delta application,
-//! and corrupted-input rejection (errors, never panics).
+//! corrupted-input rejection (errors, never panics), and byte-identity
+//! of the wire streams across [`AddrSet`] chunk representations.
 
 use proptest::prelude::*;
 
+use sixdust_addr::AddrSet;
 use sixdust_serve::codec::{
     apply_delta, content_digest, decode_full, delta_digests, encode_delta, encode_full,
 };
 
 /// A sorted, deduplicated u128 set with a mix of small and huge values.
-fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u128>> {
+/// The low-range component is dense enough that bitmap chunks occur
+/// routinely, so every property below also exercises the packed
+/// representation.
+fn addr_set(max_len: usize) -> impl Strategy<Value = AddrSet> {
     prop::collection::vec(
         prop_oneof![
             0..5_000u128,
@@ -18,36 +23,41 @@ fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u128>> {
         ],
         0..max_len,
     )
-    .prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup();
-        v
-    })
+    .prop_map(AddrSet::from_unsorted)
 }
 
 /// A pair (prev, next) sharing structure: next is prev with some items
 /// removed and some added, like consecutive hitlist rounds.
-fn related_pair() -> impl Strategy<Value = (Vec<u128>, Vec<u128>)> {
-    (sorted_set(200), sorted_set(40), any::<u16>()).prop_map(|(prev, extra, mask)| {
-        let mut next: Vec<u128> = prev
+fn related_pair() -> impl Strategy<Value = (AddrSet, AddrSet)> {
+    (addr_set(200), addr_set(40), any::<u16>()).prop_map(|(prev, extra, mask)| {
+        let mut next: AddrSet = prev
             .iter()
             .enumerate()
             .filter(|(i, _)| mask >> (i % 16) & 1 == 0)
-            .map(|(_, &a)| a)
+            .map(|(_, a)| a)
             .collect();
-        next.extend(extra);
-        next.sort_unstable();
-        next.dedup();
+        next.union_in_place(&extra);
         (prev, next)
     })
 }
 
 proptest! {
     #[test]
-    fn full_round_trips(items in sorted_set(300)) {
+    fn full_round_trips(items in addr_set(300)) {
         let encoded = encode_full(&items);
         let decoded = decode_full(&encoded).expect("own encoding decodes");
         prop_assert_eq!(decoded, items);
+    }
+
+    #[test]
+    fn streams_match_flat_vec_path(items in addr_set(300)) {
+        // The wire bytes and digest are defined over the sorted item
+        // sequence, never the chunk layout: encoding through whatever
+        // mix of sorted and bitmap chunks the set picked is
+        // byte-identical to encoding the flat sorted vector directly.
+        let flat = items.to_vec();
+        prop_assert_eq!(encode_full(&items), encode_full(flat.iter().copied()));
+        prop_assert_eq!(content_digest(&items), content_digest(flat.iter().copied()));
     }
 
     #[test]
@@ -66,27 +76,44 @@ proptest! {
     }
 
     #[test]
+    fn delta_bytes_ignore_chunk_representation(pair in related_pair()) {
+        let (prev, next) = pair;
+        // Rebuild both endpoints one insert at a time; the incremental
+        // path splits and converts chunks in a different order than the
+        // bulk constructor, but the delta stream must not care.
+        let mut prev_inc = AddrSet::new();
+        for item in prev.iter() {
+            prev_inc.insert(item);
+        }
+        let mut next_inc = AddrSet::new();
+        for item in next.iter() {
+            next_inc.insert(item);
+        }
+        prop_assert_eq!(encode_delta(&prev_inc, &next_inc), encode_delta(&prev, &next));
+        prop_assert_eq!(encode_full(&next_inc), encode_full(&next));
+    }
+
+    #[test]
     fn delta_rejects_wrong_base(pair in related_pair(), nudge in 1..1_000u128) {
         let (prev, next) = pair;
         let delta = encode_delta(&prev, &next);
         let mut wrong = prev.clone();
-        wrong.push(wrong.last().map_or(nudge, |l| l.wrapping_add(nudge)));
-        wrong.sort_unstable();
-        wrong.dedup();
+        let probe = prev.iter().last().map_or(nudge, |l| l.wrapping_add(nudge));
+        wrong.insert(probe);
         if content_digest(&wrong) != content_digest(&prev) {
             prop_assert!(apply_delta(&wrong, &delta).is_err());
         }
     }
 
     #[test]
-    fn truncation_always_rejected(items in sorted_set(120), cut in 0..1_000usize) {
+    fn truncation_always_rejected(items in addr_set(120), cut in 0..1_000usize) {
         let encoded = encode_full(&items);
         let cut = cut % encoded.len().max(1);
         prop_assert!(decode_full(&encoded[..cut]).is_err(), "prefix of length {} accepted", cut);
     }
 
     #[test]
-    fn byte_flips_never_panic(items in sorted_set(120), pos in 0..1_000usize, bit in 0..8u32) {
+    fn byte_flips_never_panic(items in addr_set(120), pos in 0..1_000usize, bit in 0..8u32) {
         let mut encoded = encode_full(&items);
         let pos = pos % encoded.len();
         encoded[pos] ^= 1 << bit;
@@ -105,7 +132,7 @@ proptest! {
     }
 
     #[test]
-    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300), base in sorted_set(50)) {
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300), base in addr_set(50)) {
         // Arbitrary byte soup: both decoders must return Err, not panic.
         let _ = decode_full(&bytes);
         let _ = apply_delta(&base, &bytes);
@@ -114,9 +141,10 @@ proptest! {
 
 #[test]
 fn empty_singleton_and_removal_only_deltas() {
-    let empty: Vec<u128> = vec![];
-    let one = vec![42u128];
-    let many = vec![1u128, 5, 9];
+    let set = |v: &[u128]| AddrSet::from_unsorted(v.to_vec());
+    let empty = set(&[]);
+    let one = set(&[42]);
+    let many = set(&[1, 5, 9]);
 
     // empty -> empty, empty -> singleton, singleton -> empty.
     for (prev, next) in
@@ -127,8 +155,8 @@ fn empty_singleton_and_removal_only_deltas() {
     }
 
     // Removal-only delta is smaller than the full snapshot it replaces.
-    let big: Vec<u128> = (0..500u128).map(|i| i * 97).collect();
-    let smaller: Vec<u128> = big.iter().copied().filter(|a| a % 5 != 0).collect();
+    let big: AddrSet = (0..500u128).map(|i| i * 97).collect();
+    let smaller: AddrSet = big.iter().filter(|a| a % 5 != 0).collect();
     let delta = encode_delta(&big, &smaller);
     assert_eq!(apply_delta(&big, &delta).unwrap(), smaller);
     assert!(delta.len() < encode_full(&smaller).len());

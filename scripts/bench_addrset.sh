@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run the hitlist-at-scale AddrSet benchmark and refresh BENCH_addrset.json
+# at the repo root with the population-scale curve.
+#
+#   scripts/bench_addrset.sh           # full criterion run, rewrite BENCH_addrset.json
+#   scripts/bench_addrset.sh --test    # quick mode: one pass per bench, no JSON refresh
+#
+# The JSON records, per population multiplier (1x/10x/100x of the tiny
+# scale), the mean wall time of a 10-day service window, the derived
+# rounds/sec, and the resident bytes of every AddrSet the service
+# retains — the memory side of the chunked-representation claim — plus
+# the set-operation micro-bench estimates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--test" ]; then
+  cargo bench -p sixdust-bench --bench addrset -- --test
+  exit 0
+fi
+
+cargo bench -p sixdust-bench --bench addrset
+
+out="BENCH_addrset.json"
+
+python3 - "$out" <<'PY'
+import json
+import os
+import sys
+
+out = sys.argv[1]
+window_days = 10
+
+def estimates(group):
+    root = os.path.join("target", "criterion", group)
+    found = {}
+    for name in sorted(os.listdir(root)) if os.path.isdir(root) else []:
+        est = os.path.join(root, name, "new", "estimates.json")
+        if os.path.isfile(est):
+            with open(est) as f:
+                found[name] = json.load(f)["mean"]["point_estimate"]
+    return found
+
+resident = {}
+if os.path.isfile("target/addrset_resident.json"):
+    with open("target/addrset_resident.json") as f:
+        resident = json.load(f)
+
+curve = {}
+for name, mean_ns in estimates("addrset_scale").items():
+    mult = name.rsplit("_", 1)[-1]  # window10_x10 -> x10
+    entry = {
+        "mean_window_secs": mean_ns / 1e9,
+        "rounds_per_sec": window_days / (mean_ns / 1e9),
+    }
+    entry.update(resident.get(mult, {}))
+    curve[mult] = entry
+
+ops = {name: {"mean_secs": ns / 1e9} for name, ns in estimates("addrset_ops").items()}
+
+doc = {
+    "bench": "crates/bench/benches/addrset.rs",
+    "window_days": window_days,
+    "refreshed_by": "scripts/bench_addrset.sh",
+    "scale_curve": curve or None,
+    "ops": ops or None,
+    "note": None
+    if curve
+    else "no criterion estimates found under target/criterion/addrset_scale; run the bench first",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: {len(curve)} curve points, {len(ops)} ops")
+PY

@@ -6,6 +6,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== grep gate: no Vec<u128> in public signatures outside crates/addr"
+# AddrSet is the only address-set currency at crate boundaries; a public
+# fn/struct field shipping a raw Vec<u128> outside crates/addr is a
+# regression. (Benches, tests and private items are exempt.)
+if grep -rnE '^\s*pub (fn|struct|enum|type)?[^;{]*Vec<u128>' \
+    crates/*/src src \
+    --include='*.rs' \
+  | grep -v '^crates/addr/' \
+  | grep -v 'pub(crate)'; then
+  echo "grep gate FAILED: public Vec<u128> signature outside crates/addr (use AddrSet)" >&2
+  exit 1
+fi
+
 echo "== cargo fmt --all --check"
 cargo fmt --all --check
 
@@ -24,6 +37,9 @@ if [ "${1:-}" != "--quick" ]; then
 
   echo "== cargo bench -p sixdust-bench --bench round -- --test (quick mode)"
   cargo bench -p sixdust-bench --bench round -- --test
+
+  echo "== cargo bench -p sixdust-bench --bench addrset -- --test (quick mode)"
+  cargo bench -p sixdust-bench --bench addrset -- --test
 
   echo "== cargo doc --workspace --no-deps (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -6,6 +6,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use sixdust::addr::AddrSet;
 use sixdust::hitlist::{publish, HitlistService, ServiceConfig};
 use sixdust::net::{Day, FaultConfig, Internet, Scale};
 use sixdust::serve::codec;
@@ -21,7 +22,7 @@ const LAST_DAY: Day = Day(30);
 /// artifact's item history per published round.
 fn run_and_publish(
     registry: Option<&Registry>,
-) -> (HitlistService, Arc<SnapshotStore>, Vec<(u64, Vec<u128>)>) {
+) -> (HitlistService, Arc<SnapshotStore>, Vec<(u64, Arc<AddrSet>)>) {
     let net = Internet::build(Scale::tiny()).with_faults(FaultConfig::lossless());
     let mut store = SnapshotStore::new(StoreConfig::builder().with_shards(8));
     if let Some(reg) = registry {
@@ -30,12 +31,12 @@ fn run_and_publish(
     let store = Arc::new(store);
     let mut svc =
         HitlistService::new(ServiceConfig::builder().snapshot_days(vec![LAST_DAY]).build());
-    let mut history: Vec<(u64, Vec<u128>)> = Vec::new();
+    let mut history: Vec<(u64, Arc<AddrSet>)> = Vec::new();
     let hook_store = store.clone();
     svc.run_with(&net, Day(0), LAST_DAY, |svc, day| {
         hook_store.publish_service(svc, u64::from(day.0), &day.to_date());
         let version = hook_store.artifact(ArtifactKind::Responsive).expect("just published");
-        history.push((version.round(), version.items().to_vec()));
+        history.push((version.round(), version.items().clone()));
     });
     (svc, store, history)
 }
@@ -49,20 +50,18 @@ fn service_rounds_land_in_the_store() {
 
     // The responsive artifact is exactly the service's current view.
     let version = store.artifact(ArtifactKind::Responsive).expect("published");
-    let mut expected: Vec<u128> = svc.current_responsive().iter().map(|a| a.0).collect();
-    expected.sort_unstable();
-    expected.dedup();
+    let expected = svc.current_responsive();
     assert!(!expected.is_empty(), "tiny scale still finds responsive addresses");
-    assert_eq!(version.items().as_slice(), expected.as_slice());
+    assert_eq!(version.items().as_ref(), expected);
 
     // Shards partition the artifact exactly.
     let mut from_shards: Vec<u128> = Vec::new();
     for shard in version.shards() {
         shard.verify().expect("shard decodes to its own items");
-        from_shards.extend_from_slice(shard.items());
+        from_shards.extend(shard.items().iter());
     }
     from_shards.sort_unstable();
-    assert_eq!(from_shards, expected);
+    assert_eq!(from_shards, expected.to_vec());
 
     // The store's ETag matches the digest manifest.json records for the
     // same artifact — consumers can revalidate against either.
@@ -76,12 +75,9 @@ fn service_rounds_land_in_the_store() {
     assert_eq!(recorded, format!("{:016x}", version.digest()));
 
     // Per-protocol artifacts mirror the service's per-protocol slices.
-    for (proto, addrs) in svc.proto_responsive() {
+    for (proto, set) in svc.proto_responsive() {
         let v = store.artifact(ArtifactKind::PerProtocol(*proto)).expect("published");
-        let mut expected: Vec<u128> = addrs.iter().map(|a| a.0).collect();
-        expected.sort_unstable();
-        expected.dedup();
-        assert_eq!(v.items().as_slice(), expected.as_slice(), "{proto:?}");
+        assert_eq!(v.items().as_ref(), set, "{proto:?}");
     }
 }
 
@@ -98,7 +94,7 @@ fn deltas_reconstruct_byte_identical_artifacts() {
 
     // Applying the delta to the base reproduces the current item set…
     let rebuilt = codec::apply_delta(base_items, delta).expect("delta applies to its base");
-    assert_eq!(rebuilt.as_slice(), version.items().as_slice());
+    assert_eq!(&rebuilt, version.items().as_ref());
     // …and re-encoding it yields the exact bytes a full fetch serves.
     assert_eq!(&codec::encode_full(&rebuilt), version.full_encoded().as_ref());
     // The delta is the cheaper path for round-over-round churn.
@@ -154,7 +150,7 @@ fn hundred_k_request_day_is_deterministic_and_reconciles() {
 fn concurrent_readers_never_observe_torn_state() {
     let store = Arc::new(SnapshotStore::new(StoreConfig::builder().with_shards(8)));
     let rounds: u64 = 200;
-    let items_for = |round: u64| -> Vec<u128> {
+    let items_for = |round: u64| -> AddrSet {
         // Each round shifts membership so most shards change each time.
         (0..2_000u128).map(|i| i * 31 + u128::from(round) * 7).collect()
     };
@@ -193,10 +189,10 @@ fn concurrent_readers_never_observe_torn_state() {
                     let mut from_shards: Vec<u128> = Vec::new();
                     for shard in version.shards() {
                         shard.verify().expect("shard bytes match shard items");
-                        from_shards.extend_from_slice(shard.items());
+                        from_shards.extend(shard.items().iter());
                     }
                     from_shards.sort_unstable();
-                    assert_eq!(&from_shards, version.items().as_ref(), "shards partition items");
+                    assert_eq!(from_shards, version.items().to_vec(), "shards partition items");
                     if let Some(delta) = version.delta_encoded() {
                         let (_, result) =
                             codec::delta_digests(delta).expect("delta frame readable");
@@ -226,10 +222,14 @@ fn manifest_and_serve_digests_agree_across_crates() {
     ];
     for items in samples {
         assert_eq!(
-            publish::content_digest(&items),
-            codec::content_digest(&items),
+            publish::content_digest(items.iter().copied()),
+            codec::content_digest(items.iter().copied()),
             "digest mismatch for {} items",
             items.len()
         );
+        // And digesting through an AddrSet — whatever chunk representation
+        // it picks — yields the same value as the flat item stream.
+        let set = AddrSet::from_unsorted(items.clone());
+        assert_eq!(codec::content_digest(&set), codec::content_digest(items.iter().copied()));
     }
 }
