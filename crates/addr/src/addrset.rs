@@ -80,9 +80,7 @@ impl ChunkData {
     fn len(&self) -> usize {
         match self {
             ChunkData::Sorted(v) => v.len(),
-            ChunkData::Bitmap { words, .. } => {
-                words.iter().map(|w| w.count_ones() as usize).sum()
-            }
+            ChunkData::Bitmap { words, .. } => words.iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
 

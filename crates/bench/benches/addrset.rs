@@ -81,9 +81,7 @@ fn bench_scale_curve(c: &mut Criterion) {
             "  \"x{mult}\": {{\"window_rounds\": {rounds}, \"resident_set_bytes\": {bytes}}}{}\n",
             if i + 1 < MULTS.len() { "," } else { "" }
         );
-        g.bench_function(format!("window10_x{mult}"), |b| {
-            b.iter(|| black_box(run_window(&net).0))
-        });
+        g.bench_function(format!("window10_x{mult}"), |b| b.iter(|| black_box(run_window(&net).0)));
     }
     g.finish();
     resident.push('}');

@@ -1,6 +1,7 @@
-//! Serve-layer benchmarks: the delta codec's encode/decode throughput
-//! and shard reads racing a concurrent publisher (the atomic-swap
-//! claim, measured).
+//! Serve-layer benchmarks: the delta codec's encode/decode throughput,
+//! shard reads racing a concurrent publisher (the atomic-swap claim,
+//! measured), and the full simulated consumer day in requests/sec
+//! (distilled into `BENCH_serve.json` by `scripts/bench_serve.sh`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -8,7 +9,9 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use sixdust_addr::AddrSet;
 use sixdust_serve::codec::{apply_delta, decode_full, encode_delta, encode_full};
-use sixdust_serve::{ArtifactKind, SnapshotStore, StoreConfig};
+use sixdust_serve::{
+    run_day, ArtifactKind, FleetConfig, FrontendConfig, SnapshotStore, StoreConfig,
+};
 
 /// A hitlist-shaped item set: mostly structured strides with a sprinkle
 /// of isolated addresses, `n` items total.
@@ -100,5 +103,61 @@ fn bench_store(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_store);
+/// A store that looks like a live service: every artifact kind present,
+/// three published rounds so delta fetches have a base to diff against.
+fn day_store() -> Arc<SnapshotStore> {
+    let store = SnapshotStore::new(StoreConfig::default());
+    for round in 1..=3u64 {
+        let artifacts = ArtifactKind::ALL
+            .iter()
+            .map(|&kind| {
+                let base = (0x2001u128 << 112) + kind.index() as u128 * 1_000_000;
+                let n = 50_000 + round as u128 * 1_000;
+                (kind, (0..n).map(|i| base + i * 7).collect::<AddrSet>())
+            })
+            .collect();
+        store.publish_round(round, "day", artifacts);
+    }
+    Arc::new(store)
+}
+
+fn bench_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_day");
+    g.sample_size(10);
+    let store = day_store();
+    let fleet = FleetConfig::default();
+    // Elements = requests, so criterion's throughput line *is* the
+    // requests/sec figure the distilled BENCH_serve.json reports.
+    g.throughput(Throughput::Elements(fleet.requests));
+    g.bench_function("simulate_day_100k_requests", |b| {
+        b.iter(|| {
+            run_day(black_box(&fleet), FrontendConfig::default(), &store, None).totals.requests
+        })
+    });
+    g.finish();
+
+    // Side facts the distillation script joins with criterion's mean:
+    // the request count (for requests/sec) and one representative
+    // report's savings counters.
+    let report = run_day(&fleet, FrontendConfig::default(), &store, None);
+    let side = format!(
+        "{{\"requests\": {}, \"clients\": {}, \"bytes_sent\": {}, \
+         \"bytes_saved_by_delta\": {}, \"not_modified\": {}, \
+         \"shed\": {}, \"latency_p99_us\": {}}}\n",
+        report.totals.requests,
+        report.clients,
+        report.totals.bytes_sent,
+        report.bytes_saved_by_delta,
+        report.totals.not_modified,
+        report.totals.shed_client + report.totals.shed_global,
+        report.latency_p99_us,
+    );
+    if let Err(e) = std::fs::create_dir_all("target")
+        .and_then(|()| std::fs::write("target/serve_day.json", side))
+    {
+        eprintln!("[bench] could not write target/serve_day.json: {e}");
+    }
+}
+
+criterion_group!(benches, bench_codec, bench_store, bench_day);
 criterion_main!(benches);

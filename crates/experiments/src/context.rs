@@ -12,7 +12,9 @@ use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, ServiceState, S
 use sixdust_net::{events, Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
 use sixdust_serve::{SnapshotStore, StoreConfig};
-use sixdust_telemetry::{Registry, TraceJournal, DEFAULT_SERIES_CAPACITY};
+use sixdust_telemetry::{
+    FlightRecorder, Registry, SloEngine, TraceJournal, DEFAULT_SERIES_CAPACITY,
+};
 use sixdust_tga::instrumented_lineup;
 
 /// The day Table 3's TGA seeds are taken ("responsive addresses in
@@ -52,6 +54,10 @@ pub struct ObsOptions {
     /// Attach a serve-layer [`SnapshotStore`] and publish every round of
     /// the service run into it.
     pub serve: bool,
+    /// Build the full ops stack for the HTML dashboard: implies `series`
+    /// and `serve`, and additionally attaches the standard
+    /// [`SloEngine`] and a [`FlightRecorder`] to the service.
+    pub dashboard: bool,
 }
 
 /// Rounds between crash-safe checkpoint saves during the service run.
@@ -153,10 +159,13 @@ impl Ctx {
             None => HitlistService::new(config.clone()),
         };
         svc = svc.with_telemetry(telemetry.clone());
-        if opts.series {
+        if opts.series || opts.dashboard {
             svc = svc.with_series(DEFAULT_SERIES_CAPACITY);
         }
-        let serve = opts.serve.then(|| {
+        if opts.dashboard {
+            svc = svc.with_slo(SloEngine::standard()).with_flight(FlightRecorder::new());
+        }
+        let serve = (opts.serve || opts.dashboard).then(|| {
             Arc::new(SnapshotStore::new(StoreConfig::default()).with_telemetry(telemetry.clone()))
         });
         eprintln!(

@@ -23,7 +23,11 @@
 //! snapshot store, replays a deterministic high-QPS day of simulated
 //! registered-consumer load against it (100k requests, Zipf artifact
 //! popularity, ETag and delta fetches, admission control) and writes the
-//! day's totals as JSON. See EXPERIMENTS.md for worked examples.
+//! day's totals as JSON. `--dashboard PATH` builds the full ops stack —
+//! per-round series, the standard SLO engine with burn-rate alerting, a
+//! black-box flight recorder, and the serve-day replay — and writes a
+//! self-contained static HTML ops dashboard (byte-identical across runs
+//! at a fixed seed). See EXPERIMENTS.md for worked examples.
 
 mod context;
 mod exp_ablations;
@@ -79,7 +83,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
          [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
-         [--serve-report PATH] <experiment>|all\n\
+         [--serve-report PATH] [--dashboard PATH] <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -115,6 +119,7 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut checkpoint_path: Option<PathBuf> = None;
     let mut serve_report_path: Option<PathBuf> = None;
+    let mut dashboard_path: Option<PathBuf> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -167,6 +172,10 @@ fn main() {
                 let Some(p) = args.next() else { usage() };
                 serve_report_path = Some(PathBuf::from(p));
             }
+            "--dashboard" => {
+                let Some(p) = args.next() else { usage() };
+                dashboard_path = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
@@ -191,6 +200,7 @@ fn main() {
             series: series_path.is_some(),
             trace: trace_path.is_some(),
             serve: serve_report_path.is_some(),
+            dashboard: dashboard_path.is_some(),
         },
         checkpoint_path.as_deref(),
     );
@@ -204,20 +214,19 @@ fn main() {
     }
     // The store now holds every round of the run; replay one high-QPS
     // day of simulated consumer load against it and write the report.
-    if let Some(path) = &serve_report_path {
+    if serve_report_path.is_some() || dashboard_path.is_some() {
         let store = ctx.serve.clone().expect("serve store attached");
         let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
-        let report = sixdust_serve::run_day(
+        let report = sixdust_serve::run_day_observed(
             &fleet,
             sixdust_serve::FrontendConfig::default(),
             &store,
             Some(&ctx.telemetry),
+            ctx.svc.flight(),
         );
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        write_observability(path, &json);
         eprintln!(
             "[obs] serve day: {} requests, {} bodies ({} delta), {} bytes, {} hits/{} misses, \
-             {} not-modified, {} shed -> {}",
+             {} not-modified, {} shed",
             report.totals.requests,
             report.totals.bodies,
             report.totals.delta_fetches,
@@ -226,7 +235,43 @@ fn main() {
             report.totals.cache_misses,
             report.totals.not_modified,
             report.totals.shed_client + report.totals.shed_global,
-            path.display()
+        );
+        if let Some(path) = &serve_report_path {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            write_observability(path, &json);
+            eprintln!("[obs] wrote serve report to {}", path.display());
+        }
+    }
+    // Fold the serve day's registry deltas into the observability stream
+    // as one extra round (keyed past the last service day), then render
+    // the self-contained ops dashboard. Rendered before the experiments
+    // run so their registry churn cannot perturb the page: at a fixed
+    // seed the HTML is byte-identical across runs.
+    if let Some(path) = &dashboard_path {
+        let serve_key = ctx.svc.rounds().last().map(|r| r.day.0 + 1).unwrap_or(0);
+        ctx.svc.record_series_round(serve_key);
+        let subtitle = format!(
+            "scale addr 1/{} entity 1/{} seed {:#x} — {} service rounds + 1 serve day",
+            scale.addr_div,
+            scale.entity_div,
+            scale.seed,
+            ctx.svc.rounds().len()
+        );
+        let dash = sixdust_telemetry::Dashboard {
+            title: "sixdust ops",
+            subtitle: &subtitle,
+            series: ctx.svc.series().expect("dashboard implies series"),
+            slo: ctx.svc.slo(),
+            flight: ctx.svc.flight(),
+        };
+        write_observability(path, &dash.render());
+        let breaches = ctx.svc.slo().map(|e| e.breaches().len()).unwrap_or(0);
+        let captures = ctx.svc.flight().map(|f| f.captures_len()).unwrap_or(0);
+        eprintln!(
+            "[obs] wrote ops dashboard to {} ({} SLO breach rounds, {} flight captures)",
+            path.display(),
+            breaches,
+            captures
         );
     }
     for cmd in &cmds {

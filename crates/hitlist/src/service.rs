@@ -17,7 +17,9 @@ use sixdust_addr::{prf, Addr, AddrSet, PrefixSet};
 use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
-use sixdust_telemetry::{MadConfig, MadDetector, Registry, SeriesRecorder};
+use sixdust_telemetry::{
+    FlightRecorder, MadConfig, MadDetector, Registry, SeriesRecorder, SloEngine,
+};
 
 use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
 use crate::sources;
@@ -323,6 +325,13 @@ pub struct HitlistService {
     /// floats of state and make every round self-describing.
     anomaly: [MadDetector; 5],
     series: Option<SeriesRecorder>,
+    /// Rounds since the last *clean* publish (neither degraded nor
+    /// anomaly-flagged) — the publish-freshness signal, exported as the
+    /// `service.publish.staleness_rounds` gauge and judged by the
+    /// `publish-freshness` SLO.
+    staleness_rounds: u32,
+    slo: Option<SloEngine>,
+    flight: Option<FlightRecorder>,
 }
 
 impl HitlistService {
@@ -351,6 +360,9 @@ impl HitlistService {
             last_zone_week: None,
             anomaly: std::array::from_fn(|_| MadDetector::new(MadConfig::default())),
             series: None,
+            staleness_rounds: 0,
+            slo: None,
+            flight: None,
         }
     }
 
@@ -385,6 +397,86 @@ impl HitlistService {
     /// [`HitlistService::with_series`].
     pub fn series(&self) -> Option<&SeriesRecorder> {
         self.series.as_ref()
+    }
+
+    /// Attaches an SLO engine (see [`sixdust_telemetry::SloEngine`]): each
+    /// recorded series round is judged against the engine's objectives and
+    /// burn-rate gauges/breach counters land in the service registry.
+    /// Implies [`HitlistService::with_series`] at the default capacity if
+    /// no recorder is attached yet, since the engine consumes the series
+    /// stream.
+    pub fn with_slo(self, engine: SloEngine) -> HitlistService {
+        let mut svc = if self.series.is_some() {
+            self
+        } else {
+            self.with_series(sixdust_telemetry::DEFAULT_SERIES_CAPACITY)
+        };
+        let registry = svc.telemetry.clone().expect("series implies telemetry");
+        svc.slo = Some(engine.with_registry(&registry));
+        svc
+    }
+
+    /// The SLO engine, if one was attached with
+    /// [`HitlistService::with_slo`].
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// Attaches a black-box flight recorder (see
+    /// [`sixdust_telemetry::FlightRecorder`]): anomaly and degraded-round
+    /// events are noted into its ring, every recorded series round feeds
+    /// its round buffer, and a capture is frozen at each degraded-round,
+    /// anomaly, or SLO-breach onset. Clone the recorder before attaching
+    /// to keep a handle for reading captures (it shares state).
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> HitlistService {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// The flight recorder, if one was attached with
+    /// [`HitlistService::with_flight`].
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Records one series round keyed by `key` and routes it through the
+    /// attached judgment layers: the round's metric deltas enter the
+    /// flight recorder's round ring, the SLO engine judges them (noting
+    /// every breach into the event ring and freezing a capture at each
+    /// breach *onset*). No-op without a series recorder.
+    ///
+    /// [`HitlistService::run_round`] calls this once per round; callers
+    /// folding out-of-band registry activity into the same observability
+    /// stream (e.g. the serve-layer day replay in `sixdust-exp`) may call
+    /// it directly with a key past the last round's day.
+    pub fn record_series_round(&mut self, key: u32) {
+        let Some(rec) = &mut self.series else { return };
+        let round = rec.record(key).clone();
+        if let Some(flight) = &self.flight {
+            flight.note_round(&round);
+        }
+        if let Some(engine) = &mut self.slo {
+            for breach in engine.observe(&round) {
+                if let Some(flight) = &self.flight {
+                    let bad = breach.bad_permille.to_string();
+                    let short = breach.burn_short_milli.to_string();
+                    let long = breach.burn_long_milli.to_string();
+                    flight.note(
+                        key,
+                        "slo.breach",
+                        &[
+                            ("slo", breach.slo.as_str()),
+                            ("bad_permille", bad.as_str()),
+                            ("burn_short_milli", short.as_str()),
+                            ("burn_long_milli", long.as_str()),
+                        ],
+                    );
+                    if breach.onset {
+                        flight.capture(key, &format!("slo:{}", breach.slo));
+                    }
+                }
+            }
+        }
     }
 
     /// The service's blocklist (opt-out registration).
@@ -491,6 +583,10 @@ impl HitlistService {
                 svc.anomaly[i].observe(r.published[i] as f64);
                 svc.proto_seen[i] |= r.cleaned[i] > 0;
             }
+            // Replay the publish-freshness clock so a resumed service
+            // reports the same staleness the original would have.
+            let clean = !r.degraded && !r.anomalous.iter().any(|&a| a);
+            svc.staleness_rounds = if clean { 0 } else { svc.staleness_rounds.saturating_add(1) };
         }
         svc
     }
@@ -776,14 +872,18 @@ impl HitlistService {
                 downward_anomalies += 1;
             }
             if verdict.anomalous {
+                let value = published[i].to_string();
+                let z = format!("{:.1}", verdict.z);
+                let args =
+                    [("day", day_str.as_str()), ("value", value.as_str()), ("z", z.as_str())];
                 if let Some(j) = &tracer {
-                    j.instant(
+                    j.instant(&format!("service.anomaly.{}", proto_metric_key(proto)), &args);
+                }
+                if let Some(flight) = &self.flight {
+                    flight.note(
+                        day.0,
                         &format!("service.anomaly.{}", proto_metric_key(proto)),
-                        &[
-                            ("day", day_str.as_str()),
-                            ("value", &published[i].to_string()),
-                            ("z", &format!("{:.1}", verdict.z)),
-                        ],
+                        &args,
                     );
                 }
             }
@@ -805,6 +905,13 @@ impl HitlistService {
             && (loss_estimate_permille >= self.config.degraded_loss_permille
                 || downward_anomalies >= 3);
 
+        // Publish freshness: rounds since the last *clean* publish. A
+        // degraded or anomaly-flagged round ships a suspect hitlist, so
+        // the staleness clock keeps counting until a round with neither.
+        let clean_publish = !degraded && !anomalous.iter().any(|&a| a);
+        self.staleness_rounds =
+            if clean_publish { 0 } else { self.staleness_rounds.saturating_add(1) };
+
         // 5. Responsiveness bookkeeping: before the filter deployment the
         // service kept GFW-"responsive" addresses in rotation. A degraded
         // round still credits whoever answered, but never sweeps: silence
@@ -818,15 +925,18 @@ impl HitlistService {
         let dropped = if degraded {
             let from = self.rounds.last().map(|r| r.day.plus(1)).unwrap_or(day);
             self.unresp.quarantine(from, day.plus(1));
+            let loss = loss_estimate_permille.to_string();
+            let downward = downward_anomalies.to_string();
+            let args = [
+                ("day", day_str.as_str()),
+                ("loss_permille", loss.as_str()),
+                ("downward_anomalies", downward.as_str()),
+            ];
             if let Some(j) = &tracer {
-                j.instant(
-                    "service.degraded",
-                    &[
-                        ("day", day_str.as_str()),
-                        ("loss_permille", &loss_estimate_permille.to_string()),
-                        ("downward_anomalies", &downward_anomalies.to_string()),
-                    ],
-                );
+                j.instant("service.degraded", &args);
+            }
+            if let Some(flight) = &self.flight {
+                flight.note(day.0, "service.degraded", &args);
             }
             0
         } else {
@@ -882,7 +992,12 @@ impl HitlistService {
             t.counter("service.churn.gone").add(record.churn_gone);
             // 0/1 per round, like the anomaly flags below.
             t.counter("service.degraded_rounds").add(u64::from(record.degraded));
+            // Flags raised this round across all protocols — the dashboard's
+            // round-health strip reads this as its amber signal.
+            t.counter("service.anomalies")
+                .add(record.anomalous.iter().filter(|&&a| a).count() as u64);
             t.gauge("service.loss_estimate_permille").set(i64::from(record.loss_estimate_permille));
+            t.gauge("service.publish.staleness_rounds").set(i64::from(self.staleness_rounds));
             for (i, proto) in Protocol::ALL.into_iter().enumerate() {
                 let key = proto_metric_key(proto);
                 t.counter(&format!("service.hits.published.{key}")).add(record.published[i]);
@@ -907,12 +1022,25 @@ impl HitlistService {
         }
         self.last_proto_cleaned = proto_cleaned_sets;
 
+        // Onsets (first round of an episode) trigger black-box captures;
+        // later rounds of the same episode only extend the event ring.
+        let prev = self.rounds.last();
+        let degraded_onset = record.degraded && prev.map_or(true, |r| !r.degraded);
+        let anomaly_onset = record.anomalous.iter().any(|&a| a)
+            && prev.map_or(true, |r| !r.anomalous.iter().any(|&a| a));
         self.rounds.push(record);
 
         // 9. Longitudinal series: record after every counter for the round
         // has been fed, so each SeriesRound is exactly this round's deltas.
-        if let Some(rec) = &mut self.series {
-            rec.record(day.0);
+        // The shared path also judges the round against attached SLOs and
+        // feeds the flight recorder.
+        self.record_series_round(day.0);
+        if let Some(flight) = &self.flight {
+            if degraded_onset {
+                flight.capture(day.0, "degraded-round");
+            } else if anomaly_onset {
+                flight.capture(day.0, "mad-anomaly");
+            }
         }
         if let Some(span) = &mut round_span {
             span.arg("targets", &targets.len().to_string());
@@ -1044,14 +1172,81 @@ mod tests {
         assert_ne!(w1, lowest_cap, "the lowest addresses must not always win");
         // Linear chunk-merge intersection count — one pass over both
         // sorted samples, not a binary search per member.
-        let overlap = AddrSet::from_sorted_addrs(&w0)
-            .intersect_count(&AddrSet::from_sorted_addrs(&w1));
+        let overlap =
+            AddrSet::from_sorted_addrs(&w0).intersect_count(&AddrSet::from_sorted_addrs(&w1));
         assert!(overlap < cap, "rotation changes membership beyond the cap boundary");
         // Small inputs are untouched: everything under the cap is traced.
         let tiny: HashSet<Addr> = all.iter().take(10).copied().collect();
         let mut traced = traceroute_sample(&tiny, cap, 3);
         traced.sort_unstable();
         assert_eq!(traced, all[..10].to_vec());
+    }
+
+    #[test]
+    fn slo_breach_through_shared_series_path_freezes_a_capture() {
+        let mut svc = HitlistService::new(ServiceConfig::builder().build())
+            .with_slo(SloEngine::standard())
+            .with_flight(FlightRecorder::new());
+        assert!(svc.series().is_some(), "with_slo implies a series recorder");
+        let reg = svc.telemetry.clone().expect("series implies telemetry");
+        let rounds = reg.counter("service.rounds");
+        let degraded = reg.counter("service.degraded_rounds");
+        // Three consecutive fully-degraded rounds: the degraded-rounds
+        // SLO's short (3) and long (12) windows both read 1000‰ bad
+        // against a 50‰ budget — a 20× burn, breaching at round three.
+        for key in 0..3 {
+            rounds.incr();
+            degraded.incr();
+            svc.record_series_round(key);
+        }
+        let engine = svc.slo().expect("attached above");
+        assert!(
+            engine.breaches().iter().any(|b| b.slo == "degraded-rounds" && b.onset),
+            "breach log must carry the degraded-rounds onset: {:?}",
+            engine.breaches()
+        );
+        let flight = svc.flight().expect("attached above");
+        assert_eq!(flight.captures_len(), 1, "exactly one capture at the breach onset");
+        let cap = &flight.captures()[0];
+        assert_eq!(cap.reason, "slo:degraded-rounds");
+        assert!(cap.events.iter().any(|e| e.kind == "slo.breach"));
+        assert!(!cap.rounds.is_empty(), "captures carry the recent metric rounds");
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("slo.degraded-rounds.burn_short_milli"), Some(20_000));
+        assert_eq!(snap.counter("slo.degraded-rounds.breach_rounds"), Some(1));
+    }
+
+    #[test]
+    fn freshness_clock_counts_suspect_rounds_and_replays_through_checkpoints() {
+        let mut svc = HitlistService::new(ServiceConfig::builder().build());
+        // Synthesize a round history: clean, degraded, anomalous, clean.
+        let mk = |day: u32, degraded: bool, anomalous: bool| RoundRecord {
+            day: Day(day),
+            input_total: 0,
+            targets: 0,
+            published: [0; 5],
+            cleaned: [0; 5],
+            total_published: 0,
+            total_cleaned: 0,
+            churn_brand_new: 0,
+            churn_recurring: 0,
+            churn_gone: 0,
+            aliased_prefixes: 0,
+            dropped: 0,
+            anomalous: [anomalous, false, false, false, false],
+            degraded,
+            loss_estimate_permille: 0,
+        };
+        svc.rounds =
+            vec![mk(0, false, false), mk(1, true, false), mk(2, false, true), mk(3, false, false)];
+        let state = crate::state::ServiceState::capture(&svc);
+        let resumed = HitlistService::from_state(ServiceConfig::builder().build(), &state);
+        assert_eq!(resumed.staleness_rounds, 0, "last round was a clean publish");
+        // Drop the final clean round: two suspect rounds back-to-back.
+        svc.rounds.pop();
+        let state = crate::state::ServiceState::capture(&svc);
+        let resumed = HitlistService::from_state(ServiceConfig::builder().build(), &state);
+        assert_eq!(resumed.staleness_rounds, 2, "degraded then anomalous, never reset");
     }
 
     #[test]

@@ -97,6 +97,21 @@ pub struct DayReport {
     pub totals: FrontendTotals,
     /// Served bodies per artifact kind, in [`ArtifactKind::ALL`] order.
     pub bodies_by_kind: Vec<(String, u64)>,
+    /// Median answered-request latency, virtual microseconds. Zero when
+    /// the report predates these fields (`serde(default)`) or no request
+    /// was answered.
+    #[serde(default)]
+    pub latency_p50_us: u64,
+    /// 90th-percentile answered-request latency, virtual microseconds.
+    #[serde(default)]
+    pub latency_p90_us: u64,
+    /// 99th-percentile answered-request latency, virtual microseconds.
+    #[serde(default)]
+    pub latency_p99_us: u64,
+    /// Bytes the delta encoding saved across the day (full bodies
+    /// replaced minus delta bytes sent).
+    #[serde(default)]
+    pub bytes_saved_by_delta: u64,
 }
 
 /// Zipf cumulative weights over the popularity-ranked artifact kinds,
@@ -199,16 +214,21 @@ pub fn simulate_day(
         }
     }
 
+    let latency = frontend.latency_snapshot();
     DayReport {
         seed: config.seed,
         clients: config.clients,
         round: current_round,
+        bytes_saved_by_delta: frontend.totals().bytes_saved_by_delta,
         totals: frontend.totals().clone(),
         bodies_by_kind: ArtifactKind::ALL
             .iter()
             .zip(bodies_by_kind)
             .map(|(kind, n)| (kind.file_stem(), n))
             .collect(),
+        latency_p50_us: latency.p50(),
+        latency_p90_us: latency.p90(),
+        latency_p99_us: latency.p99(),
     }
 }
 
@@ -220,9 +240,25 @@ pub fn run_day(
     store: &Arc<SnapshotStore>,
     telemetry: Option<&sixdust_telemetry::Registry>,
 ) -> DayReport {
+    run_day_observed(fleet, frontend, store, telemetry, None)
+}
+
+/// Like [`run_day`], but additionally attaches a black-box flight
+/// recorder: every shed decision the front end makes lands in the
+/// recorder's event ring (keyed by virtual hour), available to captures.
+pub fn run_day_observed(
+    fleet: &FleetConfig,
+    frontend: FrontendConfig,
+    store: &Arc<SnapshotStore>,
+    telemetry: Option<&sixdust_telemetry::Registry>,
+    flight: Option<&sixdust_telemetry::FlightRecorder>,
+) -> DayReport {
     let mut fe = Frontend::new(frontend, store.clone());
     if let Some(registry) = telemetry {
         fe = fe.with_telemetry(registry);
+    }
+    if let Some(recorder) = flight {
+        fe = fe.with_flight(recorder.clone());
     }
     simulate_day(fleet, &mut fe, store)
 }
@@ -276,6 +312,40 @@ mod tests {
         assert_eq!(a, b, "identical seed and store replay identically");
         let c = run_day(&fleet.clone().with_seed(99), FrontendConfig::default(), &store, None);
         assert_ne!(a.totals, c.totals, "different seed gives a different day");
+    }
+
+    #[test]
+    fn seeded_100k_day_has_resolved_percentiles_and_delta_savings() {
+        // The microsecond histogram must give the percentiles real
+        // resolution: with the old serve.latency_ms recording, base
+        // latency 1.5 ms crushed p50 and p99 into the same log2 bin.
+        let store = seeded_store();
+        let reg = sixdust_telemetry::Registry::new();
+        let report =
+            run_day(&FleetConfig::default(), FrontendConfig::default(), &store, Some(&reg));
+        assert_eq!(report.totals.requests, 100_000);
+        assert!(
+            report.latency_p50_us < report.latency_p99_us,
+            "p50 {} must resolve below p99 {}",
+            report.latency_p50_us,
+            report.latency_p99_us
+        );
+        assert!(report.latency_p50_us >= 1_500, "latency floor is the 1.5 ms base");
+        assert!(report.latency_p50_us <= report.latency_p90_us);
+        assert!(report.latency_p90_us <= report.latency_p99_us);
+        assert!(report.bytes_saved_by_delta > 0, "one-behind clients pull cheaper deltas");
+        assert_eq!(report.bytes_saved_by_delta, report.totals.bytes_saved_by_delta);
+        let snap = reg.snapshot();
+        let us = snap.histogram("serve.latency_us").expect("microsecond histogram");
+        assert_eq!(us.count, report.totals.bodies + report.totals.not_modified);
+        assert!(us.p50() < us.p99(), "registry view resolves too");
+        assert_eq!(snap.counter("serve.bytes_saved.delta"), Some(report.bytes_saved_by_delta));
+        // The per-kind RED rate reconciles with the aggregate.
+        let by_kind: u64 = ArtifactKind::ALL
+            .iter()
+            .filter_map(|k| snap.counter(&format!("serve.kind.{}.requests", k.file_stem())))
+            .sum();
+        assert_eq!(by_kind, report.totals.requests);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`server`] — what one front end does to a request stream: ETag
 //!   conditional fetches (304s), an LRU of encoded bodies, per-client
 //!   token buckets plus a global concurrency cap, and explicit
-//!   load-shedding accounting.
+//!   load-shedding accounting. Emits per-artifact-kind RED metrics
+//!   (`serve.kind.<stem>.{requests,errors,latency_us}`), virtual-time
+//!   latency in microseconds, and delta/304 byte-savings counters;
+//!   shed decisions feed an attached
+//!   [`FlightRecorder`](sixdust_telemetry::FlightRecorder).
 //! * [`fleet`] — a seeded, Zipf-popular simulated consumer fleet that
 //!   replays a deterministic high-QPS day and emits a [`DayReport`].
 //!
@@ -34,6 +38,6 @@ pub mod server;
 pub mod store;
 
 pub use codec::{apply_delta, content_digest, decode_full, encode_delta, encode_full, CodecError};
-pub use fleet::{run_day, simulate_day, DayReport, FleetConfig};
+pub use fleet::{run_day, run_day_observed, simulate_day, DayReport, FleetConfig};
 pub use server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
 pub use store::{ArtifactKind, ArtifactVersion, ShardData, SnapshotStore, StoreConfig};

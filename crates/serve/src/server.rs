@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sixdust_telemetry::{Counter, Histogram, Registry};
+use sixdust_telemetry::{Counter, FlightRecorder, Histogram, HistogramSnapshot, Registry};
 
 use crate::store::{ArtifactKind, SnapshotStore};
 
@@ -162,6 +162,10 @@ pub struct FrontendTotals {
     pub delta_fallbacks: u64,
     /// Requests that arrived before anything was published.
     pub unavailable: u64,
+    /// Bytes the delta encoding saved: the size of the full bodies each
+    /// served delta replaced, minus the delta bytes actually sent.
+    #[serde(default)]
+    pub bytes_saved_by_delta: u64,
 }
 
 /// Per-client token bucket on virtual time. Integer math in
@@ -221,11 +225,31 @@ struct Meters {
     shed_global: Counter,
     not_modified: Counter,
     delta_fallback: Counter,
+    /// Virtual-time request latency in microseconds — the measurement
+    /// of record. Base latency is 1.5 ms, so log2 *millisecond* buckets
+    /// crush the whole distribution into two bins; microseconds give the
+    /// percentiles real resolution.
+    latency_us: Histogram,
+    /// Millisecond view derived from the same sample (`us/1000` rounded
+    /// up to at least 1), kept for naming-scheme continuity.
     latency_ms: Histogram,
+    bytes_saved_delta: Counter,
+    bytes_saved_not_modified: Counter,
+    /// Per-artifact-kind RED triplets (rate, errors, duration), indexed
+    /// by [`ArtifactKind::index`]. Errors are shed + unavailable.
+    kind_requests: Vec<Counter>,
+    kind_errors: Vec<Counter>,
+    kind_latency_us: Vec<Histogram>,
 }
 
 impl Meters {
     fn resolve(registry: &Registry) -> Meters {
+        let per_kind = |field: &str| -> Vec<Counter> {
+            ArtifactKind::ALL
+                .iter()
+                .map(|k| registry.counter(&format!("serve.kind.{}.{field}", k.file_stem())))
+                .collect()
+        };
         Meters {
             requests: registry.counter("serve.requests"),
             bytes_sent: registry.counter("serve.bytes_sent"),
@@ -236,7 +260,16 @@ impl Meters {
             shed_global: registry.counter("serve.shed.global"),
             not_modified: registry.counter("serve.not_modified"),
             delta_fallback: registry.counter("serve.delta_fallback"),
+            latency_us: registry.histogram("serve.latency_us"),
             latency_ms: registry.histogram("serve.latency_ms"),
+            bytes_saved_delta: registry.counter("serve.bytes_saved.delta"),
+            bytes_saved_not_modified: registry.counter("serve.bytes_saved.not_modified"),
+            kind_requests: per_kind("requests"),
+            kind_errors: per_kind("errors"),
+            kind_latency_us: ArtifactKind::ALL
+                .iter()
+                .map(|k| registry.histogram(&format!("serve.kind.{}.latency_us", k.file_stem())))
+                .collect(),
         }
     }
 }
@@ -251,6 +284,12 @@ pub struct Frontend {
     inflight: BinaryHeap<std::cmp::Reverse<u64>>,
     meters: Option<Meters>,
     totals: FrontendTotals,
+    /// Always-on virtual-time latency distribution, independent of the
+    /// optional registry — [`DayReport`](crate::DayReport) percentiles
+    /// come from here.
+    latency: Histogram,
+    /// Flight recorder fed on the shed path, if attached.
+    flight: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Frontend {
@@ -274,20 +313,39 @@ impl Frontend {
             inflight: BinaryHeap::new(),
             meters: None,
             totals: FrontendTotals::default(),
+            latency: Histogram::default(),
+            flight: None,
         }
     }
 
     /// Attaches a metrics registry (`serve.requests`, `serve.bytes_sent`,
     /// `serve.cache.{hits,misses}`, `serve.shed{,.client,.global}`,
-    /// `serve.not_modified`, `serve.delta_fallback`, `serve.latency_ms`).
+    /// `serve.not_modified`, `serve.delta_fallback`,
+    /// `serve.latency_us`/`serve.latency_ms`,
+    /// `serve.bytes_saved.{delta,not_modified}`, and the per-kind RED
+    /// triplet `serve.kind.<stem>.{requests,errors,latency_us}`).
     pub fn with_telemetry(mut self, registry: &Registry) -> Frontend {
         self.meters = Some(Meters::resolve(registry));
+        self
+    }
+
+    /// Attaches a flight recorder: shed decisions are noted into its
+    /// event ring, keyed by the virtual hour of day (deterministic —
+    /// no wall clock on this path).
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> Frontend {
+        self.flight = Some(recorder);
         self
     }
 
     /// The running totals so far.
     pub fn totals(&self) -> &FrontendTotals {
         &self.totals
+    }
+
+    /// Snapshot of the virtual-time latency distribution (microseconds)
+    /// across every answered request so far.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     fn admit_client(&mut self, client: u64, now_us: u64) -> bool {
@@ -313,9 +371,11 @@ impl Frontend {
     /// schedule); the concurrency window is maintained by retiring every
     /// in-flight request whose completion time has passed.
     pub fn handle(&mut self, request: &Request) -> Outcome {
+        let kind = request.kind.index();
         self.totals.requests += 1;
         if let Some(m) = &self.meters {
             m.requests.incr();
+            m.kind_requests[kind].incr();
         }
         let now = request.at_us;
         while self.inflight.peek().is_some_and(|done| done.0 <= now) {
@@ -329,7 +389,9 @@ impl Frontend {
             if let Some(m) = &self.meters {
                 m.shed.incr();
                 m.shed_client.incr();
+                m.kind_errors[kind].incr();
             }
+            self.note_shed(request, "serve.shed.client");
             return Outcome::ShedClient;
         }
         if self.inflight.len() >= self.config.global_concurrency {
@@ -337,12 +399,17 @@ impl Frontend {
             if let Some(m) = &self.meters {
                 m.shed.incr();
                 m.shed_global.incr();
+                m.kind_errors[kind].incr();
             }
+            self.note_shed(request, "serve.shed.global");
             return Outcome::ShedGlobal;
         }
 
         let Some(version) = self.store.artifact(request.kind) else {
             self.totals.unavailable += 1;
+            if let Some(m) = &self.meters {
+                m.kind_errors[kind].incr();
+            }
             return Outcome::Unavailable;
         };
 
@@ -350,10 +417,11 @@ impl Frontend {
         // up-to-date consumer pays one round trip and zero body bytes.
         if request.if_none_match == Some(version.digest()) {
             let latency = self.config.base_latency_us;
-            self.finish(now, latency);
+            self.finish(now, latency, kind);
             self.totals.not_modified += 1;
             if let Some(m) = &self.meters {
                 m.not_modified.incr();
+                m.bytes_saved_not_modified.add(version.full_encoded().len() as u64);
             }
             return Outcome::NotModified { round: version.round(), latency_us: latency };
         }
@@ -366,6 +434,12 @@ impl Frontend {
             FetchKind::DeltaSince(have) => match version.delta_encoded() {
                 Some(delta) if version.prev_round() == Some(have) => {
                     serve_delta = true;
+                    let saved =
+                        (version.full_encoded().len() as u64).saturating_sub(delta.len() as u64);
+                    self.totals.bytes_saved_by_delta += saved;
+                    if let Some(m) = &self.meters {
+                        m.bytes_saved_delta.add(saved);
+                    }
                     delta.clone()
                 }
                 _ => {
@@ -403,7 +477,7 @@ impl Frontend {
         if !cached {
             latency += self.config.render_latency_us;
         }
-        self.finish(now, latency);
+        self.finish(now, latency, kind);
         self.totals.bodies += 1;
         self.totals.bytes_sent += bytes;
         if serve_delta {
@@ -424,10 +498,30 @@ impl Frontend {
         }
     }
 
-    fn finish(&mut self, now_us: u64, latency_us: u64) {
+    fn finish(&mut self, now_us: u64, latency_us: u64, kind: usize) {
         self.inflight.push(std::cmp::Reverse(now_us + latency_us));
+        let us = latency_us.max(1);
+        self.latency.record(us);
         if let Some(m) = &self.meters {
+            // Microseconds are the measurement of record; the ms view is
+            // derived from the same sample so the two always agree.
+            m.latency_us.record(us);
+            m.kind_latency_us[kind].record(us);
             m.latency_ms.record(latency_us.div_ceil(1_000).max(1));
+        }
+    }
+
+    fn note_shed(&self, request: &Request, kind: &str) {
+        if let Some(flight) = &self.flight {
+            flight.note(
+                (request.at_us / 3_600_000_000) as u32,
+                kind,
+                &[
+                    ("client", &request.client.to_string()),
+                    ("artifact", &request.kind.file_stem()),
+                    ("at_us", &request.at_us.to_string()),
+                ],
+            );
         }
     }
 }
@@ -538,6 +632,56 @@ mod tests {
         // Far enough later every in-flight request has drained.
         assert!(matches!(fe.handle(&request(99, 60_000_000)), Outcome::Body { .. }));
         assert_eq!(fe.totals().shed_global, 6);
+    }
+
+    #[test]
+    fn latency_snapshot_and_byte_savings_accrue() {
+        let reg = sixdust_telemetry::Registry::new();
+        let store = served_store();
+        let digest = store.artifact(ArtifactKind::Responsive).unwrap().digest();
+        let mut fe = Frontend::new(FrontendConfig::default(), store).with_telemetry(&reg);
+        // A delta fetch on the diffed base saves full-minus-delta bytes.
+        let mut req = request(1, 0);
+        req.fetch = FetchKind::DeltaSince(1);
+        let Outcome::Body { delta: true, bytes: delta_bytes, .. } = fe.handle(&req) else {
+            panic!("expected delta body");
+        };
+        assert!(fe.totals().bytes_saved_by_delta > 0);
+        // A 304 saves the entire full body it didn't resend.
+        let mut req = request(2, 10);
+        req.if_none_match = Some(digest);
+        assert!(matches!(fe.handle(&req), Outcome::NotModified { .. }));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.bytes_saved.delta"), Some(fe.totals().bytes_saved_by_delta));
+        assert!(snap.counter("serve.bytes_saved.not_modified").unwrap() > delta_bytes);
+        // Both answered requests landed in the always-on us histogram
+        // and in the per-kind RED duration.
+        let latency = fe.latency_snapshot();
+        assert_eq!(latency.count, 2);
+        assert!(latency.min >= 1_500, "virtual latency floor");
+        assert_eq!(snap.histogram("serve.kind.responsive-addresses.latency_us").unwrap().count, 2);
+        assert_eq!(snap.counter("serve.kind.responsive-addresses.requests"), Some(2));
+    }
+
+    #[test]
+    fn shed_paths_feed_the_flight_recorder_and_error_meters() {
+        let reg = sixdust_telemetry::Registry::new();
+        let flight = sixdust_telemetry::FlightRecorder::new();
+        let config = FrontendConfig::builder().with_client_bucket(1, 0);
+        let mut fe =
+            Frontend::new(config, served_store()).with_telemetry(&reg).with_flight(flight.clone());
+        assert!(matches!(fe.handle(&request(7, 0)), Outcome::Body { .. }));
+        // Burst exhausted, no refill: the second request is shed and the
+        // flight recorder notes it with deterministic virtual-time args.
+        assert!(matches!(fe.handle(&request(7, 7_200_000_000)), Outcome::ShedClient));
+        flight.capture(2, "test");
+        let caps = flight.captures();
+        assert_eq!(caps[0].events.len(), 1);
+        let e = &caps[0].events[0];
+        assert_eq!(e.kind, "serve.shed.client");
+        assert_eq!(e.key, 2, "keyed by virtual hour of day");
+        assert_eq!(e.args[0], ("client".to_string(), "7".to_string()));
+        assert_eq!(reg.snapshot().counter("serve.kind.responsive-addresses.errors"), Some(1));
     }
 
     #[test]

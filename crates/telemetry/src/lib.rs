@@ -28,6 +28,19 @@
 //! - [`MadDetector`] — an online rolling median + MAD anomaly monitor
 //!   that flags a metric's round the moment it departs its baseline.
 //!
+//! Above the recording layers sits the *judgment-and-presentation*
+//! layer (PR 7):
+//!
+//! - [`SloEngine`] — declarative SLOs with multi-window burn-rate
+//!   alerting over the series stream, plus a machine-readable breach
+//!   log;
+//! - [`FlightRecorder`] — a bounded black-box ring of recent events and
+//!   metric deltas, frozen into deterministic JSON captures when a
+//!   degraded round, MAD anomaly or SLO breach fires;
+//! - [`Dashboard`] — a self-contained static HTML ops dashboard
+//!   (inline SVG sparklines, zero dependencies, byte-identical across
+//!   runs at a fixed seed).
+//!
 //! # Naming scheme
 //!
 //! Metric names are dot-separated, lower-case paths:
@@ -62,18 +75,27 @@
 #![warn(missing_docs)]
 
 mod anomaly;
+mod flight;
 mod json;
 mod metrics;
 mod registry;
+mod report;
 mod series;
+mod slo;
 mod trace;
 
 pub use anomaly::{flag_series, MadConfig, MadDetector, Verdict};
+pub use flight::{
+    FlightCapture, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPTURES, DEFAULT_FLIGHT_EVENTS,
+    DEFAULT_FLIGHT_ROUNDS,
+};
 pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, SpanTimer, BUCKETS,
 };
 pub use registry::{Registry, Snapshot};
-pub use series::{SeriesRecorder, SeriesRound, DEFAULT_SERIES_CAPACITY};
+pub use report::Dashboard;
+pub use series::{is_deterministic_metric, SeriesRecorder, SeriesRound, DEFAULT_SERIES_CAPACITY};
+pub use slo::{SloBreach, SloEngine, SloSignal, SloSpec, SloStatus, MAX_BREACH_LOG};
 pub use trace::{TraceEvent, TraceJournal, TracePhase, TraceSpan, DEFAULT_TRACE_CAPACITY};
 
 /// Records the elapsed milliseconds since `started` into the histogram

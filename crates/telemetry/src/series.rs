@@ -33,6 +33,36 @@ use crate::registry::{Registry, Snapshot};
 /// spare.
 pub const DEFAULT_SERIES_CAPACITY: usize = 2048;
 
+/// Whether a series column reproduces exactly across runs at a fixed
+/// seed.
+///
+/// Everything the pipeline records is driven by seeded PRFs or virtual
+/// time — except wall-clock duration metrics (`*_ms` histograms and the
+/// `.count`/`.sum`/percentile columns derived from them, and `*_us`
+/// timers such as `scan.rate.wait_us`), which vary run to run. The one
+/// `_us` family that *is* deterministic is the serve frontend's
+/// `latency_us`, which is measured in simulated (virtual) time. The
+/// dashboard renderer and the flight recorder both filter through this
+/// predicate so their output is byte-identical across runs.
+pub fn is_deterministic_metric(name: &str) -> bool {
+    let base = name
+        .strip_suffix(".count")
+        .or_else(|| name.strip_suffix(".sum"))
+        .or_else(|| name.strip_suffix(".p50"))
+        .or_else(|| name.strip_suffix(".p90"))
+        .or_else(|| name.strip_suffix(".p99"))
+        .unwrap_or(name);
+    if base.ends_with("_ms") {
+        return false;
+    }
+    if base.ends_with("_us") {
+        // Virtual-time latency histograms (serve.latency_us and the
+        // per-artifact-kind serve.kind.<stem>.latency_us) are exact.
+        return base.ends_with("latency_us");
+    }
+    true
+}
+
 /// One recorded round: the key (round index or simulation day) plus every
 /// metric's delta value, sorted by metric name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -359,6 +389,31 @@ mod tests {
         assert_eq!(lines[0], "key,a,b");
         assert_eq!(lines[1], "0,1,");
         assert_eq!(lines[2], "1,0,2");
+    }
+
+    #[test]
+    fn deterministic_metric_predicate_splits_wall_clock_from_virtual() {
+        // Wall-clock durations are excluded, including derived columns.
+        for name in [
+            "service.round.phase.scan_ms",
+            "scan.worker.chunk_ms.count",
+            "alias.round_ms.p99",
+            "serve.publish.encode_ms.sum",
+            "scan.rate.wait_us",
+            "scan.rate.wait_us.p50",
+        ] {
+            assert!(!is_deterministic_metric(name), "{name} must be excluded");
+        }
+        // Seeded counts, gauges and virtual-time latency stay in.
+        for name in [
+            "scan.icmp.hits",
+            "service.degraded_rounds",
+            "service.loss_estimate_permille",
+            "serve.latency_us.p99",
+            "serve.kind.responsive.latency_us.count",
+        ] {
+            assert!(is_deterministic_metric(name), "{name} must be included");
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Run the serve-layer benchmarks and refresh BENCH_serve.json at the
+# repo root with the simulated-day throughput figure.
+#
+#   scripts/bench_serve.sh           # full criterion run, rewrite BENCH_serve.json
+#   scripts/bench_serve.sh --test    # quick mode: one pass per bench, no JSON refresh
+#
+# The JSON records the mean wall time of one simulated consumer day
+# (100k requests, Zipf artifact popularity, ETag and delta fetches,
+# admission control) and the derived requests/sec, joined with the
+# day's byte-savings and latency facts the bench writes to
+# target/serve_day.json, plus the codec micro-bench estimates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--test" ]; then
+  cargo bench -p sixdust-bench --bench serve -- --test
+  exit 0
+fi
+
+cargo bench -p sixdust-bench --bench serve
+
+out="BENCH_serve.json"
+
+python3 - "$out" <<'PY'
+import json
+import os
+import sys
+
+out = sys.argv[1]
+
+def estimates(group):
+    root = os.path.join("target", "criterion", group)
+    found = {}
+    for name in sorted(os.listdir(root)) if os.path.isdir(root) else []:
+        est = os.path.join(root, name, "new", "estimates.json")
+        if os.path.isfile(est):
+            with open(est) as f:
+                found[name] = json.load(f)["mean"]["point_estimate"]
+    return found
+
+side = {}
+if os.path.isfile("target/serve_day.json"):
+    with open("target/serve_day.json") as f:
+        side = json.load(f)
+
+day = None
+day_est = estimates("serve_day")
+if day_est:
+    mean_ns = day_est["simulate_day_100k_requests"]
+    requests = side.get("requests", 100_000)
+    day = {
+        "mean_day_secs": mean_ns / 1e9,
+        "requests_per_sec": requests / (mean_ns / 1e9),
+    }
+    day.update(side)
+
+codec = {name: {"mean_secs": ns / 1e9} for name, ns in estimates("serve_codec").items()}
+store = {name: {"mean_secs": ns / 1e9} for name, ns in estimates("serve_store").items()}
+
+doc = {
+    "bench": "crates/bench/benches/serve.rs",
+    "refreshed_by": "scripts/bench_serve.sh",
+    "day": day,
+    "codec": codec or None,
+    "store": store or None,
+    "note": None
+    if day
+    else "no criterion estimates found under target/criterion/serve_day; run the bench first",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: day={'yes' if day else 'no'}, {len(codec)} codec, {len(store)} store benches")
+PY

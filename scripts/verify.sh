@@ -19,6 +19,28 @@ if grep -rnE '^\s*pub (fn|struct|enum|type)?[^;{]*Vec<u128>' \
   exit 1
 fi
 
+echo "== grep gate: every metric-name literal is inventoried in METRICS.md"
+# METRICS.md is the contract for dashboards, SLOs and series consumers; a
+# counter/gauge/histogram registered under a name the inventory does not
+# list (in backticks) is a silent drift. Dynamically-formatted families
+# (format!(...)) are documented as patterns and checked by eye.
+missing=0
+# Only dot-separated names are checked: the naming scheme requires a
+# `<subsystem>.<object>` path, so dotless throwaway names in unit tests
+# stay out of the inventory.
+for name in $(grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"\)' \
+    crates/*/src src --include='*.rs' \
+  | sed -E 's/.*\("([^"]+)"\).*/\1/' | grep '\.' | sort -u); do
+  if ! grep -qF "\`$name\`" METRICS.md; then
+    echo "metric \`$name\` is registered in code but not inventoried in METRICS.md" >&2
+    missing=1
+  fi
+done
+if [ "$missing" != 0 ]; then
+  echo "grep gate FAILED: add the missing metric names to METRICS.md" >&2
+  exit 1
+fi
+
 echo "== cargo fmt --all --check"
 cargo fmt --all --check
 
@@ -40,6 +62,9 @@ if [ "${1:-}" != "--quick" ]; then
 
   echo "== cargo bench -p sixdust-bench --bench addrset -- --test (quick mode)"
   cargo bench -p sixdust-bench --bench addrset -- --test
+
+  echo "== cargo bench -p sixdust-bench --bench serve -- --test (quick mode)"
+  cargo bench -p sixdust-bench --bench serve -- --test
 
   echo "== cargo doc --workspace --no-deps (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
