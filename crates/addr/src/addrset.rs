@@ -65,7 +65,7 @@ impl ChunkData {
         // wins exactly when span ≤ 128·n — at least one member per 16
         // bytes of bit array, the break-even density.
         if values.len() >= 2 && span <= 128 * values.len() as u128 {
-            let word_count = ((span + 63) / 64) as usize;
+            let word_count = span.div_ceil(64) as usize;
             let mut words = vec![0u64; word_count];
             for &v in &values {
                 let offset = (v - base) as usize;
@@ -636,10 +636,10 @@ mod tests {
         let mut set = AddrSet::new();
         let mut model: BTreeSet<u128> = BTreeSet::new();
         for i in 0u128..2000 {
-            let v = (i % 5) << 96 | (i * i) % 701;
+            let v = ((i % 5) << 96) | ((i * i) % 701);
             assert_eq!(set.insert(v), model.insert(v), "insert {v}");
             if i % 3 == 0 {
-                let w = (i % 5) << 96 | (i * 7) % 701;
+                let w = ((i % 5) << 96) | ((i * 7) % 701);
                 assert_eq!(set.remove(w), model.remove(&w), "remove {w}");
             }
             assert_eq!(set.len(), model.len());

@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn eui64() {
-        let e = Eui64::from_oui_serial(0x0014_22, 7).apply_to(a("2001:db8::"));
+        let e = Eui64::from_oui_serial(0x001422, 7).apply_to(a("2001:db8::"));
         assert_eq!(classify_iid(e), IidClass::Eui64);
     }
 

@@ -133,24 +133,24 @@ pub struct OuiVendor {
 /// vendors the simulated population draws from.
 #[allow(clippy::unusual_byte_groupings)] // grouped as the MAC reads: XX:XX:XX
 pub const OUI_REGISTRY: &[OuiVendor] = &[
-    OuiVendor { oui: 0x0014_22, name: "ZTE" },
-    OuiVendor { oui: 0x0019_C6, name: "ZTE" },
-    OuiVendor { oui: 0x0026_86, name: "AVM" },
-    OuiVendor { oui: 0x0024_FE, name: "AVM" },
-    OuiVendor { oui: 0x0018_E7, name: "Huawei" },
-    OuiVendor { oui: 0x0025_9E, name: "Huawei" },
-    OuiVendor { oui: 0x0000_0C, name: "Cisco" },
-    OuiVendor { oui: 0x0005_85, name: "Juniper" },
-    OuiVendor { oui: 0x0050_56, name: "VMware" },
-    OuiVendor { oui: 0x0090_0B, name: "Lanner" },
-    OuiVendor { oui: 0x0007_32, name: "AAEON" },
-    OuiVendor { oui: 0x0030_88, name: "Ericsson" },
+    OuiVendor { oui: 0x001422, name: "ZTE" },
+    OuiVendor { oui: 0x0019C6, name: "ZTE" },
+    OuiVendor { oui: 0x002686, name: "AVM" },
+    OuiVendor { oui: 0x0024FE, name: "AVM" },
+    OuiVendor { oui: 0x0018E7, name: "Huawei" },
+    OuiVendor { oui: 0x00259E, name: "Huawei" },
+    OuiVendor { oui: 0x00000C, name: "Cisco" },
+    OuiVendor { oui: 0x000585, name: "Juniper" },
+    OuiVendor { oui: 0x005056, name: "VMware" },
+    OuiVendor { oui: 0x00900B, name: "Lanner" },
+    OuiVendor { oui: 0x000732, name: "AAEON" },
+    OuiVendor { oui: 0x003088, name: "Ericsson" },
 ];
 
 /// The OUI the simulation uses for the "most frequent EUI-64" finding
 /// (mapped to ZTE in the paper, Sec. 4.1).
 #[allow(clippy::unusual_byte_groupings)] // grouped as the MAC reads
-pub const ZTE_OUI: u32 = 0x0014_22;
+pub const ZTE_OUI: u32 = 0x001422;
 
 #[cfg(test)]
 mod tests {
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn address_detection_and_extraction() {
         let net: Addr = "2001:db8:1:2::".parse().unwrap();
-        let e = Eui64::from_oui_serial(ZTE_OUI, 0x0102_03);
+        let e = Eui64::from_oui_serial(ZTE_OUI, 0x010203);
         let a = e.apply_to(net);
         assert!(Eui64::addr_is_eui64(a));
         assert_eq!(Eui64::from_addr(a), Some(e));

@@ -325,7 +325,7 @@ mod tests {
 
     #[test]
     fn ordering_groups_parents_first() {
-        let mut v = vec![p("2001:db8::/48"), p("2001:db8::/32"), p("2001:db8:1::/48")];
+        let mut v = [p("2001:db8::/48"), p("2001:db8::/32"), p("2001:db8:1::/48")];
         v.sort();
         assert_eq!(v[0], p("2001:db8::/32"));
     }

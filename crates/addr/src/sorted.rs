@@ -24,6 +24,7 @@ pub fn normalize<T: Ord>(v: &mut Vec<T>) {
 }
 
 /// Whether sorted slice `s` contains `item` (binary search).
+#[allow(dead_code)] // kept with the other merge kernels for the next caller
 pub fn contains<T: Ord>(s: &[T], item: &T) -> bool {
     s.binary_search(item).is_ok()
 }
@@ -57,6 +58,7 @@ pub fn union_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
 /// Merges `b` into the accumulator `acc` in place, using `scratch` as the
 /// reusable merge buffer (its capacity is retained across calls — the
 /// allocation-free steady state of a per-round accumulation loop).
+#[allow(dead_code)] // kept with the other merge kernels for the next caller
 pub fn union_in_place<T: Ord + Copy>(acc: &mut Vec<T>, b: &[T], scratch: &mut Vec<T>) {
     if b.is_empty() {
         return;

@@ -73,13 +73,13 @@ impl OverlapMatrix {
         let mut pct = Vec::with_capacity(sets.len());
         for (i, (_, row_set)) in sets.iter().enumerate() {
             let mut row = Vec::with_capacity(sets.len());
-            for j in 0..sets.len() {
+            for (j, hj) in hashed.iter().enumerate() {
                 if row_set.is_empty() {
                     row.push(0.0);
                 } else if i == j {
                     row.push(100.0);
                 } else {
-                    let inter = row_set.iter().filter(|a| hashed[j].contains(a)).count();
+                    let inter = row_set.iter().filter(|a| hj.contains(a)).count();
                     row.push(inter as f64 * 100.0 / row_set.len() as f64);
                 }
             }
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn histogram_shares() {
-        let h = PlenHistogram::from_lens([64, 64, 64, 48, 28].into_iter());
+        let h = PlenHistogram::from_lens([64, 64, 64, 48, 28]);
         assert_eq!(h.total(), 5);
         assert_eq!(h.at(64), 3);
         assert!((h.share(64) - 0.6).abs() < 1e-9);

@@ -57,8 +57,8 @@ impl Series {
             sum += v;
             n += 1;
         }
-        if n > 0 {
-            out.push((bucket_start, sum / n));
+        if let Some(mean) = sum.checked_div(n) {
+            out.push((bucket_start, mean));
         }
         Series { points: out }
     }

@@ -76,9 +76,9 @@ fn bench_scale_curve(c: &mut Criterion) {
     for (i, mult) in MULTS.into_iter().enumerate() {
         let net = net_for(mult);
         let (rounds, bytes) = run_window(&net);
-        let _ = write!(
+        let _ = writeln!(
             resident,
-            "  \"x{mult}\": {{\"window_rounds\": {rounds}, \"resident_set_bytes\": {bytes}}}{}\n",
+            "  \"x{mult}\": {{\"window_rounds\": {rounds}, \"resident_set_bytes\": {bytes}}}{}",
             if i + 1 < MULTS.len() { "," } else { "" }
         );
         g.bench_function(format!("window10_x{mult}"), |b| b.iter(|| black_box(run_window(&net).0)));

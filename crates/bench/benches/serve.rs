@@ -10,7 +10,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use sixdust_addr::AddrSet;
 use sixdust_serve::codec::{apply_delta, decode_full, encode_delta, encode_full};
 use sixdust_serve::{
-    run_day, ArtifactKind, FleetConfig, FrontendConfig, SnapshotStore, StoreConfig,
+    run_chaos_day, run_day, ArtifactKind, ChaosDayConfig, FleetConfig, FrontendConfig, MirrorTier,
+    MirrorTierConfig, ServeFaultConfig, SnapshotStore, StoreConfig, TimedPublish,
 };
 
 /// A hitlist-shaped item set: mostly structured strides with a sprinkle
@@ -103,6 +104,31 @@ fn bench_store(c: &mut Criterion) {
     g.finish();
 }
 
+/// Workspace-root `target/` path for a side-fact file: `cargo bench`
+/// runs with the *package* directory as cwd, so a relative `target/`
+/// would land in `crates/bench/target/` where the distillation script
+/// never looks. Built without cargo (no `CARGO_MANIFEST_DIR`), fall
+/// back to `target/` under the invoker's cwd.
+fn side_fact_path(name: &str) -> std::path::PathBuf {
+    option_env!("CARGO_MANIFEST_DIR")
+        .map_or_else(
+            || std::path::PathBuf::from("target"),
+            |m| std::path::Path::new(m).join("../../target"),
+        )
+        .join(name)
+}
+
+fn write_side_facts(name: &str, body: String) {
+    let path = side_fact_path(name);
+    if let Err(e) = path
+        .parent()
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&path, body))
+    {
+        eprintln!("[bench] could not write {}: {e}", path.display());
+    }
+}
+
 /// A store that looks like a live service: every artifact kind present,
 /// three published rounds so delta fetches have a base to diff against.
 fn day_store() -> Arc<SnapshotStore> {
@@ -152,12 +178,84 @@ fn bench_day(c: &mut Criterion) {
         report.totals.shed_client + report.totals.shed_global,
         report.latency_p99_us,
     );
-    if let Err(e) = std::fs::create_dir_all("target")
-        .and_then(|()| std::fs::write("target/serve_day.json", side))
-    {
-        eprintln!("[bench] could not write target/serve_day.json: {e}");
-    }
+    write_side_facts("serve_day.json", side);
 }
 
-criterion_group!(benches, bench_codec, bench_store, bench_day);
+/// The chaos day over a mirror tier: same store shape and fleet as
+/// `bench_day`, driven through the resilient client path (affinity,
+/// failover, seeded-backoff retries, hedging, circuit breakers) under
+/// the representative `ServeFaultConfig::chaos` bad day. The 1-vs-4
+/// pair prices the tier itself: mirrors_1 is the resilience machinery
+/// with nowhere to fail over, mirrors_4 the full fan-out.
+fn bench_mirror_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_mirror_day");
+    g.sample_size(10);
+    let fleet = FleetConfig::default();
+    // Two publishes land mid-day so the sync path (deltas, checksum
+    // rejections, stale-while-revalidate) is priced in, not just the
+    // client walk.
+    let plan: Vec<TimedPublish> = (0..2u64)
+        .map(|i| TimedPublish {
+            at_us: 86_400_000_000 / 3 * (i + 1),
+            round: 4 + i,
+            date: "day".to_string(),
+            artifacts: ArtifactKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let base = (0x2001u128 << 112) + kind.index() as u128 * 1_000_000;
+                    let n = 50_000 + (4 + i) as u128 * 1_000;
+                    (kind, (0..n).map(|j| base + j * 7).collect::<AddrSet>())
+                })
+                .collect(),
+        })
+        .collect();
+    g.throughput(Throughput::Elements(fleet.requests));
+    for mirrors in [1usize, 4] {
+        g.bench_function(format!("chaos_day_100k_requests_mirrors_{mirrors}"), |b| {
+            b.iter(|| {
+                let mut tier = MirrorTier::new(
+                    MirrorTierConfig::builder().with_mirrors(mirrors),
+                    day_store(),
+                    ServeFaultConfig::chaos(fleet.seed, mirrors),
+                );
+                let config = ChaosDayConfig::builder().with_fleet(black_box(fleet.clone()));
+                run_chaos_day(&config, &mut tier, &plan, None).resilience.hard_failures
+            })
+        });
+    }
+    g.finish();
+
+    // Side facts for the distillation: the 4-mirror chaos day's
+    // resilience ledger (hard_failures must be zero).
+    let mut tier = MirrorTier::new(
+        MirrorTierConfig::builder().with_mirrors(4),
+        day_store(),
+        ServeFaultConfig::chaos(fleet.seed, 4),
+    );
+    let config = ChaosDayConfig::builder().with_fleet(fleet);
+    let report = run_chaos_day(&config, &mut tier, &plan, None);
+    let r = &report.resilience;
+    let side = format!(
+        "{{\"mirrors\": {}, \"requests\": {}, \"attempts\": {}, \"retries\": {}, \
+         \"failovers\": {}, \"hedged\": {}, \"hedge_wins\": {}, \"breaker_opened\": {}, \
+         \"stale_served\": {}, \"syncs\": {}, \"sync_rejected\": {}, \"hard_failures\": {}, \
+         \"latency_p99_us\": {}}}\n",
+        r.mirrors,
+        r.logical_requests,
+        r.attempts,
+        r.retries,
+        r.failovers,
+        r.hedged,
+        r.hedge_wins,
+        r.breaker_opened,
+        r.stale_served,
+        r.syncs,
+        r.sync_rejected,
+        r.hard_failures,
+        report.latency_p99_us,
+    );
+    write_side_facts("serve_mirror_day.json", side);
+}
+
+criterion_group!(benches, bench_codec, bench_store, bench_day, bench_mirror_day);
 criterion_main!(benches);

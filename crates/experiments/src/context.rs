@@ -11,7 +11,7 @@ use sixdust_alias::{candidates as alias_candidates, AliasDetector, DetectorConfi
 use sixdust_hitlist::{newsources, HitlistService, ServiceConfig, ServiceState, SourceEval};
 use sixdust_net::{events, Day, FaultConfig, Internet, Scale};
 use sixdust_scan::ScanConfig;
-use sixdust_serve::{SnapshotStore, StoreConfig};
+use sixdust_serve::{SnapshotStore, StoreConfig, TimedPublish};
 use sixdust_telemetry::{
     FlightRecorder, Registry, SloEngine, TraceJournal, DEFAULT_SERIES_CAPACITY,
 };
@@ -38,8 +38,16 @@ pub struct Ctx {
     /// Serve-layer snapshot store, populated with every round of the
     /// service run when `--serve-report <path>` is given.
     pub serve: Option<Arc<SnapshotStore>>,
+    /// The last [`PUBLISH_HISTORY`] service publishes, captured with full
+    /// artifact payloads when `--mirrors` is given — the raw material for
+    /// the chaos day's timed publish plan (oldest first).
+    pub publish_history: Vec<TimedPublish>,
     new_sources: Option<Vec<SourceEval>>,
 }
+
+/// Service publishes retained for the chaos day's publish plan: one
+/// pre-day baseline plus three mid-day publishes.
+pub const PUBLISH_HISTORY: usize = 4;
 
 /// Observability options for [`Ctx::build_resumable`], derived from the
 /// `--series` / `--trace` command-line flags.
@@ -58,6 +66,10 @@ pub struct ObsOptions {
     /// and `serve`, and additionally attaches the standard
     /// [`SloEngine`] and a [`FlightRecorder`] to the service.
     pub dashboard: bool,
+    /// Replay the serve day through a mirror tier (`--mirrors`): implies
+    /// `serve` and additionally captures the tail of the publish history
+    /// with full artifact payloads during the run.
+    pub mirror: bool,
 }
 
 /// Rounds between crash-safe checkpoint saves during the service run.
@@ -75,6 +87,7 @@ fn run_checkpointed(
     until: Day,
     checkpoint: Option<&Path>,
     serve: Option<&SnapshotStore>,
+    mut history: Option<&mut Vec<TimedPublish>>,
 ) {
     let mut day = match resume_from {
         Some(last) if last >= until => return,
@@ -93,6 +106,14 @@ fn run_checkpointed(
         svc.run_round(net, day);
         if let Some(store) = serve {
             store.publish_service(svc, u64::from(day.0), &day.to_date());
+        }
+        if let Some(h) = history.as_deref_mut() {
+            // Rolling tail of the publish history (artifacts included) —
+            // `at_us` is a placeholder the chaos replay reschedules.
+            h.push(TimedPublish::from_service(svc, 0, u64::from(day.0), &day.to_date()));
+            if h.len() > PUBLISH_HISTORY {
+                h.remove(0);
+            }
         }
         rounds_since_save += 1;
         if let Some(path) = checkpoint {
@@ -165,21 +186,38 @@ impl Ctx {
         if opts.dashboard {
             svc = svc.with_slo(SloEngine::standard()).with_flight(FlightRecorder::new());
         }
-        let serve = (opts.serve || opts.dashboard).then(|| {
+        let serve = (opts.serve || opts.dashboard || opts.mirror).then(|| {
             Arc::new(SnapshotStore::new(StoreConfig::default()).with_telemetry(telemetry.clone()))
         });
+        let mut publish_history: Vec<TimedPublish> = Vec::new();
         eprintln!(
             "[ctx] running four-year service (addr 1/{}, entity 1/{}, seed {:#x})…",
             scale.addr_div, scale.entity_div, scale.seed
         );
         let t0 = std::time::Instant::now();
-        run_checkpointed(&mut svc, &net, resume_from, Day::PAPER_END, checkpoint, serve.as_deref());
+        run_checkpointed(
+            &mut svc,
+            &net,
+            resume_from,
+            Day::PAPER_END,
+            checkpoint,
+            serve.as_deref(),
+            opts.mirror.then_some(&mut publish_history),
+        );
         if let Some(store) = &serve {
             // A fully resumed run executes zero new rounds; publish the
             // restored final state once so the store is never empty.
             if store.current_round().is_none() {
                 let day = svc.rounds().last().map(|r| r.day).unwrap_or(Day(0));
                 store.publish_service(&svc, u64::from(day.0), &day.to_date());
+                if opts.mirror {
+                    publish_history.push(TimedPublish::from_service(
+                        &svc,
+                        0,
+                        u64::from(day.0),
+                        &day.to_date(),
+                    ));
+                }
             }
         }
         eprintln!(
@@ -189,7 +227,36 @@ impl Ctx {
             svc.rounds().last().map(|r| r.total_cleaned).unwrap_or(0),
             t0.elapsed().as_secs_f64()
         );
-        Ctx { net, svc, scale, telemetry, trace, serve, new_sources: None }
+        Ctx { net, svc, scale, telemetry, trace, serve, publish_history, new_sources: None }
+    }
+
+    /// Builds the chaos replay inputs from the captured publish history:
+    /// a fresh origin store seeded with the *oldest* captured publish as
+    /// the pre-day baseline, plus the remaining publishes rescheduled
+    /// evenly across the serve day (1/(n+1), 2/(n+1), … of `day_micros`).
+    /// With an empty history (no rounds ran) the origin starts empty and
+    /// the plan is empty — the replay still completes, serving nothing.
+    pub fn chaos_origin_and_plan(
+        &self,
+        day_micros: u64,
+    ) -> (Arc<SnapshotStore>, Vec<TimedPublish>) {
+        let origin = Arc::new(SnapshotStore::new(StoreConfig::default()));
+        let mut history = self.publish_history.clone();
+        if history.is_empty() {
+            return (origin, Vec::new());
+        }
+        let baseline = history.remove(0);
+        origin.publish_round(baseline.round, &baseline.date, baseline.artifacts);
+        let n = history.len() as u64;
+        let plan = history
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut p)| {
+                p.at_us = day_micros / (n + 1) * (i as u64 + 1);
+                p
+            })
+            .collect();
+        (origin, plan)
     }
 
     /// The snapshot at (or just after) a requested day.

@@ -37,7 +37,7 @@ pub fn fig5(ctx: &Ctx) -> ExpOutput {
         let with_as = aliased_with_as(ctx, &snap.aliased);
         let filtered: Vec<u8> =
             with_as.iter().filter(|(_, id)| Some(*id) != tf).map(|(p, _)| p.len()).collect();
-        let h = PlenHistogram::from_lens(filtered.into_iter());
+        let h = PlenHistogram::from_lens(filtered);
         text.push_str(&format!(
             "{}: {:>6} prefixes, /64 share {}  bins {:?}\n",
             snap.day.to_date(),

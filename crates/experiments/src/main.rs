@@ -83,7 +83,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
          [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
-         [--serve-report PATH] [--dashboard PATH] <experiment>|all\n\
+         [--serve-report PATH] [--dashboard PATH] [--mirrors N] [--serve-faults] \
+         <experiment>|all\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -120,6 +121,8 @@ fn main() {
     let mut checkpoint_path: Option<PathBuf> = None;
     let mut serve_report_path: Option<PathBuf> = None;
     let mut dashboard_path: Option<PathBuf> = None;
+    let mut mirrors: Option<usize> = None;
+    let mut serve_faults = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -176,6 +179,14 @@ fn main() {
                 let Some(p) = args.next() else { usage() };
                 dashboard_path = Some(PathBuf::from(p));
             }
+            "--mirrors" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    usage();
+                };
+                mirrors = Some(n);
+            }
+            "--serve-faults" => serve_faults = true,
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
@@ -201,6 +212,7 @@ fn main() {
             trace: trace_path.is_some(),
             serve: serve_report_path.is_some(),
             dashboard: dashboard_path.is_some(),
+            mirror: mirrors.is_some(),
         },
         checkpoint_path.as_deref(),
     );
@@ -212,9 +224,64 @@ fn main() {
         write_observability(path, &recorder.to_jsonl());
         eprintln!("[obs] wrote {} rounds of series data to {}", recorder.len(), path.display());
     }
+    // Chaos replay (`--mirrors N`): rebuild the origin from the captured
+    // publish history and drive the same simulated day through an
+    // N-mirror tier via the resilient client path — affinity, failover,
+    // retries with seeded backoff, hedging, circuit breakers — under the
+    // seeded fault plan when `--serve-faults` is given. Replaces the
+    // flat single-frontend serve-day replay; metrics land in the chaos
+    // observer's own registry so the shared one stays undisturbed.
+    if let Some(n) = mirrors {
+        let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
+        let faults = if serve_faults {
+            sixdust_serve::ServeFaultConfig::chaos(scale.seed, n)
+        } else {
+            sixdust_serve::ServeFaultConfig::lossless()
+        };
+        let (origin, plan) = ctx.chaos_origin_and_plan(fleet.day_micros);
+        let mut observer = sixdust_serve::ChaosObserver::new(sixdust_telemetry::Registry::new());
+        let mut tier = sixdust_serve::MirrorTier::new(
+            sixdust_serve::MirrorTierConfig::builder().with_mirrors(n),
+            origin,
+            faults,
+        )
+        .with_telemetry(observer.registry())
+        .with_flight(observer.flight().clone());
+        let config = sixdust_serve::ChaosDayConfig::builder().with_fleet(fleet);
+        let report = sixdust_serve::run_chaos_day(&config, &mut tier, &plan, Some(&mut observer));
+        let r = &report.resilience;
+        eprintln!(
+            "[obs] chaos day over {} mirrors ({}): {} requests / {} attempts, \
+             {} retries, {} failovers, {} hedged ({} wins), {} breaker opens, \
+             {} stale served, {} syncs ({} rejected), {} hard failures",
+            r.mirrors,
+            if serve_faults { "chaos faults" } else { "lossless" },
+            r.logical_requests,
+            r.attempts,
+            r.retries,
+            r.failovers,
+            r.hedged,
+            r.hedge_wins,
+            r.breaker_opened,
+            r.stale_served,
+            r.syncs,
+            r.sync_rejected,
+            r.hard_failures,
+        );
+        eprintln!(
+            "[obs] chaos day observability: {} SLO breach rounds, {} flight captures",
+            observer.slo().breaches().len(),
+            observer.flight().captures_len(),
+        );
+        if let Some(path) = &serve_report_path {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            write_observability(path, &json);
+            eprintln!("[obs] wrote chaos serve report to {}", path.display());
+        }
+    }
     // The store now holds every round of the run; replay one high-QPS
     // day of simulated consumer load against it and write the report.
-    if serve_report_path.is_some() || dashboard_path.is_some() {
+    if mirrors.is_none() && (serve_report_path.is_some() || dashboard_path.is_some()) {
         let store = ctx.serve.clone().expect("serve store attached");
         let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
         let report = sixdust_serve::run_day_observed(
@@ -246,16 +313,21 @@ fn main() {
     // as one extra round (keyed past the last service day), then render
     // the self-contained ops dashboard. Rendered before the experiments
     // run so their registry churn cannot perturb the page: at a fixed
-    // seed the HTML is byte-identical across runs.
+    // seed the HTML is byte-identical across runs. A `--mirrors` chaos
+    // replay keeps its metrics in an isolated registry, so there is no
+    // flat serve day to fold in and the subtitle says so.
     if let Some(path) = &dashboard_path {
-        let serve_key = ctx.svc.rounds().last().map(|r| r.day.0 + 1).unwrap_or(0);
-        ctx.svc.record_series_round(serve_key);
+        if mirrors.is_none() {
+            let serve_key = ctx.svc.rounds().last().map(|r| r.day.0 + 1).unwrap_or(0);
+            ctx.svc.record_series_round(serve_key);
+        }
         let subtitle = format!(
-            "scale addr 1/{} entity 1/{} seed {:#x} — {} service rounds + 1 serve day",
+            "scale addr 1/{} entity 1/{} seed {:#x} — {} service rounds{}",
             scale.addr_div,
             scale.entity_div,
             scale.seed,
-            ctx.svc.rounds().len()
+            ctx.svc.rounds().len(),
+            if mirrors.is_none() { " + 1 serve day" } else { "" },
         );
         let dash = sixdust_telemetry::Dashboard {
             title: "sixdust ops",

@@ -439,6 +439,15 @@ impl HitlistService {
         self.flight.as_ref()
     }
 
+    /// Rounds since the last *clean* publish (neither degraded nor
+    /// anomaly-flagged) — the live value behind the
+    /// `service.publish.staleness_rounds` gauge. The serve-layer chaos
+    /// replay seeds its own staleness clock from this so a blackout that
+    /// begins mid-day burns freshness from the right baseline.
+    pub fn publish_staleness_rounds(&self) -> u32 {
+        self.staleness_rounds
+    }
+
     /// Records one series round keyed by `key` and routes it through the
     /// attached judgment layers: the round's metric deltas enter the
     /// flight recorder's round ring, the SLO engine judges them (noting
@@ -1025,9 +1034,9 @@ impl HitlistService {
         // Onsets (first round of an episode) trigger black-box captures;
         // later rounds of the same episode only extend the event ring.
         let prev = self.rounds.last();
-        let degraded_onset = record.degraded && prev.map_or(true, |r| !r.degraded);
+        let degraded_onset = record.degraded && prev.is_none_or(|r| !r.degraded);
         let anomaly_onset = record.anomalous.iter().any(|&a| a)
-            && prev.map_or(true, |r| !r.anomalous.iter().any(|&a| a));
+            && prev.is_none_or(|r| !r.anomalous.iter().any(|&a| a));
         self.rounds.push(record);
 
         // 9. Longitudinal series: record after every counter for the round
@@ -1106,7 +1115,7 @@ fn traceroute_sample(input: &HashSet<Addr>, cap: usize, week: u64) -> Vec<Addr> 
         .iter()
         .filter_map(|a| {
             let draw = prf::prf_u128(0x7ace, a.0, week);
-            (draw % stride == 0).then_some((draw, *a))
+            draw.is_multiple_of(stride).then_some((draw, *a))
         })
         .collect();
     ranked.sort_unstable();

@@ -147,11 +147,7 @@ pub struct RouterPool {
 
 impl RouterPool {
     fn epoch(&self, day: Day) -> u64 {
-        if self.rotation_days == 0 {
-            0
-        } else {
-            u64::from(day.0 / self.rotation_days)
-        }
+        day.0.checked_div(self.rotation_days).map_or(0, u64::from)
     }
 
     /// The interface address of `slot` at `day`.
@@ -225,7 +221,7 @@ mod tests {
             region: "2001:db8:100::/40".parse().unwrap(),
             devices: 50,
             shared_mac: 3,
-            oui: 0x0014_22,
+            oui: 0x001422,
             rotation_days: 14,
             respond_pct: 60,
             seed: 9,
@@ -286,7 +282,7 @@ mod tests {
         // Inside region but not EUI-64:
         assert!(f.lookup("2001:db8:100::1234".parse().unwrap(), Day(0)).is_none());
         // EUI-64 but wrong OUI:
-        let wrong = Eui64::from_oui_serial(0x0026_86, SERIAL_BASE)
+        let wrong = Eui64::from_oui_serial(0x002686, SERIAL_BASE)
             .apply_to("2001:db8:100:42::".parse().unwrap());
         assert!(f.lookup(wrong, Day(0)).is_none());
     }

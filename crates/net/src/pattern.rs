@@ -162,7 +162,7 @@ impl AddrPattern {
                     return None;
                 }
                 let off = iid - base_iid;
-                if off % stride == 0 && off / stride < *count {
+                if off.is_multiple_of(*stride) && off / stride < *count {
                     Some(off / stride)
                 } else {
                     None
@@ -308,13 +308,13 @@ mod tests {
 
     #[test]
     fn eui64_block() {
-        let pat = AddrPattern::Eui64Block { oui: 0x0014_22, serial_base: 100, count: 50 };
+        let pat = AddrPattern::Eui64Block { oui: 0x001422, serial_base: 100, count: 50 };
         let net = p("2001:db8:5::/64");
         let a = pat.member_addr(net, 3);
         assert!(Eui64::addr_is_eui64(a));
         assert_eq!(pat.member_index(net, a), Some(3));
         // Wrong OUI rejected.
-        let other = Eui64::from_oui_serial(0x0026_86, 103).apply_to(net.network());
+        let other = Eui64::from_oui_serial(0x002686, 103).apply_to(net.network());
         assert_eq!(pat.member_index(net, other), None);
     }
 
@@ -359,7 +359,7 @@ mod tests {
         for pat in [
             AddrPattern::LowByte { count: 40 },
             AddrPattern::Incremental { base_iid: 9, stride: 16, count: 40 },
-            AddrPattern::Eui64Block { oui: 0x0014_22, serial_base: 0, count: 40 },
+            AddrPattern::Eui64Block { oui: 0x001422, serial_base: 0, count: 40 },
             AddrPattern::RandomIid { key: 5, count: 40 },
         ] {
             for (i, a) in pat.enumerate(net, 40).into_iter().enumerate() {

@@ -225,7 +225,7 @@ impl SlotAlloc {
 
     /// Takes a /36-aligned run of 16 slots and returns the covering /36.
     fn take_aligned_36(&mut self) -> Prefix {
-        while self.next % 16 != 0 {
+        while !self.next.is_multiple_of(16) {
             self.next += 1;
         }
         let p = self.take();
@@ -324,7 +324,7 @@ impl Population {
                             let net = Addr(
                                 slot.network().0 | (u128::from(j) << (128 - u32::from(spec.plen))),
                             );
-                            let gkey = u128::from(net.0 >> 64);
+                            let gkey = net.0 >> 64;
                             let since = if spec.since > Day::LAUNCH {
                                 spec.since
                             } else if prf::chance(as_seed, gkey, 0xA5E, 28, 100) {
@@ -468,7 +468,7 @@ impl Population {
                     region,
                     devices: devices + shared,
                     shared_mac: shared,
-                    oui: if p.shared_mac_addrs > 0 { 0x0014_22 } else { cpe_oui(info.asn) },
+                    oui: if p.shared_mac_addrs > 0 { 0x001422 } else { cpe_oui(info.asn) },
                     rotation_days: 14,
                     respond_pct: 28,
                     seed: as_seed,
@@ -484,7 +484,7 @@ impl Population {
                     AsCategory::Isp => 30,
                     _ => 0,
                 };
-                let epochs = if rotation == 0 { 1 } else { u64::from(Day::PAPER_END.0 / rotation) };
+                let epochs = Day::PAPER_END.0.checked_div(rotation).map_or(1, u64::from);
                 // Accumulated distinct addresses ≈ slots × epochs; when the
                 // scaled pool is too small to sustain rotation, model it as
                 // a static set of exactly `hops` interfaces so the AS's
@@ -781,7 +781,7 @@ impl Population {
 }
 
 fn cpe_oui(asn: u32) -> u32 {
-    const OUIS: [u32; 4] = [0x0026_86, 0x0024_FE, 0x0018_E7, 0x0019_C6];
+    const OUIS: [u32; 4] = [0x002686, 0x0024FE, 0x0018E7, 0x0019C6];
     OUIS[(asn % 4) as usize]
 }
 

@@ -334,7 +334,7 @@ impl AsRegistry {
                 },
                 flaky_servers: servers / 5,
                 dense_hidden: if china { servers / 2 } else { servers * 7 },
-                dense_visible_pct: if tag % 5 == 0 { 42 } else { 8 },
+                dense_visible_pct: if tag.is_multiple_of(5) { 42 } else { 8 },
                 router_hops: if china {
                     // Tail of the GFW-impacted input outside the Top 10
                     // (Table 5: top 10 hold 93.9 %).
@@ -348,7 +348,7 @@ impl AsRegistry {
                     // (the Fig. 6 cohort of >90 %-aliased operators); the
                     // last /36 keeps room for its other regions.
                     vec![AliasSpec::new(36, 15)]
-                } else if !china && tag % 17 == 0 {
+                } else if !china && tag.is_multiple_of(17) {
                     // Sparse tail of small aliased deployments.
                     vec![AliasSpec::new(64, 40)]
                 } else {

@@ -278,6 +278,21 @@ pub fn decode_full(bytes: &[u8]) -> Result<AddrSet, CodecError> {
     Ok(AddrSet::from_sorted(items))
 }
 
+/// Decodes a full snapshot *and* pins it to an expected content digest
+/// — the checksum-first validation an edge mirror runs on a sync
+/// transfer before adopting it. The stream checksum catches in-flight
+/// corruption; the digest cross-check additionally catches a
+/// well-formed-but-wrong body (e.g. the origin swapped generations
+/// mid-transfer).
+pub fn verify_full(bytes: &[u8], expected_digest: u64) -> Result<AddrSet, CodecError> {
+    let items = decode_full(bytes)?;
+    let actual = content_digest(&items);
+    if actual != expected_digest {
+        return Err(CodecError::ResultMismatch { expected: expected_digest, actual });
+    }
+    Ok(items)
+}
+
 /// Encodes the delta from set `prev` to set `next`: the removed and
 /// added items, framed by the digests of both endpoints. One merge walk
 /// over both sets' streaming iterators.
@@ -415,6 +430,21 @@ mod tests {
             let bytes = encode_full(&items);
             assert_eq!(decode_full(&bytes).expect("round trip"), items);
         }
+    }
+
+    #[test]
+    fn verify_full_pins_the_digest() {
+        let items = set(&[1, 5, 9, 1000]);
+        let bytes = encode_full(&items);
+        let digest = content_digest(&items);
+        assert_eq!(verify_full(&bytes, digest).expect("clean transfer"), items);
+        // Wrong expectation: a well-formed body for a different artifact.
+        assert!(matches!(verify_full(&bytes, digest ^ 1), Err(CodecError::ResultMismatch { .. })));
+        // In-flight corruption: the checksum layer fires first.
+        let mut torn = bytes.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x40;
+        assert!(verify_full(&torn, digest).is_err());
     }
 
     #[test]

@@ -11,7 +11,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sixdust_addr::prf::prf_u128;
+use sixdust_telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, Registry, SeriesRecorder, SloEngine,
+};
 
+use crate::mirror::{MirrorTier, TimedPublish};
 use crate::server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
 use crate::store::{ArtifactKind, SnapshotStore};
 
@@ -20,6 +24,8 @@ const TAG_CLIENT: u64 = 2;
 const TAG_KIND: u64 = 3;
 const TAG_FRESH: u64 = 4;
 const TAG_COND: u64 = 5;
+const TAG_AFFINITY: u64 = 6;
+const TAG_JITTER: u64 = 7;
 
 /// Fleet configuration.
 #[derive(Debug, Clone)]
@@ -112,6 +118,62 @@ pub struct DayReport {
     /// replaced minus delta bytes sent).
     #[serde(default)]
     pub bytes_saved_by_delta: u64,
+    /// Delta requests that fell back to a full body because the client's
+    /// base round was not the store's diff base — degradation made
+    /// visible in the replayed-day artifact, not only in telemetry.
+    #[serde(default)]
+    pub delta_fallbacks: u64,
+    /// Requests shed by policy (per-client buckets + the global
+    /// concurrency cap).
+    #[serde(default)]
+    pub shed: u64,
+    /// Resilience accounting of a mirror-tier chaos day (all zero for a
+    /// single-frontend day and for reports predating these fields).
+    #[serde(default)]
+    pub resilience: ResilienceTotals,
+}
+
+/// The resilience ledger of one chaos day: what the retry / hedging /
+/// circuit-breaker client path and the mirror sync machinery did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResilienceTotals {
+    /// Mirrors in the tier.
+    pub mirrors: u64,
+    /// Logical consumer requests issued (each may take several
+    /// attempts).
+    pub logical_requests: u64,
+    /// Attempts sent to mirrors (primaries + retries + hedges +
+    /// half-open probes).
+    pub attempts: u64,
+    /// Attempts beyond the first for a logical request.
+    pub retries: u64,
+    /// Attempts routed away from the client's affinity mirror.
+    pub failovers: u64,
+    /// Hedged second requests issued after the latency threshold.
+    pub hedged: u64,
+    /// Hedges that beat the primary response.
+    pub hedge_wins: u64,
+    /// Circuit-breaker transitions into open.
+    pub breaker_opened: u64,
+    /// Circuit-breaker re-closes out of half-open.
+    pub breaker_closed: u64,
+    /// Attempts skipped because a mirror's breaker was open.
+    pub breaker_skipped: u64,
+    /// Attempts that hit a mirror inside an outage window (no answer).
+    pub down_attempts: u64,
+    /// Requests answered from a generation behind the publish plan
+    /// (stale-while-revalidate; also in `serve.mirror.stale_served`).
+    pub stale_served: u64,
+    /// Stale-triggered revalidation syncs.
+    pub revalidations: u64,
+    /// Completed mirror generation syncs.
+    pub syncs: u64,
+    /// Syncs rejected wholesale by checksum-first validation.
+    pub sync_rejected: u64,
+    /// Logical requests that exhausted every attempt without an answer
+    /// or a policy shed — the hard failures a resilient tier must keep
+    /// at zero.
+    pub hard_failures: u64,
 }
 
 /// Zipf cumulative weights over the popularity-ranked artifact kinds,
@@ -220,6 +282,9 @@ pub fn simulate_day(
         clients: config.clients,
         round: current_round,
         bytes_saved_by_delta: frontend.totals().bytes_saved_by_delta,
+        delta_fallbacks: frontend.totals().delta_fallbacks,
+        shed: frontend.totals().shed_client + frontend.totals().shed_global,
+        resilience: ResilienceTotals::default(),
         totals: frontend.totals().clone(),
         bodies_by_kind: ArtifactKind::ALL
             .iter()
@@ -261,6 +326,642 @@ pub fn run_day_observed(
         fe = fe.with_flight(recorder.clone());
     }
     simulate_day(fleet, &mut fe, store)
+}
+
+/// Deterministic retry policy of the resilient client path: exponential
+/// backoff with seeded jitter, and a hedging threshold after which a
+/// second request races the slow primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempt budget per logical request (primary + retries; hedges and
+    /// breaker-skipped mirrors do not consume it).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base << (n-1)`, capped.
+    pub backoff_base_us: u64,
+    /// Upper bound on a single backoff.
+    pub backoff_cap_us: u64,
+    /// Jitter span in permille of the backoff: the drawn backoff is
+    /// uniform in `[b - b*j/1000, b + b*j/1000]`, seeded per
+    /// (request, retry) so the day replays byte-identically.
+    pub jitter_permille: u32,
+    /// Serve latency above which a hedged second request is sent to the
+    /// next healthy mirror; the client takes whichever answer is
+    /// effectively earlier.
+    pub hedge_after_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff_base_us: 50_000,
+            backoff_cap_us: 2_000_000,
+            jitter_permille: 250,
+            hedge_after_us: 15_000,
+        }
+    }
+}
+
+/// Per-mirror circuit-breaker policy (closed → open → half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive health failures (mirror down / nothing published)
+    /// that trip the breaker open. Load sheds are *not* health failures.
+    pub failure_threshold: u32,
+    /// How long an open breaker skips its mirror before letting
+    /// half-open probe requests through, virtual microseconds.
+    pub open_cooldown_us: u64,
+    /// Successful half-open probes required to re-close.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, open_cooldown_us: 600_000_000, half_open_probes: 2 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until_us: u64 },
+    HalfOpen { successes: u32 },
+}
+
+/// One mirror's client-side circuit breaker, driven on virtual time.
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+enum BreakerGate {
+    /// Closed: attempt freely.
+    Allowed,
+    /// Half-open: this attempt is a probe.
+    Probe,
+    /// Open: skip this mirror.
+    Skipped,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0 }
+    }
+
+    /// Whether the breaker is currently engaged (open or half-open) —
+    /// the level the `serve.breaker.open` gauge reports.
+    fn engaged(&self) -> bool {
+        !matches!(self.state, BreakerState::Closed)
+    }
+
+    fn gate(&mut self, at_us: u64) -> BreakerGate {
+        match self.state {
+            BreakerState::Closed => BreakerGate::Allowed,
+            BreakerState::Open { until_us } if at_us >= until_us => {
+                self.state = BreakerState::HalfOpen { successes: 0 };
+                BreakerGate::Probe
+            }
+            BreakerState::Open { .. } => BreakerGate::Skipped,
+            BreakerState::HalfOpen { .. } => BreakerGate::Probe,
+        }
+    }
+
+    /// Returns whether this success re-closed a half-open breaker.
+    fn on_success(&mut self, config: &BreakerConfig) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                false
+            }
+            BreakerState::HalfOpen { successes } => {
+                let successes = successes + 1;
+                if successes >= config.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    true
+                } else {
+                    self.state = BreakerState::HalfOpen { successes };
+                    false
+                }
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Returns whether this failure tripped the breaker open.
+    fn on_failure(&mut self, at_us: u64, config: &BreakerConfig) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= config.failure_threshold {
+                    self.state = BreakerState::Open { until_us: at_us + config.open_cooldown_us };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                self.state = BreakerState::Open { until_us: at_us + config.open_cooldown_us };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+}
+
+/// Configuration of one chaos day: the fleet plus the client-side
+/// resilience policies.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosDayConfig {
+    /// The consumer fleet (same knobs as a single-frontend day).
+    pub fleet: FleetConfig,
+    /// Retry / backoff / hedging policy.
+    pub retry: RetryPolicy,
+    /// Per-mirror circuit-breaker policy.
+    pub breaker: BreakerConfig,
+}
+
+impl ChaosDayConfig {
+    /// Starts from the default configuration.
+    pub fn builder() -> ChaosDayConfig {
+        ChaosDayConfig::default()
+    }
+
+    /// Sets the fleet configuration.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> ChaosDayConfig {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ChaosDayConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the breaker policy.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> ChaosDayConfig {
+        self.breaker = breaker;
+        self
+    }
+}
+
+/// The observability sidecar of a chaos day: a shared registry, hourly
+/// series rounds, the standard SLO set (publish-freshness burns under an
+/// origin blackout, mirror-availability under outages) and a flight
+/// recorder that freezes a capture at blackout onset and at each SLO
+/// breach onset.
+pub struct ChaosObserver {
+    registry: Registry,
+    recorder: SeriesRecorder,
+    slo: SloEngine,
+    flight: FlightRecorder,
+    staleness_gauge: Gauge,
+    last_hour: Option<u32>,
+}
+
+impl ChaosObserver {
+    /// Builds the sidecar over `registry` (attach the same registry to
+    /// the tier via [`MirrorTier::with_telemetry`] so the SLO columns
+    /// exist).
+    pub fn new(registry: Registry) -> ChaosObserver {
+        let recorder = SeriesRecorder::new(registry.clone(), 32);
+        let slo = SloEngine::standard().with_registry(&registry);
+        let staleness_gauge = registry.gauge("service.publish.staleness_rounds");
+        ChaosObserver {
+            registry,
+            recorder,
+            slo,
+            flight: FlightRecorder::new(),
+            staleness_gauge,
+            last_hour: None,
+        }
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder (captures frozen at incident onsets).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The SLO engine (burn rates, breach log).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// The hourly series rounds recorded across the day.
+    pub fn recorder(&self) -> &SeriesRecorder {
+        &self.recorder
+    }
+
+    fn tick(&mut self, hour: u32) {
+        if self.last_hour == Some(hour) {
+            return;
+        }
+        self.last_hour = Some(hour);
+        let round = self.recorder.record(hour).clone();
+        self.flight.note_round(&round);
+        for breach in self.slo.observe(&round) {
+            self.flight.note(
+                hour,
+                "slo.breach",
+                &[("slo", &breach.slo), ("bad_permille", &breach.bad_permille.to_string())],
+            );
+            if breach.onset {
+                self.flight.capture(hour, &format!("slo:{}", breach.slo));
+            }
+        }
+    }
+}
+
+/// Telemetry handles of the resilient client path, resolved once.
+struct RetryMeters {
+    attempts: Counter,
+    retries: Counter,
+    failovers: Counter,
+    hedged: Counter,
+    hedge_wins: Counter,
+    exhausted: Counter,
+    down_attempts: Counter,
+    backoff_us: Histogram,
+    breaker_opened: Counter,
+    breaker_closed: Counter,
+    breaker_skipped: Counter,
+    breaker_probes: Counter,
+    breaker_open_gauge: Gauge,
+}
+
+impl RetryMeters {
+    fn resolve(registry: &Registry) -> RetryMeters {
+        RetryMeters {
+            attempts: registry.counter("serve.retry.attempts"),
+            retries: registry.counter("serve.retry.retries"),
+            failovers: registry.counter("serve.retry.failovers"),
+            hedged: registry.counter("serve.retry.hedged"),
+            hedge_wins: registry.counter("serve.retry.hedge_wins"),
+            exhausted: registry.counter("serve.retry.exhausted"),
+            down_attempts: registry.counter("serve.mirror.down_attempts"),
+            backoff_us: registry.histogram("serve.retry.backoff_us"),
+            breaker_opened: registry.counter("serve.breaker.opened"),
+            breaker_closed: registry.counter("serve.breaker.closed"),
+            breaker_skipped: registry.counter("serve.breaker.skipped"),
+            breaker_probes: registry.counter("serve.breaker.probes"),
+            breaker_open_gauge: registry.gauge("serve.breaker.open"),
+        }
+    }
+}
+
+/// The seeded backoff before retry `retry_no` (1-based) of request
+/// `request`: exponential in the retry number, jittered by a PRF draw so
+/// equal seeds replay identical delays.
+fn backoff_us(policy: &RetryPolicy, seed: u64, request: u64, retry_no: u32) -> u64 {
+    let exp = retry_no.saturating_sub(1).min(20);
+    let base = policy.backoff_base_us.saturating_mul(1u64 << exp).min(policy.backoff_cap_us);
+    let jitter = base * u64::from(policy.jitter_permille.min(1_000)) / 1_000;
+    if jitter == 0 {
+        return base;
+    }
+    let draw = prf_u128(seed, u128::from(request) << 8 | u128::from(retry_no), TAG_JITTER)
+        % (2 * jitter + 1);
+    base - jitter + draw
+}
+
+/// What each (client, kind) pair remembers across a chaos day: the round
+/// and digest of the copy it last downloaded.
+#[derive(Debug, Clone, Copy)]
+struct HeldGeneration {
+    round: u64,
+    digest: u64,
+}
+
+/// Replays one day of fleet load against a [`MirrorTier`] through the
+/// resilient client path: per-client mirror affinity, failover to the
+/// next healthy mirror, deterministic retries with exponential backoff
+/// and seeded jitter, hedged second requests past a latency threshold,
+/// and per-mirror circuit breakers. `plan` is the day's scheduled
+/// publishes; entries falling inside an origin blackout are deferred
+/// until the window lifts while the target round (and hence staleness
+/// accounting) advances on schedule.
+///
+/// Latency percentiles in the returned report are *client-observed*:
+/// served latency plus accumulated backoff, with hedges taking
+/// `min(primary, hedge_after + hedge)`. Deterministic for a fixed
+/// (config, tier construction, plan) — byte-identical reports across
+/// runs at the same seed.
+pub fn run_chaos_day(
+    config: &ChaosDayConfig,
+    tier: &mut MirrorTier,
+    plan: &[TimedPublish],
+    mut observer: Option<&mut ChaosObserver>,
+) -> DayReport {
+    let fleet = &config.fleet;
+    let mirrors = tier.mirror_count();
+    let cumulative = zipf_cumulative(fleet.zipf_exponent_milli);
+    let meters = observer.as_ref().map(|o| RetryMeters::resolve(o.registry()));
+
+    // Publish plan, time-ordered; deferred entries wait out the blackout.
+    let mut ordered: Vec<&TimedPublish> = plan.iter().collect();
+    ordered.sort_by_key(|p| (p.at_us, p.round));
+    let mut next_publish = 0usize;
+    let mut pending: Vec<&TimedPublish> = Vec::new();
+
+    let mut schedule: Vec<(u64, u64)> = (0..fleet.requests)
+        .map(|i| {
+            let at = prf_u128(fleet.seed, u128::from(i), TAG_TIME) % fleet.day_micros.max(1);
+            (at, i)
+        })
+        .collect();
+    schedule.sort_unstable();
+
+    let mut held: HashMap<(u64, usize), HeldGeneration> = HashMap::new();
+    let mut breakers = vec![Breaker::new(); mirrors];
+    let mut bodies_by_kind = vec![0u64; ArtifactKind::ALL.len()];
+    let latency = Histogram::default();
+    let mut res = ResilienceTotals {
+        mirrors: mirrors as u64,
+        logical_requests: fleet.requests,
+        ..ResilienceTotals::default()
+    };
+    let mut was_blackout = false;
+
+    for &(at, i) in &schedule {
+        // Land every publish that has come due (or been unblocked).
+        while next_publish < ordered.len() && ordered[next_publish].at_us <= at {
+            let p = ordered[next_publish];
+            next_publish += 1;
+            if !tier.apply_publish(p.at_us, p) {
+                pending.push(p);
+            }
+        }
+        if !pending.is_empty() && !tier.faults().origin_blackout(at) {
+            pending.retain(|p| !tier.apply_publish(at, p));
+        }
+
+        let hour = (at / 3_600_000_000) as u32;
+        let now_blackout = tier.faults().origin_blackout(at);
+        if let Some(o) = observer.as_deref_mut() {
+            o.staleness_gauge.set(tier.staleness_rounds() as i64);
+            if now_blackout && !was_blackout {
+                o.flight.note(hour, "serve.origin.blackout", &[("at_us", &at.to_string())]);
+                o.flight.capture(hour, "origin-blackout");
+            }
+            o.tick(hour);
+        }
+        was_blackout = now_blackout;
+
+        // The logical request (same PRF draws as a single-frontend day).
+        let client = prf_u128(fleet.seed, u128::from(i), TAG_CLIENT) % fleet.clients.max(1);
+        let kind = pick_kind(&cumulative, prf_u128(fleet.seed, u128::from(i), TAG_KIND));
+        let state = held.get(&(client, kind.index())).copied();
+        let fresh_draw = prf_u128(fleet.seed, u128::from(i), TAG_FRESH) % 1000;
+        let one_behind = fresh_draw < u64::from(fleet.one_behind_permille);
+        let fetch = match state {
+            Some(h) if one_behind => FetchKind::DeltaSince(h.round),
+            _ => FetchKind::Full,
+        };
+        // Against a mirror tier every holder revalidates: the mirror's
+        // generation may lag the one the client fetched elsewhere, and
+        // the ETag check is what keeps that cheap (304 when unchanged).
+        let if_none_match = state.map(|h| h.digest);
+        let request = Request { client, kind, fetch, if_none_match, at_us: at };
+
+        // Affinity + failover walk with retry budget and breakers.
+        let preferred =
+            (prf_u128(fleet.seed, u128::from(client), TAG_AFFINITY) % mirrors as u64) as usize;
+        let mut attempts_used = 0u32;
+        let mut penalty_us = 0u64;
+        let mut winner: Option<(usize, Outcome)> = None;
+        let mut policy_shed = false;
+        let mut saw_global_shed = false;
+        let mut iter = 0usize;
+        let max_iter = config.retry.max_attempts as usize + mirrors;
+        while attempts_used < config.retry.max_attempts && iter < max_iter {
+            let m = (preferred + iter) % mirrors;
+            iter += 1;
+            match breakers[m].gate(at) {
+                BreakerGate::Skipped => {
+                    // Fail open on the final iteration of an all-skipped
+                    // walk: when every mirror's breaker is open, honoring
+                    // the skip would turn a partial outage into a total
+                    // one — attempt anyway rather than hard-fail.
+                    if iter < max_iter || attempts_used > 0 {
+                        res.breaker_skipped += 1;
+                        if let Some(mt) = &meters {
+                            mt.breaker_skipped.incr();
+                        }
+                        continue;
+                    }
+                }
+                BreakerGate::Probe => {
+                    if let Some(mt) = &meters {
+                        mt.breaker_probes.incr();
+                    }
+                    // An expired open window moving to half-open frees
+                    // the gauge only on re-close; track opens below.
+                }
+                BreakerGate::Allowed => {}
+            }
+            attempts_used += 1;
+            res.attempts += 1;
+            if let Some(mt) = &meters {
+                mt.attempts.incr();
+            }
+            if attempts_used >= 2 {
+                res.retries += 1;
+                let b = backoff_us(&config.retry, fleet.seed, i, attempts_used - 1);
+                penalty_us += b;
+                if let Some(mt) = &meters {
+                    mt.retries.incr();
+                    mt.backoff_us.record(b.max(1));
+                }
+            }
+            if m != preferred {
+                res.failovers += 1;
+                if let Some(mt) = &meters {
+                    mt.failovers.incr();
+                }
+            }
+            match tier.handle(m, &request) {
+                None => {
+                    res.down_attempts += 1;
+                    if let Some(mt) = &meters {
+                        mt.down_attempts.incr();
+                    }
+                    if breakers[m].on_failure(at, &config.breaker) {
+                        res.breaker_opened += 1;
+                        if let Some(mt) = &meters {
+                            mt.breaker_opened.incr();
+                        }
+                    }
+                }
+                Some(Outcome::Unavailable) => {
+                    if breakers[m].on_failure(at, &config.breaker) {
+                        res.breaker_opened += 1;
+                        if let Some(mt) = &meters {
+                            mt.breaker_opened.incr();
+                        }
+                    }
+                }
+                Some(Outcome::ShedClient) => {
+                    // A quota rejection is an answer, not a health
+                    // signal; retrying it elsewhere would evade policy.
+                    policy_shed = true;
+                    break;
+                }
+                Some(Outcome::ShedGlobal) => {
+                    // Overload: fail over, but an overloaded mirror is
+                    // not an unhealthy mirror — no breaker penalty.
+                    saw_global_shed = true;
+                }
+                Some(outcome) => {
+                    if breakers[m].on_success(&config.breaker) {
+                        res.breaker_closed += 1;
+                        if let Some(mt) = &meters {
+                            mt.breaker_closed.incr();
+                        }
+                    }
+                    winner = Some((m, outcome));
+                    break;
+                }
+            }
+        }
+
+        // Hedging: a slow (but successful) primary races one more
+        // request on the next breaker-admitted mirror; the adopted
+        // outcome carries the client-observed latency
+        // `hedge_after + hedge serve time`.
+        let primary = winner.as_ref().map(|(m, outcome)| {
+            let lat = match outcome {
+                Outcome::Body { latency_us, .. } | Outcome::NotModified { latency_us, .. } => {
+                    *latency_us
+                }
+                _ => 0,
+            };
+            (*m, lat)
+        });
+        if let Some((m, primary_latency)) = primary {
+            if primary_latency > config.retry.hedge_after_us && mirrors > 1 {
+                let hedge_target = (1..mirrors)
+                    .map(|k| (m + k) % mirrors)
+                    .find(|&c| !matches!(breakers[c].gate(at), BreakerGate::Skipped));
+                if let Some(m2) = hedge_target {
+                    res.hedged += 1;
+                    res.attempts += 1;
+                    if let Some(mt) = &meters {
+                        mt.hedged.incr();
+                        mt.attempts.incr();
+                    }
+                    match tier.handle(m2, &request) {
+                        Some(mut h @ (Outcome::Body { .. } | Outcome::NotModified { .. })) => {
+                            if breakers[m2].on_success(&config.breaker) {
+                                res.breaker_closed += 1;
+                                if let Some(mt) = &meters {
+                                    mt.breaker_closed.incr();
+                                }
+                            }
+                            let hedged_total = config.retry.hedge_after_us
+                                + match &h {
+                                    Outcome::Body { latency_us, .. }
+                                    | Outcome::NotModified { latency_us, .. } => *latency_us,
+                                    _ => 0,
+                                };
+                            if hedged_total < primary_latency {
+                                res.hedge_wins += 1;
+                                if let Some(mt) = &meters {
+                                    mt.hedge_wins.incr();
+                                }
+                                match &mut h {
+                                    Outcome::Body { latency_us, .. }
+                                    | Outcome::NotModified { latency_us, .. } => {
+                                        *latency_us = hedged_total;
+                                    }
+                                    _ => {}
+                                }
+                                winner = Some((m2, h));
+                            }
+                        }
+                        None => {
+                            res.down_attempts += 1;
+                            if let Some(mt) = &meters {
+                                mt.down_attempts.incr();
+                            }
+                            if breakers[m2].on_failure(at, &config.breaker) {
+                                res.breaker_opened += 1;
+                                if let Some(mt) = &meters {
+                                    mt.breaker_opened.incr();
+                                }
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+
+        if let Some(mt) = &meters {
+            mt.breaker_open_gauge.set(breakers.iter().filter(|b| b.engaged()).count() as i64);
+        }
+
+        match &winner {
+            Some((_, Outcome::Body { digest, round, latency_us, .. })) => {
+                bodies_by_kind[kind.index()] += 1;
+                held.insert(
+                    (client, kind.index()),
+                    HeldGeneration { round: *round, digest: *digest },
+                );
+                latency.record((*latency_us + penalty_us).max(1));
+            }
+            Some((_, Outcome::NotModified { latency_us, .. })) => {
+                latency.record((*latency_us + penalty_us).max(1));
+            }
+            _ => {
+                if !policy_shed && !saw_global_shed {
+                    res.hard_failures += 1;
+                    if let Some(mt) = &meters {
+                        mt.exhausted.incr();
+                    }
+                }
+            }
+        }
+    }
+
+    // Flush the final partial hour so the SLO engine judges it.
+    if let Some(o) = observer {
+        o.staleness_gauge.set(tier.staleness_rounds() as i64);
+        o.tick((fleet.day_micros / 3_600_000_000) as u32 + 1);
+    }
+
+    let tier_totals = tier.totals().clone();
+    res.stale_served = tier_totals.stale_served;
+    res.revalidations = tier_totals.revalidations;
+    res.syncs = tier_totals.syncs;
+    res.sync_rejected = tier_totals.sync_rejected;
+
+    let totals = tier.merged_frontend_totals();
+    let snapshot = latency.snapshot();
+    DayReport {
+        seed: fleet.seed,
+        clients: fleet.clients,
+        round: tier.origin().current_round().unwrap_or(0),
+        bytes_saved_by_delta: totals.bytes_saved_by_delta,
+        delta_fallbacks: totals.delta_fallbacks,
+        shed: totals.shed_client + totals.shed_global,
+        bodies_by_kind: ArtifactKind::ALL
+            .iter()
+            .zip(bodies_by_kind)
+            .map(|(kind, n)| (kind.file_stem(), n))
+            .collect(),
+        totals,
+        latency_p50_us: snapshot.p50(),
+        latency_p90_us: snapshot.p90(),
+        latency_p99_us: snapshot.p99(),
+        resilience: res,
+    }
 }
 
 #[cfg(test)]
@@ -374,5 +1075,84 @@ mod tests {
         let responsive = report.bodies_by_kind[0].1;
         assert!(report.bodies_by_kind[1..].iter().all(|&(_, n)| n <= responsive));
         assert_eq!(report.round, 3);
+    }
+
+    #[test]
+    fn backoff_is_seeded_exponential_and_capped() {
+        let policy = RetryPolicy::default();
+        // Deterministic: same (seed, request, retry) → same delay.
+        assert_eq!(backoff_us(&policy, 7, 42, 1), backoff_us(&policy, 7, 42, 1));
+        // Jitter keeps each delay within ±25% of the exponential base.
+        for retry in 1..=6u32 {
+            let base = (policy.backoff_base_us << (retry - 1)).min(policy.backoff_cap_us);
+            let b = backoff_us(&policy, 7, 42, retry);
+            let jitter = base / 4;
+            assert!(
+                b >= base - jitter && b <= base + jitter,
+                "retry {retry}: {b} outside [{}, {}]",
+                base - jitter,
+                base + jitter
+            );
+        }
+        // Zero jitter degenerates to the pure exponential.
+        let flat = RetryPolicy { jitter_permille: 0, ..policy };
+        assert_eq!(backoff_us(&flat, 7, 42, 1), 50_000);
+        assert_eq!(backoff_us(&flat, 7, 42, 2), 100_000);
+        assert_eq!(backoff_us(&flat, 7, 42, 20), 2_000_000, "cap holds");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_deterministically() {
+        let config =
+            BreakerConfig { failure_threshold: 2, open_cooldown_us: 100, half_open_probes: 2 };
+        let mut b = Breaker::new();
+        assert!(matches!(b.gate(0), BreakerGate::Allowed));
+        assert!(!b.on_failure(10, &config), "first failure under threshold");
+        assert!(b.on_failure(10, &config), "second failure trips open");
+        assert!(b.engaged());
+        assert!(matches!(b.gate(50), BreakerGate::Skipped), "open inside cooldown");
+        assert!(matches!(b.gate(110), BreakerGate::Probe), "cooldown expiry half-opens");
+        assert!(!b.on_success(&config), "one probe is not enough");
+        assert!(b.on_success(&config), "second probe re-closes");
+        assert!(!b.engaged());
+        // A half-open failure re-opens immediately (no threshold grace).
+        let mut b = Breaker::new();
+        b.on_failure(0, &config);
+        b.on_failure(0, &config);
+        assert!(matches!(b.gate(100), BreakerGate::Probe));
+        assert!(b.on_failure(100, &config), "half-open failure re-trips");
+        assert!(matches!(b.gate(150), BreakerGate::Skipped));
+    }
+
+    #[test]
+    fn chaos_day_on_a_healthy_tier_matches_itself_and_never_hard_fails() {
+        use crate::faults::ServeFaultConfig;
+        use crate::mirror::MirrorTierConfig;
+        let run = || {
+            let origin = seeded_store();
+            let mut tier = MirrorTier::new(
+                MirrorTierConfig::builder().with_mirrors(3),
+                origin,
+                ServeFaultConfig::lossless(),
+            );
+            let config = ChaosDayConfig::builder()
+                .with_fleet(FleetConfig::builder().with_requests(4_000).with_clients(30));
+            run_chaos_day(&config, &mut tier, &[], None)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "chaos day replays byte-identically at a fixed seed");
+        assert_eq!(a.resilience.hard_failures, 0);
+        assert_eq!(a.resilience.logical_requests, 4_000);
+        assert!(a.resilience.attempts >= 4_000);
+        assert_eq!(a.resilience.mirrors, 3);
+        assert_eq!(a.round, 3);
+        // Healthy tier: no breaker ever opens, warm-deployed mirrors
+        // need no sync traffic (the plan is empty), and answered
+        // requests land in the latency histogram.
+        assert_eq!(a.resilience.breaker_opened, 0);
+        assert_eq!(a.resilience.syncs, 0, "warm deploy: in sync without a transfer");
+        assert_eq!(a.resilience.stale_served, 0);
+        assert!(a.latency_p50_us > 0);
     }
 }

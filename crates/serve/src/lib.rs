@@ -24,7 +24,17 @@
 //!   shed decisions feed an attached
 //!   [`FlightRecorder`](sixdust_telemetry::FlightRecorder).
 //! * [`fleet`] — a seeded, Zipf-popular simulated consumer fleet that
-//!   replays a deterministic high-QPS day and emits a [`DayReport`].
+//!   replays a deterministic high-QPS day and emits a [`DayReport`];
+//!   [`run_chaos_day`] drives the same fleet through the resilient
+//!   client path (affinity, failover, retries with seeded backoff,
+//!   hedging, per-mirror circuit breakers).
+//! * [`mirror`] — the fault-tolerant distribution tier: N edge mirrors
+//!   syncing generations from the origin store over the delta codec
+//!   with checksum-first torn-sync rejection, serving stale-but-counted
+//!   generations while the origin is blacked out.
+//! * [`faults`] — the seeded failure model the tier runs under: mirror
+//!   outage windows, slow-mirror latency inflation, origin publish
+//!   blackouts and sync corruption.
 //!
 //! All request handling runs on virtual time, so a 100k-request day
 //! replays in milliseconds and bit-identically for a fixed seed.
@@ -33,11 +43,24 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod faults;
 pub mod fleet;
+pub mod mirror;
 pub mod server;
 pub mod store;
 
-pub use codec::{apply_delta, content_digest, decode_full, encode_delta, encode_full, CodecError};
-pub use fleet::{run_day, run_day_observed, simulate_day, DayReport, FleetConfig};
-pub use server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
-pub use store::{ArtifactKind, ArtifactVersion, ShardData, SnapshotStore, StoreConfig};
+pub use codec::{
+    apply_delta, content_digest, decode_full, encode_delta, encode_full, verify_full, CodecError,
+};
+pub use faults::ServeFaultConfig;
+pub use fleet::{
+    run_chaos_day, run_day, run_day_observed, simulate_day, BreakerConfig, ChaosDayConfig,
+    ChaosObserver, DayReport, FleetConfig, ResilienceTotals, RetryPolicy,
+};
+pub use mirror::{MirrorTier, MirrorTierConfig, TierTotals, TimedPublish};
+pub use server::{
+    FetchKind, Frontend, FrontendConfig, FrontendConfigError, FrontendTotals, Outcome, Request,
+};
+pub use store::{
+    service_artifacts, ArtifactKind, ArtifactVersion, ShardData, SnapshotStore, StoreConfig,
+};

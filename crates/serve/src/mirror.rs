@@ -1,0 +1,721 @@
+//! The resilient distribution tier: one origin, N edge mirrors.
+//!
+//! The ROADMAP's "serve path to millions of clients" calls for exactly
+//! the architecture real hitlist services run: a single origin
+//! [`SnapshotStore`] that publications land in, and a tier of edge
+//! mirrors that *pull* from it over the delta codec and serve consumers
+//! from their own generation state. This module models that tier on the
+//! same virtual-microsecond timeline as the front ends:
+//!
+//! * **Sync with checksum-first validation** — a mirror transfers each
+//!   changed artifact as a delta when its held round matches the
+//!   origin's diff base (full snapshot otherwise), validates the wire
+//!   bytes *before* adopting anything, and installs the whole
+//!   generation with one atomic swap ([`SnapshotStore::install_generation`]).
+//!   A corrupted transfer rejects the entire sync — a mirror never
+//!   serves a torn mix of rounds (last-good wins).
+//! * **Per-mirror sync lag** — mirrors sync on a staggered interval
+//!   schedule, so at any instant different mirrors may hold different
+//!   generations; consumers see that as per-mirror ETags.
+//! * **Stale-while-revalidate** — when the publish plan says a newer
+//!   round should be live (origin blackout, rejected syncs), a mirror
+//!   keeps serving its last-good generation, *counts* the staleness
+//!   (`serve.mirror.stale_served`), and schedules a cooldown-limited
+//!   revalidation sync instead of erroring.
+//!
+//! Faults come from a seeded [`ServeFaultConfig`]; everything replays
+//! byte-identically for a fixed seed.
+
+use std::sync::Arc;
+
+use sixdust_addr::AddrSet;
+use sixdust_telemetry::{Counter, FlightRecorder, Gauge, Registry};
+
+use crate::codec;
+use crate::faults::ServeFaultConfig;
+use crate::server::{Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
+use crate::store::{ArtifactKind, ArtifactVersion, SnapshotStore, StoreConfig};
+
+/// Tier configuration.
+#[derive(Debug, Clone)]
+pub struct MirrorTierConfig {
+    /// Number of edge mirrors (at least 1).
+    pub mirrors: usize,
+    /// Interval between scheduled syncs of one mirror, virtual
+    /// microseconds.
+    pub sync_interval_us: u64,
+    /// Phase offset between consecutive mirrors' sync schedules, so the
+    /// tier does not hammer the origin in lockstep (and so per-mirror
+    /// lag is observable).
+    pub sync_stagger_us: u64,
+    /// Minimum gap between stale-triggered revalidation syncs of one
+    /// mirror (stale-while-revalidate cooldown).
+    pub revalidate_cooldown_us: u64,
+    /// Front-end configuration applied to every mirror.
+    pub frontend: FrontendConfig,
+}
+
+impl Default for MirrorTierConfig {
+    fn default() -> MirrorTierConfig {
+        MirrorTierConfig {
+            mirrors: 4,
+            sync_interval_us: 3_600_000_000,
+            sync_stagger_us: 60_000_000,
+            revalidate_cooldown_us: 300_000_000,
+            frontend: FrontendConfig::default(),
+        }
+    }
+}
+
+impl MirrorTierConfig {
+    /// Starts from the default configuration.
+    pub fn builder() -> MirrorTierConfig {
+        MirrorTierConfig::default()
+    }
+
+    /// Sets the mirror count (at least 1).
+    pub fn with_mirrors(mut self, mirrors: usize) -> MirrorTierConfig {
+        self.mirrors = mirrors.max(1);
+        self
+    }
+
+    /// Sets the scheduled sync interval.
+    pub fn with_sync_interval_us(mut self, interval: u64) -> MirrorTierConfig {
+        self.sync_interval_us = interval.max(1);
+        self
+    }
+
+    /// Sets the per-mirror sync phase offset.
+    pub fn with_sync_stagger_us(mut self, stagger: u64) -> MirrorTierConfig {
+        self.sync_stagger_us = stagger;
+        self
+    }
+
+    /// Sets the revalidation cooldown.
+    pub fn with_revalidate_cooldown_us(mut self, cooldown: u64) -> MirrorTierConfig {
+        self.revalidate_cooldown_us = cooldown.max(1);
+        self
+    }
+
+    /// Sets the per-mirror front-end configuration.
+    pub fn with_frontend(mut self, frontend: FrontendConfig) -> MirrorTierConfig {
+        self.frontend = frontend;
+        self
+    }
+}
+
+/// One entry of a day's publish plan: at `at_us` the origin is supposed
+/// to publish `round`. Under an origin blackout the publish is deferred
+/// (the *target* round still advances, which is what makes mirror
+/// staleness measurable and burns the publish-freshness SLO).
+#[derive(Debug, Clone)]
+pub struct TimedPublish {
+    /// When the publish is scheduled, microseconds into the day.
+    pub at_us: u64,
+    /// Round the publish installs.
+    pub round: u64,
+    /// ISO date label of the publication.
+    pub date: String,
+    /// Artifact payloads (missing kinds publish as empty sets).
+    pub artifacts: Vec<(ArtifactKind, AddrSet)>,
+}
+
+impl TimedPublish {
+    /// Captures a hitlist service round as one plan entry, with the same
+    /// artifact payloads [`SnapshotStore::publish_service`] would install
+    /// — so a chaos-day replay can re-publish real service history on a
+    /// schedule of its own choosing.
+    pub fn from_service(
+        svc: &sixdust_hitlist::HitlistService,
+        at_us: u64,
+        round: u64,
+        date: &str,
+    ) -> TimedPublish {
+        TimedPublish {
+            at_us,
+            round,
+            date: date.to_string(),
+            artifacts: crate::store::service_artifacts(svc),
+        }
+    }
+}
+
+/// Running totals of the tier's sync and degradation machinery — the
+/// mirror-side rows of the day's report card.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TierTotals {
+    /// Completed generation syncs (mirror adopted a new generation).
+    pub syncs: u64,
+    /// Artifacts transferred as full snapshots across all syncs.
+    pub sync_full: u64,
+    /// Artifacts transferred as deltas across all syncs.
+    pub sync_delta: u64,
+    /// Syncs rejected wholesale by checksum-first validation (torn-sync
+    /// rejection kept the last-good generation).
+    pub sync_rejected: u64,
+    /// Sync attempts blocked by an origin blackout or mirror outage.
+    pub sync_blocked: u64,
+    /// Wire bytes moved by sync transfers.
+    pub sync_bytes: u64,
+    /// Requests answered from a generation older than the publish plan's
+    /// target round (stale-while-revalidate serving).
+    pub stale_served: u64,
+    /// Stale-triggered revalidation syncs (cooldown-limited).
+    pub revalidations: u64,
+}
+
+/// Telemetry handles, resolved once at attachment (hot-path rule).
+struct TierMeters {
+    syncs: Counter,
+    sync_full: Counter,
+    sync_delta: Counter,
+    sync_rejected: Counter,
+    sync_blocked: Counter,
+    sync_bytes: Counter,
+    stale_served: Counter,
+    revalidations: Counter,
+    lag_rounds: Gauge,
+}
+
+impl TierMeters {
+    fn resolve(registry: &Registry) -> TierMeters {
+        TierMeters {
+            syncs: registry.counter("serve.mirror.syncs"),
+            sync_full: registry.counter("serve.mirror.sync_full"),
+            sync_delta: registry.counter("serve.mirror.sync_delta"),
+            sync_rejected: registry.counter("serve.mirror.sync_rejected"),
+            sync_blocked: registry.counter("serve.mirror.sync_blocked"),
+            sync_bytes: registry.counter("serve.mirror.sync_bytes"),
+            stale_served: registry.counter("serve.mirror.stale_served"),
+            revalidations: registry.counter("serve.mirror.revalidations"),
+            lag_rounds: registry.gauge("serve.mirror.lag_rounds"),
+        }
+    }
+}
+
+/// One edge mirror: its own store (generation state) and front end.
+struct Mirror {
+    store: Arc<SnapshotStore>,
+    frontend: Frontend,
+    next_sync_us: u64,
+    next_revalidate_us: u64,
+    /// Transfer attempts so far — salts the in-flight corruption draw so
+    /// a rejected sync re-rolls on retry instead of failing forever.
+    sync_attempts: u64,
+}
+
+/// The origin + N-mirror distribution tier.
+pub struct MirrorTier {
+    config: MirrorTierConfig,
+    origin: Arc<SnapshotStore>,
+    faults: ServeFaultConfig,
+    mirrors: Vec<Mirror>,
+    /// The round the publish plan says should be live right now; mirrors
+    /// serving older rounds are stale.
+    target_round: u64,
+    registry: Option<Registry>,
+    flight: Option<FlightRecorder>,
+    meters: Option<TierMeters>,
+    totals: TierTotals,
+}
+
+impl std::fmt::Debug for MirrorTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MirrorTier")
+            .field("mirrors", &self.mirrors.len())
+            .field("target_round", &self.target_round)
+            .field("totals", &self.totals)
+            .finish()
+    }
+}
+
+impl MirrorTier {
+    /// Creates a tier of `config.mirrors` empty mirrors over `origin`.
+    /// Mirror `i`'s first scheduled sync is at `i * sync_stagger_us`.
+    ///
+    /// # Panics
+    ///
+    /// If `config.frontend` fails [`FrontendConfig::validate`] (same
+    /// contract as [`Frontend::new`]).
+    pub fn new(
+        config: MirrorTierConfig,
+        origin: Arc<SnapshotStore>,
+        faults: ServeFaultConfig,
+    ) -> MirrorTier {
+        let target_round = origin.current_round().unwrap_or(0);
+        let mut tier = MirrorTier {
+            mirrors: Vec::new(),
+            config,
+            origin,
+            faults,
+            target_round,
+            registry: None,
+            flight: None,
+            meters: None,
+            totals: TierTotals::default(),
+        };
+        tier.mirrors = (0..tier.config.mirrors.max(1))
+            .map(|i| {
+                let store = Arc::new(SnapshotStore::new(StoreConfig::default()));
+                Mirror {
+                    frontend: Frontend::new(tier.config.frontend.clone(), store.clone()),
+                    store,
+                    next_sync_us: i as u64 * tier.config.sync_stagger_us,
+                    next_revalidate_us: 0,
+                    sync_attempts: 0,
+                }
+            })
+            .collect();
+        // Warm deploy: mirrors start from the origin's current image
+        // (an out-of-band copy, like service publication — not subject
+        // to the fault plan) so a tier never boots cold behind a live
+        // origin. Day-time sync traffic is what the faults govern.
+        if let Some(round) = tier.origin.current_round() {
+            let date = tier.origin.current_date().unwrap_or_default();
+            let versions: Vec<Arc<ArtifactVersion>> =
+                ArtifactKind::ALL.iter().filter_map(|&kind| tier.origin.artifact(kind)).collect();
+            for mirror in &tier.mirrors {
+                mirror.store.install_generation(round, &date, versions.clone());
+            }
+        }
+        tier
+    }
+
+    /// Attaches a metrics registry (`serve.mirror.*` plus every mirror
+    /// front end's `serve.*` set, aggregated across mirrors). Attach
+    /// before serving traffic: the mirror front ends are rebuilt.
+    pub fn with_telemetry(mut self, registry: &Registry) -> MirrorTier {
+        self.meters = Some(TierMeters::resolve(registry));
+        self.registry = Some(registry.clone());
+        self.rebuild_frontends();
+        self
+    }
+
+    /// Attaches a flight recorder to every mirror front end (shed
+    /// decisions land in its event ring). Attach before serving traffic.
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> MirrorTier {
+        self.flight = Some(recorder);
+        self.rebuild_frontends();
+        self
+    }
+
+    fn rebuild_frontends(&mut self) {
+        for mirror in &mut self.mirrors {
+            let mut fe = Frontend::new(self.config.frontend.clone(), mirror.store.clone());
+            if let Some(registry) = &self.registry {
+                fe = fe.with_telemetry(registry);
+            }
+            if let Some(flight) = &self.flight {
+                fe = fe.with_flight(flight.clone());
+            }
+            mirror.frontend = fe;
+        }
+    }
+
+    /// The origin store publications land in.
+    pub fn origin(&self) -> &Arc<SnapshotStore> {
+        &self.origin
+    }
+
+    /// The fault plan driving the tier.
+    pub fn faults(&self) -> &ServeFaultConfig {
+        &self.faults
+    }
+
+    /// Number of mirrors.
+    pub fn mirror_count(&self) -> usize {
+        self.mirrors.len()
+    }
+
+    /// The generation round mirror `i` currently serves, if any.
+    pub fn mirror_round(&self, mirror: usize) -> Option<u64> {
+        self.mirrors.get(mirror).and_then(|m| m.store.current_round())
+    }
+
+    /// The round the publish plan says should be live.
+    pub fn target_round(&self) -> u64 {
+        self.target_round
+    }
+
+    /// Rounds the *origin* is behind the publish plan — the
+    /// publish-freshness staleness clock under a blackout.
+    pub fn staleness_rounds(&self) -> u64 {
+        self.target_round.saturating_sub(self.origin.current_round().unwrap_or(0))
+    }
+
+    /// Rounds the most-lagged mirror is behind the publish plan.
+    pub fn max_lag_rounds(&self) -> u64 {
+        self.mirrors
+            .iter()
+            .map(|m| self.target_round.saturating_sub(m.store.current_round().unwrap_or(0)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The tier's sync/degradation totals so far.
+    pub fn totals(&self) -> &TierTotals {
+        &self.totals
+    }
+
+    /// One mirror front end's running totals.
+    pub fn frontend_totals(&self, mirror: usize) -> &FrontendTotals {
+        self.mirrors[mirror].frontend.totals()
+    }
+
+    /// Every mirror front end's totals folded into one report card.
+    pub fn merged_frontend_totals(&self) -> FrontendTotals {
+        let mut merged = FrontendTotals::default();
+        for mirror in &self.mirrors {
+            merged.merge(mirror.frontend.totals());
+        }
+        merged
+    }
+
+    /// Advances the publish plan's target round (a publish is *due*,
+    /// whether or not the blackout lets it land).
+    pub fn set_target_round(&mut self, round: u64) {
+        self.target_round = self.target_round.max(round);
+    }
+
+    /// Attempts to land a scheduled publish on the origin at `at_us`.
+    /// Returns `false` (and publishes nothing) during an origin
+    /// blackout — the caller keeps the entry queued and retries after
+    /// the window.
+    pub fn apply_publish(&mut self, at_us: u64, publish: &TimedPublish) -> bool {
+        self.set_target_round(publish.round);
+        if self.faults.origin_blackout(at_us) {
+            return false;
+        }
+        self.origin.publish_round(publish.round, &publish.date, publish.artifacts.clone());
+        true
+    }
+
+    /// Publishes a hitlist service round straight into the origin — the
+    /// tier-aware replacement for
+    /// [`SnapshotStore::publish_service`]; the natural
+    /// [`HitlistService::run_with`](sixdust_hitlist::HitlistService::run_with)
+    /// hook body when serving through mirrors. Not subject to the fault
+    /// plan (service publication happens out of band of the serve day).
+    pub fn publish_service(
+        &mut self,
+        svc: &sixdust_hitlist::HitlistService,
+        round: u64,
+        date: &str,
+    ) {
+        self.set_target_round(round);
+        self.origin.publish_service(svc, round, date);
+    }
+
+    /// Processes every scheduled sync due at or before `at_us` and
+    /// refreshes the lag gauge. Called implicitly by [`MirrorTier::handle`].
+    pub fn advance(&mut self, at_us: u64) {
+        for i in 0..self.mirrors.len() {
+            while self.mirrors[i].next_sync_us <= at_us {
+                let scheduled = self.mirrors[i].next_sync_us;
+                self.try_sync(i, scheduled);
+                self.mirrors[i].next_sync_us = scheduled + self.config.sync_interval_us;
+            }
+        }
+        if let Some(m) = &self.meters {
+            m.lag_rounds.set(self.max_lag_rounds() as i64);
+        }
+    }
+
+    /// One sync attempt of mirror `i` at `at_us`: transfer every changed
+    /// artifact (delta where the held round matches the origin's diff
+    /// base), validate checksum-first, adopt the whole generation or
+    /// nothing. Returns whether the mirror is in sync with the origin
+    /// afterwards.
+    pub fn try_sync(&mut self, i: usize, at_us: u64) -> bool {
+        if self.faults.origin_blackout(at_us) || self.faults.mirror_down(i, at_us) {
+            self.totals.sync_blocked += 1;
+            if let Some(m) = &self.meters {
+                m.sync_blocked.incr();
+            }
+            return false;
+        }
+        let Some(origin_round) = self.origin.current_round() else {
+            return false;
+        };
+        if self.mirrors[i].store.current_round() == Some(origin_round) {
+            return true;
+        }
+        let date = self.origin.current_date().unwrap_or_default();
+        self.mirrors[i].sync_attempts += 1;
+        let attempt = self.mirrors[i].sync_attempts;
+
+        let mut adopted: Vec<Arc<ArtifactVersion>> = Vec::with_capacity(ArtifactKind::ALL.len());
+        let mut full_transfers = 0u64;
+        let mut delta_transfers = 0u64;
+        let mut wire_bytes = 0u64;
+        for kind in ArtifactKind::ALL {
+            let Some(version) = self.origin.artifact(kind) else {
+                return false;
+            };
+            let held = self.mirrors[i].store.artifact(kind);
+            // Unchanged content: adopt the handle, no transfer.
+            if held.as_ref().is_some_and(|h| h.digest() == version.digest()) {
+                adopted.push(version);
+                continue;
+            }
+            let use_delta = held.as_ref().is_some_and(|h| Some(h.round()) == version.prev_round())
+                && version.delta_encoded().is_some();
+            let wire: Arc<Vec<u8>> = if use_delta {
+                version.delta_encoded().expect("checked above").clone()
+            } else {
+                version.full_encoded().clone()
+            };
+            // In-flight corruption (seeded, per transfer identity).
+            let mut transfer: Vec<u8>;
+            let body: &[u8] = if self.faults.corrupt_sync(i, version.round(), kind.index(), attempt)
+            {
+                transfer = (*wire).clone();
+                if !transfer.is_empty() {
+                    let pos = self.faults.corrupt_position(
+                        i,
+                        version.round(),
+                        kind.index(),
+                        attempt,
+                        transfer.len(),
+                    );
+                    transfer[pos] ^= 0x20;
+                }
+                &transfer
+            } else {
+                &wire
+            };
+            // Checksum-first validation: a flip anywhere rejects the
+            // whole sync, and the mirror keeps its last-good generation.
+            let valid = if use_delta {
+                let base = held.as_ref().expect("delta implies held");
+                codec::apply_delta(base.items(), body).is_ok()
+            } else {
+                codec::verify_full(body, version.digest()).is_ok()
+            };
+            if !valid {
+                self.totals.sync_rejected += 1;
+                if let Some(m) = &self.meters {
+                    m.sync_rejected.incr();
+                }
+                return false;
+            }
+            wire_bytes += wire.len() as u64;
+            if use_delta {
+                delta_transfers += 1;
+            } else {
+                full_transfers += 1;
+            }
+            adopted.push(version);
+        }
+
+        let installed = self.mirrors[i].store.install_generation(origin_round, &date, adopted);
+        debug_assert!(installed, "origin generations are always complete and ordered");
+        self.totals.syncs += 1;
+        self.totals.sync_full += full_transfers;
+        self.totals.sync_delta += delta_transfers;
+        self.totals.sync_bytes += wire_bytes;
+        if let Some(m) = &self.meters {
+            m.syncs.incr();
+            m.sync_full.add(full_transfers);
+            m.sync_delta.add(delta_transfers);
+            m.sync_bytes.add(wire_bytes);
+        }
+        true
+    }
+
+    /// Routes one request to mirror `mirror` at its virtual arrival
+    /// time. Returns `None` when the mirror is inside an outage window
+    /// (unreachable: no answer at all, the client's retry layer deals
+    /// with it). Served latencies are inflated for slow mirrors; answers
+    /// older than the publish plan's target round are counted stale and
+    /// trigger a cooldown-limited revalidation sync
+    /// (stale-while-revalidate).
+    pub fn handle(&mut self, mirror: usize, request: &Request) -> Option<Outcome> {
+        let at = request.at_us;
+        self.advance(at);
+        if self.faults.mirror_down(mirror, at) {
+            return None;
+        }
+        // An empty mirror is infinitely stale: bootstrap-sync on demand
+        // (cooldown-limited, same knob as revalidation) before answering
+        // rather than shrugging `Unavailable` until the next scheduled
+        // sync comes around.
+        if self.mirrors[mirror].store.current_round().is_none()
+            && self.origin.current_round().is_some()
+            && at >= self.mirrors[mirror].next_revalidate_us
+        {
+            self.mirrors[mirror].next_revalidate_us = at + self.config.revalidate_cooldown_us;
+            self.totals.revalidations += 1;
+            if let Some(m) = &self.meters {
+                m.revalidations.incr();
+            }
+            self.try_sync(mirror, at);
+        }
+        let outcome = match self.mirrors[mirror].frontend.handle(request) {
+            Outcome::Body { bytes, round, digest, delta, cached, latency_us } => Outcome::Body {
+                bytes,
+                round,
+                digest,
+                delta,
+                cached,
+                latency_us: self.faults.inflate_latency(mirror, latency_us),
+            },
+            Outcome::NotModified { round, latency_us } => Outcome::NotModified {
+                round,
+                latency_us: self.faults.inflate_latency(mirror, latency_us),
+            },
+            other => other,
+        };
+        let served_round = match &outcome {
+            Outcome::Body { round, .. } | Outcome::NotModified { round, .. } => Some(*round),
+            _ => None,
+        };
+        if served_round.is_some_and(|r| r < self.target_round) {
+            self.totals.stale_served += 1;
+            if let Some(m) = &self.meters {
+                m.stale_served.incr();
+            }
+            if at >= self.mirrors[mirror].next_revalidate_us {
+                self.mirrors[mirror].next_revalidate_us = at + self.config.revalidate_cooldown_us;
+                self.totals.revalidations += 1;
+                if let Some(m) = &self.meters {
+                    m.revalidations.incr();
+                }
+                self.try_sync(mirror, at);
+            }
+        }
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FetchKind;
+
+    fn artifacts(round: u64) -> Vec<(ArtifactKind, AddrSet)> {
+        vec![(ArtifactKind::Responsive, (0..500 + round as u128 * 40).map(|i| i * 13).collect())]
+    }
+
+    fn request(client: u64, at_us: u64) -> Request {
+        Request {
+            client,
+            kind: ArtifactKind::Responsive,
+            fetch: FetchKind::Full,
+            if_none_match: None,
+            at_us,
+        }
+    }
+
+    fn tier_over(origin_rounds: u64, faults: ServeFaultConfig, mirrors: usize) -> MirrorTier {
+        let origin = Arc::new(SnapshotStore::new(StoreConfig::default()));
+        for round in 1..=origin_rounds {
+            origin.publish_round(round, &format!("d{round}"), artifacts(round));
+        }
+        let config = MirrorTierConfig::builder()
+            .with_mirrors(mirrors)
+            .with_sync_stagger_us(0)
+            .with_sync_interval_us(1_000_000);
+        MirrorTier::new(config, origin, faults)
+    }
+
+    #[test]
+    fn mirrors_deploy_warm_then_sync_delta_with_structural_sharing() {
+        let mut tier = tier_over(1, ServeFaultConfig::lossless(), 1);
+        // Warm deploy: the origin's live generation is adopted at
+        // construction, handle-for-handle — no wire transfer at all.
+        assert_eq!(tier.mirror_round(0), Some(1));
+        assert_eq!(tier.totals().syncs, 0, "deploy image, not a sync");
+        assert_eq!(tier.totals().sync_bytes, 0);
+        // Next round: the mirror holds the diff base, so the changed
+        // artifact moves as a delta and unchanged handles are shared.
+        tier.origin().publish_round(2, "d2", artifacts(2));
+        tier.set_target_round(2);
+        tier.advance(1_000_000);
+        assert_eq!(tier.mirror_round(0), Some(2));
+        assert_eq!(tier.totals().sync_delta, 1, "held diff base: the changed artifact is a delta");
+        assert_eq!(tier.totals().sync_full, 0, "unchanged artifacts adopt by digest");
+        let origin_v = tier.origin().artifact(ArtifactKind::Responsive).unwrap();
+        let mirror_v = tier.mirrors[0].store.artifact(ArtifactKind::Responsive).unwrap();
+        assert!(Arc::ptr_eq(&origin_v, &mirror_v), "validated sync adopts the origin handle");
+        assert!(tier.totals().sync_bytes > 0);
+    }
+
+    #[test]
+    fn a_cold_tier_bootstraps_with_full_snapshots() {
+        // Origin empty at deploy: the first generation must move over
+        // the wire, every artifact as a full snapshot.
+        let mut tier = tier_over(0, ServeFaultConfig::lossless(), 1);
+        assert_eq!(tier.mirror_round(0), None);
+        tier.origin().publish_round(1, "d1", artifacts(1));
+        tier.set_target_round(1);
+        tier.advance(1_000_000);
+        assert_eq!(tier.mirror_round(0), Some(1));
+        assert_eq!(
+            tier.totals().sync_full,
+            ArtifactKind::ALL.len() as u64,
+            "an empty mirror transfers every artifact as a full snapshot"
+        );
+        assert_eq!(tier.totals().sync_delta, 0);
+        assert!(tier.totals().sync_bytes > 0);
+    }
+
+    #[test]
+    fn corrupted_sync_rejects_wholesale_and_keeps_last_good() {
+        let mut tier = tier_over(1, ServeFaultConfig::lossless(), 1);
+        tier.advance(0);
+        assert_eq!(tier.mirror_round(0), Some(1));
+        // Every transfer corrupt from here on: round 2 must never land.
+        tier.faults = ServeFaultConfig::builder().with_sync_corrupt_permille(1_000);
+        tier.origin().publish_round(2, "d2", artifacts(2));
+        tier.set_target_round(2);
+        tier.advance(10_000_000);
+        assert!(tier.totals().sync_rejected > 0);
+        assert_eq!(tier.mirror_round(0), Some(1), "torn sync keeps the last-good generation");
+        // The mirror still answers — stale, and counted as such.
+        let out = tier.handle(0, &request(1, 10_000_001)).expect("mirror reachable");
+        assert!(matches!(out, Outcome::Body { round: 1, .. }));
+        assert!(tier.totals().stale_served > 0);
+        assert!(tier.totals().revalidations > 0, "stale service schedules a revalidation");
+    }
+
+    #[test]
+    fn blackout_defers_publish_and_serves_stale_until_it_lifts() {
+        let faults = ServeFaultConfig::builder().with_origin_blackout(100, 2_000_000);
+        let mut tier = tier_over(1, faults, 1);
+        tier.advance(0);
+        let publish =
+            TimedPublish { at_us: 500, round: 2, date: "d2".to_string(), artifacts: artifacts(2) };
+        assert!(!tier.apply_publish(500, &publish), "blackout defers the publish");
+        assert_eq!(tier.target_round(), 2, "the plan's target still advances");
+        assert_eq!(tier.staleness_rounds(), 1, "origin is one round behind plan");
+        let out = tier.handle(0, &request(1, 1_000)).expect("reachable");
+        assert!(matches!(out, Outcome::Body { round: 1, .. }), "stale-while-revalidate");
+        assert_eq!(tier.totals().stale_served, 1);
+        assert!(tier.totals().sync_blocked > 0, "revalidation cannot reach the origin");
+        // Blackout over: the publish lands, the next sync catches up.
+        assert!(tier.apply_publish(2_000_000, &publish));
+        assert_eq!(tier.staleness_rounds(), 0);
+        tier.advance(3_000_000);
+        assert_eq!(tier.mirror_round(0), Some(2));
+        assert_eq!(tier.max_lag_rounds(), 0);
+    }
+
+    #[test]
+    fn outage_makes_a_mirror_unreachable_and_slow_mirrors_inflate() {
+        let faults =
+            ServeFaultConfig::builder().with_mirror_outage(0, 0, 1_000).with_slow_mirror(1, 4_000);
+        let mut tier = tier_over(1, faults, 2);
+        assert!(tier.handle(0, &request(1, 500)).is_none(), "outage: no answer at all");
+        // Mirror 0's t=0 sync fell inside its outage; the next scheduled
+        // sync (1s) lands after the window, so by 2s it serves normally.
+        let normal = tier.handle(0, &request(1, 2_000_000)).expect("outage over");
+        let slow = tier.handle(1, &request(2, 2_000_000)).expect("reachable");
+        let (Outcome::Body { latency_us: fast, .. }, Outcome::Body { latency_us: slow, .. }) =
+            (normal, slow)
+        else {
+            panic!("both mirrors serve bodies");
+        };
+        assert_eq!(slow, fast * 5, "4000 permille inflation is 5x");
+    }
+}

@@ -19,7 +19,7 @@ use sixdust_telemetry::{Counter, FlightRecorder, Histogram, HistogramSnapshot, R
 use crate::store::{ArtifactKind, SnapshotStore};
 
 /// Front-end configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrontendConfig {
     /// LRU cache capacity, in encoded response bodies.
     pub cache_capacity: usize,
@@ -52,6 +52,48 @@ impl Default for FrontendConfig {
     }
 }
 
+/// Why a [`FrontendConfig`] failed validation. Each rejected value used
+/// to be silently clamped or to produce pathological behavior (a
+/// zero-capacity cache that thrashes, a zero cap that sheds everything,
+/// a zero-burst bucket that admits nobody, a zero transfer rate that
+/// divides away the size term) — [`FrontendConfig::build`] now rejects
+/// them loudly instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendConfigError {
+    /// `cache_capacity` is zero: every body would miss and re-render.
+    ZeroCacheCapacity,
+    /// `global_concurrency` is zero: every request would be shed.
+    ZeroConcurrency,
+    /// `client_burst` is zero: no client could ever be admitted. A zero
+    /// *rate* with a positive burst stays legal — that is a finite total
+    /// quota, a legitimate policy.
+    ZeroClientBurst,
+    /// `bytes_per_us` is zero: the size-proportional latency term would
+    /// be undefined.
+    ZeroTransferRate,
+}
+
+impl std::fmt::Display for FrontendConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendConfigError::ZeroCacheCapacity => {
+                write!(f, "cache_capacity must be at least 1 body")
+            }
+            FrontendConfigError::ZeroConcurrency => {
+                write!(f, "global_concurrency must admit at least 1 request")
+            }
+            FrontendConfigError::ZeroClientBurst => {
+                write!(f, "client_burst must grant at least 1 token")
+            }
+            FrontendConfigError::ZeroTransferRate => {
+                write!(f, "bytes_per_us must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendConfigError {}
+
 impl FrontendConfig {
     /// Starts from the default configuration.
     pub fn builder() -> FrontendConfig {
@@ -60,21 +102,45 @@ impl FrontendConfig {
 
     /// Sets the LRU cache capacity.
     pub fn with_cache_capacity(mut self, entries: usize) -> FrontendConfig {
-        self.cache_capacity = entries.max(1);
+        self.cache_capacity = entries;
         self
     }
 
     /// Sets the global concurrency cap.
     pub fn with_global_concurrency(mut self, cap: usize) -> FrontendConfig {
-        self.global_concurrency = cap.max(1);
+        self.global_concurrency = cap;
         self
     }
 
     /// Sets the per-client token bucket (burst, refill per minute).
     pub fn with_client_bucket(mut self, burst: u32, rate_per_min: u32) -> FrontendConfig {
-        self.client_burst = burst.max(1);
+        self.client_burst = burst;
         self.client_rate_per_min = rate_per_min;
         self
+    }
+
+    /// Checks the configuration without consuming it.
+    pub fn validate(&self) -> Result<(), FrontendConfigError> {
+        if self.cache_capacity == 0 {
+            return Err(FrontendConfigError::ZeroCacheCapacity);
+        }
+        if self.global_concurrency == 0 {
+            return Err(FrontendConfigError::ZeroConcurrency);
+        }
+        if self.client_burst == 0 {
+            return Err(FrontendConfigError::ZeroClientBurst);
+        }
+        if self.bytes_per_us == 0 {
+            return Err(FrontendConfigError::ZeroTransferRate);
+        }
+        Ok(())
+    }
+
+    /// Finishes the builder chain, rejecting configurations that would
+    /// behave pathologically at serve time.
+    pub fn build(self) -> Result<FrontendConfig, FrontendConfigError> {
+        self.validate()?;
+        Ok(self)
     }
 }
 
@@ -166,6 +232,27 @@ pub struct FrontendTotals {
     /// served delta replaced, minus the delta bytes actually sent.
     #[serde(default)]
     pub bytes_saved_by_delta: u64,
+}
+
+impl FrontendTotals {
+    /// Adds another front end's totals into this one — how a
+    /// [`MirrorTier`](crate::mirror::MirrorTier) day folds its mirrors
+    /// into one report card.
+    pub fn merge(&mut self, other: &FrontendTotals) {
+        self.requests += other.requests;
+        self.bodies += other.bodies;
+        self.bytes_sent += other.bytes_sent;
+        self.not_modified += other.not_modified;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.shed_client += other.shed_client;
+        self.shed_global += other.shed_global;
+        self.delta_fetches += other.delta_fetches;
+        self.full_fetches += other.full_fetches;
+        self.delta_fallbacks += other.delta_fallbacks;
+        self.unavailable += other.unavailable;
+        self.bytes_saved_by_delta += other.bytes_saved_by_delta;
+    }
 }
 
 /// Per-client token bucket on virtual time. Integer math in
@@ -304,7 +391,14 @@ impl std::fmt::Debug for Frontend {
 
 impl Frontend {
     /// Creates a front end over a store.
+    ///
+    /// # Panics
+    ///
+    /// On a configuration [`FrontendConfig::validate`] rejects — run the
+    /// builder chain through [`FrontendConfig::build`] to handle the
+    /// error instead.
     pub fn new(config: FrontendConfig, store: Arc<SnapshotStore>) -> Frontend {
+        config.validate().expect("FrontendConfig rejected");
         Frontend {
             cache: LruCache::new(config.cache_capacity),
             config,
@@ -682,6 +776,37 @@ mod tests {
         assert_eq!(e.key, 2, "keyed by virtual hour of day");
         assert_eq!(e.args[0], ("client".to_string(), "7".to_string()));
         assert_eq!(reg.snapshot().counter("serve.kind.responsive-addresses.errors"), Some(1));
+    }
+
+    #[test]
+    fn builder_rejects_pathological_configs() {
+        assert_eq!(
+            FrontendConfig::builder().with_cache_capacity(0).build(),
+            Err(FrontendConfigError::ZeroCacheCapacity)
+        );
+        assert_eq!(
+            FrontendConfig::builder().with_global_concurrency(0).build(),
+            Err(FrontendConfigError::ZeroConcurrency)
+        );
+        assert_eq!(
+            FrontendConfig::builder().with_client_bucket(0, 60).build(),
+            Err(FrontendConfigError::ZeroClientBurst)
+        );
+        let mut zero_rate_transfer = FrontendConfig::default();
+        zero_rate_transfer.bytes_per_us = 0;
+        assert_eq!(zero_rate_transfer.build(), Err(FrontendConfigError::ZeroTransferRate));
+        // A zero refill rate with a positive burst is a finite total
+        // quota, not a pathology — it must keep building.
+        let quota = FrontendConfig::builder().with_client_bucket(1, 0).build().expect("legal");
+        assert_eq!((quota.client_burst, quota.client_rate_per_min), (1, 0));
+        assert!(FrontendConfig::default().build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "FrontendConfig rejected")]
+    fn frontend_new_panics_on_invalid_config() {
+        let config = FrontendConfig::builder().with_global_concurrency(0);
+        let _ = Frontend::new(config, served_store());
     }
 
     #[test]

@@ -353,6 +353,33 @@ impl SnapshotStore {
         }
     }
 
+    /// Installs an already-built generation: validated version handles
+    /// an edge mirror adopted from its origin after a checksum-clean
+    /// sync ([`MirrorTier`](crate::mirror::MirrorTier) is the caller).
+    /// Nothing is re-encoded — structural sharing extends across the
+    /// tier, and the swap is as atomic as a publication's, so a mirror
+    /// never serves a torn mix of rounds. Returns `false` (installing
+    /// nothing) unless exactly one version per [`ArtifactKind::ALL`]
+    /// entry arrives in canonical order.
+    pub fn install_generation(
+        &self,
+        round: u64,
+        date: &str,
+        artifacts: Vec<Arc<ArtifactVersion>>,
+    ) -> bool {
+        if artifacts.len() != ArtifactKind::ALL.len()
+            || artifacts.iter().zip(ArtifactKind::ALL).any(|(v, k)| v.kind() != k)
+        {
+            return false;
+        }
+        let generation = Arc::new(Generation { round, date: date.to_string(), artifacts });
+        *self.current.write().expect("store lock") = Some(generation);
+        if let Some(t) = &self.telemetry {
+            t.counter("serve.publish.installed").incr();
+        }
+        true
+    }
+
     /// Publishes a [`HitlistService`](sixdust_hitlist::HitlistService)'s
     /// current state as one round: the cleaned responsive set, the
     /// per-protocol slices from the last completed round, the aliased
@@ -360,19 +387,27 @@ impl SnapshotStore {
     /// detector emits) and the GFW-filtered pool. The natural hook body
     /// for [`HitlistService::run_with`](sixdust_hitlist::HitlistService::run_with).
     pub fn publish_service(&self, svc: &sixdust_hitlist::HitlistService, round: u64, date: &str) {
-        let mut artifacts: Vec<(ArtifactKind, AddrSet)> = vec![
-            (ArtifactKind::Responsive, svc.current_responsive().clone()),
-            (
-                ArtifactKind::AliasedPrefixes,
-                svc.aliased().iter().map(|p| p.network().0 | u128::from(p.len())).collect(),
-            ),
-            (ArtifactKind::GfwFiltered, svc.gfw_impacted().iter().map(|a| a.0).collect()),
-        ];
-        for (proto, set) in svc.proto_responsive() {
-            artifacts.push((ArtifactKind::PerProtocol(*proto), set.clone()));
-        }
-        self.publish_round(round, date, artifacts);
+        self.publish_round(round, date, service_artifacts(svc));
     }
+}
+
+/// Extracts the artifact payloads a service round publishes — shared by
+/// [`SnapshotStore::publish_service`] and the mirror tier's timed publish
+/// plan ([`crate::mirror::TimedPublish::from_service`]) so both paths
+/// ship byte-identical artifacts.
+pub fn service_artifacts(svc: &sixdust_hitlist::HitlistService) -> Vec<(ArtifactKind, AddrSet)> {
+    let mut artifacts: Vec<(ArtifactKind, AddrSet)> = vec![
+        (ArtifactKind::Responsive, svc.current_responsive().clone()),
+        (
+            ArtifactKind::AliasedPrefixes,
+            svc.aliased().iter().map(|p| p.network().0 | u128::from(p.len())).collect(),
+        ),
+        (ArtifactKind::GfwFiltered, svc.gfw_impacted().iter().map(|a| a.0).collect()),
+    ];
+    for (proto, set) in svc.proto_responsive() {
+        artifacts.push((ArtifactKind::PerProtocol(*proto), set.clone()));
+    }
+    artifacts
 }
 
 #[cfg(test)]
@@ -443,6 +478,29 @@ mod tests {
         let v2 = s.artifact(ArtifactKind::AliasedPrefixes).expect("v2");
         assert!(Arc::ptr_eq(&v1, &v2), "identical content carries the version over");
         assert_eq!(v2.round(), 1, "round stays the one that built it");
+    }
+
+    #[test]
+    fn install_generation_adopts_handles_and_rejects_malformed_sets() {
+        let origin = store();
+        origin.publish_round(5, "d5", vec![(ArtifactKind::Responsive, items(0..200))]);
+        let versions: Vec<Arc<ArtifactVersion>> =
+            ArtifactKind::ALL.iter().map(|&k| origin.artifact(k).expect("published")).collect();
+        let mirror = store();
+        assert!(mirror.install_generation(5, "d5", versions.clone()));
+        assert_eq!(mirror.current_round(), Some(5));
+        let adopted = mirror.artifact(ArtifactKind::Responsive).expect("installed");
+        assert!(
+            Arc::ptr_eq(&adopted, &origin.artifact(ArtifactKind::Responsive).unwrap()),
+            "structural sharing extends across the tier"
+        );
+        // A short or reordered set installs nothing.
+        let empty_mirror = store();
+        assert!(!empty_mirror.install_generation(5, "d5", versions[..3].to_vec()));
+        let mut reversed = versions;
+        reversed.reverse();
+        assert!(!empty_mirror.install_generation(5, "d5", reversed));
+        assert_eq!(empty_mirror.current_round(), None);
     }
 
     #[test]

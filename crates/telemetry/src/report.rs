@@ -119,9 +119,9 @@ impl Dashboard<'_> {
             for b in breaches.iter().take(MAX_BREACH_ROWS) {
                 let _ = write!(out, "<tr><td>{}</td><td>", b.key);
                 escape_html(&b.slo, out);
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "</td><td>{}‰</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    "</td><td>{}‰</td><td>{}</td><td>{}</td><td>{}</td></tr>",
                     b.bad_permille,
                     burn(b.burn_short_milli),
                     burn(b.burn_long_milli),
@@ -129,17 +129,17 @@ impl Dashboard<'_> {
                 );
             }
             if breaches.len() > MAX_BREACH_ROWS {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "<tr><td colspan=\"6\">… and {} more (see breach log JSONL)</td></tr>\n",
+                    "<tr><td colspan=\"6\">… and {} more (see breach log JSONL)</td></tr>",
                     breaches.len() - MAX_BREACH_ROWS
                 );
             }
             out.push_str("</table>\n");
             if engine.dropped_breaches() > 0 {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "<p class=\"sub\">{} older breach entries aged out of the log.</p>\n",
+                    "<p class=\"sub\">{} older breach entries aged out of the log.</p>",
                     engine.dropped_breaches()
                 );
             }
@@ -190,9 +190,9 @@ impl Dashboard<'_> {
             );
         }
         out.push_str("</svg>\n");
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "<p class=\"sub\">rounds {} – {} · red degraded · amber anomaly · green clean</p>\n",
+            "<p class=\"sub\">rounds {} – {} · red degraded · amber anomaly · green clean</p>",
             rounds.first().expect("non-empty").key,
             rounds.last().expect("non-empty").key
         );
@@ -229,18 +229,18 @@ impl Dashboard<'_> {
             escape_html(name, out);
             out.push_str("</div>");
             sparkline_svg(&downsample_max(&values, SPARK_POINTS), out);
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "<div class=\"mstat\">last {last} · min {min} · max {max}</div></div>\n"
+                "<div class=\"mstat\">last {last} · min {min} · max {max}</div></div>"
             );
         }
         if open {
             out.push_str("</div>\n");
         }
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<p class=\"sub\">{} deterministic metrics ({} flat-zero omitted); \
-             wall-clock duration series excluded by design.</p>\n",
+             wall-clock duration series excluded by design.</p>",
             names.len(),
             flat_zero
         );
@@ -267,9 +267,9 @@ impl Dashboard<'_> {
             out.push_str("</pre></details>\n");
         }
         if flight.dropped_captures() > 0 {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "<p class=\"sub\">{} further incidents fired after the capture bound.</p>\n",
+                "<p class=\"sub\">{} further incidents fired after the capture bound.</p>",
                 flight.dropped_captures()
             );
         }

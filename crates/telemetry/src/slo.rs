@@ -254,7 +254,12 @@ impl SloEngine {
     ///   time, `serve.latency_us.p99`);
     /// * `publish-freshness` — at most 2 rounds since the last *clean*
     ///   publish (`service.publish.staleness_rounds` gauge);
-    /// * `degraded-rounds` — degraded rounds within a 5% budget.
+    /// * `degraded-rounds` — degraded rounds within a 5% budget;
+    /// * `mirror-availability` — client attempts that hit a dead mirror
+    ///   (`serve.mirror.down_attempts` over `serve.retry.attempts`)
+    ///   within a 10% budget. Rounds without a mirror tier carry no
+    ///   `serve.retry.attempts` column and are skipped, so the spec is
+    ///   inert for single-frontend and hitlist-only runs.
     pub fn standard() -> SloEngine {
         SloEngine::new(vec![
             SloSpec::ratio("serve-availability", "serve.shed", "serve.requests", 50, 1, 4, 2000),
@@ -275,6 +280,15 @@ impl SloEngine {
                 50,
                 3,
                 12,
+                2000,
+            ),
+            SloSpec::ratio(
+                "mirror-availability",
+                "serve.mirror.down_attempts",
+                "serve.retry.attempts",
+                100,
+                1,
+                4,
                 2000,
             ),
         ])
@@ -517,7 +531,13 @@ mod tests {
             SloEngine::standard().status().into_iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            ["serve-availability", "serve-latency-p99", "publish-freshness", "degraded-rounds"]
+            [
+                "serve-availability",
+                "serve-latency-p99",
+                "publish-freshness",
+                "degraded-rounds",
+                "mirror-availability"
+            ]
         );
     }
 }

@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn classification() {
         assert_eq!(classify("2001:db8::1".parse().unwrap()), SeedClass::LowByte);
-        let e = Eui64::from_oui_serial(0x0014_22, 9).apply_to("2001:db8::".parse().unwrap());
+        let e = Eui64::from_oui_serial(0x001422, 9).apply_to("2001:db8::".parse().unwrap());
         assert_eq!(classify(e), SeedClass::Eui64);
         assert_eq!(classify("2001:db8::89ab:cdef:1234:5678".parse().unwrap()), SeedClass::Random);
     }

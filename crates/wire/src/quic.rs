@@ -98,7 +98,7 @@ impl QuicPacket {
         pos += scid_len;
         if version == 0 {
             let rest = &bytes[pos..];
-            if rest.len() % 4 != 0 || rest.is_empty() {
+            if !rest.len().is_multiple_of(4) || rest.is_empty() {
                 return Err(WireError::Malformed("vn version list"));
             }
             let supported = rest

@@ -9,7 +9,9 @@
 # (100k requests, Zipf artifact popularity, ETag and delta fetches,
 # admission control) and the derived requests/sec, joined with the
 # day's byte-savings and latency facts the bench writes to
-# target/serve_day.json, plus the codec micro-bench estimates.
+# target/serve_day.json, plus the codec micro-bench estimates, plus the
+# mirror-tier chaos day (1 vs 4 mirrors) joined with the resilience
+# ledger from target/serve_mirror_day.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,10 +60,33 @@ if day_est:
 codec = {name: {"mean_secs": ns / 1e9} for name, ns in estimates("serve_codec").items()}
 store = {name: {"mean_secs": ns / 1e9} for name, ns in estimates("serve_store").items()}
 
+# The mirror-tier chaos day: 1 mirror prices the resilience machinery
+# alone, 4 mirrors the full failover fan-out; the 4-mirror run's
+# resilience ledger rides along as side facts.
+mirror_side = {}
+if os.path.isfile("target/serve_mirror_day.json"):
+    with open("target/serve_mirror_day.json") as f:
+        mirror_side = json.load(f)
+
+mirror_day = None
+mirror_est = estimates("serve_mirror_day")
+if mirror_est:
+    requests = mirror_side.get("requests", 100_000)
+    mirror_day = {
+        name: {
+            "mean_day_secs": ns / 1e9,
+            "requests_per_sec": requests / (ns / 1e9),
+        }
+        for name, ns in mirror_est.items()
+    }
+    if mirror_side:
+        mirror_day["chaos_ledger_4_mirrors"] = mirror_side
+
 doc = {
     "bench": "crates/bench/benches/serve.rs",
     "refreshed_by": "scripts/bench_serve.sh",
     "day": day,
+    "mirror_day": mirror_day,
     "codec": codec or None,
     "store": store or None,
     "note": None
@@ -71,5 +96,9 @@ doc = {
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"wrote {out}: day={'yes' if day else 'no'}, {len(codec)} codec, {len(store)} store benches")
+print(
+    f"wrote {out}: day={'yes' if day else 'no'}, "
+    f"mirror_day={'yes' if mirror_day else 'no'}, "
+    f"{len(codec)} codec, {len(store)} store benches"
+)
 PY

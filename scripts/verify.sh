@@ -50,6 +50,26 @@ cargo build --workspace --release
 echo "== cargo test --workspace"
 cargo test --workspace --release -q
 
+echo "== mirror chaos scenario (quick mode: 3-mirror chaos replay, byte-identical)"
+# A seeded chaos day (mirror outages, an origin publish blackout, sync
+# corruption) replayed over a 3-mirror tier at tiny scale: the resilient
+# client path must absorb the fault plan with zero hard failures, and
+# the identical seed must reproduce the DayReport byte-for-byte.
+cargo build --release -q -p sixdust-experiments
+chaos_dir=target/verify-chaos
+rm -rf "$chaos_dir" && mkdir -p "$chaos_dir"
+for run in a b; do
+  target/release/sixdust-exp --scale tiny --seed 11 --out "$chaos_dir/$run" \
+    --mirrors 3 --serve-faults --serve-report "$chaos_dir/$run.json" \
+    publish >/dev/null 2>"$chaos_dir/$run.log"
+done
+cmp "$chaos_dir/a.json" "$chaos_dir/b.json" \
+  || { echo "chaos scenario FAILED: reports differ across identical seeds" >&2; exit 1; }
+grep -q " 0 hard failures" "$chaos_dir/a.log" \
+  || { echo "chaos scenario FAILED: hard failures in the chaos day" >&2; \
+       grep "chaos day" "$chaos_dir/a.log" >&2 || true; exit 1; }
+grep "chaos day over" "$chaos_dir/a.log"
+
 if [ "${1:-}" != "--quick" ]; then
   echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
