@@ -1,0 +1,47 @@
+//! Multi-vantage fleet throughput: scheduler rounds per second at fleet
+//! sizes N = 1, 2 and 4, over the work-stealing segment executor.
+//! `scripts/bench_vantage.sh` distils the estimates into
+//! `BENCH_vantage.json` so future PRs have a trajectory to compare
+//! against. The N = 1 variant doubles as the overhead probe: it runs
+//! the same rounds as the plain service (pinned byte-identical by
+//! `tests/vantage.rs`), so any gap against `BENCH_round.json` is pure
+//! scheduler cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sixdust_net::{Day, FaultConfig, Scale};
+use sixdust_vantage::{FleetConfig, VantageFleet};
+
+/// Days per iteration — enough batches for the heap and the executor to
+/// matter, short enough for benchmark territory.
+const WINDOW_DAYS: u32 = 8;
+
+fn run_window(n: usize, threads: usize) -> usize {
+    let config = FleetConfig::new(Scale::tiny(), n)
+        .with_faults(FaultConfig::lossless().with_drop_permille(2))
+        .with_threads(threads);
+    let mut fleet = VantageFleet::build(config);
+    fleet.run(Day(0), Day(WINDOW_DAYS));
+    (0..fleet.len()).map(|v| fleet.service(v).rounds().len()).sum()
+}
+
+/// Fleet rounds/sec. `vantage_1_t4` is the single-vantage scheduler
+/// overhead probe; `vantage_2_t4` and `vantage_4_t4` scale the roster at
+/// a fixed four-worker budget; `vantage_4_t8` doubles the workers at the
+/// widest roster to show executor scaling.
+fn bench_vantage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vantage");
+    g.sample_size(10);
+    for (n, threads) in [(1usize, 4usize), (2, 4), (4, 4), (4, 8)] {
+        g.bench_function(format!("vantage_{n}_t{threads}"), |b| {
+            b.iter(|| black_box(run_window(n, threads)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = vantage;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vantage
+);
+criterion_main!(vantage);

@@ -27,7 +27,12 @@
 //! per-round series, the standard SLO engine with burn-rate alerting, a
 //! black-box flight recorder, and the serve-day replay — and writes a
 //! self-contained static HTML ops dashboard (byte-identical across runs
-//! at a fixed seed). See EXPERIMENTS.md for worked examples.
+//! at a fixed seed). `--vantages N` runs the multi-vantage fleet (EU /
+//! US / behind-GFW CN roster) over the GFW filtering era instead of the
+//! experiment suite and writes the per-day disagreement artifact to
+//! `<out>/vantage_disagreement.json`; with `--checkpoint PATH` the fleet
+//! saves (and resumes from) a crash-safe fleet checkpoint. See
+//! EXPERIMENTS.md for worked examples.
 
 mod context;
 mod exp_ablations;
@@ -84,7 +89,8 @@ fn usage() -> ! {
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
          [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
          [--serve-report PATH] [--dashboard PATH] [--mirrors N] [--serve-faults] \
-         <experiment>|all\n\
+         [--vantages N] <experiment>|all\n\
+         (--vantages N runs the multi-vantage fleet and exits; no experiment needed)\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
     );
@@ -122,6 +128,7 @@ fn main() {
     let mut serve_report_path: Option<PathBuf> = None;
     let mut dashboard_path: Option<PathBuf> = None;
     let mut mirrors: Option<usize> = None;
+    let mut vantages: Option<usize> = None;
     let mut serve_faults = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -186,10 +193,31 @@ fn main() {
                 };
                 mirrors = Some(n);
             }
+            "--vantages" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    usage();
+                };
+                vantages = Some(n);
+            }
             "--serve-faults" => serve_faults = true,
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
         }
+    }
+    // `--vantages N` is its own mode: run the fleet, write the
+    // disagreement artifact, exit. The experiment suite stays
+    // single-vantage (its world *is* vantage 0's world).
+    if let Some(n) = vantages {
+        std::fs::create_dir_all(&out_dir).expect("create results dir");
+        run_vantage_fleet(
+            n,
+            scale,
+            &out_dir,
+            telemetry_path.as_deref(),
+            checkpoint_path.as_deref(),
+        );
+        return;
     }
     if cmds.is_empty() {
         usage();
@@ -388,6 +416,99 @@ fn main() {
             journal.len(),
             path.display()
         );
+    }
+}
+
+/// The `--vantages N` mode: run the default N-vantage roster (EU / US /
+/// behind-GFW CN, extras in neutral regions) over the GFW filtering era
+/// with the cleaning filter live — the window where standing somewhere
+/// else actually changes what a scan sees — and write the per-day
+/// disagreement reports as `<out>/vantage_disagreement.json`.
+///
+/// With `--checkpoint PATH` the fleet saves a crash-safe checkpoint
+/// after every synchronized batch and resumes from it on restart; a
+/// corrupt or roster-incompatible checkpoint is reported and ignored.
+/// With `--telemetry PATH` the fleet's registry (including the
+/// `vantage.*` metrics) is dumped as JSON at the end of the run.
+fn run_vantage_fleet(
+    n: usize,
+    scale: Scale,
+    out_dir: &std::path::Path,
+    telemetry_path: Option<&std::path::Path>,
+    checkpoint_path: Option<&std::path::Path>,
+) {
+    use sixdust_net::{events, FaultConfig};
+    use sixdust_vantage::{FleetConfig, FleetState, VantageFleet};
+
+    let registry = sixdust_telemetry::Registry::new();
+    let config = FleetConfig::new(scale, n)
+        .with_faults(FaultConfig::lossless().with_drop_permille(2))
+        .with_threads(4);
+    let from = events::GFW_FILTER_DEPLOYED;
+    let until = from.plus(20);
+
+    let mut fleet = match checkpoint_path.filter(|p| p.exists()) {
+        Some(path) => match FleetState::load(path) {
+            Ok(state) if state.specs == config.specs => {
+                eprintln!(
+                    "[vantage] resuming from checkpoint {} ({} reports so far)",
+                    path.display(),
+                    state.reports.len()
+                );
+                VantageFleet::restore_with_telemetry(config, &registry, &state)
+            }
+            Ok(_) => {
+                eprintln!("[vantage] ignoring checkpoint {} (different roster)", path.display());
+                VantageFleet::build_with_telemetry(config, &registry)
+            }
+            Err(e) => {
+                eprintln!("[vantage] ignoring unusable checkpoint {}: {e}", path.display());
+                VantageFleet::build_with_telemetry(config, &registry)
+            }
+        },
+        None => VantageFleet::build_with_telemetry(config, &registry),
+    };
+
+    let t0 = std::time::Instant::now();
+    fleet.run_with(from, until, |fleet, day| {
+        if let Some(path) = checkpoint_path {
+            FleetState::capture(fleet).save_atomic(path).expect("fleet checkpoint save");
+        }
+        if let Some(report) = fleet.reports().last().filter(|r| r.day == day) {
+            eprintln!(
+                "[vantage] day {}: union {} / intersection {} — {} disagreements ({} gfw)",
+                day.0,
+                report.union,
+                report.intersection,
+                report.disagreements,
+                report.gfw_disagreements
+            );
+        }
+    });
+
+    let artifact = out_dir.join("vantage_disagreement.json");
+    let json = serde_json::to_string_pretty(fleet.reports()).expect("reports serialize");
+    write_observability(&artifact, &json);
+    let total: u64 = fleet.reports().iter().map(|r| r.disagreements).sum();
+    let gfw: u64 = fleet.reports().iter().map(|r| r.gfw_disagreements).sum();
+    let stats = fleet.stats();
+    eprintln!(
+        "[obs] vantage fleet: {} vantages over days {}..{} in {:.1}s — {} reports, \
+         {} disagreements ({} gfw-class), {} segments executed ({} stolen); wrote {}",
+        fleet.len(),
+        from.0,
+        until.0,
+        t0.elapsed().as_secs_f64(),
+        fleet.reports().len(),
+        total,
+        gfw,
+        stats.executed,
+        stats.stolen,
+        artifact.display()
+    );
+    if let Some(path) = telemetry_path {
+        write_observability(path, &registry.snapshot().to_json());
+        eprintln!("[obs] wrote fleet telemetry to {}", path.display());
     }
 }
 

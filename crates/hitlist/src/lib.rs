@@ -30,7 +30,9 @@ pub mod state;
 pub use filters::{Blocklist, GfwFilter, UnresponsiveFilter};
 pub use newsources::{evaluate_source, passive_sources, SourceEval};
 pub use publish::{publish, Manifest, Publication};
-pub use service::{HitlistService, RoundRecord, ServiceConfig, ServiceConfigBuilder, Snapshot};
+pub use service::{
+    HitlistService, PreparedRound, RoundRecord, ServiceConfig, ServiceConfigBuilder, Snapshot,
+};
 pub use state::ServiceState;
 
 #[cfg(test)]

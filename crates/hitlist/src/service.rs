@@ -18,7 +18,7 @@ use sixdust_alias::{candidates, AliasDetector, DetectorConfig};
 use sixdust_net::{events, Day, Internet, ProbeKind, ProtoSet, Protocol, Response};
 use sixdust_scan::{proto_metric_key, scan_with, ScanConfig, ScanResult};
 use sixdust_telemetry::{
-    FlightRecorder, MadConfig, MadDetector, Registry, SeriesRecorder, SloEngine,
+    FlightRecorder, MadConfig, MadDetector, Registry, SeriesRecorder, SloEngine, TraceSpan,
 };
 
 use crate::filters::{Blocklist, GfwFilter, UnresponsiveFilter};
@@ -285,6 +285,24 @@ impl Snapshot {
         }
         total
     }
+}
+
+/// One round's pre-scan work product — what
+/// [`HitlistService::prepare_round`] selected and
+/// [`HitlistService::complete_round`] consumes. Between the two, any
+/// executor may produce the per-protocol [`ScanResult`]s over `targets`
+/// (the built-in path is [`HitlistService::scan_prepared`]).
+#[derive(Debug)]
+pub struct PreparedRound {
+    /// The round's day.
+    pub day: Day,
+    /// Blocklist- and alias-filtered scan targets for every protocol.
+    pub targets: Vec<Addr>,
+    /// Whether the GFW filter deployment is live on `day` (the service
+    /// publishes the cleaned view).
+    pub gfw_live: bool,
+    /// The round-spanning trace span; closes when the round completes.
+    round_span: Option<TraceSpan>,
 }
 
 /// The running service.
@@ -606,6 +624,17 @@ impl HitlistService {
         &self.cumulative
     }
 
+    /// The service configuration (external schedulers read the scan
+    /// settings to reproduce the built-in executor's partitioning).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
+    }
+
     /// Longitudinal per-round records.
     pub fn rounds(&self) -> &[RoundRecord] {
         &self.rounds
@@ -712,13 +741,41 @@ impl HitlistService {
         }
     }
 
+    /// Records the round's scan-phase duration on behalf of an external
+    /// executor that bypasses [`HitlistService::scan_prepared`] (the
+    /// multi-vantage work-stealing scheduler runs the protocol scans
+    /// itself). Keeps the `service.round.phase.scan_ms` histogram at
+    /// exactly one sample per round, the invariant every other phase
+    /// histogram upholds.
+    pub fn record_external_scan_phase(&self, elapsed: Duration) {
+        self.record_phase("scan", elapsed);
+    }
+
     /// Runs one full service round on `day`.
+    ///
+    /// Composed from the three round stages — [`HitlistService::prepare_round`]
+    /// (sources, alias detection, target selection),
+    /// [`HitlistService::scan_prepared`] (the five protocol scans), and
+    /// [`HitlistService::complete_round`] (merge, cleaning, bookkeeping) —
+    /// which external schedulers (the multi-vantage fleet in
+    /// `sixdust-vantage`) drive individually to interleave many services'
+    /// scan work.
     pub fn run_round(&mut self, net: &Internet, day: Day) -> &RoundRecord {
-        // Resolve the trace journal once per round (like metric handles);
-        // the span closes when it drops at the end of this function.
+        let prepared = self.prepare_round(net, day);
+        let results = self.scan_prepared(net, &prepared);
+        self.complete_round(net, prepared, results)
+    }
+
+    /// Round stages 1–3: source ingestion, periodic alias detection, and
+    /// target selection — everything that must happen before the first
+    /// probe of the round is sent. Opens the round's trace span; it closes
+    /// when the returned [`PreparedRound`] is consumed by
+    /// [`HitlistService::complete_round`].
+    pub fn prepare_round(&mut self, net: &Internet, day: Day) -> PreparedRound {
+        // Resolve the trace journal once per round (like metric handles).
         let tracer = self.telemetry.as_ref().and_then(|t| t.tracer());
         let day_str = day.0.to_string();
-        let mut round_span =
+        let round_span =
             tracer.as_ref().map(|j| j.span_with("service.round", &[("day", day_str.as_str())]));
 
         // 1. Sources.
@@ -750,20 +807,30 @@ impl HitlistService {
             .collect();
         self.record_phase("select", phase_started.elapsed());
 
-        // 3b. Scans — the five protocol modules run concurrently (each
-        // with its slice of the round's thread budget) or back to back,
-        // depending on `parallel_protocols`. A scan is a pure function of
-        // (net, protocol, targets, day, config), so the only ordering
-        // that matters is the merge below, which is strictly sequential
-        // in Protocol::ALL order either way: records, snapshots and
-        // checkpoints come out byte-identical at any thread budget.
         let gfw_live = self.config.gfw_filter_from.map(|d| day >= d).unwrap_or(false);
+        PreparedRound { day, targets, gfw_live, round_span }
+    }
+
+    /// Round stage 3b: the five protocol scans over a prepared round's
+    /// targets. The protocol modules run concurrently (each with its
+    /// slice of the round's thread budget) or back to back, depending on
+    /// `parallel_protocols`. A scan is a pure function of (net, protocol,
+    /// targets, day, config), so the only ordering that matters is the
+    /// merge in [`HitlistService::complete_round`], which is strictly
+    /// sequential in Protocol::ALL order either way: records, snapshots
+    /// and checkpoints come out byte-identical at any thread budget. The
+    /// returned results are in `Protocol::ALL` order, which is what
+    /// `complete_round` requires — external executors producing the same
+    /// ordered results by other partitions are interchangeable.
+    pub fn scan_prepared(&self, net: &Internet, prepared: &PreparedRound) -> Vec<ScanResult> {
+        let day = prepared.day;
+        let targets = &prepared.targets;
         let telemetry = self.telemetry.as_ref();
         let scan_started = Instant::now();
         let results: Vec<ScanResult> = if self.config.parallel_protocols {
             let budgets = split_thread_budget(self.config.scan.threads);
             let scan_cfg = &self.config.scan;
-            let targets = &targets;
+            let targets = &targets[..];
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = Protocol::ALL
                     .into_iter()
@@ -794,10 +861,26 @@ impl HitlistService {
         } else {
             Protocol::ALL
                 .into_iter()
-                .map(|proto| scan_with(net, proto, &targets, day, &self.config.scan, telemetry))
+                .map(|proto| scan_with(net, proto, targets, day, &self.config.scan, telemetry))
                 .collect()
         };
         self.record_phase("scan", scan_started.elapsed());
+        results
+    }
+
+    /// Round stages 3c–9: merge the per-protocol scan results (which must
+    /// be in `Protocol::ALL` order over the prepared targets), clean,
+    /// classify, sweep, traceroute, and record. Consumes the
+    /// [`PreparedRound`], closing the round's trace span.
+    pub fn complete_round(
+        &mut self,
+        net: &Internet,
+        prepared: PreparedRound,
+        results: Vec<ScanResult>,
+    ) -> &RoundRecord {
+        let PreparedRound { day, targets, gfw_live, mut round_span } = prepared;
+        let tracer = self.telemetry.as_ref().and_then(|t| t.tracer());
+        let day_str = day.0.to_string();
 
         // 3c. Merge, strictly in Protocol::ALL order. GFW cleaning
         // mutates filter state and stays sequential; set bookkeeping

@@ -146,22 +146,35 @@ pub struct Outage {
     pub until: Day,
     /// What is down.
     pub scope: OutageScope,
+    /// For [`OutageScope::Vantage`]: the ASN of the *specific* vantage
+    /// point this window cuts off, or `None` for the historical meaning
+    /// of "every vantage is down". Ignored for the other scopes. The
+    /// serde default keeps pre-existing serialized configs global.
+    #[serde(default)]
+    pub vantage: Option<u32>,
 }
 
 impl Outage {
-    /// A vantage-point outage window `[from, until)`.
+    /// A vantage-point outage window `[from, until)` downing every
+    /// vantage (the scanner side is cut off globally).
     pub fn vantage(from: Day, until: Day) -> Outage {
-        Outage { from, until, scope: OutageScope::Vantage }
+        Outage { from, until, scope: OutageScope::Vantage, vantage: None }
+    }
+
+    /// A vantage outage window `[from, until)` downing only the vantage
+    /// whose source AS is `asn`; other vantages keep scanning.
+    pub fn vantage_asn(asn: u32, from: Day, until: Day) -> Outage {
+        Outage { from, until, scope: OutageScope::Vantage, vantage: Some(asn) }
     }
 
     /// An AS outage window `[from, until)`.
     pub fn asn(asn: u32, from: Day, until: Day) -> Outage {
-        Outage { from, until, scope: OutageScope::Asn(asn) }
+        Outage { from, until, scope: OutageScope::Asn(asn), vantage: None }
     }
 
     /// A single-protocol blackout window `[from, until)`.
     pub fn protocol(proto: Protocol, from: Day, until: Day) -> Outage {
-        Outage { from, until, scope: OutageScope::Protocol(proto) }
+        Outage { from, until, scope: OutageScope::Protocol(proto), vantage: None }
     }
 
     /// Whether the window covers `day`.
@@ -292,9 +305,20 @@ impl FaultConfig {
         self
     }
 
-    /// Whether the vantage point is down on `day`.
+    /// Whether *every* vantage point is down on `day` (a global
+    /// vantage outage; windows naming a specific vantage don't count).
     pub fn vantage_down(&self, day: Day) -> bool {
-        self.outages.iter().any(|o| o.scope == OutageScope::Vantage && o.active(day))
+        self.outages
+            .iter()
+            .any(|o| o.scope == OutageScope::Vantage && o.vantage.is_none() && o.active(day))
+    }
+
+    /// Whether the vantage whose source AS is `asn` is down on `day` —
+    /// true for global vantage outages and for windows naming `asn`.
+    pub fn vantage_down_from(&self, asn: u32, day: Day) -> bool {
+        self.outages.iter().any(|o| {
+            o.scope == OutageScope::Vantage && o.active(day) && o.vantage.map_or(true, |v| v == asn)
+        })
     }
 
     /// Whether `asn` is down on `day`.

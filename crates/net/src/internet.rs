@@ -29,7 +29,7 @@ use crate::fingerprint::{DnsBehavior, TcpFingerprint};
 use crate::gfw::Gfw;
 use crate::population::{HostView, Population};
 use crate::proto::Protocol;
-use crate::registry::AsRegistry;
+use crate::registry::{AsId, AsRegistry};
 use crate::scale::Scale;
 use crate::time::Day;
 use crate::zones::{DnsZones, CONTROLLED_DOMAIN};
@@ -119,6 +119,10 @@ pub struct Internet {
     ns_log: Mutex<Vec<(Addr, String)>>,
     seed: u64,
     counters: NetCounters,
+    /// The vantage AS probes originate from; `None` means the registry's
+    /// default vantage (the historical single-vantage behavior,
+    /// bit-for-bit).
+    source_vantage: Option<AsId>,
 }
 
 /// Always-on traffic counters of one [`Internet`]. They count from the
@@ -140,6 +144,13 @@ pub struct NetCounters {
     pub faults_corrupted: Counter,
     /// ICMPv6 messages suppressed/ignored by router rate limiting.
     pub faults_rate_limited: Counter,
+    /// Hop-1 traceroute answers synthesized because the source vantage
+    /// owns no router pool (vantages registered after the population was
+    /// built).
+    pub hops_vantage_fallback: Counter,
+    /// DNS queries for GFW-blocked names filtered on *egress* because the
+    /// source vantage sits behind the firewall.
+    pub gfw_egress_filtered: Counter,
 }
 
 impl NetCounters {
@@ -152,6 +163,8 @@ impl NetCounters {
         registry.register_counter("net.faults.duplicated", &self.faults_duplicated);
         registry.register_counter("net.faults.corrupted", &self.faults_corrupted);
         registry.register_counter("net.faults.rate_limited", &self.faults_rate_limited);
+        registry.register_counter("net.hops.vantage_fallback", &self.hops_vantage_fallback);
+        registry.register_counter("net.gfw.egress_filtered", &self.gfw_egress_filtered);
     }
 }
 
@@ -183,6 +196,7 @@ impl Internet {
             icmp_budget: Mutex::new(HashMap::new()),
             ns_log: Mutex::new(Vec::new()),
             counters: NetCounters::default(),
+            source_vantage: None,
         }
     }
 
@@ -190,6 +204,38 @@ impl Internet {
     pub fn with_faults(mut self, faults: FaultConfig) -> Internet {
         self.faults = faults;
         self
+    }
+
+    /// Returns the simulator scanning *from* vantage `id` instead of the
+    /// default vantage. The source vantage determines the outage identity
+    /// (see [`crate::Outage::vantage_asn`]), the fault realization (each
+    /// non-default vantage sees an independent drop-coin stream over the
+    /// same world), GFW egress filtering (a vantage behind the firewall
+    /// cannot get queries for blocked names out), and the hop-1
+    /// traceroute interface. Selecting the default vantage preserves the
+    /// historical streams bit-for-bit.
+    pub fn with_source_vantage(mut self, id: AsId) -> Internet {
+        self.source_vantage = Some(id);
+        self
+    }
+
+    /// Registers an additional measurement vantage AS in the underlying
+    /// registry (see [`AsRegistry::register_vantage`]) and returns its
+    /// id. Registration order determines the new AS's address block, so
+    /// multiple `Internet` instances registering the same roster in the
+    /// same order agree on every address.
+    pub fn register_vantage(&mut self, asn: u32, name: &str, country: &str) -> AsId {
+        self.registry.register_vantage(asn, name, country)
+    }
+
+    /// The AS the scanner's probes originate from.
+    pub fn source_vantage(&self) -> AsId {
+        self.source_vantage.unwrap_or_else(|| self.registry.vantage())
+    }
+
+    /// The source address probes originate from.
+    pub fn source_addr(&self) -> Addr {
+        self.registry.vantage_addr_of(self.source_vantage())
     }
 
     /// The active fault configuration.
@@ -239,19 +285,33 @@ impl Internet {
 
     /// The fault-stream seed: the world seed mixed with the fault
     /// config's own seed (zero by default, preserving the historical
-    /// drop-coin stream).
+    /// drop-coin stream) and — for non-default vantages only — a salt
+    /// derived from the source vantage's ASN, so each vantage experiences
+    /// an independent fault realization over the same world.
     fn fault_seed(&self) -> u64 {
-        self.seed ^ self.faults.seed
+        self.seed ^ self.faults.seed ^ self.vantage_salt()
     }
 
-    /// Whether an outage window silences `dst` on `day` — the vantage
-    /// point is down (nothing answers), the probe's protocol is blacked
+    /// Zero for the default vantage (historical streams intact); a PRF of
+    /// the source ASN otherwise.
+    fn vantage_salt(&self) -> u64 {
+        match self.source_vantage {
+            Some(id) if id != self.registry.vantage() => {
+                prf::mix2(0x56A7_A6E0, u64::from(self.registry.get(id).asn))
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether an outage window silences `dst` on `day` — the source
+    /// vantage is down (nothing answers), the probe's protocol is blacked
     /// out, or the destination's origin AS has withdrawn its routes.
     fn outage_silenced(&self, dst: Addr, proto: Protocol, day: Day) -> bool {
         if self.faults.outages.is_empty() {
             return false;
         }
-        if self.faults.vantage_down(day) {
+        let source_asn = self.registry.get(self.source_vantage()).asn;
+        if self.faults.vantage_down_from(source_asn, day) {
             return true;
         }
         if self.faults.proto_down(proto, day) {
@@ -312,16 +372,27 @@ impl Internet {
     /// The router interface answering at `hop` (1-based, `< path_len`) on
     /// the way to `dst`.
     pub fn hop_addr(&self, dst: Addr, hop: u8, day: Day) -> Addr {
-        let vantage_as = self.registry.vantage();
+        let vantage_as = self.source_vantage();
         let dst_as = self.registry.origin(dst);
         let transit = self.registry.by_asn(3356).and_then(|id| self.population.router_pool_of(id));
         let own = dst_as.and_then(|id| self.population.router_pool_of(id));
         let key = dst.0 >> 80; // route varies per /48-ish block
         match hop {
-            1 => {
-                let pool = self.population.router_pool_of(vantage_as).expect("vantage router pool");
-                pool.hop_addr(prf::prf_u128(self.seed, key, 1) % pool.slots.max(1), day)
-            }
+            1 => match self.population.router_pool_of(vantage_as) {
+                Some(pool) => {
+                    pool.hop_addr(prf::prf_u128(self.seed, key, 1) % pool.slots.max(1), day)
+                }
+                None => {
+                    // Vantages registered after the population was built
+                    // own no router pool; synthesize a stable first-hop
+                    // interface inside the vantage's own prefix instead
+                    // of panicking.
+                    self.counters.hops_vantage_fallback.incr();
+                    let base = self.registry.vantage_addr_of(vantage_as);
+                    let iid = 2 + prf::prf_u128(self.seed, key, 0xF4_11) % 14;
+                    Addr((base.0 & (u128::MAX << 64)) | u128::from(iid))
+                }
+            },
             2 | 3 => match transit {
                 Some(pool) => pool.hop_addr(
                     prf::prf_u128(self.seed, key, u64::from(hop)) % pool.slots.max(1),
@@ -406,6 +477,21 @@ impl Internet {
         if self.dropped(dst, Some(probe_proto(kind)), day, attempt_salt(attempt)) {
             self.counters.faults_dropped.incr();
             return Vec::new();
+        }
+
+        // A vantage behind the firewall can't get blocked queries *out*:
+        // during an active era the GFW filters on egress too, so a
+        // CN-source scanner sees silence where an EU vantage sees
+        // injected answers — the disagreement the multi-vantage analysis
+        // classifies.
+        if let ProbeKind::Dns { qname } = kind {
+            if Gfw::is_blocked(qname)
+                && Gfw::era(day).is_some()
+                && self.registry.get(self.source_vantage()).behind_gfw()
+            {
+                self.counters.gfw_egress_filtered.incr();
+                return Vec::new();
+            }
         }
         let mut out = Vec::new();
 

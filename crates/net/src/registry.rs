@@ -246,6 +246,12 @@ pub struct AsRegistry {
     by_asn: HashMap<u32, AsId>,
     bgp: PrefixTrie<AsId>,
     scale: Scale,
+    /// Registered measurement vantage ASes, in registration order. The
+    /// first entry is the default vantage. Serde default keeps old
+    /// serialized registries loading; [`AsRegistry::vantage`] falls back
+    /// to a category scan when the list is empty.
+    #[serde(default)]
+    vantage_ids: Vec<AsId>,
 }
 
 /// Allocates disjoint /28 blocks under 2000::/4.
@@ -384,7 +390,13 @@ impl AsRegistry {
                 bgp.insert(*p, id);
             }
         }
-        AsRegistry { infos, by_asn, bgp, scale }
+        let vantage_ids = infos
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.category == AsCategory::Measurement)
+            .map(|(i, _)| AsId(i as u32))
+            .collect();
+        AsRegistry { infos, by_asn, bgp, scale, vantage_ids }
     }
 
     /// The scale this registry was built for.
@@ -440,15 +452,81 @@ impl AsRegistry {
         self.bgp.iter().map(|(p, id)| (p, *id))
     }
 
-    /// The measurement vantage AS (always present).
+    /// The default measurement vantage AS: the first registered vantage.
+    ///
+    /// Vantages are registered data, not a hardcoded ASN: the built-in
+    /// roster always contains one `Measurement`-category AS, and more can
+    /// be added with [`AsRegistry::register_vantage`]. Falls back to a
+    /// category scan (then `AsId(0)`) instead of panicking if a
+    /// deserialized registry predates the vantage list.
     pub fn vantage(&self) -> AsId {
-        self.by_asn(64496).expect("vantage AS registered")
+        if let Some(id) = self.vantage_ids.first() {
+            return *id;
+        }
+        self.infos
+            .iter()
+            .position(|info| info.category == AsCategory::Measurement)
+            .map_or(AsId(0), |i| AsId(i as u32))
     }
 
-    /// The vantage point's scanner source address.
+    /// All registered vantage ASes, default first, in registration order.
+    pub fn vantages(&self) -> &[AsId] {
+        &self.vantage_ids
+    }
+
+    /// The default vantage point's scanner source address.
     pub fn vantage_addr(&self) -> Addr {
-        let info = self.get(self.vantage());
-        Addr(info.prefixes[0].network().0 | 0x1)
+        self.vantage_addr_of(self.vantage())
+    }
+
+    /// The scanner source address of a specific vantage AS: the first
+    /// address of its first announced prefix. An AS with no announced
+    /// prefixes (impossible for built or registered ASes, but tolerated)
+    /// yields the loopback-ish `::1` rather than panicking.
+    pub fn vantage_addr_of(&self, id: AsId) -> Addr {
+        let info = self.get(id);
+        match info.prefixes.first() {
+            Some(p) => Addr(p.network().0 | 0x1),
+            None => Addr(1),
+        }
+    }
+
+    /// Registers an additional measurement vantage AS and returns its id.
+    ///
+    /// Idempotent on the ASN: re-registering an existing AS only ensures
+    /// it is on the vantage list. New ASes get a fresh `/28` block carved
+    /// after every existing allocation (the block cursor is reconstructed
+    /// from the registered blocks, so registration order — not call
+    /// site — determines addressing, keeping multi-instance worlds
+    /// byte-identical when they register the same roster in the same
+    /// order).
+    pub fn register_vantage(&mut self, asn: u32, name: &str, country: &str) -> AsId {
+        if let Some(id) = self.by_asn(asn) {
+            if !self.vantage_ids.contains(&id) {
+                self.vantage_ids.push(id);
+            }
+            return id;
+        }
+        let next = 1 + self.infos.iter().map(|info| info.blocks.len() as u128).sum::<u128>();
+        let mut alloc = BlockAllocator { next };
+        let block = alloc.alloc();
+        let prefixes = vec![block.nibble_subprefix(0)];
+        let id = AsId(self.infos.len() as u32);
+        for p in &prefixes {
+            self.bgp.insert(*p, id);
+        }
+        self.infos.push(AsInfo {
+            asn,
+            name: name.to_string(),
+            category: AsCategory::Measurement,
+            country: country.to_string(),
+            prefixes,
+            profile: AsProfile::default(),
+            blocks: vec![block],
+        });
+        self.by_asn.insert(asn, id);
+        self.vantage_ids.push(id);
+        id
     }
 }
 

@@ -366,25 +366,135 @@ pub fn classify(protocol: Protocol, responses: &[Response]) -> (bool, Detail) {
     }
 }
 
-/// Per-worker probe accounting, merged into [`ScanStats`] after join.
+/// Per-segment probe accounting, merged into [`ScanStats`] once every
+/// segment of a scan has run. Every field is a sum, so merging segment
+/// tallies in any order yields the same totals — what lets a
+/// work-stealing executor hand segments to arbitrary workers without
+/// perturbing the assembled [`ScanResult`].
 #[derive(Debug, Default, Clone, Copy)]
-struct WorkerTally {
-    sent: u64,
-    retries: u64,
+pub struct SegmentTally {
+    /// Probe attempts actually emitted (the retry loop stops early).
+    pub sent: u64,
+    /// Attempts beyond the first, per target.
+    pub retries: u64,
     /// Unanswered attempts of targets that eventually responded — the
     /// numerator of the loss estimator. Silent targets never contribute.
-    failed_of_responders: u64,
-    responders: u64,
-    backoff_ms: u64,
+    pub failed_of_responders: u64,
+    /// Targets that produced at least one response.
+    pub responders: u64,
+    /// Accumulated exponential-backoff wait.
+    pub backoff_ms: u64,
 }
 
-impl WorkerTally {
-    fn merge(&mut self, other: WorkerTally) {
+impl SegmentTally {
+    /// Accumulates another segment's counts into this tally.
+    pub fn merge(&mut self, other: SegmentTally) {
         self.sent += other.sent;
         self.retries += other.retries;
         self.failed_of_responders += other.failed_of_responders;
         self.responders += other.responders;
         self.backoff_ms += other.backoff_ms;
+    }
+}
+
+/// Probes one contiguous range of a scan's permutation cycle and returns
+/// the outcomes (in cycle order) plus the segment's tally.
+///
+/// This is the probing kernel [`scan_with`] fans out to its workers, made
+/// public so external executors (the multi-vantage work-stealing
+/// scheduler in `sixdust-vantage`) can partition a scan differently:
+/// concatenating the outcome vectors of contiguous segments in cycle
+/// order and merging their tallies reproduces `scan_with`'s result
+/// byte-for-byte regardless of which thread ran which segment —
+/// see [`assemble_scan`].
+pub fn scan_segment(
+    net: &Internet,
+    protocol: Protocol,
+    targets: &[Addr],
+    day: Day,
+    config: &ScanConfig,
+    perm: &CyclicPermutation,
+    start: u64,
+    len: u64,
+) -> (Vec<ScanOutcome>, SegmentTally) {
+    let probe = probe_for(protocol, &config.dns_qname);
+    let mut out = Vec::with_capacity(len.min(targets.len() as u64) as usize);
+    let mut tally = SegmentTally::default();
+    for i in perm.segment(start, len) {
+        let target = targets[i as usize];
+        let mut responses = Vec::new();
+        // The retry loop stops on the first response, so count the
+        // probes actually emitted instead of assuming `attempts` per
+        // target. Each attempt draws an independent loss coin, so
+        // retries mask transient loss rather than replaying it.
+        let mut failed_before_response = 0u64;
+        for attempt in 0..config.attempts.max(1) {
+            if attempt > 0 {
+                tally.retries += 1;
+                tally.backoff_ms += config
+                    .retry_backoff_ms
+                    .saturating_mul(1u64 << (u64::from(attempt) - 1).min(32));
+            }
+            tally.sent += 1;
+            responses = net.probe_attempt(target, &probe, day, attempt);
+            if !responses.is_empty() {
+                break;
+            }
+            failed_before_response += 1;
+        }
+        if !responses.is_empty() {
+            tally.responders += 1;
+            tally.failed_of_responders += failed_before_response;
+        }
+        let (success, detail) = classify(protocol, &responses);
+        out.push(ScanOutcome { target, success, detail });
+    }
+    (out, tally)
+}
+
+/// Assembles a [`ScanResult`] from merged segment outcomes and the
+/// summed tally, recording the scan's telemetry tail. `outcomes` must be
+/// the concatenation of contiguous [`scan_segment`] ranges covering the
+/// whole cycle, in cycle order.
+pub fn assemble_scan(
+    protocol: Protocol,
+    day: Day,
+    config: &ScanConfig,
+    outcomes: Vec<ScanOutcome>,
+    tally: SegmentTally,
+    telemetry: Option<&Registry>,
+) -> ScanResult {
+    let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
+    let hits = outcomes.iter().filter(|o| o.success).count() as u64;
+    let loss_samples = tally.failed_of_responders + tally.responders;
+    let loss_estimate_permille = if loss_samples == 0 {
+        0
+    } else {
+        (tally.failed_of_responders * 1000 / loss_samples) as u32
+    };
+    if let Some(reg) = telemetry {
+        let key = proto_metric_key(protocol);
+        reg.counter(&format!("scan.{key}.probes_sent")).add(tally.sent);
+        reg.counter(&format!("scan.{key}.responses")).add(received);
+        reg.counter(&format!("scan.{key}.hits")).add(hits);
+        reg.counter(&format!("scan.{key}.retries")).add(tally.retries);
+        reg.gauge(&format!("scan.{key}.loss_estimate_permille"))
+            .set(i64::from(loss_estimate_permille));
+    }
+    let backoff_secs = tally.backoff_ms as f64 / 1e3;
+    ScanResult {
+        protocol,
+        day,
+        outcomes,
+        stats: ScanStats {
+            sent: tally.sent,
+            received,
+            hits,
+            duration_secs: tally.sent as f64 / config.rate_pps.max(1) as f64 + backoff_secs,
+            retries: tally.retries,
+            loss_estimate_permille,
+            backoff_secs,
+        },
     }
 }
 
@@ -427,7 +537,6 @@ pub fn scan_with(
     config: &ScanConfig,
     telemetry: Option<&Registry>,
 ) -> ScanResult {
-    let probe = probe_for(protocol, &config.dns_qname);
     let n = targets.len() as u64;
     let perm = CyclicPermutation::new(n, config.seed ^ u64::from(day.0));
     let threads = config.threads.clamp(1, 32);
@@ -462,13 +571,12 @@ pub fn scan_with(
     });
 
     let mut outcomes: Vec<ScanOutcome> = Vec::with_capacity(targets.len());
-    let mut tally = WorkerTally::default();
-    let results: Vec<(Vec<ScanOutcome>, WorkerTally)> = crossbeam::thread::scope(|s| {
+    let mut tally = SegmentTally::default();
+    let results: Vec<(Vec<ScanOutcome>, SegmentTally)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .enumerate()
             .map(|(worker, &(start, len))| {
-                let probe = probe.clone();
                 let chunk_hist = chunk_hist.clone();
                 let worker_tracer = tracer.clone();
                 let perm = &perm;
@@ -483,39 +591,7 @@ pub fn scan_with(
                             ],
                         )
                     });
-                    let mut out = Vec::with_capacity(len.min(n) as usize);
-                    let mut tally = WorkerTally::default();
-                    for i in perm.segment(start, len) {
-                        let target = targets[i as usize];
-                        let mut responses = Vec::new();
-                        // The retry loop stops on the first response, so
-                        // count the probes actually emitted instead of
-                        // assuming `attempts` per target. Each attempt
-                        // draws an independent loss coin, so retries mask
-                        // transient loss rather than replaying it.
-                        let mut failed_before_response = 0u64;
-                        for attempt in 0..config.attempts.max(1) {
-                            if attempt > 0 {
-                                tally.retries += 1;
-                                tally.backoff_ms += config
-                                    .retry_backoff_ms
-                                    .saturating_mul(1u64 << (u64::from(attempt) - 1).min(32));
-                            }
-                            tally.sent += 1;
-                            responses = net.probe_attempt(target, &probe, day, attempt);
-                            if !responses.is_empty() {
-                                break;
-                            }
-                            failed_before_response += 1;
-                        }
-                        if !responses.is_empty() {
-                            tally.responders += 1;
-                            tally.failed_of_responders += failed_before_response;
-                        }
-                        let (success, detail) = classify(protocol, &responses);
-                        out.push(ScanOutcome { target, success, detail });
-                    }
-                    (out, tally)
+                    scan_segment(net, protocol, targets, day, config, perm, start, len)
                 });
                 (worker, start, len, handle)
             })
@@ -542,43 +618,11 @@ pub fn scan_with(
             panic_message(&*payload)
         )
     });
-    for (r, worker_tally) in results {
+    for (r, segment_tally) in results {
         outcomes.extend(r);
-        tally.merge(worker_tally);
+        tally.merge(segment_tally);
     }
-
-    let received = outcomes.iter().filter(|o| !matches!(o.detail, Detail::Silent)).count() as u64;
-    let hits = outcomes.iter().filter(|o| o.success).count() as u64;
-    let loss_samples = tally.failed_of_responders + tally.responders;
-    let loss_estimate_permille = if loss_samples == 0 {
-        0
-    } else {
-        (tally.failed_of_responders * 1000 / loss_samples) as u32
-    };
-    if let Some(reg) = telemetry {
-        let key = proto_metric_key(protocol);
-        reg.counter(&format!("scan.{key}.probes_sent")).add(tally.sent);
-        reg.counter(&format!("scan.{key}.responses")).add(received);
-        reg.counter(&format!("scan.{key}.hits")).add(hits);
-        reg.counter(&format!("scan.{key}.retries")).add(tally.retries);
-        reg.gauge(&format!("scan.{key}.loss_estimate_permille"))
-            .set(i64::from(loss_estimate_permille));
-    }
-    let backoff_secs = tally.backoff_ms as f64 / 1e3;
-    ScanResult {
-        protocol,
-        day,
-        outcomes,
-        stats: ScanStats {
-            sent: tally.sent,
-            received,
-            hits,
-            duration_secs: tally.sent as f64 / config.rate_pps.max(1) as f64 + backoff_secs,
-            retries: tally.retries,
-            loss_estimate_permille,
-            backoff_secs,
-        },
-    }
+    assemble_scan(protocol, day, config, outcomes, tally, telemetry)
 }
 
 /// Runs the same scan through the byte-level wire path. Slower; used by

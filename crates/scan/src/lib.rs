@@ -28,8 +28,9 @@ pub mod rate;
 pub mod yarrp;
 
 pub use engine::{
-    proto_metric_key, reassemble_replies, scan, scan_wire, scan_wire_with, scan_with, Detail,
-    ScanConfig, ScanConfigBuilder, ScanOutcome, ScanResult, ScanStats,
+    assemble_scan, proto_metric_key, reassemble_replies, scan, scan_segment, scan_wire,
+    scan_wire_with, scan_with, Detail, ScanConfig, ScanConfigBuilder, ScanOutcome, ScanResult,
+    ScanStats, SegmentTally,
 };
 pub use pcap::{PcapReader, PcapWriter};
 pub use permute::{CyclicPermutation, PermutationSegment};

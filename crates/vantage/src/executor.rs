@@ -1,0 +1,160 @@
+//! A work-stealing task executor for scan segments.
+//!
+//! The fleet scheduler cuts every protocol scan of a batch into
+//! contiguous permutation-cycle segments and hands the whole pile to
+//! [`execute`]. Tasks are dealt round-robin onto per-worker deques;
+//! each worker drains its own queue from the front and, when empty,
+//! steals from the *back* of a sibling's queue — the classic
+//! work-stealing discipline, so one vantage's slow scan is finished by
+//! whatever workers run dry first.
+//!
+//! Determinism does not depend on the schedule: every task returns into
+//! the slot of its submission index, so the caller sees results in
+//! submission order no matter which worker ran what, or in what order.
+//! The only schedule-dependent output is [`ExecutorStats::stolen`],
+//! which is telemetry, never an input to any round artifact.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What an [`execute`] run did: how many tasks ran, and how many of
+/// them ran on a worker other than the one they were dealt to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Tasks executed (always the number submitted).
+    pub executed: u64,
+    /// Tasks that ran via a steal rather than the owner's own queue.
+    /// Scheduling noise — varies with thread timing — and therefore
+    /// only ever exported as telemetry.
+    pub stolen: u64,
+}
+
+impl ExecutorStats {
+    /// Accumulates another run's stats into this one.
+    pub fn merge(&mut self, other: ExecutorStats) {
+        self.executed += other.executed;
+        self.stolen += other.stolen;
+    }
+}
+
+/// Runs `tasks` across `threads` workers with work stealing and returns
+/// their results in submission order.
+///
+/// `threads` is clamped to `1..=32` (matching the scan engine's budget
+/// clamp) and never exceeds the task count. With one worker the loop
+/// degenerates to sequential execution of the deque — same results,
+/// zero steals.
+pub fn execute<T, F>(threads: usize, tasks: Vec<F>) -> (Vec<T>, ExecutorStats)
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return (Vec::new(), ExecutorStats::default());
+    }
+    let threads = threads.clamp(1, 32).min(n);
+    // Deal round-robin so every worker starts with an even share of
+    // every (vantage, protocol) scan rather than one vantage's whole
+    // workload.
+    let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        queues[i % threads].lock().expect("queue lock").push_back((i, task));
+    }
+    let stolen = AtomicU64::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queues = &queues;
+                let stolen = &stolen;
+                s.spawn(move || {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Own queue first (front), then scan siblings
+                        // and steal from the back. Tasks never spawn
+                        // tasks, so "all queues empty" is terminal.
+                        let mut grabbed = queues[w].lock().expect("queue lock").pop_front();
+                        if grabbed.is_none() {
+                            for k in 1..queues.len() {
+                                let victim = (w + k) % queues.len();
+                                grabbed = queues[victim].lock().expect("queue lock").pop_back();
+                                if grabbed.is_some() {
+                                    stolen.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        match grabbed {
+                            Some((idx, task)) => done.push((idx, task())),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, value) in handle.join().expect("executor worker panicked") {
+                slots[idx] = Some(value);
+            }
+        }
+    });
+    let results: Vec<T> =
+        slots.into_iter().map(|slot| slot.expect("every submitted task ran")).collect();
+    (results, ExecutorStats { executed: n as u64, stolen: stolen.load(Ordering::Relaxed) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 4, 8] {
+            let tasks: Vec<_> = (0..37).map(|i| move || i * 3).collect();
+            let (results, stats) = execute(threads, tasks);
+            assert_eq!(results, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(stats.executed, 37);
+        }
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let tasks: Vec<_> = (0..16).map(|i| move || i).collect();
+        let (_, stats) = execute(1, tasks);
+        assert_eq!(stats.stolen, 0);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let (results, stats) = execute(4, Vec::<Box<dyn FnOnce() -> u32 + Send>>::new());
+        assert!(results.is_empty());
+        assert_eq!(stats, ExecutorStats::default());
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        // Tasks with wildly different costs: stealing or not, every
+        // result lands in its slot.
+        let tasks: Vec<_> = (0..24u64)
+            .map(|i| {
+                move || {
+                    let spin = if i % 7 == 0 { 20_000 } else { 10 };
+                    let mut acc = i;
+                    for k in 0..spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let (results, stats) = execute(4, tasks);
+        assert_eq!(stats.executed, 24);
+        for (i, (idx, _)) in results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Run the multi-vantage fleet benchmark and refresh BENCH_vantage.json at
+# the repo root with the measured fleet-rounds/sec trajectory.
+#
+#   scripts/bench_vantage.sh           # full criterion run, rewrite BENCH_vantage.json
+#   scripts/bench_vantage.sh --test    # quick mode: one pass per bench, no JSON refresh
+#
+# The JSON records the mean wall time per 8-day window for fleet sizes
+# N = 1 / 2 / 4 (the N = 1 variant is the scheduler-overhead probe against
+# BENCH_round.json), so later PRs can compare.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--test" ]; then
+  cargo bench -p sixdust-bench --bench vantage -- --test
+  exit 0
+fi
+
+cargo bench -p sixdust-bench --bench vantage
+
+out="BENCH_vantage.json"
+crit="target/criterion/vantage"
+
+# Criterion writes estimates.json (nanoseconds) per bench under
+# target/criterion/<group>/<bench>/new/. Distil the point estimates.
+python3 - "$crit" "$out" <<'PY'
+import json
+import os
+import sys
+
+crit, out = sys.argv[1], sys.argv[2]
+window_days = 8
+results = {}
+for name in sorted(os.listdir(crit)) if os.path.isdir(crit) else []:
+    est = os.path.join(crit, name, "new", "estimates.json")
+    if not os.path.isfile(est):
+        continue
+    with open(est) as f:
+        mean_ns = json.load(f)["mean"]["point_estimate"]
+    # Bench names look like vantage_<N>_t<threads>; each window runs
+    # one round per day per vantage, so fleet-rounds/sec scales with N.
+    try:
+        n_vantages = int(name.split("_")[1])
+    except (IndexError, ValueError):
+        n_vantages = 1
+    secs = mean_ns / 1e9
+    results[name] = {
+        "mean_window_secs": secs,
+        "fleet_rounds_per_sec": n_vantages * (window_days + 1) / secs,
+    }
+doc = {
+    "bench": "crates/bench/benches/vantage.rs",
+    "window_days": window_days,
+    "refreshed_by": "scripts/bench_vantage.sh",
+    "results": results or None,
+    "note": None
+    if results
+    else "no criterion estimates found under target/criterion/vantage; run the bench first",
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: {len(results)} benches")
+PY

@@ -70,6 +70,25 @@ grep -q " 0 hard failures" "$chaos_dir/a.log" \
        grep "chaos day" "$chaos_dir/a.log" >&2 || true; exit 1; }
 grep "chaos day over" "$chaos_dir/a.log"
 
+echo "== multi-vantage scenario (3-vantage fleet, deterministic disagreement artifact)"
+# The EU/US/CN fleet over the GFW filtering era: the disagreement
+# artifact must be non-empty (the firewall split is visible) and
+# byte-identical across identical seeds.
+vantage_dir=target/verify-vantage
+rm -rf "$vantage_dir" && mkdir -p "$vantage_dir"
+for run in a b; do
+  target/release/sixdust-exp --scale tiny --seed 11 --out "$vantage_dir/$run" \
+    --vantages 3 >/dev/null 2>"$vantage_dir/$run.log"
+done
+cmp "$vantage_dir/a/vantage_disagreement.json" "$vantage_dir/b/vantage_disagreement.json" \
+  || { echo "vantage scenario FAILED: artifacts differ across identical seeds" >&2; exit 1; }
+grep -q "gfw-class" "$vantage_dir/a.log" \
+  || { echo "vantage scenario FAILED: no fleet summary line" >&2; exit 1; }
+grep -Eq "[1-9][0-9]* disagreements" "$vantage_dir/a.log" \
+  || { echo "vantage scenario FAILED: empty disagreement artifact" >&2; \
+       grep "vantage fleet" "$vantage_dir/a.log" >&2 || true; exit 1; }
+grep "vantage fleet" "$vantage_dir/a.log"
+
 if [ "${1:-}" != "--quick" ]; then
   echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
@@ -85,6 +104,9 @@ if [ "${1:-}" != "--quick" ]; then
 
   echo "== cargo bench -p sixdust-bench --bench serve -- --test (quick mode)"
   cargo bench -p sixdust-bench --bench serve -- --test
+
+  echo "== cargo bench -p sixdust-bench --bench vantage -- --test (quick mode)"
+  cargo bench -p sixdust-bench --bench vantage -- --test
 
   echo "== cargo doc --workspace --no-deps (warnings denied)"
   RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -19,6 +19,10 @@
 //!   with atomic generation swaps, delta-encoded artifacts, and a
 //!   simulated registered-consumer fleet (ETags, LRU cache, admission
 //!   control);
+//! * [`vantage`] — multi-vantage scanning: a deterministic
+//!   discrete-event round scheduler running N vantage points (EU / US /
+//!   behind-GFW CN) over one simulated Internet, with work-stealing
+//!   segment execution and cross-vantage disagreement analysis;
 //! * [`analysis`] — tables, CDFs and histograms for the experiments;
 //! * [`telemetry`] — always-on counters, histograms and span timers for
 //!   every stage above, plus the longitudinal layer: per-round series
@@ -49,4 +53,5 @@ pub use sixdust_scan as scan;
 pub use sixdust_serve as serve;
 pub use sixdust_telemetry as telemetry;
 pub use sixdust_tga as tga;
+pub use sixdust_vantage as vantage;
 pub use sixdust_wire as wire;
