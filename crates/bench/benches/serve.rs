@@ -11,7 +11,7 @@ use sixdust_addr::AddrSet;
 use sixdust_serve::codec::{apply_delta, decode_full, encode_delta, encode_full};
 use sixdust_serve::{
     run_chaos_day, run_day, ArtifactKind, ChaosDayConfig, FleetConfig, FrontendConfig, MirrorTier,
-    MirrorTierConfig, ServeFaultConfig, SnapshotStore, StoreConfig, TimedPublish,
+    MirrorTierConfig, ServeFaultConfig, SessionShape, SnapshotStore, StoreConfig, TimedPublish,
 };
 
 /// A hitlist-shaped item set: mostly structured strides with a sprinkle
@@ -181,6 +181,48 @@ fn bench_day(c: &mut Criterion) {
     write_side_facts("serve_day.json", side);
 }
 
+/// The flash-crowd day through the event-loop front end: one million
+/// session-based virtual clients (heavy-tailed request counts, think
+/// time) with 40% of sessions piling onto two publication spikes — the
+/// ROADMAP's "serve path to millions of clients" figure. Single sample:
+/// the day replays several million requests.
+fn bench_flash_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_flash_day");
+    g.sample_size(10);
+    let store = day_store();
+    let day = FleetConfig::default().day_micros;
+    let shape = SessionShape::builder()
+        .with_spike(day / 3, 1_800_000_000)
+        .with_spike(2 * day / 3, 1_800_000_000);
+    let fleet = FleetConfig::builder()
+        .with_clients(1_000_000)
+        .with_session(shape)
+        .build()
+        .expect("valid fleet");
+    let requests =
+        run_day(&fleet, FrontendConfig::default(), &store, None).totals.requests;
+    g.throughput(Throughput::Elements(requests));
+    g.bench_function("flash_crowd_day_1m_clients", |b| {
+        b.iter(|| {
+            run_day(black_box(&fleet), FrontendConfig::default(), &store, None).totals.requests
+        })
+    });
+    g.finish();
+
+    let report = run_day(&fleet, FrontendConfig::default(), &store, None);
+    let side = format!(
+        "{{\"requests\": {}, \"clients\": {}, \"flash_arrivals\": {}, \"bytes_sent\": {}, \
+         \"shed\": {}, \"latency_p99_us\": {}}}\n",
+        report.totals.requests,
+        report.clients,
+        report.flash_arrivals,
+        report.totals.bytes_sent,
+        report.totals.shed_client + report.totals.shed_global,
+        report.latency_p99_us,
+    );
+    write_side_facts("serve_flash_day.json", side);
+}
+
 /// The chaos day over a mirror tier: same store shape and fleet as
 /// `bench_day`, driven through the resilient client path (affinity,
 /// failover, seeded-backoff retries, hedging, circuit breakers) under
@@ -257,5 +299,5 @@ fn bench_mirror_day(c: &mut Criterion) {
     write_side_facts("serve_mirror_day.json", side);
 }
 
-criterion_group!(benches, bench_codec, bench_store, bench_day, bench_mirror_day);
+criterion_group!(benches, bench_codec, bench_store, bench_day, bench_flash_day, bench_mirror_day);
 criterion_main!(benches);

@@ -89,7 +89,9 @@ fn usage() -> ! {
         "usage: sixdust-exp [--scale tiny|small|paper] [--seed N] [--out DIR] \
          [--telemetry PATH] [--series PATH] [--trace PATH] [--checkpoint PATH] \
          [--serve-report PATH] [--dashboard PATH] [--mirrors N] [--serve-faults] \
-         [--vantages N] <experiment>|all\n\
+         [--clients N] [--flash-crowd] [--vantages N] <experiment>|all\n\
+         (--clients N switches the serve day to N session-based virtual clients;\n\
+          --flash-crowd adds a publication-chasing arrival spike — implies sessions)\n\
          (--vantages N runs the multi-vantage fleet and exits; no experiment needed)\n\
          experiments: {}",
         EXPERIMENTS.join(", ")
@@ -118,6 +120,33 @@ fn pipeline_text() -> String {
         .to_string()
 }
 
+/// Window a flash crowd keeps arriving after a publication: 30 virtual
+/// minutes, the shape of a fresh-hitlist announcement.
+const FLASH_WINDOW_US: u64 = 1_800_000_000;
+
+/// The serve-day fleet for the CLI flags: the classic uniform 100k-request
+/// replay by default, or — under `--clients` / `--flash-crowd` — a
+/// session-based day (heavy-tailed per-client request counts, think time,
+/// publication-chasing spikes) that scales to millions of virtual clients.
+fn fleet_for(
+    seed: u64,
+    clients: Option<u64>,
+    flash_crowd: bool,
+    spikes: &[(u64, u64)],
+) -> sixdust_serve::FleetConfig {
+    let mut fleet = sixdust_serve::FleetConfig::default().with_seed(seed);
+    if clients.is_some() || flash_crowd {
+        let mut shape = sixdust_serve::SessionShape::builder();
+        if flash_crowd {
+            for &(at_us, window_us) in spikes {
+                shape = shape.with_spike(at_us, window_us);
+            }
+        }
+        fleet = fleet.with_clients(clients.unwrap_or(100_000)).with_session(shape);
+    }
+    fleet.build().expect("serve fleet config rejected")
+}
+
 fn main() {
     let mut scale = Scale::paper();
     let mut out_dir = PathBuf::from("results");
@@ -130,6 +159,8 @@ fn main() {
     let mut mirrors: Option<usize> = None;
     let mut vantages: Option<usize> = None;
     let mut serve_faults = false;
+    let mut clients: Option<u64> = None;
+    let mut flash_crowd = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -200,6 +231,14 @@ fn main() {
                 };
                 vantages = Some(n);
             }
+            "--clients" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    usage();
+                };
+                clients = Some(n);
+            }
+            "--flash-crowd" => flash_crowd = true,
             "--serve-faults" => serve_faults = true,
             "--help" | "-h" => usage(),
             other => cmds.push(other.to_string()),
@@ -260,13 +299,21 @@ fn main() {
     // flat single-frontend serve-day replay; metrics land in the chaos
     // observer's own registry so the shared one stays undisturbed.
     if let Some(n) = mirrors {
-        let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
+        let day = sixdust_serve::FleetConfig::default().day_micros;
         let faults = if serve_faults {
-            sixdust_serve::ServeFaultConfig::chaos(scale.seed, n)
+            sixdust_serve::ServeFaultConfig::chaos_scaled(scale.seed, n, day)
         } else {
             sixdust_serve::ServeFaultConfig::lossless()
         };
-        let (origin, plan) = ctx.chaos_origin_and_plan(fleet.day_micros);
+        let (origin, plan) = ctx.chaos_origin_and_plan(day);
+        // A flash crowd chases publications: one spike per planned
+        // publish (or fixed thirds of the day when the plan is empty).
+        let spikes: Vec<(u64, u64)> = if plan.is_empty() {
+            vec![(day / 3, FLASH_WINDOW_US), (2 * day / 3, FLASH_WINDOW_US)]
+        } else {
+            plan.iter().filter(|p| p.at_us < day).map(|p| (p.at_us, FLASH_WINDOW_US)).collect()
+        };
+        let fleet = fleet_for(scale.seed, clients, flash_crowd, &spikes);
         let mut observer = sixdust_serve::ChaosObserver::new(sixdust_telemetry::Registry::new());
         let mut tier = sixdust_serve::MirrorTier::new(
             sixdust_serve::MirrorTierConfig::builder().with_mirrors(n),
@@ -276,8 +323,21 @@ fn main() {
         .with_telemetry(observer.registry())
         .with_flight(observer.flight().clone());
         let config = sixdust_serve::ChaosDayConfig::builder().with_fleet(fleet);
+        let started = std::time::Instant::now();
         let report = sixdust_serve::run_chaos_day(&config, &mut tier, &plan, Some(&mut observer));
+        let wall = started.elapsed().as_secs_f64();
         let r = &report.resilience;
+        // Wall-clock throughput goes to stderr only: the report file
+        // stays byte-identical across runs at a fixed seed.
+        eprintln!(
+            "[bench] chaos day: {} requests in {:.3} s wall ({:.0} requests/sec)",
+            r.logical_requests,
+            wall,
+            r.logical_requests as f64 / wall.max(1e-9),
+        );
+        if report.flash_arrivals > 0 {
+            eprintln!("[obs] flash crowd: {} arrivals inside spike windows", report.flash_arrivals);
+        }
         eprintln!(
             "[obs] chaos day over {} mirrors ({}): {} requests / {} attempts, \
              {} retries, {} failovers, {} hedged ({} wins), {} breaker opens, \
@@ -311,7 +371,10 @@ fn main() {
     // day of simulated consumer load against it and write the report.
     if mirrors.is_none() && (serve_report_path.is_some() || dashboard_path.is_some()) {
         let store = ctx.serve.clone().expect("serve store attached");
-        let fleet = sixdust_serve::FleetConfig::default().with_seed(scale.seed);
+        let day = sixdust_serve::FleetConfig::default().day_micros;
+        let spikes = [(day / 3, FLASH_WINDOW_US), (2 * day / 3, FLASH_WINDOW_US)];
+        let fleet = fleet_for(scale.seed, clients, flash_crowd, &spikes);
+        let started = std::time::Instant::now();
         let report = sixdust_serve::run_day_observed(
             &fleet,
             sixdust_serve::FrontendConfig::default(),
@@ -319,6 +382,7 @@ fn main() {
             Some(&ctx.telemetry),
             ctx.svc.flight(),
         );
+        let wall = started.elapsed().as_secs_f64();
         eprintln!(
             "[obs] serve day: {} requests, {} bodies ({} delta), {} bytes, {} hits/{} misses, \
              {} not-modified, {} shed",
@@ -330,6 +394,27 @@ fn main() {
             report.totals.cache_misses,
             report.totals.not_modified,
             report.totals.shed_client + report.totals.shed_global,
+        );
+        if report.flash_arrivals > 0 {
+            eprintln!("[obs] flash crowd: {} arrivals inside spike windows", report.flash_arrivals);
+        }
+        eprintln!(
+            "[obs] serve day ledger: {} clients, {} bytes saved by delta, {} delta fallbacks, \
+             p50/p90/p99 latency {}/{}/{} us",
+            report.clients,
+            report.bytes_saved_by_delta,
+            report.delta_fallbacks,
+            report.latency_p50_us,
+            report.latency_p90_us,
+            report.latency_p99_us,
+        );
+        // Wall-clock throughput goes to stderr only: the report file
+        // stays byte-identical across runs at a fixed seed.
+        eprintln!(
+            "[bench] serve day: {} requests in {:.3} s wall ({:.0} requests/sec)",
+            report.totals.requests,
+            wall,
+            report.totals.requests as f64 / wall.max(1e-9),
         );
         if let Some(path) = &serve_report_path {
             let json = serde_json::to_string_pretty(&report).expect("report serializes");

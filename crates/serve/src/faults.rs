@@ -132,15 +132,26 @@ impl ServeFaultConfig {
     /// origin publish blackout across the afternoon, and a 15 %
     /// per-artifact sync-corruption rate.
     pub fn chaos(seed: u64, mirrors: usize) -> ServeFaultConfig {
-        const HOUR: u64 = 3_600_000_000;
+        ServeFaultConfig::chaos_scaled(seed, mirrors, 86_400_000_000)
+    }
+
+    /// [`ServeFaultConfig::chaos`] with its windows placed at the same
+    /// fractions of an arbitrary `day_micros` — so a compressed
+    /// quick-mode day (or a multi-day horizon) injects the same story:
+    /// mirror 0 out across [1/4, 3/8) of the day, an origin blackout
+    /// over [13/24, 19/24), mirror 1 out across [1/2, 7/12), the last
+    /// mirror slow throughout. Identical to `chaos` at the standard
+    /// 86,400-second day.
+    pub fn chaos_scaled(seed: u64, mirrors: usize, day_micros: u64) -> ServeFaultConfig {
+        let slice = day_micros / 24;
         let mut faults = ServeFaultConfig::builder()
             .with_seed(seed)
-            .with_mirror_outage(0, 6 * HOUR, 9 * HOUR)
-            .with_origin_blackout(13 * HOUR, 19 * HOUR)
+            .with_mirror_outage(0, 6 * slice, 9 * slice)
+            .with_origin_blackout(13 * slice, 19 * slice)
             .with_sync_corrupt_permille(150);
         if mirrors > 1 {
             faults = faults
-                .with_mirror_outage(1, 12 * HOUR, 14 * HOUR)
+                .with_mirror_outage(1, 12 * slice, 14 * slice)
                 .with_slow_mirror(mirrors - 1, 4_000);
         }
         faults

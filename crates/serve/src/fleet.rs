@@ -6,16 +6,35 @@
 //! replays bit-identically. Artifact popularity follows a Zipf law over
 //! [`ArtifactKind::ALL`] (the full responsive list dominates, exotic
 //! slices tail off), matching how real hitlist mirrors see traffic.
+//!
+//! Two load shapes share one replay engine:
+//!
+//! * **Uniform** (the default): `requests` arrivals spread PRF-uniform
+//!   across the day — the original 100k-request replay.
+//! * **Sessions** ([`SessionShape`]): each of `clients` virtual clients
+//!   runs one session — a heavy-tailed (Zipf) number of requests spaced
+//!   by jittered think time — and a configurable slice of sessions joins
+//!   a flash crowd at each publication ([`FlashSpike`]), front-loaded
+//!   the way real consumers pile onto a fresh hitlist. This is what
+//!   scales the day to a million-plus virtual clients.
+//!
+//! Either shape drives the [`EventLoop`](crate::reactor::EventLoop)
+//! front end by default ([`simulate_day`]); [`simulate_day_sync`] is the
+//! synchronous reference path the event loop's ledger is pinned
+//! byte-identical against.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use sixdust_addr::prf::prf_u128;
 use sixdust_telemetry::{
-    Counter, FlightRecorder, Gauge, Histogram, Registry, SeriesRecorder, SloEngine,
+    Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, Registry, SeriesRecorder,
+    SloEngine,
 };
 
 use crate::mirror::{MirrorTier, TimedPublish};
+use crate::reactor::{Completion, EventLoop};
 use crate::server::{FetchKind, Frontend, FrontendConfig, FrontendTotals, Outcome, Request};
 use crate::store::{ArtifactKind, SnapshotStore};
 
@@ -26,6 +45,10 @@ const TAG_FRESH: u64 = 4;
 const TAG_COND: u64 = 5;
 const TAG_AFFINITY: u64 = 6;
 const TAG_JITTER: u64 = 7;
+const TAG_SESSION_LEN: u64 = 8;
+const TAG_FLASH: u64 = 9;
+const TAG_SPIKE: u64 = 10;
+const TAG_THINK: u64 = 11;
 
 /// Fleet configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +71,93 @@ pub struct FleetConfig {
     pub conditional_permille: u32,
     /// Length of the simulated day in virtual microseconds.
     pub day_micros: u64,
+    /// Session-based load shape. `None` replays `requests` PRF-uniform
+    /// arrivals (the classic day); `Some` generates one session per
+    /// client instead — heavy-tailed request counts, think time, and
+    /// optional flash-crowd spikes — and `requests` is ignored.
+    pub session: Option<SessionShape>,
+}
+
+/// One flash-crowd spike: a publication lands at `at_us` and the crowd
+/// piles on across the following `window_us`, front-loaded (arrival
+/// offsets are drawn quadratically toward the publication instant, the
+/// shape a fresh-hitlist announcement produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashSpike {
+    /// Publication instant, microseconds into the day.
+    pub at_us: u64,
+    /// How long the crowd keeps arriving after the publication.
+    pub window_us: u64,
+}
+
+/// The session-based virtual-client behavior model: how many requests a
+/// client makes (heavy-tailed), how it paces them (think time), and
+/// which sessions chase publications (flash crowds). Modeled on the
+/// virtual-user trafficgen pattern: every client is an independent
+/// deterministic "task" whose think-time jitter and request count come
+/// from per-client PRF draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionShape {
+    /// Mean think time between a session's consecutive requests,
+    /// microseconds (each gap is drawn uniform in `[1, 2·mean]`).
+    pub think_time_us: u64,
+    /// Cap on per-client request counts; counts are Zipf-distributed
+    /// over `1..=cap`, so most sessions are short and a heavy tail
+    /// hammers the service.
+    pub max_requests_per_client: u32,
+    /// Zipf exponent over session lengths (milli-units, like
+    /// [`FleetConfig::zipf_exponent_milli`]).
+    pub length_zipf_milli: u32,
+    /// Permille of sessions that join a flash crowd (when `spikes` is
+    /// non-empty): their session starts inside a spike window instead of
+    /// uniformly across the day.
+    pub flash_permille: u32,
+    /// The day's flash-crowd spikes (typically one per publication).
+    pub spikes: Vec<FlashSpike>,
+}
+
+impl Default for SessionShape {
+    fn default() -> SessionShape {
+        SessionShape {
+            think_time_us: 120_000_000,
+            max_requests_per_client: 64,
+            length_zipf_milli: 1_300,
+            flash_permille: 400,
+            spikes: Vec::new(),
+        }
+    }
+}
+
+impl SessionShape {
+    /// Starts from the default shape (2-minute mean think time, Zipf-1.3
+    /// session lengths capped at 64, no spikes).
+    pub fn builder() -> SessionShape {
+        SessionShape::default()
+    }
+
+    /// Sets the mean think time.
+    pub fn with_think_time_us(mut self, think: u64) -> SessionShape {
+        self.think_time_us = think;
+        self
+    }
+
+    /// Sets the per-client request-count cap.
+    pub fn with_max_requests_per_client(mut self, cap: u32) -> SessionShape {
+        self.max_requests_per_client = cap;
+        self
+    }
+
+    /// Adds a flash-crowd spike.
+    pub fn with_spike(mut self, at_us: u64, window_us: u64) -> SessionShape {
+        self.spikes.push(FlashSpike { at_us, window_us });
+        self
+    }
+
+    /// Sets the share of sessions that join a flash crowd.
+    pub fn with_flash_permille(mut self, permille: u32) -> SessionShape {
+        self.flash_permille = permille;
+        self
+    }
 }
 
 impl Default for FleetConfig {
@@ -60,9 +170,57 @@ impl Default for FleetConfig {
             one_behind_permille: 350,
             conditional_permille: 250,
             day_micros: 86_400_000_000,
+            session: None,
         }
     }
 }
+
+/// Why a [`FleetConfig`] failed validation — the same loud-rejection
+/// pattern as [`FrontendConfigError`](crate::FrontendConfigError).
+/// Each rejected value used to panic deep in the replay (an extreme
+/// Zipf exponent overflowing `rank.pow`), loop forever, or silently
+/// produce an empty day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `clients` is zero: nobody to draw arrivals from.
+    ZeroClients,
+    /// `requests` is zero in uniform mode: the day would be empty.
+    ZeroRequests,
+    /// `day_micros` is zero: no timeline to schedule on.
+    ZeroDayMicros,
+    /// A Zipf exponent so extreme the fixed-point `rank^s` computation
+    /// overflows (applies to `zipf_exponent_milli` and to a session's
+    /// `length_zipf_milli`).
+    ZipfExponentOverflow,
+    /// A session's `max_requests_per_client` is zero: every session
+    /// would be empty.
+    ZeroSessionRequestCap,
+    /// A flash spike is scheduled at or past the end of the day.
+    FlashSpikeOutsideDay,
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::ZeroClients => write!(f, "clients must be at least 1"),
+            FleetConfigError::ZeroRequests => {
+                write!(f, "requests must be at least 1 (uniform mode)")
+            }
+            FleetConfigError::ZeroDayMicros => write!(f, "day_micros must be at least 1"),
+            FleetConfigError::ZipfExponentOverflow => {
+                write!(f, "zipf exponent overflows the fixed-point rank^s computation")
+            }
+            FleetConfigError::ZeroSessionRequestCap => {
+                write!(f, "max_requests_per_client must be at least 1")
+            }
+            FleetConfigError::FlashSpikeOutsideDay => {
+                write!(f, "flash spike scheduled at or past the end of the day")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
 
 impl FleetConfig {
     /// Starts from the default configuration.
@@ -86,6 +244,58 @@ impl FleetConfig {
     pub fn with_seed(mut self, seed: u64) -> FleetConfig {
         self.seed = seed;
         self
+    }
+
+    /// Switches the day to session-based generation.
+    pub fn with_session(mut self, session: SessionShape) -> FleetConfig {
+        self.session = Some(session);
+        self
+    }
+
+    /// Checks the configuration without consuming it.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.clients == 0 {
+            return Err(FleetConfigError::ZeroClients);
+        }
+        if self.day_micros == 0 {
+            return Err(FleetConfigError::ZeroDayMicros);
+        }
+        if zipf_cumulative_checked(ArtifactKind::ALL.len() as u64, self.zipf_exponent_milli)
+            .is_none()
+        {
+            return Err(FleetConfigError::ZipfExponentOverflow);
+        }
+        match &self.session {
+            None => {
+                if self.requests == 0 {
+                    return Err(FleetConfigError::ZeroRequests);
+                }
+            }
+            Some(shape) => {
+                if shape.max_requests_per_client == 0 {
+                    return Err(FleetConfigError::ZeroSessionRequestCap);
+                }
+                if zipf_cumulative_checked(
+                    u64::from(shape.max_requests_per_client),
+                    shape.length_zipf_milli,
+                )
+                .is_none()
+                {
+                    return Err(FleetConfigError::ZipfExponentOverflow);
+                }
+                if shape.spikes.iter().any(|s| s.at_us >= self.day_micros) {
+                    return Err(FleetConfigError::FlashSpikeOutsideDay);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the builder chain, rejecting configurations that would
+    /// panic or degenerate at replay time.
+    pub fn build(self) -> Result<FleetConfig, FleetConfigError> {
+        self.validate()?;
+        Ok(self)
     }
 }
 
@@ -127,6 +337,10 @@ pub struct DayReport {
     /// concurrency cap).
     #[serde(default)]
     pub shed: u64,
+    /// Arrivals that landed inside a flash-crowd window (zero for
+    /// uniform days and for reports predating this field).
+    #[serde(default)]
+    pub flash_arrivals: u64,
     /// Resilience accounting of a mirror-tier chaos day (all zero for a
     /// single-frontend day and for reports predating these fields).
     #[serde(default)]
@@ -176,116 +390,336 @@ pub struct ResilienceTotals {
     pub hard_failures: u64,
 }
 
-/// Zipf cumulative weights over the popularity-ranked artifact kinds,
-/// in integer milli-weights so the draw is exact and portable.
-fn zipf_cumulative(exponent_milli: u32) -> Vec<u64> {
+/// Zipf cumulative weights over `n` popularity ranks, in integer
+/// weights so the draw is exact and portable. Returns `None` when the
+/// exponent overflows the fixed-point `rank^s` computation or every
+/// weight rounds to zero — [`FleetConfig::validate`] surfaces that as
+/// [`FleetConfigError::ZipfExponentOverflow`] instead of panicking
+/// mid-replay.
+fn zipf_cumulative_checked(n: u64, exponent_milli: u32) -> Option<Vec<u64>> {
     let mut acc = 0u64;
-    let mut cumulative = Vec::with_capacity(ArtifactKind::ALL.len());
-    for rank in 1..=ArtifactKind::ALL.len() as u32 {
+    let mut cumulative = Vec::with_capacity(usize::try_from(n).ok()?);
+    let s = exponent_milli;
+    let frac = u128::from(s % 1000);
+    for rank in 1..=n {
         // weight = 1 / rank^s with s in milli-units, computed as a
         // fixed-point power: rank^s = exp2(s * log2(rank)). Integer
         // approximation: interpolate between the two nearest integer
         // exponents, which is exact at s = 0 and s = 1000 (the default).
-        let s = exponent_milli;
-        let lo = rank.pow(s / 1000);
-        let hi = lo.saturating_mul(rank);
-        let frac = u64::from(s % 1000);
-        let denom_milli = u64::from(lo) * (1000 - frac) + u64::from(hi) * frac;
-        // weight in parts-per-million of the rank-1 weight.
-        acc += 1_000_000_000 / denom_milli.max(1);
+        let lo = rank.checked_pow(s / 1000)?;
+        let hi = lo.checked_mul(rank)?;
+        let denom_milli = u128::from(lo)
+            .checked_mul(1000 - frac)
+            .and_then(|l| l.checked_add(u128::from(hi).checked_mul(frac)?))?;
+        // weight in parts-per-million of the rank-1 weight; deep ranks
+        // of a steep law may round to zero (they are simply never drawn).
+        let weight = u64::try_from(1_000_000_000u128 / denom_milli.max(1)).ok()?;
+        acc = acc.checked_add(weight)?;
         cumulative.push(acc);
     }
-    cumulative
+    (acc > 0).then_some(cumulative)
+}
+
+/// The artifact-kind popularity table; infallible once the config passed
+/// [`FleetConfig::validate`].
+fn zipf_cumulative(exponent_milli: u32) -> Vec<u64> {
+    zipf_cumulative_checked(ArtifactKind::ALL.len() as u64, exponent_milli)
+        .expect("FleetConfig rejected: zipf exponent overflows")
+}
+
+/// Exact weighted draw from a cumulative table: the 64-bit draw is
+/// scaled onto `[0, total)` with a 128-bit widening multiply, so every
+/// slot gets a share of the draw space proportional to its weight (to
+/// within one part in 2^64). The previous `draw % total` biased the
+/// point toward low values whenever `total` did not divide 2^64 —
+/// systematically over-serving the Zipf head.
+fn pick_weighted(cumulative: &[u64], draw: u64) -> usize {
+    let total = *cumulative.last().expect("non-empty weight table");
+    let point = ((u128::from(draw) * u128::from(total)) >> 64) as u64;
+    cumulative.iter().position(|&c| point < c).unwrap_or(cumulative.len() - 1)
 }
 
 fn pick_kind(cumulative: &[u64], draw: u64) -> ArtifactKind {
-    let total = *cumulative.last().expect("non-empty kind table");
-    let point = draw % total;
-    let slot = cumulative.iter().position(|&c| point < c).unwrap_or(cumulative.len() - 1);
-    ArtifactKind::ALL[slot]
+    ArtifactKind::ALL[pick_weighted(cumulative, draw)]
 }
 
 /// What each (client, kind) pair remembers between requests: the
-/// content digest of the copy it last downloaded (its ETag).
+/// content digest of the copy it last downloaded (its ETag). Updated
+/// when the transfer *completes* — a client cannot revalidate against a
+/// digest still on the wire.
 #[derive(Debug, Clone, Copy)]
 struct Held {
     digest: u64,
 }
 
-/// Drives one simulated day of fleet load against a front end and
-/// returns the report. Deterministic for a fixed (config, store state).
-pub fn simulate_day(
+/// One scheduled arrival of the day, after the load shape has been
+/// expanded: request `id` from `client` at `at_us`.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    at_us: u64,
+    id: u64,
+    client: u64,
+}
+
+/// Expands the configured load shape into the day's arrival schedule,
+/// sorted by `(time, id)` so replay order is total and independent of
+/// generation order. Returns the schedule and the number of arrivals
+/// that landed inside a flash-crowd window.
+fn build_schedule(config: &FleetConfig) -> (Vec<Arrival>, u64) {
+    let day = config.day_micros.max(1);
+    let mut flash_arrivals = 0u64;
+    let mut schedule: Vec<Arrival> = match &config.session {
+        None => (0..config.requests)
+            .map(|i| {
+                let at = prf_u128(config.seed, u128::from(i), TAG_TIME) % day;
+                let client = prf_u128(config.seed, u128::from(i), TAG_CLIENT)
+                    % config.clients.max(1);
+                Arrival { at_us: at, id: i, client }
+            })
+            .collect(),
+        Some(shape) => {
+            let lengths = zipf_cumulative_checked(
+                u64::from(shape.max_requests_per_client),
+                shape.length_zipf_milli,
+            )
+            .expect("FleetConfig rejected: session zipf exponent overflows");
+            let mut arrivals = Vec::with_capacity(config.clients as usize * 2);
+            let mut id = 0u64;
+            for client in 0..config.clients {
+                // Heavy-tailed session length: rank 1 (one request)
+                // dominates, a Zipf tail of long sessions hammers on.
+                let len_draw = prf_u128(config.seed, u128::from(client), TAG_SESSION_LEN);
+                let count = 1 + pick_weighted(&lengths, len_draw) as u64;
+                // Flash crowd: a slice of sessions starts inside a spike
+                // window, offset quadratically toward the publication
+                // instant (d²/w front-loads small offsets).
+                let spike = (!shape.spikes.is_empty()
+                    && prf_u128(config.seed, u128::from(client), TAG_FLASH) % 1000
+                        < u64::from(shape.flash_permille))
+                .then(|| {
+                    let pick = prf_u128(config.seed, u128::from(client), TAG_SPIKE)
+                        % shape.spikes.len() as u64;
+                    shape.spikes[pick as usize]
+                });
+                let mut at = match spike {
+                    Some(s) => {
+                        let w = s.window_us.max(1);
+                        let d = prf_u128(config.seed, u128::from(client), TAG_TIME) % w;
+                        s.at_us + (u128::from(d) * u128::from(d) / u128::from(w)) as u64
+                    }
+                    None => prf_u128(config.seed, u128::from(client), TAG_TIME) % day,
+                };
+                for r in 0..count {
+                    if at >= day {
+                        // The session is truncated at midnight.
+                        break;
+                    }
+                    arrivals.push(Arrival { at_us: at, id, client });
+                    id += 1;
+                    if let Some(s) = spike {
+                        if at >= s.at_us && at < s.at_us.saturating_add(s.window_us) {
+                            flash_arrivals += 1;
+                        }
+                    }
+                    let think = prf_u128(
+                        config.seed,
+                        u128::from(client) << 32 | u128::from(r),
+                        TAG_THINK,
+                    ) % (2 * shape.think_time_us).max(1);
+                    at = at.saturating_add(1 + think);
+                }
+            }
+            arrivals
+        }
+    };
+    schedule.sort_unstable_by_key(|a| (a.at_us, a.id));
+    (schedule, flash_arrivals)
+}
+
+/// The per-request PRF draws shared by every replay path: which
+/// artifact, delta-vs-full freshness, and conditional revalidation.
+fn draw_request(
     config: &FleetConfig,
-    frontend: &mut Frontend,
-    store: &SnapshotStore,
-) -> DayReport {
+    cumulative: &[u64],
+    prev_rounds: &[Option<u64>],
+    held: &HashMap<(u64, usize), Held>,
+    arrival: Arrival,
+) -> Request {
+    let i = arrival.id;
+    let kind = pick_kind(cumulative, prf_u128(config.seed, u128::from(i), TAG_KIND));
+    let state = held.get(&(arrival.client, kind.index())).copied();
+
+    // Freshness: a slice of the fleet holds the store's previous
+    // round (yesterday's sync) and asks for a delta on top of it;
+    // everyone else asks for the full snapshot. Knowingly-stale
+    // consumers do not send an ETag; up-to-date ones (with a body
+    // fetched earlier today) conditionally revalidate instead.
+    let fresh_draw = prf_u128(config.seed, u128::from(i), TAG_FRESH) % 1000;
+    let one_behind = fresh_draw < u64::from(config.one_behind_permille);
+    let fetch = match prev_rounds[kind.index()] {
+        Some(prev) if one_behind => FetchKind::DeltaSince(prev),
+        _ => FetchKind::Full,
+    };
+    let cond_draw = prf_u128(config.seed, u128::from(i), TAG_COND) % 1000;
+    let if_none_match = match state {
+        Some(h) if !one_behind && cond_draw < u64::from(config.conditional_permille) => {
+            Some(h.digest)
+        }
+        _ => None,
+    };
+    Request { client: arrival.client, kind, fetch, if_none_match, at_us: arrival.at_us }
+}
+
+/// A completion queued by the synchronous comparator engine, ordered by
+/// `(retire time, submission order)` — the same total order the event
+/// loop delivers in.
+struct PendingCompletion {
+    at_us: u64,
+    seq: u64,
+    completion: Completion,
+}
+
+impl PartialEq for PendingCompletion {
+    fn eq(&self, other: &PendingCompletion) -> bool {
+        (self.at_us, self.seq) == (other.at_us, other.seq)
+    }
+}
+
+impl Eq for PendingCompletion {}
+
+impl PartialOrd for PendingCompletion {
+    fn partial_cmp(&self, other: &PendingCompletion) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingCompletion {
+    fn cmp(&self, other: &PendingCompletion) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// The two replay engines behind one driver: the event-loop reactor and
+/// the synchronous reference path. Both call the same `Frontend::handle`
+/// at the same instants and deliver completions in the same total
+/// order, which is what pins their ledgers byte-identical.
+enum Engine<'a> {
+    Reactor(EventLoop<'a>),
+    Sync {
+        frontend: &'a mut Frontend,
+        pending: BinaryHeap<Reverse<PendingCompletion>>,
+        seq: u64,
+    },
+}
+
+impl Engine<'_> {
+    fn serve(&mut self, id: u64, request: &Request) {
+        match self {
+            Engine::Reactor(el) => el.submit(id, request),
+            Engine::Sync { frontend, pending, seq } => {
+                let outcome = frontend.handle(request);
+                let latency = match &outcome {
+                    Outcome::Body { latency_us, .. } | Outcome::NotModified { latency_us, .. } => {
+                        *latency_us
+                    }
+                    _ => 0,
+                };
+                let at_us = request.at_us.saturating_add(latency);
+                *seq += 1;
+                pending.push(Reverse(PendingCompletion {
+                    at_us,
+                    seq: *seq,
+                    completion: Completion {
+                        id,
+                        client: request.client,
+                        kind: request.kind,
+                        at_us,
+                        outcome,
+                    },
+                }));
+            }
+        }
+    }
+
+    fn poll(&mut self, until_us: u64) -> Vec<Completion> {
+        match self {
+            Engine::Reactor(el) => el.poll(until_us),
+            Engine::Sync { pending, .. } => {
+                let mut done = Vec::new();
+                while pending.peek().is_some_and(|Reverse(p)| p.at_us <= until_us) {
+                    done.push(pending.pop().expect("peeked").0.completion);
+                }
+                done
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Completion> {
+        self.poll(u64::MAX)
+    }
+
+    fn totals(&self) -> FrontendTotals {
+        match self {
+            Engine::Reactor(el) => el.frontend().totals().clone(),
+            Engine::Sync { frontend, .. } => frontend.totals().clone(),
+        }
+    }
+
+    fn latency(&self) -> HistogramSnapshot {
+        match self {
+            Engine::Reactor(el) => el.frontend().latency_snapshot(),
+            Engine::Sync { frontend, .. } => frontend.latency_snapshot(),
+        }
+    }
+}
+
+/// The shared day driver: expand the schedule, and for each arrival
+/// first apply every completion whose transfer has finished (updating
+/// client-held ETags), then draw and serve the request.
+fn drive_day(config: &FleetConfig, mut engine: Engine<'_>, store: &SnapshotStore) -> DayReport {
+    config.validate().expect("FleetConfig rejected");
     let cumulative = zipf_cumulative(config.zipf_exponent_milli);
     let current_round = store.current_round().unwrap_or(0);
     // The round each artifact's delta was diffed against, fixed at day
     // start: the base a one-behind consumer holds.
     let prev_rounds: Vec<Option<u64>> =
         ArtifactKind::ALL.iter().map(|&k| store.artifact(k).and_then(|v| v.prev_round())).collect();
-
-    // Build the arrival schedule up front and sort by (time, index) so
-    // replay order is total and independent of generation order.
-    let mut schedule: Vec<(u64, u64)> = (0..config.requests)
-        .map(|i| {
-            let at = prf_u128(config.seed, u128::from(i), TAG_TIME) % config.day_micros.max(1);
-            (at, i)
-        })
-        .collect();
-    schedule.sort_unstable();
+    let (schedule, flash_arrivals) = build_schedule(config);
 
     let mut held: HashMap<(u64, usize), Held> = HashMap::new();
     let mut bodies_by_kind = vec![0u64; ArtifactKind::ALL.len()];
-
-    for &(at_us, i) in &schedule {
-        let client = prf_u128(config.seed, u128::from(i), TAG_CLIENT) % config.clients.max(1);
-        let kind = pick_kind(&cumulative, prf_u128(config.seed, u128::from(i), TAG_KIND));
-        let state = held.get(&(client, kind.index())).copied();
-
-        // Freshness: a slice of the fleet holds the store's previous
-        // round (yesterday's sync) and asks for a delta on top of it;
-        // everyone else asks for the full snapshot. Knowingly-stale
-        // consumers do not send an ETag; up-to-date ones (with a body
-        // fetched earlier today) conditionally revalidate instead.
-        let fresh_draw = prf_u128(config.seed, u128::from(i), TAG_FRESH) % 1000;
-        let one_behind = fresh_draw < u64::from(config.one_behind_permille);
-        let fetch = match prev_rounds[kind.index()] {
-            Some(prev) if one_behind => FetchKind::DeltaSince(prev),
-            _ => FetchKind::Full,
-        };
-        let cond_draw = prf_u128(config.seed, u128::from(i), TAG_COND) % 1000;
-        let if_none_match = match state {
-            Some(h) if !one_behind && cond_draw < u64::from(config.conditional_permille) => {
-                Some(h.digest)
-            }
-            _ => None,
-        };
-
-        let request = Request { client, kind, fetch, if_none_match, at_us };
-        match frontend.handle(&request) {
-            Outcome::Body { digest, .. } => {
-                bodies_by_kind[kind.index()] += 1;
-                held.insert((client, kind.index()), Held { digest });
-            }
-            Outcome::NotModified { .. }
-            | Outcome::ShedClient
-            | Outcome::ShedGlobal
-            | Outcome::Unavailable => {}
+    let apply = |c: Completion,
+                     held: &mut HashMap<(u64, usize), Held>,
+                     bodies_by_kind: &mut Vec<u64>| {
+        if let Outcome::Body { digest, .. } = c.outcome {
+            bodies_by_kind[c.kind.index()] += 1;
+            held.insert((c.client, c.kind.index()), Held { digest });
         }
+    };
+
+    for &arrival in &schedule {
+        for c in engine.poll(arrival.at_us) {
+            apply(c, &mut held, &mut bodies_by_kind);
+        }
+        let request = draw_request(config, &cumulative, &prev_rounds, &held, arrival);
+        engine.serve(arrival.id, &request);
+    }
+    for c in engine.finish() {
+        apply(c, &mut held, &mut bodies_by_kind);
     }
 
-    let latency = frontend.latency_snapshot();
+    let totals = engine.totals();
+    let latency = engine.latency();
     DayReport {
         seed: config.seed,
         clients: config.clients,
         round: current_round,
-        bytes_saved_by_delta: frontend.totals().bytes_saved_by_delta,
-        delta_fallbacks: frontend.totals().delta_fallbacks,
-        shed: frontend.totals().shed_client + frontend.totals().shed_global,
+        bytes_saved_by_delta: totals.bytes_saved_by_delta,
+        delta_fallbacks: totals.delta_fallbacks,
+        shed: totals.shed_client + totals.shed_global,
+        flash_arrivals,
         resilience: ResilienceTotals::default(),
-        totals: frontend.totals().clone(),
+        totals,
         bodies_by_kind: ArtifactKind::ALL
             .iter()
             .zip(bodies_by_kind)
@@ -295,6 +729,49 @@ pub fn simulate_day(
         latency_p90_us: latency.p90(),
         latency_p99_us: latency.p99(),
     }
+}
+
+/// Drives one simulated day of fleet load through the event-loop
+/// reactor and returns the report. Deterministic for a fixed
+/// (config, store state).
+///
+/// # Panics
+///
+/// On a configuration [`FleetConfig::validate`] rejects — run the
+/// builder chain through [`FleetConfig::build`] to handle the error
+/// instead.
+pub fn simulate_day(
+    config: &FleetConfig,
+    frontend: &mut Frontend,
+    store: &SnapshotStore,
+) -> DayReport {
+    simulate_day_reactor(config, frontend, store, None)
+}
+
+/// [`simulate_day`] with the reactor's `serve.loop.*` meters attached.
+fn simulate_day_reactor(
+    config: &FleetConfig,
+    frontend: &mut Frontend,
+    store: &SnapshotStore,
+    registry: Option<&Registry>,
+) -> DayReport {
+    let mut el = EventLoop::new(frontend);
+    if let Some(registry) = registry {
+        el = el.with_telemetry(registry);
+    }
+    drive_day(config, Engine::Reactor(el), store)
+}
+
+/// The synchronous reference path: one request runs admit → render →
+/// transfer to completion inline, with held-state completions queued
+/// arithmetically. Exists to pin the event loop's ledger — the two must
+/// produce byte-identical [`DayReport`]s at matched config.
+pub fn simulate_day_sync(
+    config: &FleetConfig,
+    frontend: &mut Frontend,
+    store: &SnapshotStore,
+) -> DayReport {
+    drive_day(config, Engine::Sync { frontend, pending: BinaryHeap::new(), seq: 0 }, store)
 }
 
 /// Convenience wrapper: build a front end over `store` with `frontend`
@@ -325,7 +802,7 @@ pub fn run_day_observed(
     if let Some(recorder) = flight {
         fe = fe.with_flight(recorder.clone());
     }
-    simulate_day(fleet, &mut fe, store)
+    simulate_day_reactor(fleet, &mut fe, store, telemetry)
 }
 
 /// Deterministic retry policy of the resilient client path: exponential
@@ -660,6 +1137,7 @@ pub fn run_chaos_day(
     mut observer: Option<&mut ChaosObserver>,
 ) -> DayReport {
     let fleet = &config.fleet;
+    fleet.validate().expect("FleetConfig rejected");
     let mirrors = tier.mirror_count();
     let cumulative = zipf_cumulative(fleet.zipf_exponent_milli);
     let meters = observer.as_ref().map(|o| RetryMeters::resolve(o.registry()));
@@ -670,26 +1148,31 @@ pub fn run_chaos_day(
     let mut next_publish = 0usize;
     let mut pending: Vec<&TimedPublish> = Vec::new();
 
-    let mut schedule: Vec<(u64, u64)> = (0..fleet.requests)
-        .map(|i| {
-            let at = prf_u128(fleet.seed, u128::from(i), TAG_TIME) % fleet.day_micros.max(1);
-            (at, i)
-        })
-        .collect();
-    schedule.sort_unstable();
+    let (schedule, flash_arrivals) = build_schedule(fleet);
 
     let mut held: HashMap<(u64, usize), HeldGeneration> = HashMap::new();
+    // Transfers in flight: the client learns (round, digest) only when
+    // the transfer completes at `at + latency + penalty`, ordered by
+    // (retire time, submission order) like the event loop's heap.
+    let mut inflight: BinaryHeap<Reverse<(u64, u64, u64, usize, u64, u64)>> = BinaryHeap::new();
+    let mut inflight_seq = 0u64;
     let mut breakers = vec![Breaker::new(); mirrors];
     let mut bodies_by_kind = vec![0u64; ArtifactKind::ALL.len()];
     let latency = Histogram::default();
     let mut res = ResilienceTotals {
         mirrors: mirrors as u64,
-        logical_requests: fleet.requests,
+        logical_requests: schedule.len() as u64,
         ..ResilienceTotals::default()
     };
     let mut was_blackout = false;
 
-    for &(at, i) in &schedule {
+    for &Arrival { at_us: at, id: i, client } in &schedule {
+        // Deliver every transfer that finished before this arrival.
+        while inflight.peek().is_some_and(|Reverse(c)| c.0 <= at) {
+            let Reverse((_, _, hclient, kidx, round, digest)) =
+                inflight.pop().expect("peeked");
+            held.insert((hclient, kidx), HeldGeneration { round, digest });
+        }
         // Land every publish that has come due (or been unblocked).
         while next_publish < ordered.len() && ordered[next_publish].at_us <= at {
             let p = ordered[next_publish];
@@ -715,7 +1198,6 @@ pub fn run_chaos_day(
         was_blackout = now_blackout;
 
         // The logical request (same PRF draws as a single-frontend day).
-        let client = prf_u128(fleet.seed, u128::from(i), TAG_CLIENT) % fleet.clients.max(1);
         let kind = pick_kind(&cumulative, prf_u128(fleet.seed, u128::from(i), TAG_KIND));
         let state = held.get(&(client, kind.index())).copied();
         let fresh_draw = prf_u128(fleet.seed, u128::from(i), TAG_FRESH) % 1000;
@@ -910,10 +1392,15 @@ pub fn run_chaos_day(
         match &winner {
             Some((_, Outcome::Body { digest, round, latency_us, .. })) => {
                 bodies_by_kind[kind.index()] += 1;
-                held.insert(
-                    (client, kind.index()),
-                    HeldGeneration { round: *round, digest: *digest },
-                );
+                inflight_seq += 1;
+                inflight.push(Reverse((
+                    at.saturating_add(*latency_us).saturating_add(penalty_us),
+                    inflight_seq,
+                    client,
+                    kind.index(),
+                    *round,
+                    *digest,
+                )));
                 latency.record((*latency_us + penalty_us).max(1));
             }
             Some((_, Outcome::NotModified { latency_us, .. })) => {
@@ -951,6 +1438,7 @@ pub fn run_chaos_day(
         bytes_saved_by_delta: totals.bytes_saved_by_delta,
         delta_fallbacks: totals.delta_fallbacks,
         shed: totals.shed_client + totals.shed_global,
+        flash_arrivals,
         bodies_by_kind: ArtifactKind::ALL
             .iter()
             .zip(bodies_by_kind)
@@ -1002,6 +1490,124 @@ mod tests {
         let flat = zipf_cumulative(0);
         let w0 = flat[0];
         assert!(flat.windows(2).all(|w| w[1] - w[0] == w0));
+    }
+
+    #[test]
+    fn weighted_draw_splits_the_draw_space_exactly() {
+        // Two equal weights: the widening multiply splits the 64-bit
+        // draw space exactly in half (the old `draw % total` gave the
+        // low slot 2^64 mod total extra points).
+        let c = vec![500, 1_000];
+        assert_eq!(pick_weighted(&c, 0), 0);
+        assert_eq!(pick_weighted(&c, u64::MAX / 2), 0);
+        assert_eq!(pick_weighted(&c, u64::MAX / 2 + 1), 1);
+        assert_eq!(pick_weighted(&c, u64::MAX), 1);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_configs() {
+        assert!(FleetConfig::builder().build().is_ok());
+        let err = FleetConfig { clients: 0, ..FleetConfig::default() }.build().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroClients);
+        let err = FleetConfig { requests: 0, ..FleetConfig::default() }.build().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroRequests);
+        let err = FleetConfig { day_micros: 0, ..FleetConfig::default() }.build().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroDayMicros);
+        // 8 artifact ranks at exponent 40.0: 8^40 overflows the
+        // fixed-point rank^s — the panic this used to be.
+        let err = FleetConfig { zipf_exponent_milli: 40_000, ..FleetConfig::default() }
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FleetConfigError::ZipfExponentOverflow);
+        // Session shapes get the same scrutiny.
+        let shape = SessionShape::builder().with_max_requests_per_client(0);
+        let err = FleetConfig::builder().with_session(shape).build().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZeroSessionRequestCap);
+        let shape = SessionShape { length_zipf_milli: 90_000, ..SessionShape::default() };
+        let err = FleetConfig::builder().with_session(shape).build().unwrap_err();
+        assert_eq!(err, FleetConfigError::ZipfExponentOverflow);
+        let shape = SessionShape::builder().with_spike(86_400_000_000, 1);
+        let err = FleetConfig::builder().with_session(shape).build().unwrap_err();
+        assert_eq!(err, FleetConfigError::FlashSpikeOutsideDay);
+        // A session config with requests = 0 is fine: sessions ignore it.
+        let ok = FleetConfig { requests: 0, ..FleetConfig::default() }
+            .with_session(SessionShape::default())
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn event_loop_ledger_is_byte_identical_to_synchronous() {
+        let store = seeded_store();
+        let fleet = FleetConfig::builder().with_requests(20_000).with_clients(60);
+        let mut fe_a = Frontend::new(FrontendConfig::default(), store.clone());
+        let a = simulate_day(&fleet, &mut fe_a, &store);
+        let mut fe_b = Frontend::new(FrontendConfig::default(), store.clone());
+        let b = simulate_day_sync(&fleet, &mut fe_b, &store);
+        assert_eq!(a, b, "reactor and synchronous paths keep one ledger");
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+            "byte-identical on the wire, not merely Eq"
+        );
+    }
+
+    #[test]
+    fn session_day_front_loads_the_flash_crowd() {
+        let spike_at = 10_000_000_000u64;
+        let window = 600_000_000u64;
+        let shape = SessionShape::builder()
+            .with_spike(spike_at, window)
+            .with_flash_permille(500);
+        let config = FleetConfig::builder()
+            .with_clients(2_000)
+            .with_session(shape)
+            .build()
+            .expect("valid session config");
+        let (schedule, flash) = build_schedule(&config);
+        assert!(!schedule.is_empty());
+        assert!(flash > 0, "half the sessions chase the publication");
+        assert!(
+            schedule.windows(2).all(|w| (w[0].at_us, w[0].id) <= (w[1].at_us, w[1].id)),
+            "schedule is sorted by (time, id)"
+        );
+        assert!(schedule.iter().all(|a| a.at_us < config.day_micros), "truncated at midnight");
+        // The quadratic offset front-loads the spike window: more
+        // arrivals land in its first half than its second.
+        let first = schedule
+            .iter()
+            .filter(|a| a.at_us >= spike_at && a.at_us < spike_at + window / 2)
+            .count();
+        let second = schedule
+            .iter()
+            .filter(|a| a.at_us >= spike_at + window / 2 && a.at_us < spike_at + window)
+            .count();
+        assert!(first > second, "front-loaded: {first} first-half vs {second} second-half");
+        // And the expansion is deterministic.
+        let (again, flash_again) = build_schedule(&config);
+        assert_eq!(flash, flash_again);
+        assert_eq!(schedule.len(), again.len());
+        assert!(schedule
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| (a.at_us, a.id, a.client) == (b.at_us, b.id, b.client)));
+    }
+
+    #[test]
+    fn session_day_replays_byte_identically_through_the_reactor() {
+        let store = seeded_store();
+        let shape = SessionShape::builder()
+            .with_think_time_us(30_000_000)
+            .with_spike(43_200_000_000, 1_800_000_000);
+        let fleet = FleetConfig::builder().with_clients(3_000).with_session(shape);
+        let a = run_day(&fleet, FrontendConfig::default(), &store, None);
+        let b = run_day(&fleet, FrontendConfig::default(), &store, None);
+        assert_eq!(a, b, "session day replays identically");
+        assert!(a.flash_arrivals > 0);
+        assert!(a.totals.requests > 3_000, "the heavy tail multiplies arrivals");
+        let mut fe = Frontend::new(FrontendConfig::default(), store.clone());
+        let sync = simulate_day_sync(&fleet, &mut fe, &store);
+        assert_eq!(a, sync, "event loop ≡ synchronous under sessions too");
     }
 
     #[test]

@@ -24,10 +24,20 @@
 //!   shed decisions feed an attached
 //!   [`FlightRecorder`](sixdust_telemetry::FlightRecorder).
 //! * [`fleet`] — a seeded, Zipf-popular simulated consumer fleet that
-//!   replays a deterministic high-QPS day and emits a [`DayReport`];
+//!   replays a deterministic high-QPS day and emits a [`DayReport`].
+//!   Load comes in two shapes: the classic uniform request spread and
+//!   session-based generation ([`SessionShape`]) — heavy-tailed
+//!   per-client request counts, think time, and flash-crowd spikes —
+//!   which scales a day past a million virtual clients.
 //!   [`run_chaos_day`] drives the same fleet through the resilient
 //!   client path (affinity, failover, retries with seeded backoff,
 //!   hedging, per-mirror circuit breakers).
+//! * [`reactor`] — the event-loop front end: requests run as
+//!   per-request state machines (admit → render → transfer → retire)
+//!   on a virtual-time completion heap, so in-flight concurrency is
+//!   bounded by the loop, not the caller's thread. Its ledger is pinned
+//!   byte-identical to the synchronous path
+//!   ([`simulate_day_sync`](fleet::simulate_day_sync)).
 //! * [`mirror`] — the fault-tolerant distribution tier: N edge mirrors
 //!   syncing generations from the origin store over the delta codec
 //!   with checksum-first torn-sync rejection, serving stale-but-counted
@@ -46,6 +56,7 @@ pub mod codec;
 pub mod faults;
 pub mod fleet;
 pub mod mirror;
+pub mod reactor;
 pub mod server;
 pub mod store;
 
@@ -54,10 +65,12 @@ pub use codec::{
 };
 pub use faults::ServeFaultConfig;
 pub use fleet::{
-    run_chaos_day, run_day, run_day_observed, simulate_day, BreakerConfig, ChaosDayConfig,
-    ChaosObserver, DayReport, FleetConfig, ResilienceTotals, RetryPolicy,
+    run_chaos_day, run_day, run_day_observed, simulate_day, simulate_day_sync, BreakerConfig,
+    ChaosDayConfig, ChaosObserver, DayReport, FlashSpike, FleetConfig, FleetConfigError,
+    ResilienceTotals, RetryPolicy, SessionShape,
 };
 pub use mirror::{MirrorTier, MirrorTierConfig, TierTotals, TimedPublish};
+pub use reactor::{Completion, EventLoop, LoopStats};
 pub use server::{
     FetchKind, Frontend, FrontendConfig, FrontendConfigError, FrontendTotals, Outcome, Request,
 };

@@ -213,6 +213,10 @@ pub struct MirrorTier {
     /// The round the publish plan says should be live right now; mirrors
     /// serving older rounds are stale.
     target_round: u64,
+    /// Earliest scheduled sync across mirrors — lets [`MirrorTier::advance`]
+    /// return without walking the tier when nothing is due (zero forces a
+    /// full walk on the next call, e.g. after a publish moves the target).
+    next_due_us: u64,
     registry: Option<Registry>,
     flight: Option<FlightRecorder>,
     meters: Option<TierMeters>,
@@ -249,6 +253,7 @@ impl MirrorTier {
             origin,
             faults,
             target_round,
+            next_due_us: 0,
             registry: None,
             flight: None,
             meters: None,
@@ -375,6 +380,9 @@ impl MirrorTier {
     /// whether or not the blackout lets it land).
     pub fn set_target_round(&mut self, round: u64) {
         self.target_round = self.target_round.max(round);
+        // Lag may have grown: force the next advance() to take the full
+        // walk and refresh the gauge.
+        self.next_due_us = 0;
     }
 
     /// Attempts to land a scheduled publish on the origin at `at_us`.
@@ -409,6 +417,12 @@ impl MirrorTier {
     /// Processes every scheduled sync due at or before `at_us` and
     /// refreshes the lag gauge. Called implicitly by [`MirrorTier::handle`].
     pub fn advance(&mut self, at_us: u64) {
+        // Fast path: no sync is due and no publish has moved the target
+        // since the last walk. `handle` calls this per request, so a
+        // million-arrival day must not pay O(mirrors) per arrival.
+        if at_us < self.next_due_us {
+            return;
+        }
         for i in 0..self.mirrors.len() {
             while self.mirrors[i].next_sync_us <= at_us {
                 let scheduled = self.mirrors[i].next_sync_us;
@@ -416,6 +430,8 @@ impl MirrorTier {
                 self.mirrors[i].next_sync_us = scheduled + self.config.sync_interval_us;
             }
         }
+        self.next_due_us =
+            self.mirrors.iter().map(|m| m.next_sync_us).min().unwrap_or(u64::MAX);
         if let Some(m) = &self.meters {
             m.lag_rounds.set(self.max_lag_rounds() as i64);
         }

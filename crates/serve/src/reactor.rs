@@ -1,0 +1,386 @@
+//! The event-loop front end: virtual-time reactor over a [`Frontend`].
+//!
+//! The synchronous serve path couples one request to one caller "thread"
+//! — `Frontend::handle` runs admit → cache/render → transfer to
+//! completion before the caller may submit the next arrival. This module
+//! decouples them: [`EventLoop::submit`] is *non-blocking* admission
+//! (the ledger decision is made at arrival time, exactly as the
+//! synchronous path does), and the request then lives as a small state
+//! machine whose phase transitions — render done, transfer done /
+//! retire — are events on a pending-completion heap. Concurrency is
+//! bounded by the loop's in-flight set, not by the caller: a million
+//! virtual clients can have thousands of transfers in flight while the
+//! driver keeps submitting.
+//!
+//! Determinism contract: submissions must arrive in non-decreasing
+//! virtual time, and the loop calls the *same* `Frontend::handle` at the
+//! same instants the synchronous path would, so the
+//! [`DayReport`](crate::DayReport) ledger is byte-identical between the
+//! two at matched configuration (pinned by tests). What the reactor adds
+//! on top is completion *delivery* at retire time (the fleet applies
+//! client-held state when the transfer finishes, not when it starts) and
+//! the `serve.loop.*` phase telemetry.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sixdust_telemetry::{Counter, Gauge, Registry};
+
+use crate::server::{Frontend, Outcome, Request};
+use crate::store::ArtifactKind;
+
+/// A retired request, delivered by [`EventLoop::poll`] once its
+/// transfer has completed on the virtual timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The submission id (the fleet's request index).
+    pub id: u64,
+    /// The requesting client.
+    pub client: u64,
+    /// The artifact the request asked for.
+    pub kind: ArtifactKind,
+    /// Retire time: arrival plus the served latency (arrival itself for
+    /// shed and unavailable outcomes, which never occupy the loop).
+    pub at_us: u64,
+    /// How the front end answered.
+    pub outcome: Outcome,
+}
+
+/// What a pending heap event does when its time comes.
+#[derive(Debug)]
+enum Phase {
+    /// A cache-miss body finished rendering (the transfer continues).
+    RenderDone,
+    /// The request retires: deliver its completion and free its slot.
+    Retire(Completion),
+}
+
+/// One scheduled phase transition. Ordered by `(at_us, seq)` so events
+/// at the same instant fire in submission order — the same total order
+/// the synchronous comparator path uses.
+#[derive(Debug)]
+struct Event {
+    at_us: u64,
+    seq: u64,
+    phase: Phase,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        (self.at_us, self.seq) == (other.at_us, other.seq)
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// The loop's own running counters — phase traffic and occupancy,
+/// independent of the optional registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Requests submitted.
+    pub arrivals: u64,
+    /// Render phases completed (cache-miss bodies).
+    pub renders: u64,
+    /// Body transfers completed.
+    pub transfers: u64,
+    /// Requests retired (every submission retires exactly once).
+    pub retired: u64,
+    /// Requests currently between admission and retire.
+    pub inflight: u64,
+    /// High-water mark of `inflight` across the run.
+    pub inflight_peak: u64,
+}
+
+/// Telemetry handles, resolved once at attachment (hot-path rule).
+struct LoopMeters {
+    arrivals: Counter,
+    renders: Counter,
+    transfers: Counter,
+    retired: Counter,
+    inflight: Gauge,
+    inflight_peak: Gauge,
+}
+
+impl LoopMeters {
+    fn resolve(registry: &Registry) -> LoopMeters {
+        LoopMeters {
+            arrivals: registry.counter("serve.loop.arrivals"),
+            renders: registry.counter("serve.loop.renders"),
+            transfers: registry.counter("serve.loop.transfers"),
+            retired: registry.counter("serve.loop.retired"),
+            inflight: registry.gauge("serve.loop.inflight"),
+            inflight_peak: registry.gauge("serve.loop.inflight_peak"),
+        }
+    }
+}
+
+/// A virtual-time event loop over a borrowed [`Frontend`].
+pub struct EventLoop<'a> {
+    frontend: &'a mut Frontend,
+    heap: BinaryHeap<Reverse<Event>>,
+    /// Completions whose retire time has passed, awaiting a `poll`.
+    ready: Vec<Completion>,
+    stats: LoopStats,
+    meters: Option<LoopMeters>,
+    seq: u64,
+    clock: u64,
+}
+
+impl std::fmt::Debug for EventLoop<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("clock", &self.clock)
+            .field("pending", &self.heap.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> EventLoop<'a> {
+    /// Wraps a front end in a reactor. The front end keeps its totals,
+    /// cache, buckets and latency histogram — the loop only schedules.
+    pub fn new(frontend: &'a mut Frontend) -> EventLoop<'a> {
+        EventLoop {
+            frontend,
+            heap: BinaryHeap::new(),
+            ready: Vec::new(),
+            stats: LoopStats::default(),
+            meters: None,
+            seq: 0,
+            clock: 0,
+        }
+    }
+
+    /// Attaches a metrics registry (`serve.loop.{arrivals,renders,`
+    /// `transfers,retired,inflight,inflight_peak}`).
+    pub fn with_telemetry(mut self, registry: &Registry) -> EventLoop<'a> {
+        self.meters = Some(LoopMeters::resolve(registry));
+        self
+    }
+
+    /// The wrapped front end (totals, latency snapshot).
+    pub fn frontend(&self) -> &Frontend {
+        self.frontend
+    }
+
+    /// The loop's phase counters and occupancy so far.
+    pub fn stats(&self) -> LoopStats {
+        self.stats
+    }
+
+    fn push(&mut self, at_us: u64, phase: Phase) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at_us, seq: self.seq, phase }));
+    }
+
+    fn set_inflight(&mut self, delta: i64) {
+        self.stats.inflight = self.stats.inflight.checked_add_signed(delta).unwrap_or(0);
+        self.stats.inflight_peak = self.stats.inflight_peak.max(self.stats.inflight);
+        if let Some(m) = &self.meters {
+            m.inflight.set(self.stats.inflight as i64);
+            m.inflight_peak.set(self.stats.inflight_peak as i64);
+        }
+    }
+
+    /// Non-blocking admission of one arrival. Every ledger decision
+    /// (admit, shed, cache, totals, latency) is made here, at arrival
+    /// time, through the same `Frontend::handle` the synchronous path
+    /// calls — the loop then schedules the request's remaining phases
+    /// and returns immediately. Arrivals must be submitted in
+    /// non-decreasing `at_us` order.
+    pub fn submit(&mut self, id: u64, request: &Request) {
+        debug_assert!(request.at_us >= self.clock, "arrivals must be time-ordered");
+        self.advance_to(request.at_us);
+        self.clock = request.at_us;
+        self.stats.arrivals += 1;
+        if let Some(m) = &self.meters {
+            m.arrivals.incr();
+        }
+        let outcome = self.frontend.handle(request);
+        let at = request.at_us;
+        match &outcome {
+            Outcome::Body { cached, latency_us, .. } => {
+                let retire = at.saturating_add(*latency_us);
+                if !*cached {
+                    // Render slot: the body was reserved (and the cache
+                    // populated) at admission; the render *phase* ends
+                    // after base + render latency, mid-transfer.
+                    let config = self.frontend.config();
+                    let done = at
+                        .saturating_add(config.base_latency_us)
+                        .saturating_add(config.render_latency_us);
+                    self.push(done.min(retire), Phase::RenderDone);
+                }
+                self.set_inflight(1);
+                let completion = Completion {
+                    id,
+                    client: request.client,
+                    kind: request.kind,
+                    at_us: retire,
+                    outcome,
+                };
+                self.push(retire, Phase::Retire(completion));
+            }
+            Outcome::NotModified { latency_us, .. } => {
+                let retire = at.saturating_add(*latency_us);
+                self.set_inflight(1);
+                let completion = Completion {
+                    id,
+                    client: request.client,
+                    kind: request.kind,
+                    at_us: retire,
+                    outcome,
+                };
+                self.push(retire, Phase::Retire(completion));
+            }
+            Outcome::ShedClient | Outcome::ShedGlobal | Outcome::Unavailable => {
+                // Rejected at admission: retires on the spot, occupying
+                // nothing — delivered on the next poll so the driver
+                // still sees every submission resolve exactly once.
+                self.stats.retired += 1;
+                if let Some(m) = &self.meters {
+                    m.retired.incr();
+                }
+                self.ready.push(Completion {
+                    id,
+                    client: request.client,
+                    kind: request.kind,
+                    at_us: at,
+                    outcome,
+                });
+            }
+        }
+    }
+
+    fn advance_to(&mut self, until_us: u64) {
+        while self.heap.peek().is_some_and(|Reverse(e)| e.at_us <= until_us) {
+            let Reverse(event) = self.heap.pop().expect("peeked");
+            match event.phase {
+                Phase::RenderDone => {
+                    self.stats.renders += 1;
+                    if let Some(m) = &self.meters {
+                        m.renders.incr();
+                    }
+                }
+                Phase::Retire(completion) => {
+                    self.stats.retired += 1;
+                    if matches!(completion.outcome, Outcome::Body { .. }) {
+                        self.stats.transfers += 1;
+                        if let Some(m) = &self.meters {
+                            m.transfers.incr();
+                        }
+                    }
+                    if let Some(m) = &self.meters {
+                        m.retired.incr();
+                    }
+                    self.set_inflight(-1);
+                    self.ready.push(completion);
+                }
+            }
+        }
+    }
+
+    /// Fires every phase event due at or before `until_us` and returns
+    /// the requests that retired, in `(retire time, submission order)`
+    /// order. The fleet driver calls this before each submission so
+    /// client-held state advances exactly when transfers complete.
+    pub fn poll(&mut self, until_us: u64) -> Vec<Completion> {
+        self.advance_to(until_us);
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Drains the loop: fires every remaining event and returns the
+    /// final completions. The loop is reusable afterwards.
+    pub fn finish(&mut self) -> Vec<Completion> {
+        self.poll(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FetchKind, FrontendConfig};
+    use crate::store::{SnapshotStore, StoreConfig};
+    use std::sync::Arc;
+
+    fn served_store() -> Arc<SnapshotStore> {
+        let store = SnapshotStore::new(StoreConfig::default());
+        let items: sixdust_addr::AddrSet = (0..2000u128).map(|i| i * 31).collect();
+        store.publish_round(1, "d1", vec![(ArtifactKind::Responsive, items)]);
+        Arc::new(store)
+    }
+
+    fn request(client: u64, at_us: u64) -> Request {
+        Request {
+            client,
+            kind: ArtifactKind::Responsive,
+            fetch: FetchKind::Full,
+            if_none_match: None,
+            at_us,
+        }
+    }
+
+    #[test]
+    fn phases_fire_in_order_and_completions_arrive_at_retire_time() {
+        let mut fe = Frontend::new(FrontendConfig::default(), served_store());
+        let mut el = EventLoop::new(&mut fe);
+        el.submit(0, &request(1, 0));
+        assert!(el.poll(0).is_empty(), "the transfer is still in flight at t=0");
+        assert_eq!(el.stats().inflight, 1);
+        let done = el.finish();
+        assert_eq!(done.len(), 1);
+        let Outcome::Body { latency_us, cached: false, .. } = done[0].outcome else {
+            panic!("first fetch renders a body");
+        };
+        assert_eq!(done[0].at_us, latency_us, "retire = arrival + served latency");
+        let s = el.stats();
+        assert_eq!((s.arrivals, s.renders, s.transfers, s.retired), (1, 1, 1, 1));
+        assert_eq!(s.inflight, 0);
+        assert_eq!(s.inflight_peak, 1);
+    }
+
+    #[test]
+    fn sheds_retire_immediately_without_occupancy() {
+        let config = FrontendConfig::builder().with_client_bucket(1, 0);
+        let mut fe = Frontend::new(config, served_store());
+        let mut el = EventLoop::new(&mut fe);
+        el.submit(0, &request(7, 0));
+        el.submit(1, &request(7, 1));
+        let now = el.poll(1);
+        assert_eq!(now.len(), 1, "the shed resolves at once; the body is still in flight");
+        assert!(matches!(now[0].outcome, Outcome::ShedClient));
+        assert_eq!(el.stats().inflight, 1, "a shed never occupies a slot");
+        assert_eq!(el.finish().len(), 1);
+        assert_eq!(el.stats().transfers, 1);
+        assert_eq!(el.stats().retired, 2, "every submission retires exactly once");
+    }
+
+    #[test]
+    fn loop_telemetry_reports_phase_counters() {
+        let reg = Registry::new();
+        let mut fe = Frontend::new(FrontendConfig::default(), served_store());
+        let mut el = EventLoop::new(&mut fe).with_telemetry(&reg);
+        for (i, client) in (0..4u64).enumerate() {
+            el.submit(i as u64, &request(client, i as u64 * 10));
+        }
+        el.finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.loop.arrivals"), Some(4));
+        assert_eq!(snap.counter("serve.loop.retired"), Some(4));
+        assert_eq!(snap.counter("serve.loop.renders"), Some(1), "one miss, then cache hits");
+        assert_eq!(snap.counter("serve.loop.transfers"), Some(4));
+        assert!(snap.gauge("serve.loop.inflight_peak").unwrap_or(0) >= 1);
+    }
+}

@@ -261,6 +261,13 @@ impl FrontendTotals {
 struct Bucket {
     milli_tokens: u64,
     last_us: u64,
+    /// Refill residue in µs·rate units, always `< 60_000` (one
+    /// milli-token's worth). Without it, every poll truncates the
+    /// fractional part of the refill *and* advances `last_us`, so a
+    /// client polled at sub-milli-token intervals refills zero tokens
+    /// forever — the error grows with arrival density, i.e. exactly
+    /// under flash-crowd load.
+    carry: u64,
 }
 
 /// A tiny exact LRU keyed by `(artifact, round, delta)`. Capacity is a
@@ -442,16 +449,38 @@ impl Frontend {
         self.latency.snapshot()
     }
 
+    /// The validated configuration this front end runs under — the
+    /// reactor reads the phase latencies (base / render) from here to
+    /// schedule per-request state-machine events.
+    pub(crate) fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
     fn admit_client(&mut self, client: u64, now_us: u64) -> bool {
         let burst = u64::from(self.config.client_burst) * 1_000;
         let rate = u64::from(self.config.client_rate_per_min);
-        let bucket =
-            self.buckets.entry(client).or_insert(Bucket { milli_tokens: burst, last_us: 0 });
+        let bucket = self
+            .buckets
+            .entry(client)
+            .or_insert(Bucket { milli_tokens: burst, last_us: 0, carry: 0 });
         let elapsed = now_us.saturating_sub(bucket.last_us);
         bucket.last_us = now_us;
-        // rate tokens/minute = rate * 1000 milli-tokens / 60e6 us.
-        let refill = elapsed.saturating_mul(rate) / 60_000;
-        bucket.milli_tokens = (bucket.milli_tokens + refill).min(burst);
+        // rate tokens/minute = rate * 1000 milli-tokens / 60e6 µs: one
+        // milli-token per 60_000 µs·rate of accrual. The division's
+        // remainder rides in `carry` to the next call, so the refill a
+        // client earns depends only on total elapsed time, never on how
+        // its arrivals are spaced.
+        let accrued = elapsed.saturating_mul(rate).saturating_add(bucket.carry);
+        bucket.milli_tokens = bucket.milli_tokens.saturating_add(accrued / 60_000);
+        if bucket.milli_tokens >= burst {
+            // Clamped at the cap: a full bucket accrues nothing, so the
+            // residue is forfeit too (otherwise a long-idle client would
+            // bank credit beyond its burst).
+            bucket.milli_tokens = burst;
+            bucket.carry = 0;
+        } else {
+            bucket.carry = accrued % 60_000;
+        }
         if bucket.milli_tokens >= 1_000 {
             bucket.milli_tokens -= 1_000;
             true
@@ -707,6 +736,81 @@ mod tests {
         // 60 tokens/minute = one per second: a token is back after 1s.
         assert!(matches!(fe.handle(&request(7, 1_000_002)), Outcome::Body { .. }));
         assert_eq!(fe.totals().shed_client, 1);
+    }
+
+    #[test]
+    fn dense_polling_does_not_starve_the_bucket() {
+        // Regression: the old refill truncated `elapsed * rate / 60_000`
+        // on every call *and* advanced `last_us`, so a rate-60/min
+        // client polled every 999 µs (just under the 1000 µs one
+        // milli-token needs at rate 60) accrued zero refill forever —
+        // it got its burst and then starved. With the carry, refill is
+        // exact: one token per second regardless of polling cadence.
+        let config = FrontendConfig::builder().with_client_bucket(2, 60);
+        let mut fe = Frontend::new(config, served_store());
+        let mut admitted = 0u64;
+        let polls = 3_003u64; // covers exactly 3.0 s minus one poll
+        for k in 0..polls {
+            if !matches!(fe.handle(&request(7, k * 999)), Outcome::ShedClient) {
+                admitted += 1;
+            }
+        }
+        // Burst of 2, plus one refilled token per elapsed second. The
+        // last poll is at 2_999_998 µs < 3 s, so exactly 2 refills.
+        assert_eq!(admitted, 2 + 2, "burst + one token per second; old math admits only 2");
+    }
+
+    #[test]
+    fn refill_total_is_independent_of_arrival_spacing() {
+        // Demand-saturated polling at three very different cadences must
+        // earn the same refill over the same horizon: total admissions
+        // are a function of elapsed time only. (The old math made them a
+        // function of spacing: sub-interval cadences earned nothing.)
+        let horizon_us = 60_000_000u64; // one virtual minute at rate 60
+        let count_at = |spacing_us: u64| {
+            // Burst 2 keeps a demand-saturated bucket strictly below its
+            // cap after the first request, so nothing is ever forfeited
+            // at the clamp and the carry's exactness is fully exposed:
+            // admissions = (burst + floor(last_poll_us / 1000)) / 1000
+            // milli-tokens, a function of elapsed time alone.
+            let config = FrontendConfig::builder().with_client_bucket(2, 60);
+            let mut fe = Frontend::new(config, served_store());
+            let mut admitted = 0u64;
+            let mut t = 0u64;
+            while t <= horizon_us {
+                if !matches!(fe.handle(&request(3, t)), Outcome::ShedClient) {
+                    admitted += 1;
+                }
+                t += spacing_us;
+            }
+            admitted
+        };
+        let dense = count_at(999);
+        let sparse = count_at(10_007);
+        let coarse = count_at(399_989);
+        assert_eq!(dense, 61, "burst 2 + 59.999 tokens refilled over the minute");
+        assert_eq!(dense, sparse, "999 µs vs 10 ms spacing must earn identical refill");
+        assert_eq!(dense, coarse, "999 µs vs 400 ms spacing must earn identical refill");
+    }
+
+    #[test]
+    fn idle_clients_do_not_bank_credit_beyond_burst() {
+        // A day of idleness refills to the cap and no further: the
+        // residue is forfeit at the cap, so the first requests after the
+        // idle gap are bounded by the burst (plus what trickles in
+        // during them), not by the idle time.
+        let config = FrontendConfig::builder().with_client_bucket(2, 60);
+        let mut fe = Frontend::new(config, served_store());
+        assert!(matches!(fe.handle(&request(9, 0)), Outcome::Body { .. }));
+        // 1 token left; a long gap refills to the 2-token cap only.
+        let after_gap = 86_400_000_000u64;
+        let mut admitted = 0;
+        for k in 0..10u64 {
+            if !matches!(fe.handle(&request(9, after_gap + k)), Outcome::ShedClient) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 2, "the cap bounds post-idle credit at the burst");
     }
 
     #[test]

@@ -89,6 +89,26 @@ grep -Eq "[1-9][0-9]* disagreements" "$vantage_dir/a.log" \
        grep "vantage fleet" "$vantage_dir/a.log" >&2 || true; exit 1; }
 grep "vantage fleet" "$vantage_dir/a.log"
 
+echo "== flash-crowd scenario (1M-client session day through the event loop, byte-identical)"
+# A million session-based virtual clients, 40% of them piling onto the
+# publication spikes, replayed through the event-loop front end: the day
+# must complete, count flash arrivals, and reproduce the DayReport
+# byte-for-byte across identical seeds.
+flash_dir=target/verify-flash
+rm -rf "$flash_dir" && mkdir -p "$flash_dir"
+for run in a b; do
+  target/release/sixdust-exp --scale tiny --seed 11 --out "$flash_dir/$run" \
+    --clients 1000000 --flash-crowd --serve-report "$flash_dir/$run.json" \
+    publish >/dev/null 2>"$flash_dir/$run.log"
+done
+cmp "$flash_dir/a.json" "$flash_dir/b.json" \
+  || { echo "flash-crowd scenario FAILED: reports differ across identical seeds" >&2; exit 1; }
+grep -Eq "flash crowd: [1-9][0-9]* arrivals" "$flash_dir/a.log" \
+  || { echo "flash-crowd scenario FAILED: no flash arrivals counted" >&2; \
+       grep "serve day" "$flash_dir/a.log" >&2 || true; exit 1; }
+grep "serve day:" "$flash_dir/a.log"
+grep "flash crowd:" "$flash_dir/a.log"
+
 if [ "${1:-}" != "--quick" ]; then
   echo "== cargo clippy --workspace --all-targets -- -D warnings"
   cargo clippy --workspace --all-targets -- -D warnings
